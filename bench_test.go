@@ -1,0 +1,538 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets, plus the design-choice ablations called out in DESIGN.md §6.
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The full experiment harness with formatted tables is cmd/trecbench;
+// these benches are the per-experiment entry points.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bpsim"
+	"repro/internal/compress"
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/ir"
+	"repro/internal/primitives"
+	"repro/internal/vector"
+)
+
+// ---- shared fixtures (built once, reused across benchmarks) ----
+
+var (
+	fixOnce sync.Once
+	fixColl *corpus.Collection
+	fixIx   *ir.Index
+	fixEff  []corpus.Query
+)
+
+func fixtures(b *testing.B) (*corpus.Collection, *ir.Index, []corpus.Query) {
+	b.Helper()
+	fixOnce.Do(func() {
+		cfg := corpus.DefaultConfig()
+		cfg.NumDocs = 12000
+		fixColl = corpus.Generate(cfg)
+		ix, err := ir.Build(fixColl, ir.DefaultBuildConfig())
+		if err != nil {
+			panic(err)
+		}
+		fixIx = ix
+		fixEff = fixColl.EfficiencyQueries(512, 1)
+		// Warm the pool: the hot-run benchmarks measure CPU, not I/O.
+		s := ir.NewSearcher(ix, 0)
+		for _, q := range fixEff[:128] {
+			for _, strat := range ir.AllStrategies {
+				if _, _, err := s.Search(q.Terms, 20, strat); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	return fixColl, fixIx, fixEff
+}
+
+// ---- Figure 3: decompression bandwidth, NAIVE vs PATCHED ----
+
+func fig3Block(rate float64, layout compress.Layout) *compress.Block {
+	rng := rand.New(rand.NewSource(42))
+	n := 1 << 20
+	vals := make([]int64, n)
+	for i := range vals {
+		if rng.Float64() < rate {
+			vals[i] = 1 << 40
+		} else {
+			vals[i] = int64(rng.Intn(250))
+		}
+	}
+	bl, err := compress.EncodePFOR(vals, 8, 0, layout)
+	if err != nil {
+		panic(err)
+	}
+	return bl
+}
+
+func benchDecode(b *testing.B, bl *compress.Block) {
+	dec := compress.NewDecoder(bl.N)
+	out := make([]int64, bl.N)
+	b.SetBytes(int64(bl.N) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(bl, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Decompression regenerates the bandwidth axis of
+// Figure 3: MB/s throughput of the naive and patched decoders across
+// exception rates (the printed B/op-per-ns converts to GB/s via -benchmem
+// bytes accounting).
+func BenchmarkFigure3Decompression(b *testing.B) {
+	for _, rate := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		b.Run(fmt.Sprintf("NAIVE/exc=%.2f", rate), func(b *testing.B) {
+			benchDecode(b, fig3Block(rate, compress.Naive))
+		})
+		b.Run(fmt.Sprintf("PFOR/exc=%.2f", rate), func(b *testing.B) {
+			benchDecode(b, fig3Block(rate, compress.Patched))
+		})
+	}
+}
+
+// BenchmarkFigure3BranchSim regenerates the branch-miss-rate axis: the
+// simulated two-bit predictor replaying the decoders' branch traces. The
+// miss rates themselves are reported via b.ReportMetric.
+func BenchmarkFigure3BranchSim(b *testing.B) {
+	for _, rate := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		b.Run(fmt.Sprintf("exc=%.2f", rate), func(b *testing.B) {
+			bl := fig3Block(rate, compress.Naive)
+			trace := bl.NaiveBranchTrace()
+			var miss float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				miss = bpsim.ReplayTwoBit(trace).MissRate()
+			}
+			b.ReportMetric(miss*100, "naiveBMR%")
+		})
+	}
+}
+
+// ---- Table 2: the strategy ladder, hot data ----
+
+// BenchmarkTable2HotQueries measures average hot query time per strategy,
+// cycling through a realistic workload (avg 2.3 terms per query).
+func BenchmarkTable2HotQueries(b *testing.B) {
+	_, ix, eff := fixtures(b)
+	for _, strat := range ir.AllStrategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			s := ir.NewSearcher(ix, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := eff[i%len(eff)]
+				if _, _, err := s.Search(q.Terms, 20, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2ColdQueries measures the cold path: the buffer pool is
+// dropped before every query so every posting chunk is re-fetched through
+// the simulated disk. Reported ns/op is CPU only (the virtual-clock I/O
+// time is reported as a metric, matching how Table 2 separates cold from
+// hot).
+func BenchmarkTable2ColdQueries(b *testing.B) {
+	_, ix, eff := fixtures(b)
+	for _, strat := range ir.AllStrategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			s := ir.NewSearcher(ix, 0)
+			var simIO float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.Pool.Drop()
+				q := eff[i%len(eff)]
+				_, st, err := s.Search(q.Terms, 20, strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simIO += float64(st.SimIO.Nanoseconds())
+			}
+			b.StopTimer()
+			b.ReportMetric(simIO/float64(b.N), "simIOns/op")
+			// Restore hot state for later benchmarks.
+			warm := ir.NewSearcher(ix, 0)
+			for _, q := range eff[:64] {
+				if _, _, err := warm.Search(q.Terms, 20, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Table 3: distributed runs ----
+
+var (
+	clusterOnce sync.Once
+	cluster     *dist.Cluster
+	clusterEff  []corpus.Query
+)
+
+func clusterFixture(b *testing.B) (*dist.Cluster, []corpus.Query) {
+	b.Helper()
+	coll, _, eff := fixtures(b)
+	clusterOnce.Do(func() {
+		cl, err := dist.StartCluster(coll, 4, ir.DefaultBuildConfig())
+		if err != nil {
+			panic(err)
+		}
+		if err := cl.WarmAll(ir.BM25TCMQ8, eff[:64]); err != nil {
+			panic(err)
+		}
+		cluster = cl
+		clusterEff = eff
+	})
+	return cluster, clusterEff
+}
+
+// BenchmarkTable3Streams measures amortized per-query time on a 4-server
+// loopback cluster under increasing stream concurrency — the throughput
+// scaling of Table 3's lower half.
+func BenchmarkTable3Streams(b *testing.B) {
+	cl, eff := clusterFixture(b)
+	for _, streams := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			b.ResetTimer()
+			batch := eff
+			ran := 0
+			for ran < b.N {
+				n := b.N - ran
+				if n > len(batch) {
+					n = len(batch)
+				}
+				if _, err := cl.RunStreams(batch[:n], streams, 20, ir.BM25TCMQ8); err != nil {
+					b.Fatal(err)
+				}
+				ran += n
+			}
+		})
+	}
+}
+
+// BenchmarkTable3ServerScaling measures per-query latency as queries span
+// 1..4 of the partition servers (fixed partition size, Table 3's middle
+// section).
+func BenchmarkTable3ServerScaling(b *testing.B) {
+	cl, eff := clusterFixture(b)
+	for n := 1; n <= 4; n *= 2 {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			sub := cl.Sub(n)
+			brk, err := dist.Dial(sub.Addrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer brk.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := eff[i%len(eff)]
+				if _, _, err := brk.Search(q.Terms, 20, ir.BM25TCMQ8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- §3.3 compression ratios (reported as metrics) ----
+
+// BenchmarkCompressionRatio reports the stored bits per posting for each
+// physical column, next to the encode throughput.
+func BenchmarkCompressionRatio(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 18
+	docids := make([]int64, n)
+	cur := int64(0)
+	for i := range docids {
+		cur += int64(1 + rng.Intn(30))
+		docids[i] = cur
+	}
+	tfs := make([]int64, n)
+	for i := range tfs {
+		tfs[i] = 1 + int64(rng.Intn(12))
+	}
+	b.Run("docid/PFOR-DELTA-8", func(b *testing.B) {
+		var bl *compress.Block
+		b.SetBytes(int64(n) * 8)
+		for i := 0; i < b.N; i++ {
+			var err error
+			bl, err = compress.EncodePFORDelta(docids, 8, 0, compress.Patched)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(bl.BitsPerValue(), "bits/value")
+	})
+	b.Run("tf/PFOR-8", func(b *testing.B) {
+		var bl *compress.Block
+		b.SetBytes(int64(n) * 8)
+		for i := 0; i < b.N; i++ {
+			var err error
+			bl, err = compress.EncodePFOR(tfs, 8, 0, compress.Patched)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(bl.BitsPerValue(), "bits/value")
+	})
+}
+
+// ---- §4 ablation: vector size ----
+
+// BenchmarkVectorSize sweeps the vector size of the execution pipeline
+// over hot ranked queries: size 1 degenerates to tuple-at-a-time
+// processing (interpretation overhead per value), oversized vectors spill
+// the CPU cache.
+func BenchmarkVectorSize(b *testing.B) {
+	_, ix, eff := fixtures(b)
+	for _, vs := range []int{1, 16, 256, 1024, 4096, 65536} {
+		b.Run(fmt.Sprintf("size=%d", vs), func(b *testing.B) {
+			s := ir.NewSearcher(ix, vs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := eff[i%len(eff)]
+				if _, _, err := s.Search(q.Terms, 20, ir.BM25TC); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- DESIGN.md §6 ablation: merge join vs hash join over posting lists ----
+
+// BenchmarkJoinAblation intersects two realistic posting lists with the
+// ordered MergeJoin (exploiting the (term,docid) storage order) and with
+// the HashJoin that ignores it.
+func BenchmarkJoinAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func(n int) ([]int64, []int64) {
+		keys := make([]int64, n)
+		vals := make([]int64, n)
+		cur := int64(0)
+		for i := range keys {
+			cur += int64(1 + rng.Intn(20))
+			keys[i] = cur
+			vals[i] = int64(1 + rng.Intn(12))
+		}
+		return keys, vals
+	}
+	lk, lv := mk(200000)
+	rk, rv := mk(150000)
+	run := func(b *testing.B, mkOp func() engine.Operator) {
+		ctx := engine.NewContext()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := mkOp()
+			if err := engine.Drain(op, ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	values := func(k, v []int64) engine.Operator {
+		op, err := engine.NewValues([]string{"docid", "tf"},
+			[]*vector.Vector{vector.NewInt64(k), vector.NewInt64(v)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	}
+	b.Run("MergeJoin", func(b *testing.B) {
+		run(b, func() engine.Operator {
+			return engine.NewMergeJoin(values(lk, lv), values(rk, rv), "docid", "docid", "l.", "r.")
+		})
+	})
+	b.Run("HashJoin", func(b *testing.B) {
+		run(b, func() engine.Operator {
+			return engine.NewHashJoin(values(lk, lv), values(rk, rv), "docid", "docid", "l.", "r.")
+		})
+	})
+}
+
+// ---- DESIGN.md §6 ablation: fused vs composed BM25 expression ----
+
+// BenchmarkBM25Expression compares the fused BM25 map primitive against
+// the equivalent tree of generic arithmetic primitives a naive query
+// compiler would emit.
+func BenchmarkBM25Expression(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	n := 1 << 20
+	tf := make([]int64, n)
+	doclen := make([]int64, n)
+	for i := range tf {
+		tf[i] = 1 + int64(rng.Intn(20))
+		doclen[i] = 50 + int64(rng.Intn(500))
+	}
+	params := primitives.BM25Params{K1: 1.2, B: 0.75, NumDocs: 25e6, AvgDocLn: 300}
+	mkValues := func() engine.Operator {
+		op, err := engine.NewValues([]string{"tf", "len"},
+			[]*vector.Vector{vector.NewInt64(tf), vector.NewInt64(doclen)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	}
+	run := func(b *testing.B, expr func() engine.Expr) {
+		ctx := engine.NewContext()
+		b.SetBytes(int64(n) * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			proj := engine.NewProject(mkValues(), []engine.Projection{{Name: "w", Expr: expr()}})
+			if err := engine.Drain(proj, ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Fused", func(b *testing.B) {
+		run(b, func() engine.Expr {
+			return &engine.BM25{
+				TF: engine.NewColRef("tf"), DocLen: engine.NewColRef("len"),
+				Ftd: 775000, Params: params,
+			}
+		})
+	})
+	b.Run("Composed", func(b *testing.B) {
+		run(b, func() engine.Expr {
+			return engine.BM25Composed(
+				engine.NewColRef("tf"), engine.NewColRef("len"), 775000, params)
+		})
+	})
+}
+
+// ---- compression scheme encode/decode micro-benchmarks ----
+
+// BenchmarkSchemes measures raw encode and decode cost of all three
+// schemes on their natural data shapes.
+func BenchmarkSchemes(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n := 1 << 18
+	sorted := make([]int64, n)
+	cur := int64(0)
+	for i := range sorted {
+		cur += int64(1 + rng.Intn(9))
+		sorted[i] = cur
+	}
+	small := make([]int64, n)
+	for i := range small {
+		small[i] = int64(rng.Intn(200))
+	}
+	skewed := make([]int64, n)
+	for i := range skewed {
+		skewed[i] = int64(rng.Intn(9)) * 1000003
+	}
+	type scheme struct {
+		name string
+		data []int64
+		enc  func([]int64) (*compress.Block, error)
+	}
+	schemes := []scheme{
+		{"PFOR", small, func(v []int64) (*compress.Block, error) {
+			return compress.EncodePFOR(v, 8, 0, compress.Patched)
+		}},
+		{"PFOR-DELTA", sorted, func(v []int64) (*compress.Block, error) {
+			return compress.EncodePFORDelta(v, 8, 0, compress.Patched)
+		}},
+		{"PDICT", skewed, func(v []int64) (*compress.Block, error) {
+			return compress.EncodePDict(v, 4, compress.Patched)
+		}},
+	}
+	for _, sc := range schemes {
+		b.Run("Encode/"+sc.name, func(b *testing.B) {
+			b.SetBytes(int64(n) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.enc(sc.data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		bl, err := sc.enc(sc.data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("Decode/"+sc.name, func(b *testing.B) {
+			benchDecode(b, bl)
+		})
+	}
+}
+
+// ---- ablation: buffer-pool capacity (cold/hot continuum) ----
+
+// BenchmarkPoolCapacity sweeps the buffer-pool size from "nothing fits"
+// to "everything fits", exposing the cold/hot continuum between the two
+// columns of Table 2: simulated I/O time per query is reported as a
+// metric next to measured CPU time.
+func BenchmarkPoolCapacity(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 8000
+	coll := corpus.Generate(cfg)
+	eff := coll.EfficiencyQueries(256, 2)
+	for _, capBytes := range []int64{1 << 16, 1 << 20, 1 << 24, 0} {
+		name := fmt.Sprintf("pool=%dKiB", capBytes/1024)
+		if capBytes == 0 {
+			name = "pool=unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			bc := ir.DefaultBuildConfig()
+			bc.PoolBytes = capBytes
+			ix, err := ir.Build(coll, bc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := ir.NewSearcher(ix, 0)
+			var simIO float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := eff[i%len(eff)]
+				_, st, err := s.Search(q.Terms, 20, ir.BM25TC)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simIO += float64(st.SimIO.Nanoseconds())
+			}
+			b.ReportMetric(simIO/float64(b.N), "simIOns/op")
+		})
+	}
+}
+
+// ---- ablation: max-score pruning vs exhaustive evaluation ----
+
+// BenchmarkMaxScorePruning compares the §5 Buckley-style pruned
+// term-at-a-time strategy against the exhaustive materialized plan on the
+// same queries.
+func BenchmarkMaxScorePruning(b *testing.B) {
+	_, ix, eff := fixtures(b)
+	b.Run("Exhaustive/BM25TCM", func(b *testing.B) {
+		s := ir.NewSearcher(ix, 0)
+		for i := 0; i < b.N; i++ {
+			q := eff[i%len(eff)]
+			if _, _, err := s.Search(q.Terms, 20, ir.BM25TCM); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MaxScore", func(b *testing.B) {
+		s := ir.NewSearcher(ix, 0)
+		for i := 0; i < b.N; i++ {
+			q := eff[i%len(eff)]
+			if _, _, err := s.SearchMaxScore(q.Terms, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

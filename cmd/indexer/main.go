@@ -1,0 +1,70 @@
+// Command indexer builds an index from a synthetic collection and reports
+// its physical statistics: per-column sizes, bits per posting, and buffer
+// pool behaviour under a chosen capacity. It is the index-construction
+// half of the system (what the paper does once for GOV2 before running
+// queries).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+func main() {
+	var (
+		docs      = flag.Int("docs", 50000, "collection size in documents")
+		vocab     = flag.Int("vocab", 30000, "vocabulary size")
+		avgLen    = flag.Int("avglen", 200, "average document length in tokens")
+		seed      = flag.Int64("seed", 2007, "collection seed")
+		poolBytes = flag.Int64("pool", 0, "buffer pool capacity in bytes (0 = unbounded)")
+	)
+	flag.Parse()
+
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = *docs
+	cfg.Vocab = *vocab
+	cfg.AvgDocLen = *avgLen
+	cfg.Seed = *seed
+
+	fmt.Printf("generating collection: %d docs, %d-term vocabulary, avg length %d ...\n",
+		cfg.NumDocs, cfg.Vocab, cfg.AvgDocLen)
+	c := corpus.Generate(cfg)
+	fmt.Printf("collection: %d postings, realized avg doc length %.1f\n\n", c.NumPostings(), c.AvgDocLen())
+
+	bc := ir.DefaultBuildConfig()
+	bc.PoolBytes = *poolBytes
+	ix, err := ir.Build(c, bc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "indexer:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("index built: %d postings over %d terms\n\n", ix.NumPostings(), len(ix.Terms))
+	fmt.Printf("%-28s %14s %14s\n", "TD column", "size (MB)", "bits/posting")
+	for _, col := range []struct{ name, col string }{
+		{"docid (fixed 32-bit)", ir.ColDocID32},
+		{"docid (PFOR-DELTA, 8-bit)", ir.ColDocIDC},
+		{"tf (fixed 32-bit)", ir.ColTF32},
+		{"tf (PFOR, 8-bit)", ir.ColTFC},
+		{"score (float32)", ir.ColScore},
+		{"score (quantized 8-bit)", ir.ColQScore},
+	} {
+		c, err := ix.TD.Column(col.col)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "indexer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-28s %14.2f %14.2f\n", col.name,
+			float64(c.DiskSize())/1e6, c.BitsPerValue())
+	}
+	fmt.Printf("\ndocument table D: %.2f MB for %d documents\n",
+		float64(ix.D.DiskSize())/1e6, ix.NumDocs())
+	fmt.Printf("total on-disk size: %.2f MB\n", float64(ix.Disk.TotalSize())/1e6)
+	fmt.Printf("BM25 parameters: k1=%.1f b=%.2f N=%.0f avgdl=%.1f\n",
+		ix.Params.K1, ix.Params.B, ix.Params.NumDocs, ix.Params.AvgDocLn)
+	fmt.Printf("score quantization bounds: [%.4f, %.4f] -> 256 buckets\n", ix.ScoreLo, ix.ScoreHi)
+}

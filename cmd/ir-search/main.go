@@ -1,0 +1,155 @@
+// Command ir-search is the "basic search" demonstrator: a google-like
+// keyword search loop over a synthetic collection, with selectable search
+// strategy, ranked results, and — alongside the results — the relational
+// query plan that was executed, annotated with profiling information.
+//
+//	ir-search -docs 20000
+//	> information retrieval          # search with the default strategy
+//	> :strategy BM25TCMQ8            # switch strategy
+//	> :explain storing retrieval     # show the annotated plan
+//	> :quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+func main() {
+	var (
+		docs = flag.Int("docs", 20000, "collection size in documents")
+		seed = flag.Int64("seed", 2007, "collection seed")
+		k    = flag.Int("k", 10, "results per query")
+	)
+	flag.Parse()
+
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = *docs
+	cfg.Seed = *seed
+	fmt.Printf("generating %d-document collection and index ...\n", cfg.NumDocs)
+	c := corpus.Generate(cfg)
+	ix, err := ir.Build(c, ir.DefaultBuildConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ir-search:", err)
+		os.Exit(1)
+	}
+	s := ir.NewSearcher(ix, 0)
+	strat := ir.BM25TCMQ8
+
+	fmt.Printf("ready: %d documents, %d postings, %d distinct terms\n",
+		ix.NumDocs(), ix.NumPostings(), len(ix.Terms))
+	fmt.Printf("commands: ':strategy <name>', ':explain <terms>', ':sample', ':quit'\n")
+	fmt.Printf("queries with AND/OR/parentheses use the boolean engine directly,\n")
+	fmt.Printf("e.g.  information AND (storing OR retrieval)\n")
+	fmt.Printf("strategy: %v\n\n", strat)
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":sample":
+			qs := c.EfficiencyQueries(3, time.Now().UnixNano())
+			for _, q := range qs {
+				fmt.Printf("  try: %s\n", strings.Join(q.Terms, " "))
+			}
+		case strings.HasPrefix(line, ":strategy"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ":strategy"))
+			found := false
+			for _, st := range ir.AllStrategies {
+				if strings.EqualFold(st.String(), name) {
+					strat = st
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Printf("unknown strategy %q; one of", name)
+				for _, st := range ir.AllStrategies {
+					fmt.Printf(" %v", st)
+				}
+				fmt.Println()
+				continue
+			}
+			fmt.Printf("strategy: %v\n", strat)
+		case strings.HasPrefix(line, ":explain"):
+			terms := strings.Fields(strings.TrimPrefix(line, ":explain"))
+			plan, err := s.ExplainPlan(terms, *k, strat)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan)
+		default:
+			if isBoolQuery(line) {
+				expr, err := ir.ParseBoolQuery(line)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				results, st, err := s.SearchBool(expr, *k)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("boolean query %s\n", expr)
+				for i, r := range results {
+					fmt.Printf("%2d. %-22s docid=%d\n", i+1, r.Name, r.DocID)
+				}
+				if len(results) == 0 {
+					fmt.Println("no results")
+				}
+				fmt.Printf("    [boolean; %.2f ms wall, %.2f ms simulated I/O]\n",
+					float64(st.Wall.Microseconds())/1000, float64(st.SimIO.Microseconds())/1000)
+				continue
+			}
+			terms := strings.Fields(line)
+			results, st, err := s.Search(terms, *k, strat)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for i, r := range results {
+				fmt.Printf("%2d. %-22s score=%.4f docid=%d\n", i+1, r.Name, r.Score, r.DocID)
+			}
+			if len(results) == 0 {
+				fmt.Println("no results")
+			}
+			fmt.Printf("    [%v; %.2f ms wall, %.2f ms simulated I/O", strat,
+				float64(st.Wall.Microseconds())/1000, float64(st.SimIO.Microseconds())/1000)
+			if st.SecondPass {
+				fmt.Print(", second pass")
+			}
+			fmt.Println("]")
+		}
+	}
+}
+
+// isBoolQuery reports whether the input uses the §3.2 boolean language
+// (explicit operators or parentheses) rather than plain keywords.
+func isBoolQuery(line string) bool {
+	if strings.ContainsAny(line, "()") {
+		return true
+	}
+	for _, f := range strings.Fields(line) {
+		if strings.EqualFold(f, "AND") || strings.EqualFold(f, "OR") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,424 @@
+// Command trecbench reproduces every table and figure of the paper's
+// evaluation on the synthetic TREC-TB testbed:
+//
+//	trecbench -experiment fig2      # compressed block layout (pi digits)
+//	trecbench -experiment fig3      # decompression bandwidth + BMR curve
+//	trecbench -experiment table1    # reference TREC-TB 2005 systems
+//	trecbench -experiment table2    # the strategy ladder, cold + hot
+//	trecbench -experiment table3    # distributed runs
+//	trecbench -experiment ratios    # §3.3 compression ratios
+//	trecbench -experiment vecsize   # §4 vector-size ablation
+//	trecbench -experiment all       # everything above, in order
+//
+// Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
+// defaults run in a few minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/bpsim"
+	"repro/internal/compress"
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/ir"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|all")
+		docs        = flag.Int("docs", 50000, "collection size in documents")
+		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
+		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
+		precQueries = flag.Int("precqueries", 50, "precision queries (p@20 subset)")
+		servers     = flag.Int("servers", 8, "servers for the distributed experiment")
+		seed        = flag.Int64("seed", 2007, "collection seed")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *docs, *queries, *coldQueries, *precQueries, *servers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "trecbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) error {
+	switch experiment {
+	case "fig2":
+		return figure2()
+	case "fig3":
+		return figure3()
+	case "table1":
+		return table1()
+	case "table2":
+		return table2(docs, nq, nCold, nPrec, seed)
+	case "table3":
+		return table3(docs, nq, servers, seed)
+	case "ratios":
+		return ratios(docs, seed)
+	case "vecsize":
+		return vecsize(docs, nq, seed)
+	case "all":
+		for _, fn := range []func() error{
+			figure2,
+			figure3,
+			table1,
+			func() error { return ratios(docs, seed) },
+			func() error { return table2(docs, nq, nCold, nPrec, seed) },
+			func() error { return table3(docs, nq, servers, seed) },
+			func() error { return vecsize(docs, nq, seed) },
+		} {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+// figure2 encodes the digits of pi with PFOR(b=3) and prints the block
+// layout of Figure 2: entry points, code section with chain links,
+// backward exception section.
+func figure2() error {
+	header("Figure 2: compressed block layout (digits of pi, PFOR b=3)")
+	digits := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2}
+	bl, err := compress.EncodePFOR(digits, 3, 0, compress.Patched)
+	if err != nil {
+		return err
+	}
+	codes := make([]uint32, bl.N)
+	compress.Unpack(codes, bl.Words, bl.B, bl.N)
+
+	fmt.Printf("input            : %v\n", digits)
+	fmt.Printf("header           : scheme=%v b=%d base=%d n=%d\n", bl.Scheme, bl.B, bl.Base, bl.N)
+	for i, e := range bl.Entries {
+		fmt.Printf("entry point %d    : first-exception=%d exception-index=%d\n", i, e.FirstExc, e.ExcIdx)
+	}
+	fmt.Printf("code section     : %v\n", codes)
+	fmt.Printf("exception section: %v (backward-growing)\n", bl.ExcVals)
+	mask := bl.ExceptionMask()
+	chain := ""
+	for i, m := range mask {
+		if m {
+			if chain != "" {
+				chain += " -> "
+			}
+			chain += fmt.Sprintf("%d", i)
+		}
+	}
+	fmt.Printf("exception chain  : %s -> %d (end)\n", chain, bl.N)
+	out := make([]int64, bl.N)
+	if err := compress.Decode(bl, out); err != nil {
+		return err
+	}
+	fmt.Printf("decoded          : %v\n", out)
+	fmt.Printf("compressed size  : %d bytes (%.2f bits/value)\n", bl.CompressedSize(), bl.BitsPerValue())
+	return nil
+}
+
+// figure3 sweeps the exception rate and reports decompression bandwidth
+// (measured) and branch miss rate (simulated two-bit predictor) for the
+// NAIVE and PFOR (patched) decoders.
+func figure3() error {
+	header("Figure 3: branch miss rate and decompression bandwidth vs exception rate")
+	const n = 1 << 20
+	const b = 8
+	rng := rand.New(rand.NewSource(42))
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "exc.rate", "NAIVE GB/s", "PFOR GB/s", "NAIVE BMR%", "PFOR BMR%")
+
+	dec := compress.NewDecoder(n)
+	out := make([]int64, n)
+	for _, rate := range []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5,
+		0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0} {
+		vals := make([]int64, n)
+		for i := range vals {
+			if rng.Float64() < rate {
+				vals[i] = 1 << 40 // exception
+			} else {
+				vals[i] = int64(rng.Intn(250)) // codeable under b=8
+			}
+		}
+		naive, err := compress.EncodePFOR(vals, b, 0, compress.Naive)
+		if err != nil {
+			return err
+		}
+		patched, err := compress.EncodePFOR(vals, b, 0, compress.Patched)
+		if err != nil {
+			return err
+		}
+		nbw := bandwidth(dec, naive, out)
+		pbw := bandwidth(dec, patched, out)
+		nbmr := bpsim.ReplayTwoBit(naive.NaiveBranchTrace()).MissRate()
+		pbmr := bpsim.ReplayTwoBit(patched.PatchedBranchTrace()).MissRate()
+		fmt.Printf("%-10.2f %12.2f %12.2f %12.2f %12.2f\n", rate, nbw, pbw, nbmr*100, pbmr*100)
+	}
+	fmt.Println("\n(paper shape: NAIVE bandwidth collapses near 50% exceptions while its")
+	fmt.Println(" branch miss rate peaks; PFOR degrades linearly with patching work and")
+	fmt.Println(" its miss rate stays near zero)")
+	return nil
+}
+
+func bandwidth(dec *compress.Decoder, bl *compress.Block, out []int64) float64 {
+	const reps = 5
+	if err := dec.Decode(bl, out); err != nil { // warm-up: fault pages in
+		panic(err)
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if err := dec.Decode(bl, out); err != nil {
+			panic(err)
+		}
+	}
+	secs := time.Since(start).Seconds()
+	bytes := float64(bl.N) * 8 * reps // decoded output volume
+	return bytes / secs / 1e9
+}
+
+func table1() error {
+	header("Table 1: top results for TREC-TB 2005 (published reference numbers)")
+	fmt.Printf("%-14s %8s %6s %16s\n", "Run", "p@20", "CPUs", "Time/query (ms)")
+	for _, e := range ir.TrecTB2005 {
+		fmt.Printf("%-14s %8.4f %6d %16d\n", e.Run, e.P20, e.CPUs, e.TimePerQMil)
+	}
+	return nil
+}
+
+func buildTestbed(docs int, seed int64) (*corpus.Collection, *ir.Index, error) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = docs
+	cfg.Seed = seed
+	fmt.Printf("generating collection: %d docs, vocab %d, avg len %d ...\n", cfg.NumDocs, cfg.Vocab, cfg.AvgDocLen)
+	c := corpus.Generate(cfg)
+	fmt.Printf("collection: %d postings, realized avgdl %.1f\n", c.NumPostings(), c.AvgDocLen())
+	fmt.Printf("building index (all physical columns) ...\n")
+	ix, err := ir.Build(c, ir.DefaultBuildConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("index: %d postings, on-disk %0.1f MB\n\n", ix.NumPostings(), float64(ix.Disk.TotalSize())/1e6)
+	return c, ix, nil
+}
+
+// table2 runs the full strategy ladder: p@20 over the precision subset,
+// average query time cold (empty buffer pool, simulated disk I/O charged)
+// and hot (warmed pool).
+func table2(docs, nq, nCold, nPrec int, seed int64) error {
+	header("Table 2: MonetDB/X100 TREC-TB experiments (reproduction)")
+	c, ix, err := buildTestbed(docs, seed)
+	if err != nil {
+		return err
+	}
+	eff := c.EfficiencyQueries(nq, seed+1)
+	cold := eff
+	if len(cold) > nCold {
+		cold = cold[:nCold]
+	}
+	prec := c.PrecisionQueries(nPrec, seed+2)
+	fmt.Printf("workload: %d efficiency queries (avg %.2f terms), %d cold-timed, %d precision queries\n\n",
+		len(eff), corpus.AvgQueryTerms(eff), len(cold), len(prec))
+
+	fmt.Printf("%-11s %8s %14s %14s %12s  (paper: p@20 / cold / hot)\n",
+		"Run", "p@20", "cold ms/query", "hot ms/query", "2nd-pass%")
+	s := ir.NewSearcher(ix, 0)
+	for i, strat := range ir.AllStrategies {
+		// Cold: pool dropped before every query (the 426GB-over-4GB-RAM
+		// regime of the paper, where data is effectively never cached).
+		var coldTotal time.Duration
+		for _, q := range cold {
+			ix.Pool.Drop()
+			_, st, err := s.Search(q.Terms, 20, strat)
+			if err != nil {
+				return err
+			}
+			coldTotal += st.Total()
+		}
+		// Hot: warmed pool, wall time only.
+		second := 0
+		var hotTotal time.Duration
+		for _, q := range eff {
+			_, st, err := s.Search(q.Terms, 20, strat)
+			if err != nil {
+				return err
+			}
+			hotTotal += st.Wall
+			if st.SecondPass {
+				second++
+			}
+		}
+		// Effectiveness on the precision subset.
+		var ps []float64
+		for _, q := range prec {
+			res, _, err := s.Search(q.Terms, 20, strat)
+			if err != nil {
+				return err
+			}
+			ps = append(ps, ir.PrecisionAtK(res, c.Qrels(q), 20))
+		}
+		p20 := ir.MeanPrecisionAtK(ps)
+		paper := ir.PaperTable2[i]
+		fmt.Printf("%-11s %8.4f %14.2f %14.2f %11.1f%%  (%.4f / %.0f / %.0f)\n",
+			strat, p20,
+			float64(coldTotal.Microseconds())/float64(len(cold))/1000,
+			float64(hotTotal.Microseconds())/float64(len(eff))/1000,
+			100*float64(second)/float64(len(eff)),
+			paper.P20, paper.ColdMs, paper.HotMs)
+	}
+	return nil
+}
+
+// table3 reproduces the distributed runs: speedup from 1..N servers and
+// multi-stream throughput on N servers, hot data.
+func table3(docs, nq, servers int, seed int64) error {
+	header("Table 3: performance of the distributed runs (hot data)")
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = docs
+	cfg.Seed = seed
+	c := corpus.Generate(cfg)
+	queries := c.EfficiencyQueries(nq, seed+3)
+	warm := queries
+	if len(warm) > 200 {
+		warm = warm[:200]
+	}
+	strat := ir.BM25TCMQ8
+
+	// Sequential baseline: one server holding the full collection.
+	fmt.Printf("building 1-server full-collection baseline ...\n")
+	single, err := dist.StartCluster(c, 1, ir.DefaultBuildConfig())
+	if err != nil {
+		return err
+	}
+	if err := single.WarmAll(strat, warm); err != nil {
+		return err
+	}
+	seqStats, err := single.RunStreams(queries, 1, 20, strat)
+	single.Close()
+	if err != nil {
+		return err
+	}
+
+	// One N-way partitioned cluster serves both the full distributed run
+	// and the fixed-partition-size "using less servers" rows (queries over
+	// the first n partitions only), exactly as in Table 3.
+	fmt.Printf("building %d-server cluster ...\n", servers)
+	cl, err := dist.StartCluster(c, servers, ir.DefaultBuildConfig())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.WarmAll(strat, warm); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nFull run (hot data)\n")
+	fmt.Printf("%-28s %10s %10s | %8s %8s %8s\n",
+		"configuration", "abs ms/q", "amort ms", "min ms", "avg ms", "max ms")
+	printRun("sequential (1 server)", seqStats)
+	full, err := cl.RunStreams(queries, 1, 20, strat)
+	if err != nil {
+		return err
+	}
+	printRun(fmt.Sprintf("%d servers", servers), full)
+
+	fmt.Printf("\nUsing less servers (1 stream, fixed partition size)\n")
+	for n := servers / 2; n >= 1; n /= 2 {
+		sub := cl.Sub(n)
+		st, err := sub.RunStreams(queries, 1, 20, strat)
+		if err != nil {
+			return err
+		}
+		printRun(fmt.Sprintf("%d server(s)", n), st)
+	}
+
+	fmt.Printf("\nIncreasing the concurrency (%d servers)\n", servers)
+	for _, streams := range []int{1, 2, 4, 8} {
+		st, err := cl.RunStreams(queries, streams, 20, strat)
+		if err != nil {
+			return err
+		}
+		printRun(fmt.Sprintf("%d streams", streams), st)
+	}
+	fmt.Println("\n(paper shape: partitioned speedup is far from linear because per-query")
+	fmt.Println(" latency tracks the slowest server — max >> min across partitions — while")
+	fmt.Println(" amortized per-query time keeps falling as concurrent streams are added,")
+	fmt.Println(" i.e. throughput scales even though latency does not)")
+	return nil
+}
+
+func printRun(name string, st dist.RunStats) {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	fmt.Printf("%-28s %10.2f %10.2f | %8.2f %8.2f %8.2f\n",
+		name, ms(st.Absolute), ms(st.Amortized), ms(st.MinServer), ms(st.AvgServer), ms(st.MaxServer))
+}
+
+// ratios reports the §3.3 compression ratios of the inverted-list columns.
+func ratios(docs int, seed int64) error {
+	header("§3.3 compression ratios (bits per posting tuple)")
+	_, ix, err := buildTestbed(docs, seed)
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		name, col string
+		paper     float64
+	}{
+		{"docid uncompressed", ir.ColDocID32, 32},
+		{"docid PFOR-DELTA-8", ir.ColDocIDC, 11.98},
+		{"tf    uncompressed", ir.ColTF32, 32},
+		{"tf    PFOR-8", ir.ColTFC, 8.13},
+		{"score f32 (materialized)", ir.ColScore, 32},
+		{"score quantized 8-bit", ir.ColQScore, 8},
+	}
+	fmt.Printf("%-26s %12s %12s\n", "column", "measured", "paper")
+	for _, r := range rows {
+		bpv, err := ix.BitsPerPosting(r.col)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %12.2f %12.2f\n", r.name, bpv, r.paper)
+	}
+	return nil
+}
+
+// vecsize sweeps the vector size of the execution pipeline over hot BM25
+// queries — the §4 "varying MonetDB/X100 parameters" demonstration.
+func vecsize(docs, nq int, seed int64) error {
+	header("§4 ablation: query time vs vector size (hot data, BM25TC)")
+	c, ix, err := buildTestbed(docs, seed)
+	if err != nil {
+		return err
+	}
+	queries := c.EfficiencyQueries(min(nq, 500), seed+4)
+	// Warm.
+	warmSearcher := ir.NewSearcher(ix, 0)
+	for _, q := range queries {
+		if _, _, err := warmSearcher.Search(q.Terms, 20, ir.BM25TC); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-12s %14s\n", "vector size", "hot ms/query")
+	for _, vs := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536} {
+		s := ir.NewSearcher(ix, vs)
+		start := time.Now()
+		for _, q := range queries {
+			if _, _, err := s.Search(q.Terms, 20, ir.BM25TC); err != nil {
+				return err
+			}
+		}
+		total := time.Since(start)
+		fmt.Printf("%-12d %14.3f\n", vs, float64(total.Microseconds())/float64(len(queries))/1000)
+	}
+	fmt.Println("\n(paper shape: tuple-at-a-time (size 1) pays interpretation overhead per")
+	fmt.Println(" value; very large vectors spill the CPU cache; the optimum sits at a")
+	fmt.Println(" cache-resident size in the hundreds-to-thousands)")
+	return nil
+}

@@ -1,0 +1,169 @@
+package colbm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/vector"
+)
+
+func float32bits(f float32) uint32     { return math.Float32bits(f) }
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Cursor reads a column at vector granularity: each Read locates the
+// covering chunk(s), fetches them through the buffer pool (charging the
+// simulated disk on a miss), and decompresses exactly the requested value
+// range into the destination vector — the on-demand, into-the-cache
+// decompression path of Figure 1. Cursors are not safe for concurrent use;
+// each scan owns one per column.
+type Cursor struct {
+	col     *Column
+	decoder *compress.Decoder
+	scratch []int64
+}
+
+// NewCursor returns a cursor over the column.
+func NewCursor(col *Column) *Cursor {
+	return &Cursor{
+		col:     col,
+		decoder: compress.NewDecoder(vector.DefaultSize + compress.EntryStride),
+	}
+}
+
+// Read fills dst with n values starting at the global row position start.
+// dst must match the column's logical type and have capacity for n values;
+// its length is set to n.
+func (c *Cursor) Read(dst *vector.Vector, start, n int) error {
+	if dst.Type() != c.col.Spec.Type {
+		return fmt.Errorf("colbm: cursor type mismatch: column %q is %v, destination is %v",
+			c.col.Spec.Name, c.col.Spec.Type, dst.Type())
+	}
+	if start < 0 || n < 0 || start+n > c.col.N {
+		return fmt.Errorf("colbm: read [%d,%d) out of column %q of %d values",
+			start, start+n, c.col.Spec.Name, c.col.N)
+	}
+	dst.SetLen(n)
+	chunkLen := c.col.Spec.chunkLen()
+	written := 0
+	for written < n {
+		pos := start + written
+		ci := pos / chunkLen
+		inChunk := pos - ci*chunkLen
+		take := c.col.chunks[ci].n - inChunk
+		if take > n-written {
+			take = n - written
+		}
+		if err := c.readFromChunk(dst, written, ci, inChunk, take); err != nil {
+			return err
+		}
+		written += take
+	}
+	return nil
+}
+
+// loadChunk returns the pool entry for chunk ci, loading it from the
+// simulated disk on a miss. The whole chunk is read in one request —
+// large sequential I/O — and cached in compressed form.
+func (c *Cursor) loadChunk(ci int) (*poolEntry, error) {
+	key := fmt.Sprintf("%s#%d", c.col.blobName, ci)
+	if e, ok := c.col.pool.get(key); ok {
+		return e, nil
+	}
+	m := c.col.chunks[ci]
+	raw, err := c.col.disk.Read(c.col.blobName, m.off, m.size)
+	if err != nil {
+		return nil, err
+	}
+	e := &poolEntry{key: key, size: int64(m.size)}
+	if c.col.Spec.Type == vector.Int64 && isBlockEncoding(c.col.Spec.Enc) {
+		bl, err := compress.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("colbm: chunk %s: %w", key, err)
+		}
+		e.block = bl
+	} else {
+		e.raw = raw
+	}
+	c.col.pool.put(e)
+	return e, nil
+}
+
+func (c *Cursor) readFromChunk(dst *vector.Vector, dstOff, ci, inChunk, n int) error {
+	e, err := c.loadChunk(ci)
+	if err != nil {
+		return err
+	}
+	switch c.col.Spec.Type {
+	case vector.Int64:
+		if e.block != nil {
+			return c.decodeInt64(dst.I64[dstOff:dstOff+n], e.block, inChunk, n)
+		}
+		raw := e.raw
+		if c.col.Spec.Enc == EncFixed32 {
+			for i := 0; i < n; i++ {
+				dst.I64[dstOff+i] = int64(int32(leU32(raw[(inChunk+i)*4:])))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				dst.I64[dstOff+i] = int64(leU64(raw[(inChunk+i)*8:]))
+			}
+		}
+	case vector.Float64:
+		raw := e.raw
+		for i := 0; i < n; i++ {
+			dst.F64[dstOff+i] = float64(float32frombits(leU32(raw[(inChunk+i)*4:])))
+		}
+	case vector.UInt8:
+		copy(dst.U8[dstOff:dstOff+n], e.raw[inChunk:inChunk+n])
+	case vector.Str:
+		raw := e.raw
+		nvals := c.col.chunks[ci].n
+		// Offsets are prefix sums over the length header.
+		base := 4 * nvals
+		off := base
+		for i := 0; i < inChunk; i++ {
+			off += int(leU32(raw[i*4:]))
+		}
+		for i := 0; i < n; i++ {
+			l := int(leU32(raw[(inChunk+i)*4:]))
+			dst.S[dstOff+i] = string(raw[off : off+l])
+			off += l
+		}
+	default:
+		return fmt.Errorf("colbm: unsupported cursor type %v", c.col.Spec.Type)
+	}
+	return nil
+}
+
+// decodeInt64 decompresses [inChunk, inChunk+n) of a compressed chunk. The
+// block decoder requires EntryStride alignment, so the read is widened to
+// the previous boundary and the prefix discarded — at most EntryStride-1
+// wasted values per vector, the price of fine-granularity access.
+func (c *Cursor) decodeInt64(out []int64, bl *compress.Block, inChunk, n int) error {
+	aligned := inChunk - inChunk%compress.EntryStride
+	total := inChunk - aligned + n
+	if cap(c.scratch) < total {
+		c.scratch = make([]int64, total+compress.EntryStride)
+	}
+	s := c.scratch[:total]
+	if err := c.decoder.DecodeRange(bl, s, aligned, total); err != nil {
+		return err
+	}
+	copy(out, s[inChunk-aligned:])
+	return nil
+}
+
+// isBlockEncoding reports whether the encoding stores compress.Block
+// chunks (as opposed to raw fixed-width values).
+func isBlockEncoding(e Encoding) bool {
+	return e == EncPFOR || e == EncPFORDelta || e == EncPDict
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(leU32(b)) | uint64(leU32(b[4:]))<<32
+}

@@ -1,0 +1,115 @@
+package colbm
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/compress"
+)
+
+// BufferPool caches column chunks in RAM *in compressed form*, the central
+// ColumnBM design decision: keeping blocks compressed multiplies effective
+// buffer capacity, and the PFOR-family decoders are fast enough to
+// decompress at vector granularity on every access (data is decompressed
+// "directly into the CPU cache", never written back to RAM uncompressed).
+//
+// Entries are either parsed compress.Blocks (for encoded chunks — parsing
+// is a cheap header decode done once per load) or raw bytes (for
+// uncompressed chunks such as materialized float scores). Eviction is LRU
+// by compressed size.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recent
+
+	hits   int64
+	misses int64
+}
+
+type poolEntry struct {
+	key   string
+	size  int64
+	block *compress.Block // non-nil for encoded chunks
+	raw   []byte          // non-nil for uncompressed chunks
+}
+
+// PoolStats reports hit/miss counters and occupancy.
+type PoolStats struct {
+	Hits, Misses int64
+	Used, Cap    int64
+}
+
+// NewBufferPool returns a pool with the given capacity in bytes. A zero or
+// negative capacity means "unbounded" (everything stays hot once loaded).
+func NewBufferPool(capacity int64) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached entry for key, updating recency.
+func (p *BufferPool) get(key string) (*poolEntry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[key]
+	if !ok {
+		p.misses++
+		return nil, false
+	}
+	p.hits++
+	p.lru.MoveToFront(el)
+	return el.Value.(*poolEntry), true
+}
+
+// put inserts an entry, evicting least-recently-used entries as needed.
+// Oversized entries (bigger than the whole pool) are admitted transiently:
+// they evict everything else and are themselves dropped on the next insert,
+// which keeps the pool useful under pathological capacities in the
+// buffer-size ablation tests.
+func (p *BufferPool) put(e *poolEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if old, ok := p.entries[e.key]; ok {
+		p.used -= old.Value.(*poolEntry).size
+		p.lru.Remove(old)
+		delete(p.entries, e.key)
+	}
+	if p.capacity > 0 {
+		for p.used+e.size > p.capacity && p.lru.Len() > 0 {
+			back := p.lru.Back()
+			victim := back.Value.(*poolEntry)
+			p.lru.Remove(back)
+			delete(p.entries, victim.key)
+			p.used -= victim.size
+		}
+	}
+	p.entries[e.key] = p.lru.PushFront(e)
+	p.used += e.size
+}
+
+// Drop empties the pool (the "cold run" reset).
+func (p *BufferPool) Drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = make(map[string]*list.Element)
+	p.lru.Init()
+	p.used = 0
+}
+
+// ResetStats zeroes the hit/miss counters without evicting.
+func (p *BufferPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits, p.misses = 0, 0
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Used: p.used, Cap: p.capacity}
+}

@@ -1,0 +1,127 @@
+package compress
+
+// Shared machinery for the patched exception layout. All three schemes
+// reduce to the same problem: each position holds either a small code or an
+// exception, and the exception positions must form a linked list whose
+// links (stored in the code slots of exception positions) fit the code
+// width. buildLayout performs that reduction.
+
+// layoutInput describes one scheme-specific encoding pass: codes[i] is the
+// code for position i if codeable[i], and logical[i] is the value to store
+// in the exception section otherwise. For forced exceptions (codeable
+// positions sacrificed to keep chain gaps representable) logical[i] is
+// stored even though codeable[i] was true.
+type layoutInput struct {
+	codes    []uint32
+	codeable []bool
+	logical  []int64
+}
+
+// buildLayout produces the final code stream, exception list and entry
+// points for either layout discipline.
+//
+// For Patched, exception positions receive the gap to the next exception
+// (the linked list of Figure 2), with forced exceptions inserted whenever a
+// gap would exceed the largest representable link (2^b - 1), including the
+// virtual terminator at position n so the decode loop `i += code[i]`
+// always exits past the end.
+//
+// For Naive, exception positions receive the reserved MAXCODE = 2^b - 1
+// and no forced exceptions are needed.
+func buildLayout(in layoutInput, b uint, layout Layout) (codes []uint32, excVals []int64, entries []Entry) {
+	n := len(in.codes)
+	limit := uint32(1)<<b - 1 // MAXCODE for Naive; max chain link for Patched
+	codes = in.codes
+
+	var excPos []int32
+	if layout == Naive {
+		for i := 0; i < n; i++ {
+			if !in.codeable[i] {
+				codes[i] = limit
+				excPos = append(excPos, int32(i))
+				excVals = append(excVals, in.logical[i])
+			}
+		}
+	} else {
+		lastExc := -1
+		force := func(upto int) {
+			// Insert forced exceptions so the chain reaches upto with
+			// every gap <= limit.
+			for upto-lastExc > int(limit) {
+				f := lastExc + int(limit)
+				excPos = append(excPos, int32(f))
+				excVals = append(excVals, in.logical[f])
+				lastExc = f
+			}
+		}
+		for i := 0; i < n; i++ {
+			if in.codeable[i] {
+				continue
+			}
+			if lastExc >= 0 {
+				force(i)
+			}
+			excPos = append(excPos, int32(i))
+			excVals = append(excVals, in.logical[i])
+			lastExc = i
+		}
+		if lastExc >= 0 {
+			force(n) // terminator: last link must jump past the end
+		}
+		// Overwrite exception positions with their chain links.
+		for j, p := range excPos {
+			next := int32(n)
+			if j+1 < len(excPos) {
+				next = excPos[j+1]
+			}
+			codes[p] = uint32(next - p)
+		}
+	}
+
+	// Entry points: for every EntryStride boundary, the first exception at
+	// or after it and that exception's encounter-order index.
+	nEntries := (n + EntryStride - 1) / EntryStride
+	entries = make([]Entry, nEntries)
+	j := 0
+	for k := 0; k < nEntries; k++ {
+		boundary := int32(k * EntryStride)
+		for j < len(excPos) && excPos[j] < boundary {
+			j++
+		}
+		if j < len(excPos) {
+			entries[k] = Entry{FirstExc: excPos[j], ExcIdx: int32(j)}
+		} else {
+			entries[k] = Entry{FirstExc: int32(n), ExcIdx: int32(len(excVals))}
+		}
+	}
+	return codes, excVals, entries
+}
+
+// codeableMax returns the largest code offset the layout can store for
+// data: Patched uses the full range (exception positions are identified by
+// chain membership, not value), Naive reserves the top code as MAXCODE.
+func codeableMax(b uint, layout Layout) int64 {
+	if layout == Naive {
+		return int64(1)<<b - 2
+	}
+	return int64(1)<<b - 1
+}
+
+// chooseExcWidth returns 4 when every exception value fits in an int32
+// (the common case for docids and term frequencies, and what lets the
+// measured bits-per-tuple match the paper's 32-bit baseline), 8 otherwise.
+func chooseExcWidth(excVals []int64) int {
+	for _, v := range excVals {
+		if v < -1<<31 || v >= 1<<31 {
+			return 8
+		}
+	}
+	return 4
+}
+
+// packCodes bit-packs the finished code stream.
+func packCodes(codes []uint32, b uint) []uint64 {
+	words := make([]uint64, PackedWords(len(codes), b))
+	Pack(words, codes, b)
+	return words
+}

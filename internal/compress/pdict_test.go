@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPDictRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Zipf-ish skew: few very frequent values, long tail.
+	vals := make([]int64, 4000)
+	for i := range vals {
+		if rng.Float64() < 0.9 {
+			vals[i] = int64(rng.Intn(10)) * 12345
+		} else {
+			vals[i] = rng.Int63()
+		}
+	}
+	for _, layout := range []Layout{Patched, Naive} {
+		bl, err := EncodePDict(vals, 4, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, len(vals))
+		if err := Decode(bl, out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, vals) {
+			t.Fatalf("%v PDICT round trip failed", layout)
+		}
+	}
+}
+
+func TestPDictCompressesSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	vals := make([]int64, 50000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(7)) * 1000003 // 7 distinct values
+	}
+	bl, err := EncodePDictAuto(vals, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpv := bl.BitsPerValue(); bpv > 8 {
+		t.Errorf("7-distinct-value column at %.2f bits/value", bpv)
+	}
+	out := make([]int64, len(vals))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, vals) {
+		t.Error("auto PDICT round trip failed")
+	}
+}
+
+func TestPDictDictionaryOrder(t *testing.T) {
+	// 5 appears most, then 3, then 9: dictionary must list them in
+	// frequency order so the most frequent values get the smallest codes.
+	vals := []int64{5, 5, 5, 5, 3, 3, 3, 9, 9, 1}
+	bl, err := EncodePDict(vals, 2, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Dict[0] != 5 || bl.Dict[1] != 3 || bl.Dict[2] != 9 {
+		t.Errorf("dictionary order: %v", bl.Dict[:3])
+	}
+	// 2-bit codes, dictionary cap 3: value 1 is an exception.
+	if bl.NumExceptions() != 1 {
+		t.Errorf("exceptions: %d", bl.NumExceptions())
+	}
+	out := make([]int64, len(vals))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, vals) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestPDictWidthLimits(t *testing.T) {
+	if _, err := EncodePDict([]int64{1}, 0, Patched); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := EncodePDict([]int64{1}, 17, Patched); err == nil {
+		t.Error("b=17 accepted")
+	}
+}
+
+func TestPDictRangeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	vals := make([]int64, 2000)
+	for i := range vals {
+		if rng.Float64() < 0.85 {
+			vals[i] = int64(rng.Intn(14))
+		} else {
+			vals[i] = rng.Int63n(1 << 40)
+		}
+	}
+	bl, err := EncodePDict(vals, 4, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(2000)
+	for _, start := range []int{0, 128, 1792} {
+		count := 150
+		if start+count > len(vals) {
+			count = len(vals) - start
+		}
+		out := make([]int64, count)
+		if err := d.DecodeRange(bl, out, start, count); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, vals[start:start+count]) {
+			t.Fatalf("PDICT range [%d,%d) mismatch", start, start+count)
+		}
+	}
+}
+
+// Property: PDICT round trips arbitrary data at arbitrary widths.
+func TestPDictRoundTripProperty(t *testing.T) {
+	prop := func(raw []int16, bRaw uint8, naive bool) bool {
+		b := uint(bRaw%16) + 1
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r)
+		}
+		layout := Patched
+		if naive {
+			layout = Naive
+		}
+		bl, err := EncodePDict(vals, b, layout)
+		if err != nil {
+			return false
+		}
+		out := make([]int64, len(vals))
+		if err := Decode(bl, out); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out, vals) || len(vals) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChoosePDictEmpty(t *testing.T) {
+	if b := ChoosePDict(nil); b == 0 || b > 16 {
+		t.Errorf("ChoosePDict(nil) = %d", b)
+	}
+}
+
+// Naive and patched decoders must agree value-for-value on naive blocks
+// versus patched blocks built from the same data.
+func TestLayoutsAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(1000)
+		vals := make([]int64, n)
+		for i := range vals {
+			if rng.Float64() < 0.3 {
+				vals[i] = rng.Int63()
+			} else {
+				vals[i] = int64(rng.Intn(100))
+			}
+		}
+		p, err := EncodePFOR(vals, 8, 0, Patched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv, err := EncodePFOR(vals, 8, 0, Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]int64, n)
+		b := make([]int64, n)
+		if err := Decode(p, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := Decode(nv, b); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: layouts disagree", trial)
+		}
+	}
+}

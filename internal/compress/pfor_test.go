@@ -1,0 +1,325 @@
+package compress
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// piDigits is the running example of Figure 2: the digits of pi,
+// 31415926535897932, encoded with PFOR, b=3, base=0. Digits 8 and 9 exceed
+// the 3-bit code range and become exceptions forming a linked list.
+var piDigits = []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2}
+
+func TestFigure2PiLayout(t *testing.T) {
+	bl, err := EncodePFOR(piDigits, 3, 0, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exceptions are the digits >= 8, in order of appearance.
+	if got := bl.ExcVals; !reflect.DeepEqual(got, []int64{9, 8, 9, 9}) {
+		t.Errorf("exception section = %v, want [9 8 9 9]", got)
+	}
+	// The entry point names position 5 (the first 9) with exception index 0,
+	// matching the "5 0" header record in Figure 2.
+	if e := bl.Entries[0]; e.FirstExc != 5 || e.ExcIdx != 0 {
+		t.Errorf("entry point = %+v, want {5 0}", e)
+	}
+	// The code section holds the coded digits with chain links at exception
+	// positions: 5->11 (gap 6), 11->12 (gap 1), 12->14 (gap 2), 14->17
+	// (gap 3, jumping past the end).
+	codes := make([]uint32, len(piDigits))
+	Unpack(codes, bl.Words, 3, len(piDigits))
+	wantCodes := []uint32{3, 1, 4, 1, 5, 6, 2, 6, 5, 3, 5, 1, 2, 7, 3, 3, 2}
+	if !reflect.DeepEqual(codes, wantCodes) {
+		t.Errorf("code section = %v, want %v", codes, wantCodes)
+	}
+	// And of course it decodes back to pi.
+	out := make([]int64, len(piDigits))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, piDigits) {
+		t.Errorf("decoded %v, want %v", out, piDigits)
+	}
+}
+
+func TestFigure2PiNaive(t *testing.T) {
+	bl, err := EncodePFOR(piDigits, 3, 0, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive reserves MAXCODE=7, so digit 7 also becomes an exception.
+	if got := bl.ExcVals; !reflect.DeepEqual(got, []int64{9, 8, 9, 7, 9}) {
+		t.Errorf("naive exceptions = %v", got)
+	}
+	out := make([]int64, len(piDigits))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, piDigits) {
+		t.Errorf("decoded %v, want %v", out, piDigits)
+	}
+}
+
+func TestPFOREmptyAndSingle(t *testing.T) {
+	for _, layout := range []Layout{Patched, Naive} {
+		bl, err := EncodePFOR(nil, 8, 0, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bl.N != 0 || bl.NumExceptions() != 0 {
+			t.Errorf("%v empty block: N=%d exc=%d", layout, bl.N, bl.NumExceptions())
+		}
+		if err := Decode(bl, nil); err != nil {
+			t.Errorf("%v decode empty: %v", layout, err)
+		}
+
+		bl, err = EncodePFOR([]int64{1 << 40}, 8, 0, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, 1)
+		if err := Decode(bl, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != 1<<40 {
+			t.Errorf("%v single exception value: %d", layout, out[0])
+		}
+	}
+}
+
+func TestPFORBadWidth(t *testing.T) {
+	if _, err := EncodePFOR([]int64{1}, 0, 0, Patched); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := EncodePFOR([]int64{1}, 33, 0, Patched); err == nil {
+		t.Error("b=33 accepted")
+	}
+}
+
+func TestPFORAllExceptions(t *testing.T) {
+	// Every value out of range: worst case, chain gap 1 throughout.
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = 1 << 33
+	}
+	for _, layout := range []Layout{Patched, Naive} {
+		bl, err := EncodePFOR(vals, 4, 0, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bl.ExceptionRate() != 1.0 {
+			t.Errorf("%v exception rate = %v", layout, bl.ExceptionRate())
+		}
+		out := make([]int64, len(vals))
+		if err := Decode(bl, out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, vals) {
+			t.Errorf("%v all-exception decode mismatch", layout)
+		}
+	}
+}
+
+func TestPFORForcedExceptions(t *testing.T) {
+	// b=2 (max chain gap 3) with two real exceptions far apart forces
+	// intermediate exceptions; the decode must still be exact.
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = int64(i % 3) // codeable with b=2
+	}
+	vals[1] = 100 // exception
+	vals[60] = -5 // exception, 59 positions later, far beyond gap 3
+	bl, err := EncodePFOR(vals, 2, 0, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.NumExceptions() < 2+19 {
+		t.Errorf("expected forced exceptions, got %d total", bl.NumExceptions())
+	}
+	out := make([]int64, len(vals))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, vals) {
+		t.Errorf("forced-exception decode mismatch:\n got %v\nwant %v", out, vals)
+	}
+}
+
+func TestPFORNegativeBase(t *testing.T) {
+	vals := []int64{-10, -8, -3, -10, 250, -9}
+	bl, err := EncodePFOR(vals, 4, -10, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(vals))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, vals) {
+		t.Errorf("negative base decode: %v", out)
+	}
+}
+
+func TestDecodeRangeAlignment(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i % 200)
+	}
+	bl, err := EncodePFOR(vals, 8, 0, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(1000)
+	out := make([]int64, 1000)
+	if err := d.DecodeRange(bl, out, 5, 10); err == nil {
+		t.Error("unaligned start accepted")
+	}
+	if err := d.DecodeRange(bl, out, 0, 1001); err == nil {
+		t.Error("overlong range accepted")
+	}
+	if err := d.DecodeRange(bl, out, 896, 104); err != nil {
+		t.Errorf("aligned tail range failed: %v", err)
+	}
+	for i := 0; i < 104; i++ {
+		if out[i] != vals[896+i] {
+			t.Fatalf("range decode out[%d]=%d want %d", i, out[i], vals[896+i])
+		}
+	}
+	if err := d.DecodeRange(bl, out, 0, 0); err != nil {
+		t.Errorf("empty range: %v", err)
+	}
+}
+
+// Property: Decode(EncodePFOR(x)) == x for arbitrary values, widths and
+// layouts, including pathological exception patterns.
+func TestPFORRoundTripProperty(t *testing.T) {
+	prop := func(vals []int64, bRaw, baseRaw uint8, naive bool) bool {
+		b := uint(bRaw%24) + 1
+		base := int64(baseRaw) - 128
+		layout := Patched
+		if naive {
+			layout = Naive
+		}
+		bl, err := EncodePFOR(vals, b, base, layout)
+		if err != nil {
+			return false
+		}
+		out := make([]int64, len(vals))
+		if err := Decode(bl, out); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out, append([]int64{}, vals...)) || len(vals) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding any EntryStride-aligned sub-range equals the
+// corresponding slice of a full decode (the skipping feature used by
+// inverted-list merging).
+func TestPFORRangeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := make([]int64, n)
+		for i := range vals {
+			if rng.Float64() < 0.1 {
+				vals[i] = int64(rng.Uint32()) << 10 // exception
+			} else {
+				vals[i] = int64(rng.Intn(250))
+			}
+		}
+		layout := Layout(rng.Intn(2))
+		bl, err := EncodePFOR(vals, 8, 0, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := make([]int64, n)
+		if err := Decode(bl, full); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full, vals) {
+			t.Fatalf("trial %d: full decode mismatch", trial)
+		}
+		d := NewDecoder(n)
+		nBounds := (n + EntryStride - 1) / EntryStride
+		k := rng.Intn(nBounds)
+		start := k * EntryStride
+		count := rng.Intn(n - start)
+		out := make([]int64, count)
+		if err := d.DecodeRange(bl, out, start, count); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, vals[start:start+count]) {
+			t.Fatalf("trial %d: range [%d,%d) decode mismatch", trial, start, start+count)
+		}
+	}
+}
+
+func TestChoosePFOR(t *testing.T) {
+	// Tight cluster: should pick a small width and the cluster minimum.
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = 1000 + int64(i%14)
+	}
+	b, base := ChoosePFOR(vals)
+	if b > 6 {
+		t.Errorf("cluster data chose b=%d", b)
+	}
+	if base != 1000 {
+		t.Errorf("cluster data chose base=%d", base)
+	}
+	// Empty input gets defaults.
+	b, base = ChoosePFOR(nil)
+	if b == 0 || base != 0 {
+		t.Errorf("empty ChoosePFOR = %d,%d", b, base)
+	}
+	// Outliers should not drag the window away from the bulk.
+	vals2 := make([]int64, 1000)
+	for i := range vals2 {
+		vals2[i] = int64(i % 30)
+	}
+	vals2[0] = 1 << 50
+	vals2[999] = -(1 << 50)
+	b2, base2 := ChoosePFOR(vals2)
+	bl, err := EncodePFOR(vals2, b2, base2, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.ExceptionRate() > 0.05 {
+		t.Errorf("outlier data: exception rate %v with b=%d base=%d", bl.ExceptionRate(), b2, base2)
+	}
+	out := make([]int64, len(vals2))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, vals2) {
+		t.Error("auto-chosen parameters fail round trip")
+	}
+}
+
+func TestEncodePFORAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100))
+	}
+	bl, err := EncodePFORAuto(vals, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.BitsPerValue() > 10 {
+		t.Errorf("auto PFOR on 0..99 data: %.2f bits/value", bl.BitsPerValue())
+	}
+	out := make([]int64, len(vals))
+	if err := Decode(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, vals) {
+		t.Error("auto round trip failed")
+	}
+}

@@ -1,0 +1,77 @@
+package compress
+
+import "fmt"
+
+// PFOR-DELTA encodes the differences between subsequent values of a column
+// with PFOR. It is the scheme of choice for the partially ordered docid
+// column of inverted lists, which the paper compresses from 32 to 11.98
+// bits per tuple with 8-bit codewords.
+
+// EncodePFORDelta compresses vals by PFOR-coding the consecutive deltas
+// with the given width and delta base. The first value is kept in the
+// block header; the reconstructed value at every EntryStride boundary is
+// stored as a carry so mid-block (vector-granularity) decoding works.
+func EncodePFORDelta(vals []int64, b uint, base int64, layout Layout) (*Block, error) {
+	if b == 0 || b > MaxBits {
+		return nil, fmt.Errorf("compress: PFOR-DELTA bit width %d out of range 1..%d", b, MaxBits)
+	}
+	n := len(vals)
+	deltas := make([]int64, n)
+	for i := 1; i < n; i++ {
+		deltas[i] = vals[i] - vals[i-1]
+	}
+	// deltas[0] stays 0: position 0 reconstructs to First.
+
+	in := layoutInput{
+		codes:    make([]uint32, n),
+		codeable: make([]bool, n),
+		logical:  deltas,
+	}
+	maxOffset := codeableMax(b, layout)
+	for i, d := range deltas {
+		off := d - base
+		if off >= 0 && off <= maxOffset {
+			in.codes[i] = uint32(off)
+			in.codeable[i] = true
+		}
+	}
+	codes, excVals, entries := buildLayout(in, b, layout)
+
+	var first int64
+	if n > 0 {
+		first = vals[0]
+	}
+	nBound := (n + EntryStride - 1) / EntryStride
+	var boundary []int64
+	if nBound > 1 {
+		boundary = make([]int64, nBound-1)
+		for k := 1; k < nBound; k++ {
+			boundary[k-1] = vals[k*EntryStride-1]
+		}
+	}
+	bl := &Block{
+		Scheme:   PFORDelta,
+		Layout:   layout,
+		N:        n,
+		B:        b,
+		Base:     base,
+		First:    first,
+		Words:    packCodes(codes, b),
+		Entries:  entries,
+		ExcVals:  excVals,
+		Boundary: boundary,
+		excWidth: chooseExcWidth(excVals),
+	}
+	return bl, nil
+}
+
+// EncodePFORDeltaAuto selects width and delta base minimizing block size.
+func EncodePFORDeltaAuto(vals []int64, layout Layout) (*Block, error) {
+	n := len(vals)
+	deltas := make([]int64, n)
+	for i := 1; i < n; i++ {
+		deltas[i] = vals[i] - vals[i-1]
+	}
+	b, base := ChoosePFOR(deltas)
+	return EncodePFORDelta(vals, b, base, layout)
+}

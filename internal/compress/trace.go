@@ -1,0 +1,53 @@
+package compress
+
+// Branch-trace extraction for the Figure 3 branch-miss-rate experiment.
+// The NAIVE decoder executes one data-dependent branch per value (the
+// exception test); the PATCHED decoder's only data-dependent branch is the
+// loop condition of LOOP2, executed once per exception and taken until the
+// chain ends. These methods reconstruct those outcome sequences so
+// package bpsim can replay them through a simulated predictor.
+
+// ExceptionMask returns, per position, whether the value is stored as an
+// exception. For a Naive block this is exactly the outcome sequence of the
+// decoder's if-then-else (taken = exception).
+func (bl *Block) ExceptionMask() []bool {
+	mask := make([]bool, bl.N)
+	if bl.N == 0 {
+		return mask
+	}
+	codes := make([]uint32, bl.N)
+	Unpack(codes, bl.Words, bl.B, bl.N)
+	switch bl.Layout {
+	case Naive:
+		maxcode := uint32(1)<<bl.B - 1
+		for i, c := range codes {
+			mask[i] = c == maxcode
+		}
+	case Patched:
+		pos := int(bl.Entries[0].FirstExc)
+		for pos < bl.N {
+			mask[pos] = true
+			pos += int(codes[pos])
+		}
+	}
+	return mask
+}
+
+// NaiveBranchTrace returns the branch outcomes of the NAIVE decoder over
+// this block: one branch per value, taken when the value is an exception.
+func (bl *Block) NaiveBranchTrace() []bool { return bl.ExceptionMask() }
+
+// PatchedBranchTrace returns the data-dependent branch outcomes of the
+// PATCHED decoder: LOOP1 has none (it is unconditional over the vector),
+// LOOP2 executes its loop-continuation branch once per exception plus the
+// final exit. The trace is therefore len = exceptions+1 of taken...taken,
+// not-taken — which any predictor handles almost perfectly, giving the
+// flat near-zero PFOR BMR line of Figure 3.
+func (bl *Block) PatchedBranchTrace() []bool {
+	n := bl.NumExceptions()
+	trace := make([]bool, n+1)
+	for i := 0; i < n; i++ {
+		trace[i] = true
+	}
+	return trace
+}

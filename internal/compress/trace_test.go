@@ -1,0 +1,83 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExceptionMaskNaive(t *testing.T) {
+	vals := []int64{1, 1 << 40, 2, 3, 1 << 41}
+	bl, err := EncodePFOR(vals, 8, 0, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := bl.ExceptionMask()
+	want := []bool{false, true, false, false, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v, want %v", i, mask[i], want[i])
+		}
+	}
+	if len(bl.NaiveBranchTrace()) != len(vals) {
+		t.Error("naive trace length mismatch")
+	}
+}
+
+func TestExceptionMaskPatchedAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	vals := make([]int64, 3000)
+	for i := range vals {
+		if rng.Float64() < 0.2 {
+			vals[i] = 1 << 40
+		} else {
+			vals[i] = int64(rng.Intn(200))
+		}
+	}
+	p, err := EncodePFOR(vals, 9, 0, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := EncodePFOR(vals, 9, 0, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, nm := p.ExceptionMask(), nv.ExceptionMask()
+	// With b=9 the codeable windows differ by one value (511), absent from
+	// the data, so the real exceptions coincide; patched may add forced
+	// exceptions, so its mask is a superset.
+	for i := range pm {
+		if nm[i] && !pm[i] {
+			t.Fatalf("naive exception at %d missing from patched mask", i)
+		}
+	}
+}
+
+func TestPatchedBranchTrace(t *testing.T) {
+	vals := []int64{1, 1 << 40, 2, 1 << 40, 3}
+	bl, err := EncodePFOR(vals, 8, 0, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := bl.PatchedBranchTrace()
+	if len(trace) != bl.NumExceptions()+1 {
+		t.Fatalf("trace length %d, want %d", len(trace), bl.NumExceptions()+1)
+	}
+	for i := 0; i < len(trace)-1; i++ {
+		if !trace[i] {
+			t.Error("patched trace should be taken until the final exit")
+		}
+	}
+	if trace[len(trace)-1] {
+		t.Error("final patched branch should be not-taken (loop exit)")
+	}
+}
+
+func TestExceptionMaskEmpty(t *testing.T) {
+	bl, err := EncodePFOR(nil, 8, 0, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.ExceptionMask()) != 0 {
+		t.Error("empty block mask should be empty")
+	}
+}

@@ -1,0 +1,252 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumDocs = 2000
+	cfg.Vocab = 3000
+	cfg.AvgDocLen = 80
+	cfg.NumTopics = 20
+	return cfg
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	c := Generate(smallConfig())
+	if len(c.DocLens) != 2000 || len(c.DocNames) != 2000 || len(c.Postings) != 3000 {
+		t.Fatalf("shape wrong: %d docs, %d terms", len(c.DocLens), len(c.Postings))
+	}
+	if c.NumPostings() == 0 {
+		t.Fatal("no postings generated")
+	}
+	avg := c.AvgDocLen()
+	if avg < 40 || avg > 160 {
+		t.Errorf("avg doc length %.1f far from configured 80", avg)
+	}
+	for d, l := range c.DocLens {
+		if l < 16 {
+			t.Fatalf("doc %d has length %d", d, l)
+		}
+	}
+	if c.DocNames[0] == c.DocNames[1] {
+		t.Error("doc names not unique")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if a.NumPostings() != b.NumPostings() {
+		t.Error("generation not deterministic")
+	}
+	for i := range a.DocLens {
+		if a.DocLens[i] != b.DocLens[i] {
+			t.Fatalf("doc %d length differs", i)
+		}
+	}
+}
+
+func TestPostingListsSortedUnique(t *testing.T) {
+	c := Generate(smallConfig())
+	for term, list := range c.Postings {
+		for i := 1; i < len(list); i++ {
+			if list[i].DocID <= list[i-1].DocID {
+				t.Fatalf("term %d postings not strictly increasing at %d", term, i)
+			}
+		}
+		for _, p := range list {
+			if p.TF < 1 {
+				t.Fatalf("term %d has tf %d", term, p.TF)
+			}
+		}
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	c := Generate(smallConfig())
+	// Frequent ranks must have much longer posting lists than the tail.
+	head := len(c.Postings[0])
+	var tail int
+	for _, list := range c.Postings[2500:] {
+		tail += len(list)
+	}
+	tailAvg := float64(tail) / 500
+	if float64(head) < 5*tailAvg {
+		t.Errorf("head list %d not much longer than tail average %.1f", head, tailAvg)
+	}
+	// Zipf weights are monotonically decreasing by construction.
+	w := zipfWeights(100, 1.1)
+	if !sort.SliceIsSorted(w, func(i, j int) bool { return w[i] > w[j] }) {
+		t.Error("zipf weights not decreasing")
+	}
+}
+
+func TestTopicalClustering(t *testing.T) {
+	c := Generate(smallConfig())
+	// Count topical docs.
+	topical := 0
+	for _, tp := range c.TopicOfDoc {
+		if tp >= 0 {
+			topical++
+		}
+	}
+	frac := float64(topical) / float64(len(c.TopicOfDoc))
+	if math.Abs(frac-c.Cfg.TopicDocFrac) > 0.08 {
+		t.Errorf("topical fraction %.2f, configured %.2f", frac, c.Cfg.TopicDocFrac)
+	}
+	// A topic's terms must be over-represented in its documents: compare
+	// the rate of topic-0 terms in topic-0 docs vs background docs.
+	topicTerms := map[int]bool{}
+	for _, tm := range c.Topics[0] {
+		topicTerms[tm] = true
+	}
+	inTopic, inTopicTotal := int64(0), int64(0)
+	background, backgroundTotal := int64(0), int64(0)
+	for term, list := range c.Postings {
+		for _, p := range list {
+			if c.TopicOfDoc[p.DocID] == 0 {
+				inTopicTotal += p.TF
+				if topicTerms[term] {
+					inTopic += p.TF
+				}
+			} else if c.TopicOfDoc[p.DocID] == -1 {
+				backgroundTotal += p.TF
+				if topicTerms[term] {
+					background += p.TF
+				}
+			}
+		}
+	}
+	rateT := float64(inTopic) / float64(inTopicTotal)
+	rateB := float64(background) / math.Max(1, float64(backgroundTotal))
+	if rateT < 5*rateB {
+		t.Errorf("topic terms not clustered: rate in topic %.4f vs background %.4f", rateT, rateB)
+	}
+}
+
+func TestEfficiencyQueries(t *testing.T) {
+	c := Generate(smallConfig())
+	qs := c.EfficiencyQueries(2000, 1)
+	if len(qs) != 2000 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	avg := AvgQueryTerms(qs)
+	if math.Abs(avg-2.3) > 0.15 {
+		t.Errorf("avg terms %.2f, want ~2.3 (paper)", avg)
+	}
+	for _, q := range qs {
+		if q.Topic != -1 {
+			t.Fatal("efficiency query carries a topic")
+		}
+		if len(q.Terms) < 1 || len(q.Terms) > 5 {
+			t.Fatalf("query has %d terms", len(q.Terms))
+		}
+		seen := map[string]bool{}
+		for _, tm := range q.Terms {
+			if seen[tm] {
+				t.Fatalf("duplicate term %q in query", tm)
+			}
+			seen[tm] = true
+		}
+		if c.Qrels(q) != nil {
+			t.Fatal("efficiency query has qrels")
+		}
+	}
+}
+
+func TestPrecisionQueriesAndQrels(t *testing.T) {
+	c := Generate(smallConfig())
+	qs := c.PrecisionQueries(50, 2)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Topic < 0 || q.Topic >= c.Cfg.NumTopics {
+			t.Fatalf("bad topic %d", q.Topic)
+		}
+		rel := c.Qrels(q)
+		if len(rel) == 0 {
+			t.Fatalf("topic %d has no relevant documents", q.Topic)
+		}
+		// All relevant docs really belong to the topic.
+		for d := range rel {
+			if c.TopicOfDoc[d] != q.Topic {
+				t.Fatalf("qrels includes doc %d of topic %d", d, c.TopicOfDoc[d])
+			}
+		}
+		// Query terms must be drawn from the topic's term set.
+		topicTerms := map[string]bool{}
+		for _, tm := range c.Topics[q.Topic] {
+			topicTerms[c.TermStrings[tm]] = true
+		}
+		for _, tm := range q.Terms {
+			if !topicTerms[tm] {
+				t.Fatalf("query term %q not in topic %d", tm, q.Topic)
+			}
+		}
+	}
+}
+
+func TestTermStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100000; i += 137 {
+		s := termString(i)
+		if seen[s] {
+			t.Fatalf("termString collision at %d: %q", i, s)
+		}
+		seen[s] = true
+		if len(s) < 2 {
+			t.Fatalf("termString(%d) = %q too short", i, s)
+		}
+	}
+}
+
+func TestAliasSamplerDistribution(t *testing.T) {
+	weights := []float64{8, 4, 2, 1, 1}
+	a := newAlias(weights, nil)
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, len(weights))
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[a.sample(rng)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: sampled %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestSampleTermCountMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	total := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		k := sampleTermCount(rng)
+		if k < 1 || k > 5 {
+			t.Fatalf("term count %d", k)
+		}
+		total += k
+	}
+	mean := float64(total) / float64(n)
+	if math.Abs(mean-2.3) > 0.05 {
+		t.Errorf("mean term count %.3f, want 2.3", mean)
+	}
+}
+
+func TestAvgQueryTermsEmpty(t *testing.T) {
+	if AvgQueryTerms(nil) != 0 {
+		t.Error("empty workload average should be 0")
+	}
+}

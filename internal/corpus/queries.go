@@ -1,0 +1,123 @@
+package corpus
+
+import "math/rand"
+
+// Query workload generation. The TREC-TB 2005 efficiency task submits
+// 50,000 keyword queries averaging 2.3 terms; effectiveness is judged by
+// p@20 over a 50-query subset with relevance assessments. Both workloads
+// are synthesized here: efficiency queries sample the term distribution
+// (so their posting-list lengths match realistic query cost), precision
+// queries are drawn from hidden topics (so their relevant sets are known).
+
+// termCountDist gives P(k terms) for k = 1..5 with mean 2.3, matching the
+// paper's reported average query length.
+var termCountDist = []float64{0.25, 0.40, 0.20, 0.10, 0.05}
+
+// EfficiencyQueries samples n keyword queries for throughput measurement.
+// Terms are drawn from the mid-to-high frequency range of the vocabulary
+// (rank-biased, like real query logs) and deduplicated within a query.
+func (c *Collection) EfficiencyQueries(n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	// Query terms come from the frequent eighth of the vocabulary with a
+	// flattened Zipf: real query logs are dominated by common content
+	// words (the paper's average query term occurs in 775k of 25M
+	// documents, i.e. 3% — a frequent term). This also keeps conjunctive
+	// first passes usually satisfiable, the property the two-pass
+	// optimization exploits.
+	// The band is absolute-rank-limited for the same reason the topic band
+	// is (see corpus.go): the paper's average query term occurs in 3% of
+	// documents, which under our Zipf parameters corresponds to the top
+	// few hundred ranks.
+	band := 256
+	if band > c.Cfg.Vocab/8 {
+		band = c.Cfg.Vocab / 8
+	}
+	if band < 10 {
+		band = c.Cfg.Vocab
+	}
+	sampler := newAlias(zipfWeights(band, 0.5), rng)
+	queries := make([]Query, n)
+	for i := range queries {
+		k := sampleTermCount(rng)
+		terms := make([]string, 0, k)
+		seen := map[int]bool{}
+		for len(terms) < k {
+			t := sampler.sample(rng)
+			if seen[t] || len(c.Postings[t]) == 0 {
+				continue
+			}
+			seen[t] = true
+			terms = append(terms, c.TermStrings[t])
+		}
+		queries[i] = Query{Terms: terms, Topic: -1}
+	}
+	return queries
+}
+
+// PrecisionQueries samples n queries from hidden topics, one topic per
+// query, using 2-3 of the topic's characteristic terms. The returned
+// queries carry their topic id; Qrels judges against it.
+func (c *Collection) PrecisionQueries(n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]Query, n)
+	for i := range queries {
+		topic := rng.Intn(c.Cfg.NumTopics)
+		terms := c.Topics[topic]
+		k := 2 + rng.Intn(2)
+		if k > len(terms) {
+			k = len(terms)
+		}
+		picked := make([]string, 0, k)
+		seen := map[int]bool{}
+		for len(picked) < k {
+			t := terms[rng.Intn(len(terms))]
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			picked = append(picked, c.TermStrings[t])
+		}
+		queries[i] = Query{Terms: picked, Topic: topic}
+	}
+	return queries
+}
+
+// Qrels returns the relevant document set for a precision query: the
+// documents generated from the query's topic. Efficiency queries have no
+// judgments and return nil.
+func (c *Collection) Qrels(q Query) map[int64]bool {
+	if q.Topic < 0 {
+		return nil
+	}
+	rel := make(map[int64]bool)
+	for d, t := range c.TopicOfDoc {
+		if t == q.Topic {
+			rel[int64(d)] = true
+		}
+	}
+	return rel
+}
+
+func sampleTermCount(rng *rand.Rand) int {
+	x := rng.Float64()
+	for k, p := range termCountDist {
+		if x < p {
+			return k + 1
+		}
+		x -= p
+	}
+	return len(termCountDist)
+}
+
+// AvgQueryTerms returns the mean term count of a workload, a sanity metric
+// reported by the benchmark harness (the paper's workload averages 2.3).
+func AvgQueryTerms(queries []Query) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	total := 0
+	for _, q := range queries {
+		total += len(q.Terms)
+	}
+	return float64(total) / float64(len(queries))
+}

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Explain renders an executed plan as an indented tree annotated with
+// per-operator profiling counters — the demonstration's "relational query
+// plan that was executed, annotated with profiling information". Time is
+// self time: each operator's cumulative Next duration minus its
+// children's.
+func Explain(root Operator) string {
+	var b strings.Builder
+	explainNode(&b, root, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, op Operator, depth int) {
+	st := op.Stats()
+	self := st.Time
+	for _, c := range op.Children() {
+		self -= c.Stats().Time
+	}
+	if self < 0 {
+		self = 0
+	}
+	fmt.Fprintf(b, "%s%s  [calls=%d tuples=%d self=%s]\n",
+		strings.Repeat("  ", depth), op.Describe(), st.NextCalls, st.Tuples, roundDur(self))
+	for _, c := range op.Children() {
+		explainNode(b, c, depth+1)
+	}
+}
+
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return d.Round(time.Millisecond)
+	case d > time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}

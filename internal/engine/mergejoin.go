@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vector"
+)
+
+// MergeJoin combines two inputs ordered by an Int64 key column. With
+// Outer=false it is the paper's MergeJoin (boolean AND over inverted
+// lists); with Outer=true it is the MergeOuterJoin (boolean OR): unmatched
+// rows are emitted with the other side's columns zero-padded, which is
+// exactly what BM25 needs, since a zero term frequency contributes a zero
+// term weight.
+//
+// Both inputs must be strictly increasing on their key columns — the
+// natural property of inverted lists ordered on (term, docid), where a
+// docid occurs at most once per term. The operator checks this invariant
+// as it consumes input and fails loudly on violations.
+type MergeJoin struct {
+	base
+	left, right      Operator
+	leftKey          string
+	rightKey         string
+	lPrefix, rPrefix string
+	outer            bool
+
+	lKeyIdx, rKeyIdx int
+	lBatch, rBatch   *vector.Batch
+	lPos, rPos       int
+	lDone, rDone     bool
+	lPrev, rPrev     int64
+
+	out     *vector.Batch
+	vecSize int
+	nLeft   int // columns contributed by the left side
+}
+
+// NewMergeJoin builds an inner merge join; output columns are the left
+// columns then the right columns, with the given prefixes applied to
+// disambiguate names (e.g. "t1." and "t2." for self-joined TD scans).
+func NewMergeJoin(left, right Operator, leftKey, rightKey, lPrefix, rPrefix string) *MergeJoin {
+	return &MergeJoin{
+		left: left, right: right,
+		leftKey: leftKey, rightKey: rightKey,
+		lPrefix: lPrefix, rPrefix: rPrefix,
+	}
+}
+
+// NewMergeOuterJoin builds a full outer merge join.
+func NewMergeOuterJoin(left, right Operator, leftKey, rightKey, lPrefix, rPrefix string) *MergeJoin {
+	j := NewMergeJoin(left, right, leftKey, rightKey, lPrefix, rPrefix)
+	j.outer = true
+	return j
+}
+
+// Open opens both children and builds the output schema and buffers.
+func (j *MergeJoin) Open(ctx *ExecContext) error {
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	ls, rs := j.left.Schema(), j.right.Schema()
+	j.lKeyIdx, j.rKeyIdx = ls.Index(j.leftKey), rs.Index(j.rightKey)
+	if j.lKeyIdx < 0 || j.rKeyIdx < 0 {
+		return fmt.Errorf("engine: merge join keys %q/%q not found", j.leftKey, j.rightKey)
+	}
+	if ls[j.lKeyIdx].Type != vector.Int64 || rs[j.rKeyIdx].Type != vector.Int64 {
+		return fmt.Errorf("engine: merge join keys must be Int64")
+	}
+	j.schema = j.schema[:0]
+	for _, c := range ls {
+		j.schema = append(j.schema, Col{Name: j.lPrefix + c.Name, Type: c.Type})
+	}
+	for _, c := range rs {
+		j.schema = append(j.schema, Col{Name: j.rPrefix + c.Name, Type: c.Type})
+	}
+	j.nLeft = len(ls)
+
+	j.vecSize = ctx.VectorSize
+	vecs := make([]*vector.Vector, len(j.schema))
+	for i, c := range j.schema {
+		vecs[i] = vector.New(c.Type, j.vecSize)
+	}
+	j.out = &vector.Batch{Vecs: vecs}
+	j.lBatch, j.rBatch = nil, nil
+	j.lPos, j.rPos = 0, 0
+	j.lDone, j.rDone = false, false
+	j.lPrev, j.rPrev = -1<<63, -1<<63
+	return nil
+}
+
+// ensure advances a side to a non-empty batch, compacting so that
+// positions are dense and validating the strictly-increasing key
+// invariant once per batch. Returns false when the side is exhausted.
+func (j *MergeJoin) ensureLeft() (bool, error) {
+	for !j.lDone && (j.lBatch == nil || j.lPos >= j.lBatch.N) {
+		b, err := j.left.Next()
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			j.lDone = true
+			j.lBatch = nil
+			break
+		}
+		b.Compact()
+		if b.N == 0 {
+			continue
+		}
+		if err := checkIncreasing("left", b.Vecs[j.lKeyIdx].I64[:b.N], &j.lPrev); err != nil {
+			return false, err
+		}
+		j.lBatch, j.lPos = b, 0
+	}
+	return !j.lDone, nil
+}
+
+func (j *MergeJoin) ensureRight() (bool, error) {
+	for !j.rDone && (j.rBatch == nil || j.rPos >= j.rBatch.N) {
+		b, err := j.right.Next()
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			j.rDone = true
+			j.rBatch = nil
+			break
+		}
+		b.Compact()
+		if b.N == 0 {
+			continue
+		}
+		if err := checkIncreasing("right", b.Vecs[j.rKeyIdx].I64[:b.N], &j.rPrev); err != nil {
+			return false, err
+		}
+		j.rBatch, j.rPos = b, 0
+	}
+	return !j.rDone, nil
+}
+
+// checkIncreasing validates one batch of keys against the running
+// previous key, updating it to the batch's last key.
+func checkIncreasing(side string, keys []int64, prev *int64) error {
+	p := *prev
+	for _, k := range keys {
+		if k <= p {
+			return fmt.Errorf("engine: merge join %s input not strictly increasing (%d after %d)", side, k, p)
+		}
+		p = k
+	}
+	*prev = p
+	return nil
+}
+
+// Next produces the next vector of joined tuples.
+func (j *MergeJoin) Next() (*vector.Batch, error) {
+	start := time.Now()
+	emit := 0
+	for emit < j.vecSize {
+		lOK, err := j.ensureLeft()
+		if err != nil {
+			return nil, err
+		}
+		rOK, err := j.ensureRight()
+		if err != nil {
+			return nil, err
+		}
+		if !lOK && !rOK {
+			break
+		}
+		if !j.outer && (!lOK || !rOK) {
+			// Inner join: one exhausted side ends the stream, but the
+			// other child is still drained lazily by Close.
+			break
+		}
+		switch {
+		case !lOK: // outer, right remainder
+			j.emitRight(emit)
+			emit++
+		case !rOK: // outer, left remainder
+			j.emitLeft(emit)
+			emit++
+		default:
+			lk := j.lBatch.Vecs[j.lKeyIdx].I64[j.lPos]
+			rk := j.rBatch.Vecs[j.rKeyIdx].I64[j.rPos]
+			switch {
+			case lk == rk:
+				j.emitBoth(emit)
+				emit++
+			case lk < rk:
+				if j.outer {
+					j.emitLeft(emit) // advances lPos
+					emit++
+				} else {
+					j.lPos++
+				}
+			default:
+				if j.outer {
+					j.emitRight(emit) // advances rPos
+					emit++
+				} else {
+					j.rPos++
+				}
+			}
+		}
+	}
+	if emit == 0 {
+		j.observe(start, nil)
+		return nil, nil
+	}
+	for _, v := range j.out.Vecs {
+		v.SetLen(emit)
+	}
+	j.out.Sel = nil
+	j.out.N = emit
+	j.observe(start, j.out)
+	return j.out, nil
+}
+
+func (j *MergeJoin) emitBoth(at int) {
+	for c, v := range j.lBatch.Vecs {
+		copyValue(j.out.Vecs[c], at, v, j.lPos)
+	}
+	for c, v := range j.rBatch.Vecs {
+		copyValue(j.out.Vecs[j.nLeft+c], at, v, j.rPos)
+	}
+	j.lPos++
+	j.rPos++
+}
+
+func (j *MergeJoin) emitLeft(at int) {
+	for c, v := range j.lBatch.Vecs {
+		copyValue(j.out.Vecs[c], at, v, j.lPos)
+	}
+	for c := range j.right.Schema() {
+		zeroValue(j.out.Vecs[j.nLeft+c], at)
+	}
+	j.lPos++
+}
+
+func (j *MergeJoin) emitRight(at int) {
+	for c := range j.left.Schema() {
+		zeroValue(j.out.Vecs[c], at)
+	}
+	for c, v := range j.rBatch.Vecs {
+		copyValue(j.out.Vecs[j.nLeft+c], at, v, j.rPos)
+	}
+	j.rPos++
+}
+
+// Close closes both children.
+func (j *MergeJoin) Close() error {
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	j.lBatch, j.rBatch, j.out = nil, nil, nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children returns both inputs.
+func (j *MergeJoin) Children() []Operator { return []Operator{j.left, j.right} }
+
+// Describe names the operator, its kind, and the key equation.
+func (j *MergeJoin) Describe() string {
+	kind := "MergeJoin"
+	if j.outer {
+		kind = "MergeOuterJoin"
+	}
+	return fmt.Sprintf("%s(%s%s = %s%s)", kind, j.lPrefix, j.leftKey, j.rPrefix, j.rightKey)
+}

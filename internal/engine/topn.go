@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/vector"
+)
+
+// OrderSpec is one sort key: column name and direction.
+type OrderSpec struct {
+	Col  string
+	Desc bool
+}
+
+func (o OrderSpec) String() string {
+	if o.Desc {
+		return o.Col + " DESC"
+	}
+	return o.Col + " ASC"
+}
+
+// TopN retains the N best rows under the given ordering, using a bounded
+// heap so memory stays O(N) no matter how many candidate documents stream
+// through — the top-k operator every ranked-retrieval plan ends with
+// (TopN(..., [score DESC], 20) in the paper's BM25 query).
+//
+// Ordering columns may be Int64 or Float64; ties beyond the listed keys
+// are broken by arrival order (first seen wins), making results
+// deterministic for deterministic inputs.
+type TopN struct {
+	base
+	child Operator
+	n     int
+	order []OrderSpec
+
+	orderIdx  []int
+	orderType []vector.Type
+
+	h       *topHeap
+	out     *vector.Batch
+	vecSize int
+	done    bool
+	rows    []topRow
+	emitPos int
+}
+
+type topRow struct {
+	keys []float64 // numeric order keys, already direction-adjusted
+	seq  int64     // arrival order, for deterministic ties
+	vals []any     // full row snapshot
+}
+
+type topHeap struct {
+	rows []topRow
+}
+
+// Less defines a min-heap on the *worst* retained row so it can be evicted
+// in O(log n): row i is "less" when it ranks worse than row j.
+func (h *topHeap) Less(i, j int) bool { return worseThan(&h.rows[i], &h.rows[j]) }
+
+func worseThan(a, b *topRow) bool {
+	for k := range a.keys {
+		if a.keys[k] != b.keys[k] {
+			return a.keys[k] < b.keys[k] // smaller adjusted key = worse
+		}
+	}
+	return a.seq > b.seq // later arrival = worse
+}
+
+func (h *topHeap) Len() int           { return len(h.rows) }
+func (h *topHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topHeap) Push(x any)         { h.rows = append(h.rows, x.(topRow)) }
+func (h *topHeap) Pop() any           { r := h.rows[len(h.rows)-1]; h.rows = h.rows[:len(h.rows)-1]; return r }
+func (h *topHeap) peekWorst() *topRow { return &h.rows[0] }
+
+// NewTopN builds a top-n node.
+func NewTopN(child Operator, n int, order []OrderSpec) *TopN {
+	return &TopN{child: child, n: n, order: order}
+}
+
+// Open binds the ordering columns.
+func (t *TopN) Open(ctx *ExecContext) error {
+	if err := t.child.Open(ctx); err != nil {
+		return err
+	}
+	if t.n <= 0 {
+		return fmt.Errorf("engine: TopN with n=%d", t.n)
+	}
+	in := t.child.Schema()
+	t.schema = in
+	t.orderIdx = t.orderIdx[:0]
+	t.orderType = t.orderType[:0]
+	for _, o := range t.order {
+		i := in.Index(o.Col)
+		if i < 0 {
+			return fmt.Errorf("engine: unknown order column %q", o.Col)
+		}
+		typ := in[i].Type
+		if typ != vector.Int64 && typ != vector.Float64 {
+			return fmt.Errorf("engine: order column %q has unsupported type %v", o.Col, typ)
+		}
+		t.orderIdx = append(t.orderIdx, i)
+		t.orderType = append(t.orderType, typ)
+	}
+	t.h = &topHeap{}
+	t.vecSize = ctx.VectorSize
+	t.done = false
+	t.rows = nil
+	t.emitPos = 0
+	vecs := make([]*vector.Vector, len(in))
+	for i, c := range in {
+		vecs[i] = vector.New(c.Type, t.vecSize)
+	}
+	t.out = &vector.Batch{Vecs: vecs}
+	return nil
+}
+
+// Next drains the child on first call, then emits the retained rows in
+// rank order.
+func (t *TopN) Next() (*vector.Batch, error) {
+	start := time.Now()
+	if !t.done {
+		if err := t.consume(); err != nil {
+			return nil, err
+		}
+		// Sort retained rows best-first.
+		t.rows = t.h.rows
+		sort.Slice(t.rows, func(i, j int) bool { return worseThan(&t.rows[j], &t.rows[i]) })
+		t.done = true
+	}
+	if t.emitPos >= len(t.rows) {
+		t.observe(start, nil)
+		return nil, nil
+	}
+	n := len(t.rows) - t.emitPos
+	if n > t.vecSize {
+		n = t.vecSize
+	}
+	for c, v := range t.out.Vecs {
+		v.SetLen(n)
+		for r := 0; r < n; r++ {
+			v.Set(r, t.rows[t.emitPos+r].vals[c])
+		}
+	}
+	t.emitPos += n
+	t.out.Sel = nil
+	t.out.N = n
+	t.observe(start, t.out)
+	return t.out, nil
+}
+
+func (t *TopN) consume() error {
+	var seq int64
+	keybuf := make([]float64, len(t.order))
+	for {
+		b, err := t.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for i := 0; i < b.N; i++ {
+			pos := i
+			if b.Sel != nil {
+				pos = int(b.Sel[i])
+			}
+			for k, ci := range t.orderIdx {
+				var v float64
+				if t.orderType[k] == vector.Int64 {
+					v = float64(b.Vecs[ci].I64[pos])
+				} else {
+					v = b.Vecs[ci].F64[pos]
+				}
+				if t.order[k].Desc {
+					keybuf[k] = v
+				} else {
+					keybuf[k] = -v
+				}
+			}
+			cand := topRow{keys: keybuf, seq: seq}
+			seq++
+			if t.h.Len() >= t.n {
+				if !worseThan(t.h.peekWorst(), &cand) {
+					continue // candidate is no better than the current worst
+				}
+				heap.Pop(t.h)
+			}
+			// Snapshot only rows that enter the heap.
+			keys := make([]float64, len(keybuf))
+			copy(keys, keybuf)
+			vals := make([]any, len(t.schema))
+			for c, v := range b.Vecs {
+				vals[c] = v.Get(pos)
+			}
+			heap.Push(t.h, topRow{keys: keys, seq: cand.seq, vals: vals})
+		}
+	}
+}
+
+// Close closes the child.
+func (t *TopN) Close() error {
+	t.h, t.rows, t.out = nil, nil, nil
+	return t.child.Close()
+}
+
+// Children returns the input.
+func (t *TopN) Children() []Operator { return []Operator{t.child} }
+
+// Describe names the operator, its ordering, and n.
+func (t *TopN) Describe() string {
+	s := fmt.Sprintf("TopN(%d; ", t.n)
+	for i, o := range t.order {
+		if i > 0 {
+			s += ", "
+		}
+		s += o.String()
+	}
+	return s + ")"
+}
+
+// Sort is a full materializing sort, the general-purpose sibling of TopN
+// (used where the paper's plans need ordered output without a bound).
+type Sort struct {
+	base
+	child Operator
+	order []OrderSpec
+	top   *TopN
+}
+
+// NewSort builds a sort node.
+func NewSort(child Operator, order []OrderSpec) *Sort {
+	return &Sort{child: child, order: order}
+}
+
+// Open delegates to an unbounded TopN (n = MaxInt), which shares the
+// row-snapshot machinery.
+func (s *Sort) Open(ctx *ExecContext) error {
+	s.top = NewTopN(s.child, 1<<62, s.order)
+	if err := s.top.Open(ctx); err != nil {
+		return err
+	}
+	s.schema = s.top.Schema()
+	return nil
+}
+
+// Next streams sorted output.
+func (s *Sort) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := s.top.Next()
+	s.observe(start, b)
+	return b, err
+}
+
+// Close closes the underlying TopN.
+func (s *Sort) Close() error { return s.top.Close() }
+
+// Children returns the input.
+func (s *Sort) Children() []Operator { return []Operator{s.child} }
+
+// Describe names the operator and ordering.
+func (s *Sort) Describe() string {
+	str := "Sort("
+	for i, o := range s.order {
+		if i > 0 {
+			str += ", "
+		}
+		str += o.String()
+	}
+	return str + ")"
+}

@@ -1,0 +1,210 @@
+package ir
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBoolQuery(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"information", "information"},
+		{"information AND retrieval", "(information AND retrieval)"},
+		{"information retrieval", "(information AND retrieval)"}, // adjacency = AND
+		{"a OR b", "(a OR b)"},
+		{"a AND b OR c", "((a AND b) OR c)"},   // AND binds tighter
+		{"a OR b AND c", "(a OR (b AND c))"},   //
+		{"a AND (b OR c)", "(a AND (b OR c))"}, // the paper's example shape
+		{"(a OR b) AND c", "((a OR b) AND c)"}, //
+		{"a b c", "((a AND b) AND c)"},         // left associative
+		{"a OR b OR c", "((a OR b) OR c)"},     //
+		{"A and B", "(a AND b)"},               // case-insensitive keywords, lowered terms
+		{"information AND (storing OR retrieval)", "(information AND (storing OR retrieval))"},
+	}
+	for _, c := range cases {
+		e, err := ParseBoolQuery(c.in)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.in, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("parse %q = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBoolQueryErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "AND", "a AND", "a OR", "(a", "a)", "()", "a AND )", "OR a",
+	} {
+		if _, err := ParseBoolQuery(in); err == nil {
+			t.Errorf("parse %q succeeded", in)
+		}
+	}
+}
+
+func TestBoolTerms(t *testing.T) {
+	e, err := ParseBoolQuery("a AND (b OR a) AND c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Terms(e); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Terms = %v", got)
+	}
+}
+
+// SearchBool must agree with the set-algebra oracle over the raw postings.
+func TestSearchBoolAgainstOracle(t *testing.T) {
+	c, ix := getIndex(t)
+	s := NewSearcher(ix, 0)
+
+	// Pick three known terms with non-trivial posting lists.
+	var terms []string
+	for term, ti := range ix.Terms {
+		if ti.Ftd > 30 && ti.Ftd < 2000 {
+			terms = append(terms, term)
+		}
+		if len(terms) == 3 {
+			break
+		}
+	}
+	if len(terms) < 3 {
+		t.Skip("collection too small for three mid-frequency terms")
+	}
+	docsOf := func(term string) map[int64]bool {
+		set := map[int64]bool{}
+		tid := -1
+		for i, str := range c.TermStrings {
+			if str == term {
+				tid = i
+				break
+			}
+		}
+		for _, p := range c.Postings[tid] {
+			set[p.DocID] = true
+		}
+		return set
+	}
+	a, b, cc := docsOf(terms[0]), docsOf(terms[1]), docsOf(terms[2])
+
+	queryStr := terms[0] + " AND (" + terms[1] + " OR " + terms[2] + ")"
+	expr, err := ParseBoolQuery(queryStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := s.SearchBool(expr, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int64]bool{}
+	for d := range a {
+		if b[d] || cc[d] {
+			want[d] = true
+		}
+	}
+	if len(results) != len(want) {
+		t.Fatalf("query %q: got %d docs, oracle %d", queryStr, len(results), len(want))
+	}
+	prev := int64(-1)
+	for _, r := range results {
+		if !want[r.DocID] {
+			t.Fatalf("doc %d not in oracle set", r.DocID)
+		}
+		if r.DocID <= prev {
+			t.Fatal("results not in ascending docid order")
+		}
+		prev = r.DocID
+	}
+}
+
+func TestSearchBoolLimitStopsEarly(t *testing.T) {
+	_, ix := getIndex(t)
+	s := NewSearcher(ix, 0)
+	// A frequent single term, limited to 5 results.
+	var term string
+	best := 0
+	for tm, ti := range ix.Terms {
+		if ti.Ftd > best {
+			best, term = ti.Ftd, tm
+		}
+	}
+	expr, err := ParseBoolQuery(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.SearchBool(expr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("limit 5 returned %d", len(res))
+	}
+	for _, r := range res {
+		if r.Name == "" {
+			t.Error("names not resolved")
+		}
+	}
+}
+
+func TestSearchBoolUnknownTerm(t *testing.T) {
+	_, ix := getIndex(t)
+	s := NewSearcher(ix, 0)
+	known := ""
+	for tm := range ix.Terms {
+		known = tm
+		break
+	}
+	// AND with unknown term: empty.
+	expr, err := ParseBoolQuery(known + " AND zzzznotaterm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.SearchBool(expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("AND with unknown term: %d results", len(res))
+	}
+	// OR with unknown term: falls back to the known term's list.
+	expr, err = ParseBoolQuery(known + " OR zzzznotaterm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = s.SearchBool(expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("OR with unknown term returned nothing")
+	}
+}
+
+func TestExplainBool(t *testing.T) {
+	_, ix := getIndex(t)
+	s := NewSearcher(ix, 0)
+	var terms []string
+	for tm := range ix.Terms {
+		terms = append(terms, tm)
+		if len(terms) == 3 {
+			break
+		}
+	}
+	expr, err := ParseBoolQuery(terms[0] + " AND (" + terms[1] + " OR " + terms[2] + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.ExplainBool(expr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Limit(20)", "MergeJoin", "MergeOuterJoin", "Scan(TD["} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package ir
+
+// Effectiveness evaluation: early precision at rank k (p@20 in the paper),
+// macro-averaged over a query set with relevance judgments.
+
+// PrecisionAtK returns |relevant ∩ top-k| / k for one ranked list. Lists
+// shorter than k are judged as returning nothing for the missing ranks,
+// matching TREC evaluation.
+func PrecisionAtK(results []Result, relevant map[int64]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i, r := range results {
+		if i >= k {
+			break
+		}
+		if relevant[r.DocID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// MeanPrecisionAtK macro-averages PrecisionAtK over per-query (results,
+// qrels) pairs.
+func MeanPrecisionAtK(perQuery []float64) float64 {
+	if len(perQuery) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range perQuery {
+		sum += p
+	}
+	return sum / float64(len(perQuery))
+}

@@ -1,0 +1,301 @@
+// Package ir implements information retrieval on top of the relational
+// engine, following §3 of the paper: the inverted index is an ordinary
+// [term, docid, tf] relation ordered on (term, docid), with the term column
+// replaced by a range index; keyword search is relational algebra (merge
+// joins over posting ranges); ranking is a projection computing Okapi BM25
+// followed by TopN; and the performance-optimization ladder of Table 2
+// (two-pass, compression, score materialization, 8-bit quantization) is a
+// set of alternative physical plans over alternative column encodings.
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/colbm"
+	"repro/internal/corpus"
+	"repro/internal/primitives"
+	"repro/internal/vector"
+)
+
+// Column names of the TD (term-document) table. Each storage treatment of
+// the paper's ladder is a separate physical column over the same logical
+// rows, so one index serves every strategy and reads touch only what a
+// strategy needs:
+//
+//	docid32/tf32  — uncompressed 32-bit baseline (runs BoolAND..BM25T)
+//	docidc/tfc    — PFOR-DELTA / PFOR with 8-bit codewords (run BM25TC)
+//	score         — materialized 32-bit float w(D,T) (run BM25TCM)
+//	qscore        — 8-bit Global-By-Value quantized score (run BM25TCMQ8)
+const (
+	ColDocID32 = "docid32"
+	ColTF32    = "tf32"
+	ColDocIDC  = "docidc"
+	ColTFC     = "tfc"
+	ColScore   = "score"
+	ColQScore  = "qscore"
+)
+
+// TermInfo is the range-index entry for one term: its posting rows occupy
+// TD rows [Start, End), and Ftd documents contain the term (equal to
+// End-Start except under a distributed global-statistics override).
+// MaxScore is the largest w(D,T) in the term's posting list, the bound the
+// max-score pruning strategy (§5, Buckley & Lewit) stops on; it is
+// populated when scores are materialized.
+type TermInfo struct {
+	Start, End int
+	Ftd        int
+	MaxScore   float64
+}
+
+// BuildConfig selects which physical columns the index carries and how
+// storage is simulated.
+type BuildConfig struct {
+	Uncompressed bool // docid32/tf32 columns
+	Compressed   bool // docidc/tfc columns
+	Materialized bool // score column (requires Compressed for docidc)
+	Quantized    bool // qscore column
+
+	ChunkLen  int // values per storage chunk; 0 = colbm default
+	PoolBytes int64
+	Disk      colbm.DiskParams
+
+	// Stats, when non-nil, overrides the collection-derived BM25
+	// statistics. Distributed deployments pass the *global* statistics to
+	// every partition build so that per-node scores are comparable and the
+	// merged top-N equals the centralized top-N (§3.4; without this each
+	// node would rank by partition-local idf).
+	Stats *GlobalStats
+}
+
+// GlobalStats carries the collection-wide quantities BM25 needs.
+type GlobalStats struct {
+	NumDocs   float64
+	AvgDocLen float64
+	Ftd       map[string]int // term -> number of documents containing it
+}
+
+// CollectionStats extracts the global statistics of a collection, for
+// distribution to partition indexes.
+func CollectionStats(c *corpus.Collection) *GlobalStats {
+	st := &GlobalStats{
+		NumDocs:   float64(len(c.DocLens)),
+		AvgDocLen: c.AvgDocLen(),
+		Ftd:       make(map[string]int),
+	}
+	for termID, list := range c.Postings {
+		if len(list) > 0 {
+			st.Ftd[c.TermStrings[termID]] = len(list)
+		}
+	}
+	return st
+}
+
+// DefaultBuildConfig enables every column so a single index serves all
+// Table 2 strategies.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		Uncompressed: true,
+		Compressed:   true,
+		Materialized: true,
+		Quantized:    true,
+		Disk:         colbm.DefaultDiskParams(),
+	}
+}
+
+// Index is a searchable inverted-file index stored in ColumnBM.
+type Index struct {
+	TD *colbm.Table // posting table, ordered on (term, docid)
+	D  *colbm.Table // document table: docid, len, name
+
+	Terms  map[string]TermInfo
+	Params primitives.BM25Params
+
+	// Quantization bounds: min and max w(D,T) over the collection (the L
+	// and U of the paper's Global-By-Value formula).
+	ScoreLo, ScoreHi float64
+
+	Disk *colbm.SimDisk
+	Pool *colbm.BufferPool
+
+	cfg BuildConfig
+}
+
+// Build constructs an index from a generated collection.
+func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
+	if bc.Materialized && !bc.Compressed {
+		return nil, fmt.Errorf("ir: materialized scores require the compressed docid column")
+	}
+	disk := colbm.NewSimDisk(bc.Disk)
+	pool := colbm.NewBufferPool(bc.PoolBytes)
+
+	numDocs := len(c.DocLens)
+	params := primitives.BM25Params{
+		K1:       1.2,
+		B:        0.75,
+		NumDocs:  float64(numDocs),
+		AvgDocLn: c.AvgDocLen(),
+	}
+	if bc.Stats != nil {
+		params.NumDocs = bc.Stats.NumDocs
+		params.AvgDocLn = bc.Stats.AvgDocLen
+	}
+
+	// Flatten postings in term order; rows arrive already sorted on
+	// (term, docid) because corpus posting lists are docid-ordered.
+	total := c.NumPostings()
+	docids := make([]int64, 0, total)
+	tfs := make([]int64, 0, total)
+	terms := make(map[string]TermInfo, len(c.Postings))
+	var scores []float64
+	if bc.Materialized || bc.Quantized {
+		scores = make([]float64, 0, total)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for termID, list := range c.Postings {
+		if len(list) == 0 {
+			continue
+		}
+		start := len(docids)
+		// The global document frequency drives idf; under a stats
+		// override the local list length remains the range width but the
+		// scoring ftd comes from the global map.
+		ftdInt := len(list)
+		if bc.Stats != nil {
+			if g, ok := bc.Stats.Ftd[c.TermStrings[termID]]; ok {
+				ftdInt = g
+			}
+		}
+		ftd := float64(ftdInt)
+		maxScore := 0.0
+		for _, p := range list {
+			docids = append(docids, p.DocID)
+			tfs = append(tfs, p.TF)
+			if scores != nil {
+				w := params.Weight(float64(p.TF), float64(c.DocLens[p.DocID]), ftd)
+				scores = append(scores, w)
+				if w < lo {
+					lo = w
+				}
+				if w > hi {
+					hi = w
+				}
+				if w > maxScore {
+					maxScore = w
+				}
+			}
+		}
+		terms[c.TermStrings[termID]] = TermInfo{
+			Start: start, End: len(docids), Ftd: ftdInt, MaxScore: maxScore,
+		}
+	}
+	if scores == nil {
+		lo, hi = 0, 1
+	}
+
+	// TD table.
+	var tdSpecs []colbm.ColumnSpec
+	if bc.Uncompressed {
+		tdSpecs = append(tdSpecs,
+			colbm.ColumnSpec{Name: ColDocID32, Type: vector.Int64, Enc: colbm.EncFixed32, ChunkLen: bc.ChunkLen},
+			colbm.ColumnSpec{Name: ColTF32, Type: vector.Int64, Enc: colbm.EncFixed32, ChunkLen: bc.ChunkLen})
+	}
+	if bc.Compressed {
+		tdSpecs = append(tdSpecs,
+			colbm.ColumnSpec{Name: ColDocIDC, Type: vector.Int64, Enc: colbm.EncPFORDelta, Bits: 8, ChunkLen: bc.ChunkLen},
+			colbm.ColumnSpec{Name: ColTFC, Type: vector.Int64, Enc: colbm.EncPFOR, Bits: 8, ChunkLen: bc.ChunkLen})
+	}
+	if bc.Materialized {
+		tdSpecs = append(tdSpecs,
+			colbm.ColumnSpec{Name: ColScore, Type: vector.Float64, ChunkLen: bc.ChunkLen})
+	}
+	if bc.Quantized {
+		tdSpecs = append(tdSpecs,
+			colbm.ColumnSpec{Name: ColQScore, Type: vector.UInt8, ChunkLen: bc.ChunkLen})
+	}
+	tdb := colbm.NewBuilder("TD", disk, pool, tdSpecs)
+	if bc.Uncompressed {
+		tdb.SetInt64(ColDocID32, docids)
+		tdb.SetInt64(ColTF32, tfs)
+	}
+	if bc.Compressed {
+		tdb.SetInt64(ColDocIDC, docids)
+		tdb.SetInt64(ColTFC, tfs)
+	}
+	if bc.Materialized {
+		tdb.SetFloat64(ColScore, scores)
+	}
+	if bc.Quantized {
+		q := make([]uint8, len(scores))
+		primitives.QuantizeGlobalByValue(q, scores, lo, hi, 256, nil, len(scores))
+		tdb.SetUInt8(ColQScore, q)
+	}
+	td, err := tdb.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// D table: docid (dense, delta-compresses to nearly nothing), length,
+	// name.
+	db := colbm.NewBuilder("D", disk, pool, []colbm.ColumnSpec{
+		{Name: "docid", Type: vector.Int64, Enc: colbm.EncPFORDelta, Bits: 8, ChunkLen: bc.ChunkLen},
+		{Name: "len", Type: vector.Int64, Enc: colbm.EncPFOR, Bits: 8, ChunkLen: bc.ChunkLen},
+		{Name: "name", Type: vector.Str, ChunkLen: bc.ChunkLen},
+	})
+	dense := make([]int64, numDocs)
+	for i := range dense {
+		dense[i] = int64(i)
+	}
+	db.SetInt64("docid", dense)
+	db.SetInt64("len", c.DocLens)
+	for _, n := range c.DocNames {
+		db.AppendStr("name", n)
+	}
+	d, err := db.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	return &Index{
+		TD:      td,
+		D:       d,
+		Terms:   terms,
+		Params:  params,
+		ScoreLo: lo,
+		ScoreHi: hi,
+		Disk:    disk,
+		Pool:    pool,
+		cfg:     bc,
+	}, nil
+}
+
+// NumDocs returns the collection size.
+func (ix *Index) NumDocs() int { return ix.D.N }
+
+// NumPostings returns the TD row count.
+func (ix *Index) NumPostings() int { return ix.TD.N }
+
+// DocName fetches one document name (the post-TopN lookup of the
+// materialized plans).
+func (ix *Index) DocName(docid int64) (string, error) {
+	col, err := ix.D.Column("name")
+	if err != nil {
+		return "", err
+	}
+	v := vector.New(vector.Str, 1)
+	if err := colbm.NewCursor(col).Read(v, int(docid), 1); err != nil {
+		return "", err
+	}
+	return v.S[0], nil
+}
+
+// BitsPerPosting reports the stored bits per TD tuple for a column, the
+// §3.3 compression-ratio metric (the paper reports docid 32 -> 11.98 and
+// tf 32 -> 8.13 with 8-bit codewords).
+func (ix *Index) BitsPerPosting(col string) (float64, error) {
+	c, err := ix.TD.Column(col)
+	if err != nil {
+		return 0, err
+	}
+	return c.BitsPerValue(), nil
+}

@@ -1,0 +1,144 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/colbm"
+	"repro/internal/vector"
+)
+
+// Max-score pruned retrieval, the optimization of Buckley & Lewit (SIGIR
+// 1985) that the paper's §5 singles out as implementable "on top of a DBMS
+// using techniques similar to the ones presented": term-at-a-time top-r
+// evaluation that stops early once the gap between the r-th and r+1-th
+// accumulated score exceeds the summed maximum possible contribution of
+// the unprocessed terms — at that point no document outside the current
+// top-r can climb into it.
+//
+// The implementation works over the materialized score column (the same
+// physical data as BM25TCM): terms are processed in descending order of
+// their per-list maximum score, each list is read vector-at-a-time through
+// ColumnBM cursors into per-document accumulators, and after every list
+// the stopping criterion is evaluated.
+
+// SearchMaxScore runs term-at-a-time retrieval with max-score pruning.
+// Results carry accumulated (possibly truncated) scores; the top-k *set*
+// is exact whenever pruning triggers, per the stopping criterion. The
+// returned stats note how many posting entries were read (Candidates) —
+// the quantity pruning saves.
+func (s *Searcher) SearchMaxScore(terms []string, k int) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	io0 := s.ix.Disk.Stats().IOTime
+	defer func() { stats.SimIO = s.ix.Disk.Stats().IOTime - io0 }()
+
+	col, err := s.ix.TD.Column(ColScore)
+	if err != nil {
+		return nil, stats, fmt.Errorf("ir: max-score pruning requires materialized scores: %w", err)
+	}
+	docCol, err := s.ix.TD.Column(ColDocIDC)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	infos, _ := s.resolve(terms)
+	if len(infos) == 0 {
+		return nil, stats, nil
+	}
+	// Process the most influential lists first so the criterion can
+	// trigger with as much of the total mass as possible already applied.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].MaxScore > infos[j].MaxScore })
+
+	// Remaining[i] = sum of max scores of lists i.. (the catch-up bound).
+	remaining := make([]float64, len(infos)+1)
+	for i := len(infos) - 1; i >= 0; i-- {
+		remaining[i] = remaining[i+1] + infos[i].MaxScore
+	}
+
+	acc := make(map[int64]float64)
+	docVec := vector.New(vector.Int64, vector.DefaultSize)
+	scoreVec := vector.New(vector.Float64, vector.DefaultSize)
+	docCur := colbm.NewCursor(docCol)
+	scoreCur := colbm.NewCursor(col)
+
+	for i, ti := range infos {
+		if i > 0 && stopSatisfied(acc, k, remaining[i]) {
+			break
+		}
+		for pos := ti.Start; pos < ti.End; {
+			n := ti.End - pos
+			if n > vector.DefaultSize {
+				n = vector.DefaultSize
+			}
+			if err := docCur.Read(docVec, pos, n); err != nil {
+				return nil, stats, err
+			}
+			if err := scoreCur.Read(scoreVec, pos, n); err != nil {
+				return nil, stats, err
+			}
+			for j := 0; j < n; j++ {
+				acc[docVec.I64[j]] += scoreVec.F64[j]
+			}
+			pos += n
+			stats.Candidates += int64(n)
+		}
+	}
+
+	results := topKFromAccumulators(acc, k)
+	for i := range results {
+		name, err := s.ix.DocName(results[i].DocID)
+		if err != nil {
+			return nil, stats, err
+		}
+		results[i].Name = name
+	}
+	return results, stats, nil
+}
+
+// stopSatisfied implements the Buckley criterion: with the current
+// accumulators, can any document outside the present top-k still enter it
+// given that unprocessed lists contribute at most `bound` more to any
+// single document?
+func stopSatisfied(acc map[int64]float64, k int, bound float64) bool {
+	if len(acc) <= k {
+		// Everyone is already in the top-k; processing further lists can
+		// only refine scores, not the set, when no outsider exists. New
+		// documents could still appear with score <= bound though, so
+		// only stop if the k-th score beats the bound outright.
+		kth := kthScore(acc, k)
+		return len(acc) == k && kth > bound
+	}
+	kth := kthScore(acc, k)
+	next := kthScore(acc, k+1)
+	return kth-next > bound
+}
+
+// kthScore returns the k-th largest accumulated score (0 when fewer).
+func kthScore(acc map[int64]float64, k int) float64 {
+	if k <= 0 || len(acc) < k {
+		return 0
+	}
+	vals := make([]float64, 0, len(acc))
+	for _, v := range acc {
+		vals = append(vals, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	return vals[k-1]
+}
+
+func topKFromAccumulators(acc map[int64]float64, k int) []Result {
+	res := make([]Result, 0, len(acc))
+	for d, s := range acc {
+		res = append(res, Result{DocID: d, Score: s})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].DocID < res[j].DocID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}

@@ -1,0 +1,450 @@
+package ir
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/vector"
+)
+
+// Strategy identifies a Table 2 run: a retrieval model plus the cumulative
+// optimizations applied to it.
+type Strategy int
+
+// The strategies of Table 2, in the paper's order. Each BM25 variant adds
+// one optimization on top of the previous: T = two-pass, C = compressed
+// posting columns, M = materialized scores, Q8 = 8-bit quantized scores.
+const (
+	BoolAND Strategy = iota
+	BoolOR
+	BM25
+	BM25T
+	BM25TC
+	BM25TCM
+	BM25TCMQ8
+)
+
+// String returns the run name as printed in Table 2.
+func (s Strategy) String() string {
+	return [...]string{"BoolAND", "BoolOR", "BM25", "BM25T", "BM25TC", "BM25TCM", "BM25TCMQ8"}[s]
+}
+
+// AllStrategies lists the Table 2 runs in order.
+var AllStrategies = []Strategy{BoolAND, BoolOR, BM25, BM25T, BM25TC, BM25TCM, BM25TCMQ8}
+
+// Result is one ranked document.
+type Result struct {
+	DocID int64
+	Name  string
+	Score float64
+}
+
+// QueryStats reports the cost of one search.
+type QueryStats struct {
+	Wall       time.Duration // measured CPU/wall time
+	SimIO      time.Duration // simulated disk time charged by ColumnBM
+	SecondPass bool          // two-pass strategies: pass 2 was needed
+	Candidates int64         // tuples that reached the scoring/TopN stage
+}
+
+// Total returns wall plus simulated I/O time — the "cold" cost; hot runs
+// report Wall alone since the buffer pool absorbs all I/O.
+func (s QueryStats) Total() time.Duration { return s.Wall + s.SimIO }
+
+// Searcher executes keyword queries against an index. It is not safe for
+// concurrent use; each worker (or distributed server goroutine) owns one.
+type Searcher struct {
+	ix  *Index
+	ctx *engine.ExecContext
+}
+
+// NewSearcher returns a searcher with the given vector size (0 = default).
+func NewSearcher(ix *Index, vectorSize int) *Searcher {
+	ctx := engine.NewContext()
+	if vectorSize > 0 {
+		ctx.VectorSize = vectorSize
+	}
+	return &Searcher{ix: ix, ctx: ctx}
+}
+
+// Search runs a keyword query under the given strategy, returning the top
+// k documents. Names are resolved only for the returned documents.
+func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	io0 := s.ix.Disk.Stats().IOTime
+	start := time.Now()
+
+	results, err := s.searchInner(terms, k, strat, &stats)
+
+	stats.Wall = time.Since(start)
+	stats.SimIO = s.ix.Disk.Stats().IOTime - io0
+	if err != nil {
+		return nil, stats, err
+	}
+	for i := range results {
+		name, err := s.ix.DocName(results[i].DocID)
+		if err != nil {
+			return nil, stats, err
+		}
+		results[i].Name = name
+	}
+	// Name lookups hit the disk too; fold their I/O into the query.
+	stats.SimIO = s.ix.Disk.Stats().IOTime - io0
+	return results, stats, nil
+}
+
+func (s *Searcher) searchInner(terms []string, k int, strat Strategy, stats *QueryStats) ([]Result, error) {
+	infos, missing := s.resolve(terms)
+	switch strat {
+	case BoolAND:
+		if missing {
+			return nil, nil // a missing term makes the conjunction empty
+		}
+		return s.searchBoolean(infos, k, false)
+	case BoolOR:
+		return s.searchBoolean(infos, k, true)
+	case BM25:
+		return s.searchBM25(infos, k, false, false, stats)
+	case BM25T:
+		return s.searchTwoPass(infos, k, false, stats)
+	case BM25TC:
+		return s.searchTwoPass(infos, k, true, stats)
+	case BM25TCM:
+		return s.searchMaterialized(infos, k, false, stats)
+	case BM25TCMQ8:
+		return s.searchMaterialized(infos, k, true, stats)
+	default:
+		return nil, fmt.Errorf("ir: unknown strategy %d", strat)
+	}
+}
+
+// resolve maps query terms to range-index entries, dropping unknown terms
+// and reporting whether any were missing.
+func (s *Searcher) resolve(terms []string) ([]TermInfo, bool) {
+	infos := make([]TermInfo, 0, len(terms))
+	missing := false
+	for _, t := range terms {
+		if ti, ok := s.ix.Terms[t]; ok {
+			infos = append(infos, ti)
+		} else {
+			missing = true
+		}
+	}
+	return infos, missing
+}
+
+// searchBoolean evaluates unranked boolean retrieval: a cascade of
+// MergeJoins (AND) or MergeOuterJoins (OR) over posting ranges, taking the
+// first k matches in docid order (there is no score to rank by — the
+// near-zero p@20 of the BoolAND/BoolOR rows in Table 2 is the point).
+func (s *Searcher) searchBoolean(infos []TermInfo, k int, or bool) ([]Result, error) {
+	if len(infos) == 0 {
+		return nil, nil
+	}
+	op, err := s.combinedPlan(infos, or, planCols{doc: s.docCol(false)})
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(s.ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	docidIdx := op.Schema().MustIndex("docid")
+	var results []Result
+	for len(results) < k {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N && len(results) < k; i++ {
+			pos := i
+			if b.Sel != nil {
+				pos = int(b.Sel[i])
+			}
+			results = append(results, Result{DocID: b.Vecs[docidIdx].I64[pos]})
+		}
+	}
+	return results, nil
+}
+
+// planCols names the physical columns a plan reads.
+type planCols struct {
+	doc   string
+	tf    string // empty when scores are pre-computed
+	score string // empty unless materialized
+}
+
+func (s *Searcher) docCol(compressed bool) string {
+	if compressed {
+		return ColDocIDC
+	}
+	return ColDocID32
+}
+
+func (s *Searcher) tfCol(compressed bool) string {
+	if compressed {
+		return ColTFC
+	}
+	return ColTF32
+}
+
+// combinedPlan builds the left-deep (outer-)join cascade over the posting
+// ranges of the query terms, producing schema [docid, v_0, ..., v_{n-1}]
+// where v_i is term i's tf or materialized score column (absent entirely
+// for boolean plans). After each join the docid is reconciled with
+// MAX(left, right), the paper's D.docid=MAX(TD1.docid, TD2.docid) trick —
+// for inner joins both sides agree, for outer joins the missing side reads
+// as zero and MAX picks the present one.
+func (s *Searcher) combinedPlan(infos []TermInfo, outer bool, cols planCols) (engine.Operator, error) {
+	scanCols := []string{cols.doc}
+	val := ""
+	if cols.tf != "" {
+		scanCols = append(scanCols, cols.tf)
+		val = cols.tf
+	} else if cols.score != "" {
+		scanCols = append(scanCols, cols.score)
+		val = cols.score
+	}
+
+	leaf := func(i int) (engine.Operator, error) {
+		scan, err := engine.NewRangeScan(s.ix.TD, scanCols, infos[i].Start, infos[i].End)
+		if err != nil {
+			return nil, err
+		}
+		projs := []engine.Projection{
+			{Name: "docid", Expr: engine.NewColRef(cols.doc)},
+		}
+		if val != "" {
+			projs = append(projs, engine.Projection{Name: vcol(i), Expr: engine.NewColRef(val)})
+		}
+		return engine.NewProject(scan, projs), nil
+	}
+
+	plan, err := leaf(0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(infos); i++ {
+		right, err := leaf(i)
+		if err != nil {
+			return nil, err
+		}
+		var join engine.Operator
+		if outer {
+			join = engine.NewMergeOuterJoin(plan, right, "docid", "docid", "l.", "r.")
+		} else {
+			join = engine.NewMergeJoin(plan, right, "docid", "docid", "l.", "r.")
+		}
+		projs := []engine.Projection{{
+			Name: "docid",
+			Expr: engine.NewArith(engine.Max,
+				engine.NewColRef("l.docid"), engine.NewColRef("r.docid")),
+		}}
+		if val != "" {
+			for j := 0; j < i; j++ {
+				projs = append(projs, engine.Projection{Name: vcol(j), Expr: engine.NewColRef("l." + vcol(j))})
+			}
+			projs = append(projs, engine.Projection{Name: vcol(i), Expr: engine.NewColRef("r." + vcol(i))})
+		}
+		plan = engine.NewProject(join, projs)
+	}
+	return plan, nil
+}
+
+func vcol(i int) string { return fmt.Sprintf("v%d", i) }
+
+// searchBM25 is the unmaterialized ranked plan: (outer-)join cascade over
+// [docid, tf], merge-join with the document table for lengths, project the
+// summed Okapi BM25 score, TopN. With inner=true it is the first pass of
+// the two-pass strategy.
+func (s *Searcher) searchBM25(infos []TermInfo, k int, compressed, inner bool, stats *QueryStats) ([]Result, error) {
+	if len(infos) == 0 {
+		return nil, nil
+	}
+	cols := planCols{doc: s.docCol(compressed), tf: s.tfCol(compressed)}
+	plan, err := s.combinedPlan(infos, !inner, cols)
+	if err != nil {
+		return nil, err
+	}
+
+	dScan, err := engine.NewScan(s.ix.D, []string{"docid", "len"})
+	if err != nil {
+		return nil, err
+	}
+	joined := engine.NewMergeJoin(plan, dScan, "docid", "docid", "", "d.")
+
+	var scoreExpr engine.Expr
+	for i, ti := range infos {
+		w := &engine.BM25{
+			TF:     engine.NewColRef(vcol(i)),
+			DocLen: engine.NewColRef("d.len"),
+			Ftd:    float64(ti.Ftd),
+			Params: s.ix.Params,
+		}
+		if scoreExpr == nil {
+			scoreExpr = w
+		} else {
+			scoreExpr = engine.NewArith(engine.Add, scoreExpr, w)
+		}
+	}
+	proj := engine.NewProject(joined, []engine.Projection{
+		{Name: "docid", Expr: engine.NewColRef("docid")},
+		{Name: "score", Expr: scoreExpr},
+	})
+	top := engine.NewTopN(proj, k, []engine.OrderSpec{
+		{Col: "score", Desc: true},
+		{Col: "docid", Desc: false},
+	})
+	return s.drainTop(top, stats)
+}
+
+// searchMaterialized is the BM25TCM/BM25TCMQ8 plan: scans of [docid,
+// score] (or quantized score) ranges, outer-join cascade, summed scores,
+// TopN — no document-table join at all, since per-document statistics are
+// baked into the materialized column.
+func (s *Searcher) searchMaterialized(infos []TermInfo, k int, quantized bool, stats *QueryStats) ([]Result, error) {
+	if len(infos) == 0 {
+		return nil, nil
+	}
+	// First pass: conjunctive. Second pass: disjunctive (two-pass is part
+	// of the cumulative ladder, so M and Q8 inherit it).
+	for _, inner := range []bool{true, false} {
+		res, err := s.materializedPass(infos, k, quantized, inner, stats)
+		if err != nil {
+			return nil, err
+		}
+		if inner && len(res) >= k {
+			return res, nil
+		}
+		if !inner {
+			return res, nil
+		}
+		stats.SecondPass = true
+	}
+	return nil, nil
+}
+
+func (s *Searcher) materializedPass(infos []TermInfo, k int, quantized, inner bool, stats *QueryStats) ([]Result, error) {
+	cols := planCols{doc: s.docCol(true)}
+	if quantized {
+		cols.score = ColQScore
+	} else {
+		cols.score = ColScore
+	}
+	plan, err := s.combinedPlan(infos, !inner, cols)
+	if err != nil {
+		return nil, err
+	}
+	var scoreExpr engine.Expr
+	for i := range infos {
+		var term engine.Expr = engine.NewColRef(vcol(i))
+		if quantized {
+			term = engine.NewToFloat(term)
+		}
+		if scoreExpr == nil {
+			scoreExpr = term
+		} else {
+			scoreExpr = engine.NewArith(engine.Add, scoreExpr, term)
+		}
+	}
+	proj := engine.NewProject(plan, []engine.Projection{
+		{Name: "docid", Expr: engine.NewColRef("docid")},
+		{Name: "score", Expr: scoreExpr},
+	})
+	top := engine.NewTopN(proj, k, []engine.OrderSpec{
+		{Col: "score", Desc: true},
+		{Col: "docid", Desc: false},
+	})
+	return s.drainTop(top, stats)
+}
+
+// searchTwoPass is the BM25T/BM25TC strategy: a conjunctive (MergeJoin)
+// pass first, and only if it yields fewer than k documents, the full
+// disjunctive (MergeOuterJoin) pass. The heuristic: documents containing
+// all query terms are likely to dominate the top ranks.
+func (s *Searcher) searchTwoPass(infos []TermInfo, k int, compressed bool, stats *QueryStats) ([]Result, error) {
+	if len(infos) == 0 {
+		return nil, nil
+	}
+	res, err := s.searchBM25(infos, k, compressed, true, stats)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) >= k {
+		return res, nil
+	}
+	stats.SecondPass = true
+	return s.searchBM25(infos, k, compressed, false, stats)
+}
+
+// drainTop executes a TopN plan and converts its output.
+func (s *Searcher) drainTop(top engine.Operator, stats *QueryStats) ([]Result, error) {
+	var results []Result
+	err := engine.Drain(top, s.ctx, func(b *vector.Batch) error {
+		di := top.Schema().MustIndex("docid")
+		si := top.Schema().MustIndex("score")
+		for i := 0; i < b.N; i++ {
+			pos := i
+			if b.Sel != nil {
+				pos = int(b.Sel[i])
+			}
+			results = append(results, Result{
+				DocID: b.Vecs[di].I64[pos],
+				Score: b.Vecs[si].F64[pos],
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		// Tuples that reached TopN = candidates scored.
+		stats.Candidates += top.Stats().Tuples
+	}
+	return results, nil
+}
+
+// ExplainLast builds (without executing) the plan for a query under a
+// strategy and returns its textual form — the demo's plan display. The
+// plan is Opened to bind expressions, then explained.
+func (s *Searcher) ExplainPlan(terms []string, k int, strat Strategy) (string, error) {
+	infos, _ := s.resolve(terms)
+	if len(infos) == 0 {
+		return "(empty plan: no known query terms)", nil
+	}
+	var op engine.Operator
+	var err error
+	switch strat {
+	case BoolAND:
+		op, err = s.combinedPlan(infos, false, planCols{doc: s.docCol(false)})
+	case BoolOR:
+		op, err = s.combinedPlan(infos, true, planCols{doc: s.docCol(false)})
+	default:
+		// Show the disjunctive scoring plan, the interesting one.
+		quant := strat == BM25TCMQ8
+		if strat == BM25TCM || strat == BM25TCMQ8 {
+			cols := planCols{doc: s.docCol(true), score: ColScore}
+			if quant {
+				cols.score = ColQScore
+			}
+			op, err = s.combinedPlan(infos, true, cols)
+		} else {
+			compressed := strat == BM25TC
+			cols := planCols{doc: s.docCol(compressed), tf: s.tfCol(compressed)}
+			op, err = s.combinedPlan(infos, true, cols)
+		}
+	}
+	if err != nil {
+		return "", err
+	}
+	if err := op.Open(s.ctx); err != nil {
+		return "", err
+	}
+	defer op.Close()
+	return engine.Explain(op), nil
+}

@@ -1,0 +1,43 @@
+package ir
+
+// Table 1 of the paper: the leading systems of the TREC TeraByte 2005
+// efficiency task. These are published reference numbers reprinted for
+// context by the benchmark harness; they are not produced by this
+// reproduction (the systems are third-party and the hardware is theirs).
+type TrecTB2005Entry struct {
+	Run         string
+	P20         float64
+	CPUs        int
+	TimePerQMil int // milliseconds per query
+}
+
+// TrecTB2005 is Table 1 verbatim.
+var TrecTB2005 = []TrecTB2005Entry{
+	{"MU05TBy3", 0.5550, 8, 24},
+	{"uwmtEwteD10", 0.3900, 2, 27},
+	{"MU05TBy1", 0.5620, 8, 42},
+	{"zetdist", 0.5300, 8, 58},
+	{"pisaEff4", 0.3420, 23, 143},
+}
+
+// PaperTable2Row is a row of the paper's Table 2 (MonetDB/X100 TREC-TB
+// experiments), used by EXPERIMENTS.md generation to print paper-vs-
+// measured comparisons.
+type PaperTable2Row struct {
+	Run     string
+	P20     float64
+	ColdMs  float64
+	HotMs   float64
+	Feature string
+}
+
+// PaperTable2 reprints the paper's numbers for side-by-side reporting.
+var PaperTable2 = []PaperTable2Row{
+	{"BoolAND", 0.0130, 76, 12, ""},
+	{"BoolOR", 0.0000, 133, 80, ""},
+	{"BM25", 0.5460, 440, 342, ""},
+	{"BM25T", 0.5470, 198, 72, "Two-pass"},
+	{"BM25TC", 0.5470, 158, 73, "Compression"},
+	{"BM25TCM", 0.5470, 155, 29, "Materialization"},
+	{"BM25TCMQ8", 0.5490, 118, 28, "Quant.8-bit"},
+}

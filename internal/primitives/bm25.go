@@ -1,0 +1,130 @@
+package primitives
+
+import "math"
+
+// BM25 scoring primitives. The relational BM25 plan in the paper projects
+//
+//	score = BM25(TD1.tf, D.doclen, t1_ftd) + BM25(TD2.tf, D.doclen, t2_ftd)
+//
+// where each BM25(...) shorthand expands to the Okapi term weight
+//
+//	w(D,T) = log(fD / fT,D) * ((k1+1) * fD,T) /
+//	         (fD,T + k1 * ((1-b) + b * |D|/avgdl))
+//
+// (Eq. 2). The engine can evaluate that expansion as a tree of generic map
+// primitives; MapBM25TfLenCol is the fused alternative a query compiler
+// would emit for the hot path, computing the whole weight in one pass over
+// the tf and doclen vectors. Both forms are exercised by the benchmarks
+// (fused-vs-composed is one of the DESIGN.md ablations).
+
+// BM25Params carries the collection statistics and tuning constants needed
+// to evaluate a term weight.
+type BM25Params struct {
+	K1       float64 // saturation constant, typically 1.2
+	B        float64 // length-normalization constant, typically 0.75
+	NumDocs  float64 // fD: total number of documents
+	AvgDocLn float64 // avgdl: mean document length in terms
+}
+
+// Weight computes the scalar Okapi BM25 weight for one (tf, doclen, ftd)
+// triple; the reference implementation the vectorized forms are tested
+// against.
+func (p BM25Params) Weight(tf, doclen, ftd float64) float64 {
+	idf := math.Log(p.NumDocs / ftd)
+	norm := (1 - p.B) + p.B*doclen/p.AvgDocLn
+	return idf * ((p.K1 + 1) * tf) / (tf + p.K1*norm)
+}
+
+// MapBM25TfLenCol computes res[i] = w(D,T) for vectors of term frequencies
+// and document lengths, with the per-term document frequency ftd constant
+// across the vector (a posting-list scan stays within one term). The
+// idf factor and the k1*(1-b), k1*b/avgdl coefficients are hoisted out of
+// the loop, leaving a division and a multiply-add per value.
+func MapBM25TfLenCol(res []float64, tf, doclen []int64, ftd float64, p BM25Params, sel []int32, n int) {
+	idf := math.Log(p.NumDocs / ftd)
+	c0 := p.K1 * (1 - p.B)
+	c1 := p.K1 * p.B / p.AvgDocLn
+	num := p.K1 + 1
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			f := float64(tf[i])
+			res[i] = idf * (num * f) / (f + c0 + c1*float64(doclen[i]))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			f := float64(tf[s])
+			res[s] = idf * (num * f) / (f + c0 + c1*float64(doclen[s]))
+		}
+	}
+}
+
+// MapBM25U8TfLenCol is MapBM25TfLenCol over uint8 term frequencies, the
+// shape produced when tf columns are stored PFOR-compressed with 8-bit
+// codewords and decoded straight into a narrow vector.
+func MapBM25U8TfLenCol(res []float64, tf []uint8, doclen []int64, ftd float64, p BM25Params, sel []int32, n int) {
+	idf := math.Log(p.NumDocs / ftd)
+	c0 := p.K1 * (1 - p.B)
+	c1 := p.K1 * p.B / p.AvgDocLn
+	num := p.K1 + 1
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			f := float64(tf[i])
+			res[i] = idf * (num * f) / (f + c0 + c1*float64(doclen[i]))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			f := float64(tf[s])
+			res[s] = idf * (num * f) / (f + c0 + c1*float64(doclen[s]))
+		}
+	}
+}
+
+// QuantizeGlobalByValue applies the paper's linear Global-By-Value
+// quantization,
+//
+//	w' = floor(q * (w - L) / (U - L + eps)) + 1,
+//
+// mapping float scores in [L, U] to integers 1..q. With q = 256 the top
+// code would be 256, one past the uint8 codomain, so codes saturate at 255;
+// saturation collapses only the topmost bucket and keeps the mapping
+// monotone, which is all ranking needs.
+func QuantizeGlobalByValue(res []uint8, w []float64, lo, hi float64, q int, sel []int32, n int) {
+	scale := float64(q) / (hi - lo + 1e-9)
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			c := int(scale*(w[i]-lo)) + 1
+			if c > 255 {
+				c = 255
+			}
+			res[i] = uint8(c)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			c := int(scale*(w[s]-lo)) + 1
+			if c > 255 {
+				c = 255
+			}
+			res[s] = uint8(c)
+		}
+	}
+}
+
+// DequantizeGlobalByValue maps quantized codes back to the midpoint of
+// their bucket, the standard reconstruction for ranking with quantized
+// scores. Ordering of codes is preserved, which is all top-N needs.
+func DequantizeGlobalByValue(res []float64, w []uint8, lo, hi float64, q int, sel []int32, n int) {
+	step := (hi - lo + 1e-9) / float64(q)
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = lo + (float64(w[i])-0.5)*step
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = lo + (float64(w[s])-0.5)*step
+		}
+	}
+}

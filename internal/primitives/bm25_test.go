@@ -1,0 +1,174 @@
+package primitives
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+var testParams = BM25Params{K1: 1.2, B: 0.75, NumDocs: 25e6, AvgDocLn: 900}
+
+func TestBM25WeightReference(t *testing.T) {
+	// Hand-computed reference for tf=3, doclen=600, ftd=775000.
+	p := testParams
+	tf, doclen, ftd := 3.0, 600.0, 775000.0
+	idf := math.Log(p.NumDocs / ftd)
+	norm := (1 - p.B) + p.B*doclen/p.AvgDocLn
+	want := idf * ((p.K1 + 1) * tf) / (tf + p.K1*norm)
+	if got := p.Weight(tf, doclen, ftd); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Weight = %v, want %v", got, want)
+	}
+	// Sanity: rarer terms weigh more.
+	if p.Weight(3, 600, 1000) <= p.Weight(3, 600, 1e6) {
+		t.Error("rarer term should score higher")
+	}
+	// Sanity: longer documents weigh less for equal tf.
+	if p.Weight(3, 2000, 775000) >= p.Weight(3, 100, 775000) {
+		t.Error("longer doc should score lower")
+	}
+	// Sanity: higher tf weighs more (saturating).
+	if p.Weight(10, 600, 775000) <= p.Weight(1, 600, 775000) {
+		t.Error("higher tf should score higher")
+	}
+}
+
+func TestMapBM25MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 257
+	tf := make([]int64, n)
+	doclen := make([]int64, n)
+	for i := 0; i < n; i++ {
+		tf[i] = 1 + int64(rng.Intn(50))
+		doclen[i] = 50 + int64(rng.Intn(2000))
+	}
+	ftd := 775000.0
+	res := make([]float64, n)
+	MapBM25TfLenCol(res, tf, doclen, ftd, testParams, nil, n)
+	for i := 0; i < n; i++ {
+		want := testParams.Weight(float64(tf[i]), float64(doclen[i]), ftd)
+		if math.Abs(res[i]-want) > 1e-9 {
+			t.Fatalf("i=%d: vectorized %v vs scalar %v", i, res[i], want)
+		}
+	}
+
+	// Selective variant writes only the selected positions.
+	res2 := make([]float64, n)
+	for i := range res2 {
+		res2[i] = -1
+	}
+	sel := []int32{0, 5, 250}
+	MapBM25TfLenCol(res2, tf, doclen, ftd, testParams, sel, len(sel))
+	for _, s := range sel {
+		if math.Abs(res2[s]-res[s]) > 1e-12 {
+			t.Errorf("selective pos %d: %v vs %v", s, res2[s], res[s])
+		}
+	}
+	if res2[1] != -1 {
+		t.Error("selective BM25 touched unselected position")
+	}
+}
+
+func TestMapBM25U8MatchesInt64(t *testing.T) {
+	n := 100
+	tf8 := make([]uint8, n)
+	tf64 := make([]int64, n)
+	doclen := make([]int64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		tf8[i] = uint8(1 + rng.Intn(200))
+		tf64[i] = int64(tf8[i])
+		doclen[i] = 100 + int64(rng.Intn(900))
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	MapBM25U8TfLenCol(a, tf8, doclen, 1000, testParams, nil, n)
+	MapBM25TfLenCol(b, tf64, doclen, 1000, testParams, nil, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("u8 and int64 BM25 disagree at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Selective u8 variant.
+	c := make([]float64, n)
+	MapBM25U8TfLenCol(c, tf8, doclen, 1000, testParams, []int32{3}, 1)
+	if c[3] != a[3] {
+		t.Error("selective u8 BM25 wrong")
+	}
+}
+
+func TestQuantizeGlobalByValue(t *testing.T) {
+	w := []float64{0, 2.5, 5, 7.5, 10}
+	res := make([]uint8, 5)
+	QuantizeGlobalByValue(res, w, 0, 10, 256, nil, 5)
+	// Codes are in 1..256 (256 wraps to 0 in uint8 only at exactly hi,
+	// which the epsilon prevents) and monotone.
+	for i := 1; i < 5; i++ {
+		if res[i] < res[i-1] {
+			t.Errorf("quantization not monotone: %v", res)
+		}
+	}
+	if res[0] != 1 {
+		t.Errorf("lowest value should map to code 1, got %d", res[0])
+	}
+
+	// Selective.
+	res2 := make([]uint8, 5)
+	QuantizeGlobalByValue(res2, w, 0, 10, 256, []int32{4}, 1)
+	if res2[4] != res[4] || res2[0] != 0 {
+		t.Errorf("selective quantize: %v", res2)
+	}
+}
+
+// Property: quantization with q=256 preserves ranking up to bucket
+// granularity — if quantized codes differ, their order matches the float
+// order. This is why BM25TCMQ8 keeps (even marginally improves) p@20.
+func TestQuantizationOrderPreservingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(500)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 25
+		}
+		lo, hi := w[0], w[0]
+		for _, x := range w {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		codes := make([]uint8, n)
+		QuantizeGlobalByValue(codes, w, lo, hi, 256, nil, n)
+
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return w[idx[a]] < w[idx[b]] })
+		for i := 1; i < n; i++ {
+			if codes[idx[i]] < codes[idx[i-1]] {
+				t.Fatalf("trial %d: order violated: w=%v code=%d vs w=%v code=%d",
+					trial, w[idx[i]], codes[idx[i]], w[idx[i-1]], codes[idx[i-1]])
+			}
+		}
+	}
+}
+
+func TestDequantizeMidpoint(t *testing.T) {
+	w := []float64{1, 5, 9}
+	codes := make([]uint8, 3)
+	QuantizeGlobalByValue(codes, w, 1, 9, 256, nil, 3)
+	back := make([]float64, 3)
+	DequantizeGlobalByValue(back, codes, 1, 9, 256, nil, 3)
+	// Tolerance is two bucket widths: code 256 saturates to 255, making the
+	// top bucket twice as wide as the rest.
+	for i := range w {
+		if math.Abs(back[i]-w[i]) > 2*(9-1)/256.0 {
+			t.Errorf("dequantized %v too far from %v", back[i], w[i])
+		}
+	}
+	sel := []float64{-1, -1, -1}
+	DequantizeGlobalByValue(sel, codes, 1, 9, 256, []int32{1}, 1)
+	if sel[0] != -1 || math.Abs(sel[1]-w[1]) > 8/256.0 {
+		t.Errorf("selective dequantize: %v", sel)
+	}
+}

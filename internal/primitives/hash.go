@@ -1,0 +1,103 @@
+package primitives
+
+// Hash primitives compute bucket-ready hash codes for whole vectors at a
+// time (the paper's map_hash_chr_col). Multi-column keys are handled by
+// hashing the first column and folding subsequent columns in with the
+// Rehash variants, exactly as X100 chains hash primitives.
+
+const (
+	fnvOffset64 = 1469598103934665603
+	fnvPrime64  = 1099511628211
+)
+
+// hashInt64 mixes a 64-bit integer (splitmix64 finalizer); cheap and good
+// enough to spread docids across buckets.
+func hashInt64(x int64) uint64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashStr is FNV-1a; inlined rather than using hash/fnv to avoid per-value
+// allocation and interface calls in the vector loop.
+func hashStr(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// MapHashInt64Col computes res[i] = hash(a[i]).
+func MapHashInt64Col(res []uint64, a []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = hashInt64(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = hashInt64(a[s])
+		}
+	}
+}
+
+// MapHashStrCol computes res[i] = hash(a[i]).
+func MapHashStrCol(res []uint64, a []string, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = hashStr(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = hashStr(a[s])
+		}
+	}
+}
+
+// MapRehashInt64Col folds another int64 column into existing hash codes:
+// res[i] = mix(res[i], hash(a[i])).
+func MapRehashInt64Col(res []uint64, a []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = res[i]*fnvPrime64 ^ hashInt64(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = res[s]*fnvPrime64 ^ hashInt64(a[s])
+		}
+	}
+}
+
+// MapRehashStrCol folds another string column into existing hash codes.
+func MapRehashStrCol(res []uint64, a []string, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = res[i]*fnvPrime64 ^ hashStr(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = res[s]*fnvPrime64 ^ hashStr(a[s])
+		}
+	}
+}
+
+// MapBucketFromHash maps hash codes to bucket ids for a power-of-two table:
+// res[i] = h[i] & mask.
+func MapBucketFromHash(res []int32, h []uint64, mask uint64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = int32(h[i] & mask)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = int32(h[s] & mask)
+		}
+	}
+}

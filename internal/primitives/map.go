@@ -1,0 +1,361 @@
+package primitives
+
+import "math"
+
+// Map primitives compute res[i] = f(args[i]) for every active position.
+// When sel is non-nil the primitive computes only the selected positions
+// (writing results at the *selected* positions, keeping res aligned with
+// its inputs); dense variants process 0..n-1.
+//
+// Following the X100 naming convention, the suffix encodes the argument
+// shapes: Col is a vector argument, Val a constant. For example
+// MapMulFloat64ValCol is "multiply a constant by a float64 column".
+
+// --- float64 arithmetic, col (+|-|*|/) col ---
+
+// MapAddFloat64ColCol computes res[i] = a[i] + b[i].
+func MapAddFloat64ColCol(res, a, b []float64, sel []int32, n int) {
+	if sel == nil {
+		_ = res[:n]
+		for i := 0; i < n; i++ {
+			res[i] = a[i] + b[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] + b[s]
+		}
+	}
+}
+
+// MapSubFloat64ColCol computes res[i] = a[i] - b[i].
+func MapSubFloat64ColCol(res, a, b []float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] - b[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] - b[s]
+		}
+	}
+}
+
+// MapMulFloat64ColCol computes res[i] = a[i] * b[i].
+func MapMulFloat64ColCol(res, a, b []float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] * b[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] * b[s]
+		}
+	}
+}
+
+// MapDivFloat64ColCol computes res[i] = a[i] / b[i].
+func MapDivFloat64ColCol(res, a, b []float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] / b[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] / b[s]
+		}
+	}
+}
+
+// --- float64 arithmetic, col vs val ---
+
+// MapAddFloat64ColVal computes res[i] = a[i] + v.
+func MapAddFloat64ColVal(res, a []float64, v float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] + v
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] + v
+		}
+	}
+}
+
+// MapSubFloat64ColVal computes res[i] = a[i] - v.
+func MapSubFloat64ColVal(res, a []float64, v float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] - v
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] - v
+		}
+	}
+}
+
+// MapMulFloat64ColVal computes res[i] = a[i] * v (the paper's
+// map_mul_flt_val_flt_col with arguments flipped; multiplication commutes).
+func MapMulFloat64ColVal(res, a []float64, v float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] * v
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] * v
+		}
+	}
+}
+
+// MapDivFloat64ColVal computes res[i] = a[i] / v.
+func MapDivFloat64ColVal(res, a []float64, v float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] / v
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] / v
+		}
+	}
+}
+
+// MapDivFloat64ValCol computes res[i] = v / a[i].
+func MapDivFloat64ValCol(res []float64, v float64, a []float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = v / a[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = v / a[s]
+		}
+	}
+}
+
+// --- int64 arithmetic ---
+
+// MapAddInt64ColCol computes res[i] = a[i] + b[i].
+func MapAddInt64ColCol(res, a, b []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] + b[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] + b[s]
+		}
+	}
+}
+
+// MapSubInt64ColCol computes res[i] = a[i] - b[i].
+func MapSubInt64ColCol(res, a, b []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] - b[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] - b[s]
+		}
+	}
+}
+
+// MapMulInt64ColCol computes res[i] = a[i] * b[i].
+func MapMulInt64ColCol(res, a, b []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] * b[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] * b[s]
+		}
+	}
+}
+
+// MapAddInt64ColVal computes res[i] = a[i] + v.
+func MapAddInt64ColVal(res, a []int64, v int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] + v
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] + v
+		}
+	}
+}
+
+// MapMulInt64ColVal computes res[i] = a[i] * v.
+func MapMulInt64ColVal(res, a []int64, v int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = a[i] * v
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = a[s] * v
+		}
+	}
+}
+
+// MapMaxInt64ColCol computes res[i] = max(a[i], b[i]); the BM25 query plan
+// uses this to pick the defined docid from a merge-outer-join's two sides
+// (D.docid = MAX(TD1.docid, TD2.docid) in the paper's plan).
+func MapMaxInt64ColCol(res, a, b []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			x, y := a[i], b[i]
+			if y > x {
+				x = y
+			}
+			res[i] = x
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			x, y := a[s], b[s]
+			if y > x {
+				x = y
+			}
+			res[s] = x
+		}
+	}
+}
+
+// MapMinInt64ColCol computes res[i] = min(a[i], b[i]).
+func MapMinInt64ColCol(res, a, b []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			x, y := a[i], b[i]
+			if y < x {
+				x = y
+			}
+			res[i] = x
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			x, y := a[s], b[s]
+			if y < x {
+				x = y
+			}
+			res[s] = x
+		}
+	}
+}
+
+// --- transcendental ---
+
+// MapLogFloat64Col computes res[i] = ln(a[i]); BM25's idf term.
+func MapLogFloat64Col(res, a []float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = math.Log(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = math.Log(a[s])
+		}
+	}
+}
+
+// --- type conversions ---
+
+// MapInt64ToFloat64 widens an int64 column to float64.
+func MapInt64ToFloat64(res []float64, a []int64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = float64(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = float64(a[s])
+		}
+	}
+}
+
+// MapInt32ToInt64 widens an int32 column to int64.
+func MapInt32ToInt64(res []int64, a []int32, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = int64(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = int64(a[s])
+		}
+	}
+}
+
+// MapUInt8ToFloat64 widens a quantized uint8 score column to float64.
+func MapUInt8ToFloat64(res []float64, a []uint8, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = float64(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = float64(a[s])
+		}
+	}
+}
+
+// MapUInt8ToInt64 widens a uint8 column to int64.
+func MapUInt8ToInt64(res []int64, a []uint8, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = int64(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = int64(a[s])
+		}
+	}
+}
+
+// MapFloat64ToUInt8 narrows float64 to uint8 with saturation; the score
+// quantization write path uses it.
+func MapFloat64ToUInt8(res []uint8, a []float64, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[i] = satU8(a[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[s] = satU8(a[s])
+		}
+	}
+}
+
+func satU8(x float64) uint8 {
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return uint8(x)
+}

@@ -1,0 +1,221 @@
+package primitives
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapFloat64ColCol(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	res := make([]float64, 4)
+
+	MapAddFloat64ColCol(res, a, b, nil, 4)
+	if !reflect.DeepEqual(res, []float64{5, 5, 5, 5}) {
+		t.Errorf("add: %v", res)
+	}
+	MapSubFloat64ColCol(res, a, b, nil, 4)
+	if !reflect.DeepEqual(res, []float64{-3, -1, 1, 3}) {
+		t.Errorf("sub: %v", res)
+	}
+	MapMulFloat64ColCol(res, a, b, nil, 4)
+	if !reflect.DeepEqual(res, []float64{4, 6, 6, 4}) {
+		t.Errorf("mul: %v", res)
+	}
+	MapDivFloat64ColCol(res, a, b, nil, 4)
+	if !reflect.DeepEqual(res, []float64{0.25, 2.0 / 3.0, 1.5, 4}) {
+		t.Errorf("div: %v", res)
+	}
+}
+
+func TestMapFloat64Selective(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	res := []float64{-1, -1, -1, -1}
+	MapAddFloat64ColCol(res, a, b, []int32{1, 3}, 2)
+	if res[0] != -1 || res[2] != -1 {
+		t.Error("selective map touched unselected positions")
+	}
+	if res[1] != 22 || res[3] != 44 {
+		t.Errorf("selective add: %v", res)
+	}
+}
+
+func TestMapFloat64ColVal(t *testing.T) {
+	a := []float64{1, 2, 3}
+	res := make([]float64, 3)
+	MapAddFloat64ColVal(res, a, 10, nil, 3)
+	if !reflect.DeepEqual(res, []float64{11, 12, 13}) {
+		t.Errorf("add val: %v", res)
+	}
+	MapSubFloat64ColVal(res, a, 1, nil, 3)
+	if !reflect.DeepEqual(res, []float64{0, 1, 2}) {
+		t.Errorf("sub val: %v", res)
+	}
+	MapMulFloat64ColVal(res, a, 2, nil, 3)
+	if !reflect.DeepEqual(res, []float64{2, 4, 6}) {
+		t.Errorf("mul val: %v", res)
+	}
+	MapDivFloat64ColVal(res, a, 2, nil, 3)
+	if !reflect.DeepEqual(res, []float64{0.5, 1, 1.5}) {
+		t.Errorf("div val: %v", res)
+	}
+	MapDivFloat64ValCol(res, 6, a, nil, 3)
+	if !reflect.DeepEqual(res, []float64{6, 3, 2}) {
+		t.Errorf("val div col: %v", res)
+	}
+	// Selective variants.
+	res = []float64{-1, -1, -1}
+	MapMulFloat64ColVal(res, a, 2, []int32{2}, 1)
+	if res[0] != -1 || res[2] != 6 {
+		t.Errorf("selective mul val: %v", res)
+	}
+	MapDivFloat64ValCol(res, 6, a, []int32{0}, 1)
+	if res[0] != 6 {
+		t.Errorf("selective val div col: %v", res)
+	}
+}
+
+func TestMapInt64(t *testing.T) {
+	a := []int64{1, 2, 3}
+	b := []int64{7, 5, 3}
+	res := make([]int64, 3)
+	MapAddInt64ColCol(res, a, b, nil, 3)
+	if !reflect.DeepEqual(res, []int64{8, 7, 6}) {
+		t.Errorf("add: %v", res)
+	}
+	MapSubInt64ColCol(res, b, a, nil, 3)
+	if !reflect.DeepEqual(res, []int64{6, 3, 0}) {
+		t.Errorf("sub: %v", res)
+	}
+	MapMulInt64ColCol(res, a, b, nil, 3)
+	if !reflect.DeepEqual(res, []int64{7, 10, 9}) {
+		t.Errorf("mul: %v", res)
+	}
+	MapAddInt64ColVal(res, a, 100, nil, 3)
+	if !reflect.DeepEqual(res, []int64{101, 102, 103}) {
+		t.Errorf("add val: %v", res)
+	}
+	MapMulInt64ColVal(res, a, -2, nil, 3)
+	if !reflect.DeepEqual(res, []int64{-2, -4, -6}) {
+		t.Errorf("mul val: %v", res)
+	}
+	MapMaxInt64ColCol(res, a, b, nil, 3)
+	if !reflect.DeepEqual(res, []int64{7, 5, 3}) {
+		t.Errorf("max: %v", res)
+	}
+	MapMinInt64ColCol(res, a, b, nil, 3)
+	if !reflect.DeepEqual(res, []int64{1, 2, 3}) {
+		t.Errorf("min: %v", res)
+	}
+	// Selective max (used by the BM25 outer-join docid reconciliation).
+	res = []int64{0, 0, 0}
+	MapMaxInt64ColCol(res, a, b, []int32{1}, 1)
+	if res[0] != 0 || res[1] != 5 {
+		t.Errorf("selective max: %v", res)
+	}
+	MapMinInt64ColCol(res, a, b, []int32{2}, 1)
+	if res[2] != 3 {
+		t.Errorf("selective min: %v", res)
+	}
+}
+
+func TestMapLog(t *testing.T) {
+	a := []float64{1, math.E, math.E * math.E}
+	res := make([]float64, 3)
+	MapLogFloat64Col(res, a, nil, 3)
+	for i, want := range []float64{0, 1, 2} {
+		if math.Abs(res[i]-want) > 1e-12 {
+			t.Errorf("log[%d] = %v, want %v", i, res[i], want)
+		}
+	}
+	res2 := []float64{-1}
+	MapLogFloat64Col(res2, []float64{1}, []int32{0}, 1)
+	if res2[0] != 0 {
+		t.Errorf("selective log: %v", res2[0])
+	}
+}
+
+func TestMapConversions(t *testing.T) {
+	f := make([]float64, 3)
+	MapInt64ToFloat64(f, []int64{1, -2, 3}, nil, 3)
+	if !reflect.DeepEqual(f, []float64{1, -2, 3}) {
+		t.Errorf("int->flt: %v", f)
+	}
+	i64 := make([]int64, 2)
+	MapInt32ToInt64(i64, []int32{-5, 6}, nil, 2)
+	if !reflect.DeepEqual(i64, []int64{-5, 6}) {
+		t.Errorf("i32->i64: %v", i64)
+	}
+	MapUInt8ToFloat64(f[:2], []uint8{0, 255}, nil, 2)
+	if f[0] != 0 || f[1] != 255 {
+		t.Errorf("u8->flt: %v", f[:2])
+	}
+	MapUInt8ToInt64(i64, []uint8{3, 200}, nil, 2)
+	if !reflect.DeepEqual(i64, []int64{3, 200}) {
+		t.Errorf("u8->i64: %v", i64)
+	}
+	u8 := make([]uint8, 4)
+	MapFloat64ToUInt8(u8, []float64{-3, 0.7, 200.2, 999}, nil, 4)
+	if !reflect.DeepEqual(u8, []uint8{0, 0, 200, 255}) {
+		t.Errorf("flt->u8 saturating: %v", u8)
+	}
+	// Selective conversion variants.
+	f3 := []float64{-1, -1, -1}
+	MapInt64ToFloat64(f3, []int64{9, 8, 7}, []int32{1}, 1)
+	if f3[0] != -1 || f3[1] != 8 {
+		t.Errorf("selective int->flt: %v", f3)
+	}
+	u83 := []uint8{9, 9}
+	MapFloat64ToUInt8(u83, []float64{1, 300}, []int32{1}, 1)
+	if u83[0] != 9 || u83[1] != 255 {
+		t.Errorf("selective flt->u8: %v", u83)
+	}
+	i643 := []int64{0, 0}
+	MapUInt8ToInt64(i643, []uint8{1, 2}, []int32{0}, 1)
+	if i643[0] != 1 {
+		t.Errorf("selective u8->i64: %v", i643)
+	}
+	MapUInt8ToFloat64(f3, []uint8{5, 6, 7}, []int32{2}, 1)
+	if f3[2] != 7 {
+		t.Errorf("selective u8->flt: %v", f3)
+	}
+	MapInt32ToInt64(i643, []int32{5, 6}, []int32{1}, 1)
+	if i643[1] != 6 {
+		t.Errorf("selective i32->i64: %v", i643)
+	}
+}
+
+// Property: dense and selective variants agree wherever the selection is
+// the identity.
+func TestMapDenseSelectiveAgreeProperty(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		dense := make([]float64, n)
+		MapMulFloat64ColCol(dense, a[:n], b[:n], nil, n)
+		sel := make([]int32, n)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		selective := make([]float64, n)
+		MapMulFloat64ColCol(selective, a[:n], b[:n], sel, n)
+		for i := 0; i < n; i++ {
+			d, s := dense[i], selective[i]
+			if d != s && !(math.IsNaN(d) && math.IsNaN(s)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

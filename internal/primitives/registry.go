@@ -1,0 +1,91 @@
+package primitives
+
+// Registry maps the Go primitives to their X100-style names so annotated
+// query plans (the demo's EXPLAIN output) can display which kernels a plan
+// node invokes, matching the labels in Figure 1 of the paper
+// (e.g. select_lt_date_col_date_val, map_mul_flt_val_flt_col,
+// aggr_sum_flt_col, map_hash_chr_col).
+
+// Info describes one primitive for plan annotation.
+type Info struct {
+	// Name is the X100-style snake_case primitive name.
+	Name string
+	// Kind is one of "select", "map", "aggr", "hash".
+	Kind string
+	// Go is the exported Go identifier implementing it.
+	Go string
+}
+
+// Catalog lists every primitive in the package. Order is stable (grouped by
+// kind, then name) so EXPLAIN output is deterministic.
+var Catalog = []Info{
+	{"select_lt_int64_col_val", "select", "SelectLTInt64ColVal"},
+	{"select_le_int64_col_val", "select", "SelectLEInt64ColVal"},
+	{"select_gt_int64_col_val", "select", "SelectGTInt64ColVal"},
+	{"select_ge_int64_col_val", "select", "SelectGEInt64ColVal"},
+	{"select_eq_int64_col_val", "select", "SelectEQInt64ColVal"},
+	{"select_ne_int64_col_val", "select", "SelectNEInt64ColVal"},
+	{"select_between_int64_col_val_val", "select", "SelectBetweenInt64ColValVal"},
+	{"select_eq_int64_col_col", "select", "SelectEQInt64ColCol"},
+	{"select_lt_int64_col_col", "select", "SelectLTInt64ColCol"},
+	{"select_gt_flt_col_val", "select", "SelectGTFloat64ColVal"},
+	{"select_ge_flt_col_val", "select", "SelectGEFloat64ColVal"},
+	{"select_eq_str_col_val", "select", "SelectEQStrColVal"},
+	{"select_true_bool_col", "select", "SelectTrueBoolCol"},
+
+	{"map_add_flt_col_flt_col", "map", "MapAddFloat64ColCol"},
+	{"map_sub_flt_col_flt_col", "map", "MapSubFloat64ColCol"},
+	{"map_mul_flt_col_flt_col", "map", "MapMulFloat64ColCol"},
+	{"map_div_flt_col_flt_col", "map", "MapDivFloat64ColCol"},
+	{"map_add_flt_col_flt_val", "map", "MapAddFloat64ColVal"},
+	{"map_sub_flt_col_flt_val", "map", "MapSubFloat64ColVal"},
+	{"map_mul_flt_col_flt_val", "map", "MapMulFloat64ColVal"},
+	{"map_div_flt_col_flt_val", "map", "MapDivFloat64ColVal"},
+	{"map_div_flt_val_flt_col", "map", "MapDivFloat64ValCol"},
+	{"map_add_int_col_int_col", "map", "MapAddInt64ColCol"},
+	{"map_sub_int_col_int_col", "map", "MapSubInt64ColCol"},
+	{"map_mul_int_col_int_col", "map", "MapMulInt64ColCol"},
+	{"map_add_int_col_int_val", "map", "MapAddInt64ColVal"},
+	{"map_mul_int_col_int_val", "map", "MapMulInt64ColVal"},
+	{"map_max_int_col_int_col", "map", "MapMaxInt64ColCol"},
+	{"map_min_int_col_int_col", "map", "MapMinInt64ColCol"},
+	{"map_log_flt_col", "map", "MapLogFloat64Col"},
+	{"map_int_to_flt_col", "map", "MapInt64ToFloat64"},
+	{"map_sint_to_int_col", "map", "MapInt32ToInt64"},
+	{"map_uchr_to_flt_col", "map", "MapUInt8ToFloat64"},
+	{"map_uchr_to_int_col", "map", "MapUInt8ToInt64"},
+	{"map_flt_to_uchr_col", "map", "MapFloat64ToUInt8"},
+	{"map_bm25_int_col_int_col", "map", "MapBM25TfLenCol"},
+	{"map_bm25_uchr_col_int_col", "map", "MapBM25U8TfLenCol"},
+	{"map_quantize_flt_col", "map", "QuantizeGlobalByValue"},
+	{"map_dequantize_uchr_col", "map", "DequantizeGlobalByValue"},
+
+	{"aggr_sum_flt_col", "aggr", "AggrSumFloat64Col"},
+	{"aggr_sum_int_col", "aggr", "AggrSumInt64Col"},
+	{"aggr_count", "aggr", "AggrCount"},
+	{"aggr_min_int_col", "aggr", "AggrMinInt64Col"},
+	{"aggr_max_int_col", "aggr", "AggrMaxInt64Col"},
+	{"aggr_min_flt_col", "aggr", "AggrMinFloat64Col"},
+	{"aggr_max_flt_col", "aggr", "AggrMaxFloat64Col"},
+	{"aggr_sum_flt_col_grouped", "aggr", "AggrSumFloat64ColGrouped"},
+	{"aggr_sum_int_col_grouped", "aggr", "AggrSumInt64ColGrouped"},
+	{"aggr_count_grouped", "aggr", "AggrCountGrouped"},
+	{"aggr_max_flt_col_grouped", "aggr", "AggrMaxFloat64ColGrouped"},
+	{"aggr_min_int_col_grouped", "aggr", "AggrMinInt64ColGrouped"},
+
+	{"map_hash_int_col", "hash", "MapHashInt64Col"},
+	{"map_hash_chr_col", "hash", "MapHashStrCol"},
+	{"map_rehash_int_col", "hash", "MapRehashInt64Col"},
+	{"map_rehash_chr_col", "hash", "MapRehashStrCol"},
+	{"map_bucket_from_hash", "hash", "MapBucketFromHash"},
+}
+
+// Lookup returns the Info for an X100-style name, or false when unknown.
+func Lookup(name string) (Info, bool) {
+	for _, in := range Catalog {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Info{}, false
+}

@@ -1,0 +1,276 @@
+package primitives
+
+// Selection primitives evaluate a predicate over a column and append the
+// positions of qualifying tuples to res, returning the number of matches.
+// res must have capacity for n entries. When sel is non-nil, only the first
+// n positions listed in sel are inspected, and the emitted positions are a
+// subsequence of sel — so selection vectors stay strictly ascending and
+// selections compose (conjunctions are chained select_* calls).
+//
+// The emit pattern "res[k] = pos; k += bool2int(match)" is branch-free:
+// every candidate is written unconditionally and the write cursor advances
+// only on a match. This is the selection analogue of the patched
+// decompression loop in Figure 3 of the paper — the data-dependent branch
+// is converted into data flow so the CPU pipeline never mispredicts.
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- int64 column vs constant ---
+
+// SelectLTInt64ColVal emits positions where col[i] < val.
+func SelectLTInt64ColVal(res []int32, col []int64, val int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] < val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] < val)
+		}
+	}
+	return k
+}
+
+// SelectLEInt64ColVal emits positions where col[i] <= val.
+func SelectLEInt64ColVal(res []int32, col []int64, val int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] <= val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] <= val)
+		}
+	}
+	return k
+}
+
+// SelectGTInt64ColVal emits positions where col[i] > val.
+func SelectGTInt64ColVal(res []int32, col []int64, val int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] > val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] > val)
+		}
+	}
+	return k
+}
+
+// SelectGEInt64ColVal emits positions where col[i] >= val.
+func SelectGEInt64ColVal(res []int32, col []int64, val int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] >= val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] >= val)
+		}
+	}
+	return k
+}
+
+// SelectEQInt64ColVal emits positions where col[i] == val.
+func SelectEQInt64ColVal(res []int32, col []int64, val int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] == val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] == val)
+		}
+	}
+	return k
+}
+
+// SelectNEInt64ColVal emits positions where col[i] != val.
+func SelectNEInt64ColVal(res []int32, col []int64, val int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] != val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] != val)
+		}
+	}
+	return k
+}
+
+// SelectBetweenInt64ColValVal emits positions where lo <= col[i] < hi.
+// Range-index scans over the TD table's term ranges use this form.
+func SelectBetweenInt64ColValVal(res []int32, col []int64, lo, hi int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			v := col[i]
+			res[k] = int32(i)
+			k += b2i(v >= lo && v < hi)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			v := col[s]
+			res[k] = s
+			k += b2i(v >= lo && v < hi)
+		}
+	}
+	return k
+}
+
+// --- int64 column vs column ---
+
+// SelectEQInt64ColCol emits positions where a[i] == b[i].
+func SelectEQInt64ColCol(res []int32, a, b []int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(a[i] == b[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(a[s] == b[s])
+		}
+	}
+	return k
+}
+
+// SelectLTInt64ColCol emits positions where a[i] < b[i].
+func SelectLTInt64ColCol(res []int32, a, b []int64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(a[i] < b[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(a[s] < b[s])
+		}
+	}
+	return k
+}
+
+// --- float64 ---
+
+// SelectGTFloat64ColVal emits positions where col[i] > val.
+func SelectGTFloat64ColVal(res []int32, col []float64, val float64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] > val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] > val)
+		}
+	}
+	return k
+}
+
+// SelectGEFloat64ColVal emits positions where col[i] >= val.
+func SelectGEFloat64ColVal(res []int32, col []float64, val float64, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i] >= val)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s] >= val)
+		}
+	}
+	return k
+}
+
+// --- string ---
+
+// SelectEQStrColVal emits positions where col[i] == val. String comparisons
+// are inherently branchy; term lookups in the paper avoid them entirely by
+// replacing the term column with a range index, so this primitive only runs
+// over the small term dictionary.
+func SelectEQStrColVal(res []int32, col []string, val string, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if col[i] == val {
+				res[k] = int32(i)
+				k++
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			if col[s] == val {
+				res[k] = s
+				k++
+			}
+		}
+	}
+	return k
+}
+
+// --- bool column ---
+
+// SelectTrueBoolCol emits positions where col[i] is true; used to turn a
+// computed boolean column into a selection vector.
+func SelectTrueBoolCol(res []int32, col []bool, sel []int32, n int) int {
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			res[k] = int32(i)
+			k += b2i(col[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			res[k] = s
+			k += b2i(col[s])
+		}
+	}
+	return k
+}

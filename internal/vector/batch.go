@@ -1,0 +1,128 @@
+package vector
+
+import "fmt"
+
+// Batch is a horizontal slice of a table: a set of aligned vectors, one per
+// column, plus an optional selection vector. All data vectors have the same
+// logical length.
+//
+// When Sel is nil every position 0..N-1 is active. When Sel is non-nil, the
+// active tuples are the positions Sel[0..N-1], in that order; the data
+// vectors still hold their original, unfiltered values. This is the
+// selection-vector design of X100: filters produce index lists instead of
+// copying survivors, so a selective predicate costs O(selected) downstream
+// rather than O(input) materialization.
+//
+// Selection vectors are strictly ascending position lists (each position
+// appears at most once, in increasing order), which is what every select_*
+// primitive produces. Compact relies on this to rewrite vectors in place.
+type Batch struct {
+	Vecs []*Vector
+	Sel  []int32 // nil means "all 0..N-1 positions are active"
+	N    int     // number of active tuples
+}
+
+// NewBatch returns a batch over the given vectors with no selection. The
+// batch length is taken from the first vector; all vectors must agree.
+func NewBatch(vecs ...*Vector) *Batch {
+	b := &Batch{Vecs: vecs}
+	if len(vecs) > 0 {
+		b.N = vecs[0].Len()
+		for i, v := range vecs {
+			if v.Len() != b.N {
+				panic(fmt.Sprintf("vector: batch column %d has length %d, want %d", i, v.Len(), b.N))
+			}
+		}
+	}
+	return b
+}
+
+// Col returns the i-th column vector.
+func (b *Batch) Col(i int) *Vector { return b.Vecs[i] }
+
+// FullLen returns the physical length of the data vectors (the number of
+// positions a selection vector may index).
+func (b *Batch) FullLen() int {
+	if len(b.Vecs) == 0 {
+		return 0
+	}
+	return b.Vecs[0].Len()
+}
+
+// SetSel installs a selection vector with n active entries.
+func (b *Batch) SetSel(sel []int32, n int) {
+	b.Sel = sel
+	b.N = n
+}
+
+// ClearSel removes the selection vector and restores N to the full vector
+// length.
+func (b *Batch) ClearSel() {
+	b.Sel = nil
+	b.N = b.FullLen()
+}
+
+// Compact materializes the selection vector: every data vector is rewritten
+// to hold only the selected values, in selection order, and the selection
+// vector is dropped. Operators call this before handing tuples to
+// consumers that require dense input (e.g. the network layer).
+//
+// The selection vector must be strictly ascending (the invariant every
+// select_* primitive maintains); this guarantees sel[i] >= i, which makes
+// the in-place rewrite safe.
+func (b *Batch) Compact() {
+	if b.Sel == nil {
+		return
+	}
+	sel := b.Sel[:b.N]
+	for _, v := range b.Vecs {
+		switch v.typ {
+		case Int64:
+			d := v.I64
+			for i, s := range sel {
+				d[i] = d[s]
+			}
+		case Int32:
+			d := v.I32
+			for i, s := range sel {
+				d[i] = d[s]
+			}
+		case Float64:
+			d := v.F64
+			for i, s := range sel {
+				d[i] = d[s]
+			}
+		case UInt8:
+			d := v.U8
+			for i, s := range sel {
+				d[i] = d[s]
+			}
+		case Str:
+			d := v.S
+			for i, s := range sel {
+				d[i] = d[s]
+			}
+		case Bool:
+			d := v.B
+			for i, s := range sel {
+				d[i] = d[s]
+			}
+		}
+		v.n = len(sel)
+	}
+	b.Sel = nil
+}
+
+// Row renders the i-th active tuple as boxed values; for tests and result
+// display only.
+func (b *Batch) Row(i int) []any {
+	pos := i
+	if b.Sel != nil {
+		pos = int(b.Sel[i])
+	}
+	row := make([]any, len(b.Vecs))
+	for c, v := range b.Vecs {
+		row[c] = v.Get(pos)
+	}
+	return row
+}

@@ -1,0 +1,282 @@
+// Package vector implements the unary, typed vectors that X100-style
+// operators exchange through the open/next/close iterator interface.
+//
+// A Vector is a small slice of a single column. Its size is chosen so that
+// all vectors alive in a query pipeline fit the CPU cache, which lets the
+// primitives in package primitives run as tight loops over cache-resident
+// data (Boncz et al., CIDR 2005; Héman et al., CIDR 2007, Figure 1).
+//
+// A Batch groups aligned vectors (one per column) with an optional
+// selection vector. Selection vectors make filtering non-destructive:
+// instead of compacting the data vectors, Select-style operators emit the
+// indexes of qualifying tuples, and downstream primitives iterate over
+// those indexes.
+package vector
+
+import "fmt"
+
+// DefaultSize is the default number of values per vector. 1024 64-bit
+// values occupy 8 KiB, so a handful of pipeline vectors fit comfortably in
+// a typical 32-256 KiB L1/L2 data cache.
+const DefaultSize = 1024
+
+// Type identifies the physical type of the values held by a Vector.
+type Type uint8
+
+// Physical vector types. The engine is deliberately restricted to the
+// types the paper's workload needs: 64/32-bit integers for docids and
+// frequencies, float64 for scores, uint8 for quantized scores, strings for
+// terms and document names, and bool for predicates.
+const (
+	Int64 Type = iota
+	Int32
+	Float64
+	UInt8
+	Str
+	Bool
+)
+
+// String returns the lower-case name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Int32:
+		return "int32"
+	case Float64:
+		return "float64"
+	case UInt8:
+		return "uint8"
+	case Str:
+		return "str"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Width returns the width in bytes of one value of the type. Strings
+// report the size of the string header; their character data lives on the
+// heap and is accounted separately by callers that care.
+func (t Type) Width() int {
+	switch t {
+	case Int64, Float64:
+		return 8
+	case Int32:
+		return 4
+	case UInt8, Bool:
+		return 1
+	case Str:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// Vector is a typed, fixed-capacity unary array holding a slice of a single
+// column. Exactly one of the data slices is non-nil, matching typ.
+//
+// The exported slices allow primitives to operate on the raw data without
+// per-value interface dispatch; this is the moral equivalent of the
+// monomorphized primitives of X100.
+type Vector struct {
+	typ Type
+	n   int
+
+	I64 []int64
+	I32 []int32
+	F64 []float64
+	U8  []uint8
+	S   []string
+	B   []bool
+}
+
+// New returns an empty vector of type t with capacity capn values.
+func New(t Type, capn int) *Vector {
+	v := &Vector{typ: t}
+	switch t {
+	case Int64:
+		v.I64 = make([]int64, capn)
+	case Int32:
+		v.I32 = make([]int32, capn)
+	case Float64:
+		v.F64 = make([]float64, capn)
+	case UInt8:
+		v.U8 = make([]uint8, capn)
+	case Str:
+		v.S = make([]string, capn)
+	case Bool:
+		v.B = make([]bool, capn)
+	default:
+		panic(fmt.Sprintf("vector: unknown type %v", t))
+	}
+	return v
+}
+
+// NewInt64 wraps an existing int64 slice as a full vector.
+func NewInt64(data []int64) *Vector { return &Vector{typ: Int64, n: len(data), I64: data} }
+
+// NewInt32 wraps an existing int32 slice as a full vector.
+func NewInt32(data []int32) *Vector { return &Vector{typ: Int32, n: len(data), I32: data} }
+
+// NewFloat64 wraps an existing float64 slice as a full vector.
+func NewFloat64(data []float64) *Vector { return &Vector{typ: Float64, n: len(data), F64: data} }
+
+// NewUInt8 wraps an existing uint8 slice as a full vector.
+func NewUInt8(data []uint8) *Vector { return &Vector{typ: UInt8, n: len(data), U8: data} }
+
+// NewStr wraps an existing string slice as a full vector.
+func NewStr(data []string) *Vector { return &Vector{typ: Str, n: len(data), S: data} }
+
+// NewBool wraps an existing bool slice as a full vector.
+func NewBool(data []bool) *Vector { return &Vector{typ: Bool, n: len(data), B: data} }
+
+// Type returns the vector's physical type.
+func (v *Vector) Type() Type { return v.typ }
+
+// Len returns the number of valid values.
+func (v *Vector) Len() int { return v.n }
+
+// Cap returns the vector's capacity in values.
+func (v *Vector) Cap() int {
+	switch v.typ {
+	case Int64:
+		return cap(v.I64)
+	case Int32:
+		return cap(v.I32)
+	case Float64:
+		return cap(v.F64)
+	case UInt8:
+		return cap(v.U8)
+	case Str:
+		return cap(v.S)
+	case Bool:
+		return cap(v.B)
+	}
+	return 0
+}
+
+// SetLen sets the number of valid values. It panics if n exceeds capacity.
+func (v *Vector) SetLen(n int) {
+	if n < 0 || n > v.Cap() {
+		panic(fmt.Sprintf("vector: SetLen(%d) out of range (cap %d)", n, v.Cap()))
+	}
+	v.n = n
+}
+
+// Reset truncates the vector to zero length without releasing storage.
+func (v *Vector) Reset() { v.n = 0 }
+
+// AppendInt64 appends one value; the vector must be of type Int64 and have
+// spare capacity. Append helpers are for index construction and tests, not
+// for inner query loops, which operate on the raw slices.
+func (v *Vector) AppendInt64(x int64) { v.I64[v.n] = x; v.n++ }
+
+// AppendFloat64 appends one value to a Float64 vector.
+func (v *Vector) AppendFloat64(x float64) { v.F64[v.n] = x; v.n++ }
+
+// AppendStr appends one value to a Str vector.
+func (v *Vector) AppendStr(x string) { v.S[v.n] = x; v.n++ }
+
+// CopyFrom copies src's valid values (and length) into v. The vectors must
+// share a type and v must have sufficient capacity.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.typ != src.typ {
+		panic(fmt.Sprintf("vector: CopyFrom type mismatch %v vs %v", v.typ, src.typ))
+	}
+	switch v.typ {
+	case Int64:
+		copy(v.I64[:src.n], src.I64[:src.n])
+	case Int32:
+		copy(v.I32[:src.n], src.I32[:src.n])
+	case Float64:
+		copy(v.F64[:src.n], src.F64[:src.n])
+	case UInt8:
+		copy(v.U8[:src.n], src.U8[:src.n])
+	case Str:
+		copy(v.S[:src.n], src.S[:src.n])
+	case Bool:
+		copy(v.B[:src.n], src.B[:src.n])
+	}
+	v.n = src.n
+}
+
+// Clone returns a deep copy of the vector with capacity equal to its
+// current capacity.
+func (v *Vector) Clone() *Vector {
+	c := New(v.typ, v.Cap())
+	c.CopyFrom(v)
+	return c
+}
+
+// Get returns the i-th value boxed in an interface. Intended for tests,
+// result rendering, and debugging; never used on hot paths.
+func (v *Vector) Get(i int) any {
+	switch v.typ {
+	case Int64:
+		return v.I64[i]
+	case Int32:
+		return v.I32[i]
+	case Float64:
+		return v.F64[i]
+	case UInt8:
+		return v.U8[i]
+	case Str:
+		return v.S[i]
+	case Bool:
+		return v.B[i]
+	}
+	return nil
+}
+
+// Set stores a boxed value at position i, converting compatible numeric
+// types. Intended for tests and loaders.
+func (v *Vector) Set(i int, val any) {
+	switch v.typ {
+	case Int64:
+		v.I64[i] = toInt64(val)
+	case Int32:
+		v.I32[i] = int32(toInt64(val))
+	case Float64:
+		v.F64[i] = toFloat64(val)
+	case UInt8:
+		v.U8[i] = uint8(toInt64(val))
+	case Str:
+		v.S[i] = val.(string)
+	case Bool:
+		v.B[i] = val.(bool)
+	}
+}
+
+func toInt64(val any) int64 {
+	switch x := val.(type) {
+	case int64:
+		return x
+	case int32:
+		return int64(x)
+	case int:
+		return int64(x)
+	case uint8:
+		return int64(x)
+	case float64:
+		return int64(x)
+	}
+	panic(fmt.Sprintf("vector: cannot convert %T to int64", val))
+}
+
+func toFloat64(val any) float64 {
+	switch x := val.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int:
+		return float64(x)
+	case uint8:
+		return float64(x)
+	}
+	panic(fmt.Sprintf("vector: cannot convert %T to float64", val))
+}

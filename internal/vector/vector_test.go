@@ -1,0 +1,286 @@
+package vector
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		Int64: "int64", Int32: "int32", Float64: "float64",
+		UInt8: "uint8", Str: "str", Bool: "bool",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+	if got := Type(99).String(); got != "type(99)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+}
+
+func TestTypeWidth(t *testing.T) {
+	cases := map[Type]int{Int64: 8, Float64: 8, Int32: 4, UInt8: 1, Bool: 1, Str: 16}
+	for typ, want := range cases {
+		if got := typ.Width(); got != want {
+			t.Errorf("%v.Width() = %d, want %d", typ, got, want)
+		}
+	}
+}
+
+func TestNewAllTypes(t *testing.T) {
+	for _, typ := range []Type{Int64, Int32, Float64, UInt8, Str, Bool} {
+		v := New(typ, 16)
+		if v.Type() != typ {
+			t.Errorf("New(%v).Type() = %v", typ, v.Type())
+		}
+		if v.Len() != 0 {
+			t.Errorf("New(%v).Len() = %d, want 0", typ, v.Len())
+		}
+		if v.Cap() != 16 {
+			t.Errorf("New(%v).Cap() = %d, want 16", typ, v.Cap())
+		}
+	}
+}
+
+func TestNewPanicsOnUnknownType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(unknown) did not panic")
+		}
+	}()
+	New(Type(42), 8)
+}
+
+func TestWrappers(t *testing.T) {
+	i64 := NewInt64([]int64{1, 2, 3})
+	if i64.Len() != 3 || i64.I64[2] != 3 {
+		t.Errorf("NewInt64 wrong: len=%d", i64.Len())
+	}
+	i32 := NewInt32([]int32{7})
+	if i32.Len() != 1 || i32.I32[0] != 7 {
+		t.Error("NewInt32 wrong")
+	}
+	f64 := NewFloat64([]float64{1.5})
+	if f64.Len() != 1 || f64.F64[0] != 1.5 {
+		t.Error("NewFloat64 wrong")
+	}
+	u8 := NewUInt8([]uint8{255})
+	if u8.Len() != 1 || u8.U8[0] != 255 {
+		t.Error("NewUInt8 wrong")
+	}
+	s := NewStr([]string{"a", "b"})
+	if s.Len() != 2 || s.S[1] != "b" {
+		t.Error("NewStr wrong")
+	}
+	b := NewBool([]bool{true})
+	if b.Len() != 1 || !b.B[0] {
+		t.Error("NewBool wrong")
+	}
+}
+
+func TestSetLenBounds(t *testing.T) {
+	v := New(Int64, 4)
+	v.SetLen(4)
+	if v.Len() != 4 {
+		t.Errorf("SetLen(4) gave %d", v.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLen(5) beyond capacity did not panic")
+		}
+	}()
+	v.SetLen(5)
+}
+
+func TestAppendAndReset(t *testing.T) {
+	v := New(Int64, 3)
+	v.AppendInt64(10)
+	v.AppendInt64(20)
+	if v.Len() != 2 || v.I64[0] != 10 || v.I64[1] != 20 {
+		t.Errorf("append gave %v len=%d", v.I64[:v.Len()], v.Len())
+	}
+	v.Reset()
+	if v.Len() != 0 {
+		t.Errorf("Reset len=%d", v.Len())
+	}
+
+	f := New(Float64, 2)
+	f.AppendFloat64(3.25)
+	if f.F64[0] != 3.25 {
+		t.Error("AppendFloat64 wrong")
+	}
+	s := New(Str, 2)
+	s.AppendStr("hello")
+	if s.S[0] != "hello" {
+		t.Error("AppendStr wrong")
+	}
+}
+
+func TestCopyFromAndClone(t *testing.T) {
+	src := NewInt64([]int64{4, 5, 6})
+	dst := New(Int64, 8)
+	dst.CopyFrom(src)
+	if dst.Len() != 3 || !reflect.DeepEqual(dst.I64[:3], []int64{4, 5, 6}) {
+		t.Errorf("CopyFrom gave %v", dst.I64[:dst.Len()])
+	}
+	cl := src.Clone()
+	cl.I64[0] = 99
+	if src.I64[0] != 4 {
+		t.Error("Clone aliases source storage")
+	}
+}
+
+func TestCopyFromTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched types did not panic")
+		}
+	}()
+	New(Int64, 1).CopyFrom(New(Float64, 1))
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ Type
+		val any
+	}{
+		{Int64, int64(-7)},
+		{Int32, int32(12)},
+		{Float64, 2.75},
+		{UInt8, uint8(200)},
+		{Str, "term"},
+		{Bool, true},
+	}
+	for _, c := range cases {
+		v := New(c.typ, 1)
+		v.SetLen(1)
+		v.Set(0, c.val)
+		if got := v.Get(0); got != c.val {
+			t.Errorf("%v round trip: got %v (%T), want %v (%T)", c.typ, got, got, c.val, c.val)
+		}
+	}
+}
+
+func TestSetNumericConversion(t *testing.T) {
+	v := New(Int64, 1)
+	v.SetLen(1)
+	v.Set(0, 42) // plain int
+	if v.I64[0] != 42 {
+		t.Errorf("Set(int) gave %d", v.I64[0])
+	}
+	f := New(Float64, 1)
+	f.SetLen(1)
+	f.Set(0, int64(3))
+	if f.F64[0] != 3.0 {
+		t.Errorf("Set(int64) into float gave %v", f.F64[0])
+	}
+}
+
+func TestBatchBasics(t *testing.T) {
+	a := NewInt64([]int64{1, 2, 3, 4})
+	b := NewFloat64([]float64{0.1, 0.2, 0.3, 0.4})
+	batch := NewBatch(a, b)
+	if batch.N != 4 || batch.FullLen() != 4 {
+		t.Fatalf("batch N=%d full=%d", batch.N, batch.FullLen())
+	}
+	if batch.Col(1) != b {
+		t.Error("Col(1) wrong")
+	}
+	row := batch.Row(2)
+	if row[0] != int64(3) || row[1] != 0.3 {
+		t.Errorf("Row(2) = %v", row)
+	}
+}
+
+func TestBatchMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBatch with ragged columns did not panic")
+		}
+	}()
+	NewBatch(NewInt64([]int64{1}), NewInt64([]int64{1, 2}))
+}
+
+func TestBatchSelection(t *testing.T) {
+	a := NewInt64([]int64{10, 20, 30, 40, 50})
+	batch := NewBatch(a)
+	batch.SetSel([]int32{1, 3}, 2)
+	if batch.N != 2 {
+		t.Fatalf("N=%d", batch.N)
+	}
+	if got := batch.Row(0)[0]; got != int64(20) {
+		t.Errorf("selected row 0 = %v", got)
+	}
+	if got := batch.Row(1)[0]; got != int64(40) {
+		t.Errorf("selected row 1 = %v", got)
+	}
+	batch.ClearSel()
+	if batch.N != 5 || batch.Sel != nil {
+		t.Errorf("ClearSel N=%d sel=%v", batch.N, batch.Sel)
+	}
+}
+
+func TestBatchCompact(t *testing.T) {
+	a := NewInt64([]int64{10, 20, 30, 40, 50})
+	s := NewStr([]string{"a", "b", "c", "d", "e"})
+	f := NewFloat64([]float64{1, 2, 3, 4, 5})
+	u := NewUInt8([]uint8{1, 2, 3, 4, 5})
+	i32 := NewInt32([]int32{1, 2, 3, 4, 5})
+	bo := NewBool([]bool{true, false, true, false, true})
+	batch := NewBatch(a, s, f, u, i32, bo)
+	batch.SetSel([]int32{0, 2, 4}, 3)
+	batch.Compact()
+	if batch.Sel != nil || batch.N != 3 {
+		t.Fatalf("after Compact sel=%v N=%d", batch.Sel, batch.N)
+	}
+	if !reflect.DeepEqual(a.I64[:3], []int64{10, 30, 50}) {
+		t.Errorf("compact int64 = %v", a.I64[:3])
+	}
+	if !reflect.DeepEqual(s.S[:3], []string{"a", "c", "e"}) {
+		t.Errorf("compact str = %v", s.S[:3])
+	}
+	if !reflect.DeepEqual(bo.B[:3], []bool{true, true, true}) {
+		t.Errorf("compact bool = %v", bo.B[:3])
+	}
+	// Compact on an unselected batch is a no-op.
+	batch.Compact()
+	if batch.N != 3 {
+		t.Errorf("double Compact N=%d", batch.N)
+	}
+}
+
+// Property: Compact always yields exactly the values a selection addresses,
+// in order, for arbitrary data and any strictly ascending selection (the
+// invariant select_* primitives maintain).
+func TestCompactMatchesSelectionProperty(t *testing.T) {
+	prop := func(data []int64, keep []bool) bool {
+		if len(data) == 0 {
+			return true
+		}
+		vals := make([]int64, len(data))
+		copy(vals, data)
+		v := NewInt64(vals)
+		// Derive a strictly ascending selection from the keep mask.
+		var sel []int32
+		for i := range data {
+			if i < len(keep) && keep[i] {
+				sel = append(sel, int32(i))
+			}
+		}
+		b := NewBatch(v)
+		b.SetSel(sel, len(sel))
+
+		want := make([]int64, len(sel))
+		for i, s := range sel {
+			want[i] = data[s]
+		}
+		b.Compact()
+		return reflect.DeepEqual(v.I64[:b.N], want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

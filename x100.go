@@ -1,0 +1,322 @@
+// Package repro is a from-scratch Go reproduction of "Efficient and
+// Flexible Information Retrieval Using MonetDB/X100" (Héman, Zukowski,
+// de Vries, Boncz; CIDR 2007): an X100-style vectorized relational engine
+// with ColumnBM buffer management and PFOR/PFOR-DELTA/PDICT light-weight
+// compression, running TREC-TeraByte-style keyword retrieval as relational
+// query plans.
+//
+// This package is the public facade: it re-exports the stable surface of
+// the internal packages so applications (see examples/) program against
+// one import. The layering underneath follows Figure 1 of the paper:
+//
+//	corpus   — synthetic GOV2-style collection + query workload (testbed)
+//	compress — PFOR, PFOR-DELTA, PDICT blocks; patched + naive decoders
+//	colbm    — column storage, simulated disk, compressed buffer pool
+//	engine   — vectorized operators (Scan, Select, Project, MergeJoin,
+//	           MergeOuterJoin, HashJoin, Aggregate, TopN, Sort)
+//	ir       — inverted index as relations, BM25 plans, Table 2 strategies
+//	dist     — partitioned TCP cluster, broadcast + top-k merge (Table 3)
+//
+// Quick start:
+//
+//	coll := repro.GenerateCollection(repro.DefaultCollectionConfig())
+//	ix, _ := repro.BuildIndex(coll, repro.DefaultIndexConfig())
+//	s := repro.NewSearcher(ix, 0)
+//	hits, _, _ := s.Search([]string{"bd", "bq"}, 20, repro.BM25TCMQ8)
+package repro
+
+import (
+	"repro/internal/colbm"
+	"repro/internal/compress"
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/ir"
+	"repro/internal/primitives"
+	"repro/internal/vector"
+)
+
+// Collection generation (the synthetic TREC-TB testbed).
+type (
+	// CollectionConfig parameterizes synthetic collection generation.
+	CollectionConfig = corpus.Config
+	// Collection is a generated document collection with ground truth.
+	Collection = corpus.Collection
+	// Query is a keyword query, optionally tied to a hidden topic.
+	Query = corpus.Query
+)
+
+// DefaultCollectionConfig returns the scaled-down GOV2 stand-in.
+func DefaultCollectionConfig() CollectionConfig { return corpus.DefaultConfig() }
+
+// GenerateCollection builds a collection deterministically from its seed.
+func GenerateCollection(cfg CollectionConfig) *Collection { return corpus.Generate(cfg) }
+
+// Indexing and search (the paper's §3).
+type (
+	// Index is a searchable inverted-file index stored in ColumnBM.
+	Index = ir.Index
+	// IndexConfig selects physical columns and storage simulation.
+	IndexConfig = ir.BuildConfig
+	// Searcher executes keyword queries under a Strategy.
+	Searcher = ir.Searcher
+	// Strategy is a Table 2 run (retrieval model + optimizations).
+	Strategy = ir.Strategy
+	// Result is one ranked document.
+	Result = ir.Result
+	// QueryStats reports per-query wall and simulated-I/O cost.
+	QueryStats = ir.QueryStats
+	// BM25Params are the Okapi constants and collection statistics.
+	BM25Params = primitives.BM25Params
+)
+
+// The Table 2 strategies.
+const (
+	BoolAND   = ir.BoolAND
+	BoolOR    = ir.BoolOR
+	BM25      = ir.BM25
+	BM25T     = ir.BM25T
+	BM25TC    = ir.BM25TC
+	BM25TCM   = ir.BM25TCM
+	BM25TCMQ8 = ir.BM25TCMQ8
+)
+
+// DefaultIndexConfig enables every physical column so one index serves all
+// strategies.
+func DefaultIndexConfig() IndexConfig { return ir.DefaultBuildConfig() }
+
+// BuildIndex constructs an index from a collection.
+func BuildIndex(c *Collection, cfg IndexConfig) (*Index, error) { return ir.Build(c, cfg) }
+
+// NewSearcher returns a searcher (vectorSize 0 = the 1024 default).
+func NewSearcher(ix *Index, vectorSize int) *Searcher { return ir.NewSearcher(ix, vectorSize) }
+
+// PrecisionAtK evaluates early precision against relevance judgments.
+func PrecisionAtK(results []Result, relevant map[int64]bool, k int) float64 {
+	return ir.PrecisionAtK(results, relevant, k)
+}
+
+// BoolExpr is a parsed boolean query (§3.2 query language).
+type BoolExpr = ir.BoolExpr
+
+// ParseBoolQuery parses the §3.2 boolean query language: terms combined
+// with AND, OR and parentheses, e.g. "information AND (storing OR
+// retrieval)"; bare adjacency is conjunction.
+func ParseBoolQuery(q string) (BoolExpr, error) { return ir.ParseBoolQuery(q) }
+
+// Relational engine surface, for applications that want to build their own
+// vectorized plans (see examples/analytics).
+type (
+	// Operator is the vectorized open/next/close iterator.
+	Operator = engine.Operator
+	// ExecContext carries the vector size.
+	ExecContext = engine.ExecContext
+)
+
+// NewContext returns an execution context with the default vector size.
+func NewContext() *ExecContext { return engine.NewContext() }
+
+// Explain renders an executed plan annotated with profiling counters.
+func Explain(op Operator) string { return engine.Explain(op) }
+
+// Compression surface (see examples/compression).
+type (
+	// Block is a compressed block in the Figure 2 layout.
+	Block = compress.Block
+	// CompressionLayout selects the patched or naive decoder discipline.
+	CompressionLayout = compress.Layout
+)
+
+// Compression layouts.
+const (
+	Patched = compress.Patched
+	Naive   = compress.Naive
+)
+
+// EncodePFOR compresses values with patched frame-of-reference coding.
+func EncodePFOR(vals []int64, bits uint, base int64, layout CompressionLayout) (*Block, error) {
+	return compress.EncodePFOR(vals, bits, base, layout)
+}
+
+// EncodePFORDelta compresses sorted-ish values via deltas.
+func EncodePFORDelta(vals []int64, bits uint, base int64, layout CompressionLayout) (*Block, error) {
+	return compress.EncodePFORDelta(vals, bits, base, layout)
+}
+
+// EncodePDictAuto dictionary-compresses skewed values.
+func EncodePDictAuto(vals []int64, layout CompressionLayout) (*Block, error) {
+	return compress.EncodePDictAuto(vals, layout)
+}
+
+// DecodeBlock decompresses a whole block.
+func DecodeBlock(bl *Block, out []int64) error { return compress.Decode(bl, out) }
+
+// Distributed execution surface (see examples/distributed).
+type (
+	// Cluster is a set of partition servers on loopback TCP.
+	Cluster = dist.Cluster
+	// Broker fans queries out to a cluster and merges top-k results.
+	Broker = dist.Broker
+	// ClusterRunStats aggregates a batch run (Table 3 columns).
+	ClusterRunStats = dist.RunStats
+)
+
+// StartCluster partitions a collection across n TCP servers.
+func StartCluster(c *Collection, n int, cfg IndexConfig) (*Cluster, error) {
+	return dist.StartCluster(c, n, cfg)
+}
+
+// DialCluster connects a broker to server addresses.
+func DialCluster(addrs []string) (*Broker, error) { return dist.Dial(addrs) }
+
+// Storage simulation knobs.
+type (
+	// DiskParams models seek latency and sequential bandwidth.
+	DiskParams = colbm.DiskParams
+	// SimDisk is the virtual-clock disk that stores column blobs.
+	SimDisk = colbm.SimDisk
+	// BufferPool caches compressed chunks in RAM with LRU eviction.
+	BufferPool = colbm.BufferPool
+	// Table is a stored columnar table.
+	Table = colbm.Table
+	// TableBuilder bulk-builds a Table.
+	TableBuilder = colbm.Builder
+	// ColumnSpec describes one stored column.
+	ColumnSpec = colbm.ColumnSpec
+	// Encoding selects a column's on-disk representation.
+	Encoding = colbm.Encoding
+	// VecType is the physical type of a column or vector.
+	VecType = vector.Type
+)
+
+// Column encodings.
+const (
+	EncNone      = colbm.EncNone
+	EncPFOR      = colbm.EncPFOR
+	EncPFORDelta = colbm.EncPFORDelta
+	EncPDict     = colbm.EncPDict
+	EncFixed32   = colbm.EncFixed32
+)
+
+// Physical types.
+const (
+	TypeInt64   = vector.Int64
+	TypeFloat64 = vector.Float64
+	TypeUInt8   = vector.UInt8
+	TypeStr     = vector.Str
+)
+
+// DefaultDiskParams approximates the paper's 12-disk RAID.
+func DefaultDiskParams() DiskParams { return colbm.DefaultDiskParams() }
+
+// NewSimDisk returns an empty virtual-clock disk.
+func NewSimDisk(p DiskParams) *SimDisk { return colbm.NewSimDisk(p) }
+
+// NewBufferPool returns an LRU pool (capacity 0 = unbounded).
+func NewBufferPool(capacity int64) *BufferPool { return colbm.NewBufferPool(capacity) }
+
+// NewTableBuilder starts a bulk table build.
+func NewTableBuilder(name string, disk *SimDisk, pool *BufferPool, specs []ColumnSpec) *TableBuilder {
+	return colbm.NewBuilder(name, disk, pool, specs)
+}
+
+// Relational operators and expressions, re-exported so applications can
+// assemble Figure-1-style plans directly (see examples/analytics).
+type (
+	// Projection names one Project output column.
+	Projection = engine.Projection
+	// Expr is a vectorized scalar expression.
+	Expr = engine.Expr
+	// Predicate is a vectorized filter.
+	Predicate = engine.Predicate
+	// AggSpec describes one aggregate output.
+	AggSpec = engine.AggSpec
+	// OrderSpec is one sort key.
+	OrderSpec = engine.OrderSpec
+	// ArithOp enumerates arithmetic operators.
+	ArithOp = engine.ArithOp
+	// CmpIntColVal compares an Int64 column against a constant.
+	CmpIntColVal = engine.CmpIntColVal
+	// CmpStrColVal is string equality against a constant.
+	CmpStrColVal = engine.CmpStrColVal
+	// ConstFloat is a float literal expression.
+	ConstFloat = engine.ConstFloat
+)
+
+// Arithmetic operators.
+const (
+	OpAdd = engine.Add
+	OpSub = engine.Sub
+	OpMul = engine.Mul
+	OpDiv = engine.Div
+)
+
+// Aggregate functions.
+const (
+	AggSum   = engine.AggSum
+	AggCount = engine.AggCount
+	AggMin   = engine.AggMin
+	AggMax   = engine.AggMax
+)
+
+// Comparison operators.
+const (
+	CmpLT = engine.LT
+	CmpLE = engine.LE
+	CmpGT = engine.GT
+	CmpGE = engine.GE
+	CmpEQ = engine.EQ
+	CmpNE = engine.NE
+)
+
+// NewScan builds a full-table scan operator.
+func NewScan(t *Table, cols []string) (Operator, error) { return engine.NewScan(t, cols) }
+
+// NewSelect builds a filter operator.
+func NewSelect(child Operator, pred Predicate) Operator { return engine.NewSelect(child, pred) }
+
+// NewProject builds a projection operator.
+func NewProject(child Operator, projs []Projection) Operator {
+	return engine.NewProject(child, projs)
+}
+
+// NewAggregate builds a (hash-)aggregation operator.
+func NewAggregate(child Operator, groups []string, aggs []AggSpec) Operator {
+	return engine.NewAggregate(child, groups, aggs)
+}
+
+// NewTopN builds a bounded top-n operator.
+func NewTopN(child Operator, n int, order []OrderSpec) Operator {
+	return engine.NewTopN(child, n, order)
+}
+
+// NewMergeJoin builds an inner merge join on strictly increasing Int64
+// keys.
+func NewMergeJoin(l, r Operator, lKey, rKey, lPrefix, rPrefix string) Operator {
+	return engine.NewMergeJoin(l, r, lKey, rKey, lPrefix, rPrefix)
+}
+
+// NewMergeOuterJoin builds a full outer merge join.
+func NewMergeOuterJoin(l, r Operator, lKey, rKey, lPrefix, rPrefix string) Operator {
+	return engine.NewMergeOuterJoin(l, r, lKey, rKey, lPrefix, rPrefix)
+}
+
+// NewColRef references an input column in an expression.
+func NewColRef(name string) Expr { return engine.NewColRef(name) }
+
+// NewArith combines two expressions with an arithmetic operator.
+func NewArith(op ArithOp, l, r Expr) Expr { return engine.NewArith(op, l, r) }
+
+// NewToFloat widens an integer expression to Float64.
+func NewToFloat(arg Expr) Expr { return engine.NewToFloat(arg) }
+
+// Collect drains an operator into boxed rows (for small results/demos).
+func Collect(op Operator, ctx *ExecContext) ([][]any, error) { return engine.Collect(op, ctx) }
+
+// Batch is a horizontal slice of vectors with an optional selection.
+type Batch = vector.Batch
+
+// Drain runs an operator to completion, invoking fn on every batch.
+func Drain(op Operator, ctx *ExecContext, fn func(*Batch) error) error {
+	return engine.Drain(op, ctx, fn)
+}

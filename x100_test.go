@@ -1,0 +1,256 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// Integration tests against the public facade: everything an application
+// would do, end to end, through one import.
+
+func facadeFixture(t *testing.T) (*Collection, *Index) {
+	t.Helper()
+	cfg := DefaultCollectionConfig()
+	cfg.NumDocs = 3000
+	cfg.Vocab = 4000
+	cfg.AvgDocLen = 90
+	cfg.NumTopics = 25
+	coll := GenerateCollection(cfg)
+	ix, err := BuildIndex(coll, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll, ix
+}
+
+func TestFacadeEndToEndSearch(t *testing.T) {
+	coll, ix := facadeFixture(t)
+	s := NewSearcher(ix, 0)
+	q := coll.PrecisionQueries(1, 5)[0]
+
+	for _, strat := range []Strategy{BoolAND, BoolOR, BM25, BM25T, BM25TC, BM25TCM, BM25TCMQ8} {
+		results, stats, err := s.Search(q.Terms, 10, strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if stats.Wall <= 0 {
+			t.Errorf("%v: no wall time recorded", strat)
+		}
+		for _, r := range results {
+			if r.Name == "" {
+				t.Errorf("%v: unresolved document name", strat)
+			}
+		}
+	}
+	// Ranked retrieval on topic queries scores well.
+	res, _, err := s.Search(q.Terms, 20, BM25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PrecisionAtK(res, coll.Qrels(q), 20); p < 0.2 {
+		t.Errorf("facade BM25 p@20 = %v", p)
+	}
+}
+
+func TestFacadeBooleanLanguage(t *testing.T) {
+	_, ix := facadeFixture(t)
+	s := NewSearcher(ix, 0)
+	var terms []string
+	for term := range ix.Terms {
+		terms = append(terms, term)
+		if len(terms) == 2 {
+			break
+		}
+	}
+	expr, err := ParseBoolQuery(terms[0] + " OR " + terms[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.SearchBool(expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("boolean OR over known terms returned nothing")
+	}
+}
+
+func TestFacadeRelationalPlan(t *testing.T) {
+	// Build a small table and run a Figure-1-shaped plan through the
+	// facade's engine surface.
+	disk := NewSimDisk(DefaultDiskParams())
+	pool := NewBufferPool(0)
+	b := NewTableBuilder("t", disk, pool, []ColumnSpec{
+		{Name: "k", Type: TypeInt64, Enc: EncPFOR},
+		{Name: "flag", Type: TypeStr},
+	})
+	for i := 0; i < 10000; i++ {
+		b.AppendInt64("k", int64(i%97))
+		if i%2 == 0 {
+			b.AppendStr("flag", "A")
+		} else {
+			b.AppendStr("flag", "B")
+		}
+	}
+	tab, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := NewScan(tab, []string{"k", "flag"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewAggregate(
+		NewSelect(scan, &CmpIntColVal{Col: "k", Op: CmpLT, Val: 50}),
+		[]string{"flag"},
+		[]AggSpec{{Op: AggCount, Name: "n"}, {Op: AggSum, Col: "k", Name: "sum"}})
+	rows, err := Collect(plan, NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d groups", len(rows))
+	}
+	// Explain works through the facade too.
+	if out := Explain(plan); !strings.Contains(out, "Aggregate") || !strings.Contains(out, "Scan") {
+		t.Errorf("explain output: %s", out)
+	}
+}
+
+func TestFacadeCompression(t *testing.T) {
+	vals := []int64{100, 105, 111, 120, 1 << 40, 121, 130}
+	bl, err := EncodePFORDelta(vals, 8, 0, Patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(vals))
+	if err := DecodeBlock(bl, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("facade compression round trip failed at %d", i)
+		}
+	}
+	if _, err := EncodePFOR(vals, 8, 0, Naive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodePDictAuto(vals, Patched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	coll, _ := facadeFixture(t)
+	cluster, err := StartCluster(coll, 2, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	broker, err := DialCluster(cluster.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	q := coll.PrecisionQueries(1, 6)[0]
+	res, timing, err := broker.Search(q.Terms, 10, BM25TCMQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("distributed search returned nothing")
+	}
+	if len(timing.PerServer) != 2 {
+		t.Errorf("per-server timings: %d", len(timing.PerServer))
+	}
+	var stats ClusterRunStats
+	stats, err = cluster.RunStreams(coll.EfficiencyQueries(20, 7), 2, 10, BM25TCMQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 20 {
+		t.Errorf("ran %d queries", stats.Queries)
+	}
+}
+
+func TestFacadeJoinsAndTopN(t *testing.T) {
+	disk := NewSimDisk(DefaultDiskParams())
+	pool := NewBufferPool(1 << 20)
+	b := NewTableBuilder("s", disk, pool, []ColumnSpec{
+		{Name: "k", Type: TypeInt64, Enc: EncPFORDelta},
+		{Name: "v", Type: TypeFloat64},
+	})
+	for i := 0; i < 1000; i++ {
+		b.AppendInt64("k", int64(i*2))
+		b.AppendFloat64("v", float64(i%37))
+	}
+	left, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewTableBuilder("r", disk, pool, []ColumnSpec{
+		{Name: "k", Type: TypeInt64, Enc: EncPFORDelta},
+	})
+	for i := 0; i < 1000; i++ {
+		b2.AppendInt64("k", int64(i*3))
+	}
+	right, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ls, err := NewScan(left, []string{"k", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewScan(right, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner join on multiples of 6, then top-3 by value.
+	top := NewTopN(
+		NewMergeJoin(ls, rs, "k", "k", "l.", "r."),
+		3, []OrderSpec{{Col: "l.v", Desc: true}})
+	rows, err := Collect(top, NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("topn over join: %d rows", len(rows))
+	}
+	prev := rows[0][1].(float64)
+	for _, r := range rows[1:] {
+		if v := r[1].(float64); v > prev {
+			t.Fatal("topn not descending")
+		} else {
+			prev = v
+		}
+	}
+
+	// Outer join through the facade.
+	ls2, _ := NewScan(left, []string{"k"})
+	rs2, _ := NewScan(right, []string{"k"})
+	outer := NewMergeOuterJoin(ls2, rs2, "k", "k", "l.", "r.")
+	n := 0
+	err = Drain(outer, NewContext(), func(batch *Batch) error { n += batch.N; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |union of multiples of 2 and 3 under their ranges|
+	if n < 1000 {
+		t.Errorf("outer join rows: %d", n)
+	}
+}
+
+func TestFacadeSearcherExplain(t *testing.T) {
+	coll, ix := facadeFixture(t)
+	s := NewSearcher(ix, 512)
+	q := coll.PrecisionQueries(1, 9)[0]
+	plan, err := s.ExplainPlan(q.Terms, 10, BM25TCMQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Scan(TD[") {
+		t.Errorf("facade explain: %s", plan)
+	}
+}

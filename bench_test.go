@@ -9,8 +9,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -56,6 +58,33 @@ func fixtures(b *testing.B) (*corpus.Collection, *ir.Index, []corpus.Query) {
 		}
 	})
 	return fixColl, fixIx, fixEff
+}
+
+// ---- Engine API: concurrent sessioned search ----
+
+// BenchmarkEngineSearchParallel pushes hot queries through the
+// concurrency-safe Engine.Search from GOMAXPROCS goroutines — the serving
+// path of the redesigned API (searcher pool + context plumbing) versus
+// the single-owner Searcher the other Table 2 benchmarks use.
+func BenchmarkEngineSearchParallel(b *testing.B) {
+	_, ix, eff := fixtures(b)
+	eng, err := OpenIndex(ix, WithSearchers(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := eff[i%len(eff)]
+			i++
+			if _, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 20, Strategy: BM25TCMQ8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- Figure 3: decompression bandwidth, NAIVE vs PATCHED ----

@@ -1,9 +1,10 @@
 // Command ir-search is the "basic search" demonstrator: a google-like
 // keyword search loop over a synthetic collection, with selectable search
-// strategy, ranked results, and — alongside the results — the relational
-// query plan that was executed, annotated with profiling information.
+// strategy, a per-query timeout, ranked results, and — alongside the
+// results — the relational query plan that was executed, annotated with
+// profiling information. It is built on the concurrency-safe Engine API.
 //
-//	ir-search -docs 20000
+//	ir-search -docs 20000 -timeout 5s
 //	> information retrieval          # search with the default strategy
 //	> :strategy BM25TCMQ8            # switch strategy
 //	> :explain storing retrieval     # show the annotated plan
@@ -12,37 +13,46 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"repro/internal/corpus"
-	"repro/internal/ir"
+	"repro"
 )
 
 func main() {
 	var (
-		docs = flag.Int("docs", 20000, "collection size in documents")
-		seed = flag.Int64("seed", 2007, "collection seed")
-		k    = flag.Int("k", 10, "results per query")
+		docs    = flag.Int("docs", 20000, "collection size in documents")
+		seed    = flag.Int64("seed", 2007, "collection seed")
+		k       = flag.Int("k", 10, "results per query")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-query deadline (0 = none)")
 	)
 	flag.Parse()
 
-	cfg := corpus.DefaultConfig()
+	cfg := repro.DefaultCollectionConfig()
 	cfg.NumDocs = *docs
 	cfg.Seed = *seed
 	fmt.Printf("generating %d-document collection and index ...\n", cfg.NumDocs)
-	c := corpus.Generate(cfg)
-	ix, err := ir.Build(c, ir.DefaultBuildConfig())
+	c := repro.GenerateCollection(cfg)
+	eng, err := repro.Open(c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ir-search:", err)
 		os.Exit(1)
 	}
-	s := ir.NewSearcher(ix, 0)
-	strat := ir.BM25TCMQ8
+	defer eng.Close()
+	strat := repro.BM25TCMQ8
 
+	queryCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.WithCancel(context.Background())
+	}
+
+	ix := eng.Index()
 	fmt.Printf("ready: %d documents, %d postings, %d distinct terms\n",
 		ix.NumDocs(), ix.NumPostings(), len(ix.Terms))
 	fmt.Printf("commands: ':strategy <name>', ':explain <terms>', ':sample', ':quit'\n")
@@ -71,7 +81,7 @@ func main() {
 		case strings.HasPrefix(line, ":strategy"):
 			name := strings.TrimSpace(strings.TrimPrefix(line, ":strategy"))
 			found := false
-			for _, st := range ir.AllStrategies {
+			for _, st := range repro.AllStrategies {
 				if strings.EqualFold(st.String(), name) {
 					strat = st
 					found = true
@@ -80,7 +90,7 @@ func main() {
 			}
 			if !found {
 				fmt.Printf("unknown strategy %q; one of", name)
-				for _, st := range ir.AllStrategies {
+				for _, st := range repro.AllStrategies {
 					fmt.Printf(" %v", st)
 				}
 				fmt.Println()
@@ -89,7 +99,9 @@ func main() {
 			fmt.Printf("strategy: %v\n", strat)
 		case strings.HasPrefix(line, ":explain"):
 			terms := strings.Fields(strings.TrimPrefix(line, ":explain"))
-			plan, err := s.ExplainPlan(terms, *k, strat)
+			ctx, cancel := queryCtx()
+			plan, err := eng.ExplainPlan(ctx, terms, *k, strat)
+			cancel()
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -97,12 +109,14 @@ func main() {
 			fmt.Print(plan)
 		default:
 			if isBoolQuery(line) {
-				expr, err := ir.ParseBoolQuery(line)
+				expr, err := repro.ParseBoolQuery(line)
 				if err != nil {
 					fmt.Println("error:", err)
 					continue
 				}
-				results, st, err := s.SearchBool(expr, *k)
+				ctx, cancel := queryCtx()
+				results, st, err := eng.SearchBool(ctx, expr, *k)
+				cancel()
 				if err != nil {
 					fmt.Println("error:", err)
 					continue
@@ -118,21 +132,25 @@ func main() {
 					float64(st.Wall.Microseconds())/1000, float64(st.SimIO.Microseconds())/1000)
 				continue
 			}
-			terms := strings.Fields(line)
-			results, st, err := s.Search(terms, *k, strat)
+			ctx, cancel := queryCtx()
+			resp, err := eng.Search(ctx, repro.SearchRequest{
+				Terms: strings.Fields(line), K: *k, Strategy: strat,
+			})
+			cancel()
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			for i, r := range results {
+			for i, r := range resp.Hits {
 				fmt.Printf("%2d. %-22s score=%.4f docid=%d\n", i+1, r.Name, r.Score, r.DocID)
 			}
-			if len(results) == 0 {
+			if len(resp.Hits) == 0 {
 				fmt.Println("no results")
 			}
-			fmt.Printf("    [%v; %.2f ms wall, %.2f ms simulated I/O", strat,
-				float64(st.Wall.Microseconds())/1000, float64(st.SimIO.Microseconds())/1000)
-			if st.SecondPass {
+			fmt.Printf("    [%v; %.2f ms wall, %.2f ms simulated I/O", resp.Strategy,
+				float64(resp.Stats.Wall.Microseconds())/1000,
+				float64(resp.Stats.SimIO.Microseconds())/1000)
+			if resp.Stats.SecondPass {
 				fmt.Print(", second pass")
 			}
 			fmt.Println("]")

@@ -1,26 +1,30 @@
 // Command trecbench reproduces every table and figure of the paper's
 // evaluation on the synthetic TREC-TB testbed:
 //
-//	trecbench -experiment fig2      # compressed block layout (pi digits)
-//	trecbench -experiment fig3      # decompression bandwidth + BMR curve
-//	trecbench -experiment table1    # reference TREC-TB 2005 systems
-//	trecbench -experiment table2    # the strategy ladder, cold + hot
-//	trecbench -experiment table3    # distributed runs
-//	trecbench -experiment ratios    # §3.3 compression ratios
-//	trecbench -experiment vecsize   # §4 vector-size ablation
-//	trecbench -experiment all       # everything above, in order
+//	trecbench -experiment fig2       # compressed block layout (pi digits)
+//	trecbench -experiment fig3       # decompression bandwidth + BMR curve
+//	trecbench -experiment table1     # reference TREC-TB 2005 systems
+//	trecbench -experiment table2     # the strategy ladder, cold + hot
+//	trecbench -experiment table3     # distributed runs
+//	trecbench -experiment ratios     # §3.3 compression ratios
+//	trecbench -experiment vecsize    # §4 vector-size ablation
+//	trecbench -experiment concurrent # single-node Engine scaling (searcher pool)
+//	trecbench -experiment all        # everything above, in order
 //
 // Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
 // defaults run in a few minutes on a laptop.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
+	"repro"
 	"repro/internal/bpsim"
 	"repro/internal/compress"
 	"repro/internal/corpus"
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|all")
 		docs        = flag.Int("docs", 50000, "collection size in documents")
 		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
 		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
@@ -62,6 +66,8 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 		return ratios(docs, seed)
 	case "vecsize":
 		return vecsize(docs, nq, seed)
+	case "concurrent":
+		return concurrent(docs, nq, seed)
 	case "all":
 		for _, fn := range []func() error{
 			figure2,
@@ -71,6 +77,7 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 			func() error { return table2(docs, nq, nCold, nPrec, seed) },
 			func() error { return table3(docs, nq, servers, seed) },
 			func() error { return vecsize(docs, nq, seed) },
+			func() error { return concurrent(docs, nq, seed) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -386,6 +393,69 @@ func ratios(docs int, seed int64) error {
 		}
 		fmt.Printf("%-26s %12.2f %12.2f\n", r.name, bpv, r.paper)
 	}
+	return nil
+}
+
+// concurrent measures single-node throughput scaling of the Engine API:
+// hot BM25TCMQ8 queries pushed through Engine.Search from 1..16 client
+// goroutines, with the searcher pool sized to match. Storage (buffer
+// pool, simulated disk) is shared and internally synchronized; execution
+// state is per-searcher, so amortized per-query time should fall with
+// workers until CPU saturation.
+func concurrent(docs, nq int, seed int64) error {
+	header("Engine concurrency: hot BM25TCMQ8 amortized time vs client goroutines")
+	c, ix, err := buildTestbed(docs, seed)
+	if err != nil {
+		return err
+	}
+	queries := c.EfficiencyQueries(min(nq, 2000), seed+5)
+	// Warm over the full workload: every configuration below shares the
+	// buffer pool, so any cold miss would be billed to whichever row runs
+	// first and skew the scaling comparison.
+	warm := ir.NewSearcher(ix, 0)
+	for _, q := range queries {
+		if _, _, err := warm.Search(q.Terms, 20, ir.BM25TCMQ8); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	fmt.Printf("%-12s %16s %14s\n", "goroutines", "amortized ms/q", "queries/sec")
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		eng, err := repro.OpenIndex(ix, repro.WithSearchers(workers))
+		if err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for qi := w; qi < len(queries); qi += workers {
+					if _, err := eng.Search(ctx, repro.SearchRequest{
+						Terms: queries[qi].Terms, K: 20, Strategy: repro.BM25TCMQ8,
+					}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := time.Since(start)
+		eng.Close()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		perQ := float64(total.Microseconds()) / float64(len(queries)) / 1000
+		fmt.Printf("%-12d %16.3f %14.0f\n", workers, perQ, float64(len(queries))/total.Seconds())
+	}
+	fmt.Println("\n(execution state is per-searcher and storage is internally synchronized,")
+	fmt.Println(" so throughput scales with cores; the searcher pool also bounds in-flight")
+	fmt.Println(" plans, which is the admission control a loaded server needs)")
 	return nil
 }
 

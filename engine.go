@@ -1,0 +1,197 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// DefaultK is the result-list depth used when a SearchRequest leaves K
+// zero (the paper's evaluation depth is 20; interactive callers usually
+// want the first page).
+const DefaultK = 20
+
+// StrategyDefault (the Strategy zero value) asks the engine to run the
+// strongest strategy the index supports.
+const StrategyDefault = ir.StrategyDefault
+
+// SearchRequest is one keyword query against an Engine.
+type SearchRequest struct {
+	// Terms are the query keywords. At least one is required.
+	Terms []string
+	// K is the number of results wanted; 0 means DefaultK.
+	K int
+	// Strategy selects the Table 2 run. The zero value, StrategyDefault,
+	// runs the strongest strategy the index's physical columns support; an
+	// explicit ranked strategy the index cannot run is substituted with the
+	// nearest supported one (the response reports what actually ran).
+	Strategy Strategy
+}
+
+// SearchResponse is the structured result of Engine.Search.
+type SearchResponse struct {
+	// Hits are the ranked documents, names resolved.
+	Hits []Result
+	// Stats carries per-query wall time, simulated I/O, second-pass and
+	// candidate-count accounting.
+	Stats QueryStats
+	// Strategy is the strategy that actually executed (after resolving
+	// StrategyDefault and physical-column substitutions).
+	Strategy Strategy
+}
+
+// Engine is the long-lived, concurrency-safe entry point to the system: it
+// owns the simulated disk, the ColumnBM buffer pool, the inverted index,
+// and a bounded pool of searchers, so Search may be called from any number
+// of goroutines. Construct one with Open, close it with Close.
+//
+// Concurrency model: storage (buffer pool, simulated disk) is shared and
+// internally synchronized; execution state is not shared — each query
+// checks a whole single-owner searcher out of the pool, which also bounds
+// the number of in-flight plans (admission control under heavy traffic).
+type Engine struct {
+	ix   *Index
+	pool *ir.SearcherPool
+	cfg  engineConfig
+}
+
+// Open builds an index over the collection and returns an Engine
+// configured by the options. All option errors are reported together.
+//
+//	eng, err := repro.Open(coll,
+//		repro.WithBufferPool(256<<20),
+//		repro.WithVectorSize(1024),
+//		repro.WithSearchers(8))
+func Open(coll *Collection, opts ...Option) (*Engine, error) {
+	if coll == nil {
+		return nil, errors.New("repro: Open with nil collection")
+	}
+	cfg := defaultEngineConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(cfg.errs) > 0 {
+		return nil, errors.Join(cfg.errs...)
+	}
+	bc := cfg.index
+	if cfg.poolSet {
+		bc.PoolBytes = cfg.pool
+	}
+	if cfg.diskSet {
+		bc.Disk = cfg.disk
+	}
+	ix, err := BuildIndex(coll, bc)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(ix, cfg), nil
+}
+
+// OpenIndex wraps an already-built index in an Engine. Options that shape
+// index construction (WithIndexConfig, WithBufferPool, WithDiskParams) are
+// rejected here — the index's physical layout is fixed.
+func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
+	if ix == nil {
+		return nil, errors.New("repro: OpenIndex with nil index")
+	}
+	cfg := defaultEngineConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.poolSet || cfg.diskSet || cfg.index != DefaultIndexConfig() {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPool/WithDiskParams)"))
+	}
+	if len(cfg.errs) > 0 {
+		return nil, errors.Join(cfg.errs...)
+	}
+	return newEngine(ix, cfg), nil
+}
+
+func newEngine(ix *Index, cfg engineConfig) *Engine {
+	return &Engine{
+		ix:   ix,
+		pool: ir.NewSearcherPool(ix, cfg.vectorSize, cfg.searchers),
+		cfg:  cfg,
+	}
+}
+
+// Index exposes the underlying index for inspection (sizes, compression
+// ratios, BM25 parameters). Treat it as read-only.
+func (e *Engine) Index() *Index { return e.ix }
+
+// Searchers returns the concurrency bound of the searcher pool.
+func (e *Engine) Searchers() int { return e.pool.Size() }
+
+// Search runs one keyword query. It is safe for concurrent use, honors ctx
+// cancellation and deadlines (a canceled context aborts the running plan
+// between vectors and returns ctx.Err()), and blocks while all pooled
+// searchers are busy.
+func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var resp SearchResponse
+	if len(req.Terms) == 0 {
+		return resp, errors.New("repro: search request has no terms")
+	}
+	k := req.K
+	if k == 0 {
+		k = DefaultK
+	}
+	if k < 0 {
+		return resp, fmt.Errorf("repro: search request k=%d", k)
+	}
+	strat, err := e.ix.Resolve(req.Strategy)
+	if err != nil {
+		return resp, err
+	}
+	hits, stats, err := e.pool.Search(ctx, req.Terms, k, strat)
+	if err != nil {
+		return resp, err
+	}
+	resp.Hits = hits
+	resp.Stats = stats
+	resp.Strategy = strat
+	return resp, nil
+}
+
+// SearchBool runs a parsed §3.2 boolean query (see ParseBoolQuery) under
+// the same concurrency and cancellation regime as Search.
+func (e *Engine) SearchBool(ctx context.Context, expr BoolExpr, k int) ([]Result, QueryStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k <= 0 {
+		k = DefaultK
+	}
+	return e.pool.SearchBool(ctx, expr, k)
+}
+
+// ExplainPlan renders the relational plan a query would run under a
+// strategy, annotated after a binding pass — the demo display of §4.
+func (e *Engine) ExplainPlan(ctx context.Context, terms []string, k int, strat Strategy) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k <= 0 {
+		k = DefaultK
+	}
+	resolved, err := e.ix.Resolve(strat)
+	if err != nil {
+		return "", err
+	}
+	s, err := e.pool.Acquire(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer e.pool.Release(s)
+	return s.ExplainPlan(terms, k, resolved)
+}
+
+// Close releases the engine. Today's storage is in-memory simulation, so
+// this is bookkeeping only, but callers should treat the engine as
+// unusable afterwards — later PRs will hold real resources here.
+func (e *Engine) Close() error { return nil }

@@ -1,0 +1,349 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the context-aware Engine API: concurrent Search under -race,
+// cancellation mid-query, option validation, strategy resolution, and the
+// fluent plan builder's build-time validation.
+
+func engineFixture(t *testing.T, opts ...Option) (*Collection, *Engine) {
+	t.Helper()
+	cfg := DefaultCollectionConfig()
+	cfg.NumDocs = 3000
+	cfg.Vocab = 4000
+	cfg.AvgDocLen = 90
+	cfg.NumTopics = 25
+	coll := GenerateCollection(cfg)
+	eng, err := Open(coll, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return coll, eng
+}
+
+func TestEngineSearchQuickstart(t *testing.T) {
+	// The package-comment quickstart flow, end to end.
+	coll, eng := engineFixture(t, WithBufferPool(256<<20), WithSearchers(4), WithVectorSize(1024))
+	q := coll.PrecisionQueries(1, 5)[0]
+	resp, err := eng.Search(context.Background(), SearchRequest{Terms: q.Terms, K: 20, Strategy: BM25TCMQ8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Strategy != BM25TCMQ8 {
+		t.Errorf("strategy run: %v", resp.Strategy)
+	}
+	if len(resp.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range resp.Hits {
+		if h.Name == "" {
+			t.Error("unresolved document name")
+		}
+	}
+	if resp.Stats.Wall <= 0 {
+		t.Error("no wall time recorded")
+	}
+	if p := PrecisionAtK(resp.Hits, coll.Qrels(q), 20); p < 0.2 {
+		t.Errorf("engine p@20 = %v", p)
+	}
+	// The default strategy resolves to the strongest supported run.
+	resp, err = eng.Search(context.Background(), SearchRequest{Terms: q.Terms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Strategy != BM25TCMQ8 {
+		t.Errorf("default strategy resolved to %v", resp.Strategy)
+	}
+	if len(resp.Hits) == 0 || len(resp.Hits) > DefaultK {
+		t.Errorf("default K: %d hits", len(resp.Hits))
+	}
+	// The plan display works through the engine.
+	plan, err := eng.ExplainPlan(context.Background(), q.Terms, 10, BM25TC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Scan(TD[") {
+		t.Errorf("explain: %s", plan)
+	}
+}
+
+func TestEngineSearchConcurrent(t *testing.T) {
+	coll, eng := engineFixture(t, WithSearchers(4))
+	queries := coll.EfficiencyQueries(64, 9)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(queries); i += goroutines {
+				strat := AllStrategies[i%len(AllStrategies)]
+				resp, err := eng.Search(context.Background(),
+					SearchRequest{Terms: queries[i].Terms, K: 10, Strategy: strat})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if resp.Strategy != strat {
+					errs[g] = errors.New("wrong strategy echoed")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEngineSearchCancellation(t *testing.T) {
+	coll, eng := engineFixture(t)
+	q := coll.EfficiencyQueries(1, 3)[0]
+
+	// Already-canceled context: aborted before (or between) vectors.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Search(ctx, SearchRequest{Terms: q.Terms}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled search: %v", err)
+	}
+
+	// Cancel mid-stream: a loop of queries on another goroutine must abort
+	// with context.Canceled once cancel fires (either mid-plan at a leaf
+	// poll or on the next request's admission).
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, Strategy: BM25}); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-query cancel returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not abort the query loop")
+	}
+
+	// The engine is still healthy afterwards.
+	if _, err := eng.Search(context.Background(), SearchRequest{Terms: q.Terms}); err != nil {
+		t.Fatalf("engine unhealthy after cancel: %v", err)
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	coll, eng := engineFixture(t)
+	q := coll.EfficiencyQueries(1, 4)[0]
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := eng.Search(ctx, SearchRequest{Terms: q.Terms}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v", err)
+	}
+}
+
+func TestOpenOptionValidation(t *testing.T) {
+	cfg := DefaultCollectionConfig()
+	cfg.NumDocs = 200
+	coll := GenerateCollection(cfg)
+	_, err := Open(coll, WithSearchers(0), WithVectorSize(-1), WithBufferPool(-5))
+	if err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	// All three problems are reported together.
+	for _, want := range []string{"searcher pool", "vector size", "buffer pool"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q misses %q", err, want)
+		}
+	}
+	if _, err := Open(nil); err == nil {
+		t.Error("nil collection accepted")
+	}
+}
+
+func TestEngineStrategyResolution(t *testing.T) {
+	cfg := DefaultCollectionConfig()
+	cfg.NumDocs = 500
+	coll := GenerateCollection(cfg)
+
+	// An index without quantized scores substitutes the nearest supported
+	// ranked strategy and reports it.
+	ic := DefaultIndexConfig()
+	ic.Quantized = false
+	eng, err := Open(coll, WithIndexConfig(ic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll.EfficiencyQueries(1, 8)[0]
+	resp, err := eng.Search(context.Background(), SearchRequest{Terms: q.Terms, Strategy: BM25TCMQ8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Strategy != BM25TCM {
+		t.Errorf("substituted strategy: %v", resp.Strategy)
+	}
+
+	// Boolean strategies have no substitute without uncompressed columns.
+	ic = IndexConfig{Compressed: true, Disk: DefaultDiskParams()}
+	eng2, err := Open(coll, WithIndexConfig(ic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Search(context.Background(), SearchRequest{Terms: q.Terms, Strategy: BoolAND}); err == nil {
+		t.Error("BoolAND ran without uncompressed columns")
+	}
+	if resp, err := eng2.Search(context.Background(), SearchRequest{Terms: q.Terms}); err != nil || resp.Strategy != BM25TC {
+		t.Errorf("default on compressed-only index: %v %v", resp.Strategy, err)
+	}
+}
+
+func TestEngineSearchBool(t *testing.T) {
+	_, eng := engineFixture(t)
+	var terms []string
+	for term := range eng.Index().Terms {
+		terms = append(terms, term)
+		if len(terms) == 2 {
+			break
+		}
+	}
+	expr, err := ParseBoolQuery(terms[0] + " OR " + terms[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := eng.SearchBool(context.Background(), expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("boolean OR over known terms returned nothing")
+	}
+}
+
+func builderTable(t *testing.T) *Table {
+	t.Helper()
+	disk := NewSimDisk(DefaultDiskParams())
+	pool := NewBufferPool(0)
+	b := NewTableBuilder("t", disk, pool, []ColumnSpec{
+		{Name: "k", Type: TypeInt64, Enc: EncPFOR},
+		{Name: "flag", Type: TypeStr},
+	})
+	for i := 0; i < 5000; i++ {
+		b.AppendInt64("k", int64(i%97))
+		if i%2 == 0 {
+			b.AppendStr("flag", "A")
+		} else {
+			b.AppendStr("flag", "B")
+		}
+	}
+	tab, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestPlanBuilderHappyPath(t *testing.T) {
+	tab := builderTable(t)
+	rows, err := From(tab, "k", "flag").
+		Where(&CmpIntColVal{Col: "k", Op: CmpLT, Val: 50}).
+		Aggregate([]string{"flag"},
+			AggSpec{Op: AggCount, Name: "n"},
+			AggSpec{Op: AggSum, Col: "k", Name: "sum"}).
+		OrderBy(OrderSpec{Col: "n", Desc: true}).
+		Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d groups", len(rows))
+	}
+}
+
+func TestPlanBuilderJoin(t *testing.T) {
+	disk := NewSimDisk(DefaultDiskParams())
+	pool := NewBufferPool(0)
+	mk := func(name string, step int) *Table {
+		b := NewTableBuilder(name, disk, pool, []ColumnSpec{
+			{Name: "k", Type: TypeInt64, Enc: EncPFORDelta},
+		})
+		for i := 0; i < 600; i++ {
+			b.AppendInt64("k", int64(i*step))
+		}
+		tab, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	left, right := mk("l", 2), mk("r", 3)
+	rows, err := From(left).
+		Join(From(right), JoinSpec{LeftKey: "k", RightKey: "k", LeftPrefix: "l.", RightPrefix: "r."}).
+		TopN(5, OrderSpec{Col: "l.k", Desc: true}).
+		Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("join topn: %d rows", len(rows))
+	}
+	// Ambiguous output names are a build-time error.
+	if _, err := From(left).Join(From(right), JoinSpec{LeftKey: "k", RightKey: "k"}).Build(); err == nil {
+		t.Error("ambiguous join columns accepted")
+	}
+}
+
+func TestPlanBuilderAccumulatesErrors(t *testing.T) {
+	tab := builderTable(t)
+	_, err := From(tab, "nope").
+		Where(&CmpIntColVal{Col: "also-nope", Op: CmpLT, Val: 1}).
+		Build()
+	if err == nil {
+		t.Fatal("unknown columns accepted")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the column: %v", err)
+	}
+	// Validation is at Build time: bad order column, bad aggregate, bad
+	// projection all surface without Open ever running.
+	_, err = From(tab).
+		Project(Projection{Name: "x", Expr: NewColRef("missing")}).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("projection validation: %v", err)
+	}
+	_, err = From(tab).TopN(0, OrderSpec{Col: "k"}).Build()
+	if err == nil {
+		t.Error("TopN(0) accepted")
+	}
+	_, err = From(tab).Aggregate([]string{"k"}, AggSpec{Op: AggSum, Col: "flag", Name: "s"}).Build()
+	if err == nil {
+		t.Error("sum over Str accepted")
+	}
+}
+
+func TestPlanBuilderCancellation(t *testing.T) {
+	tab := builderTable(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := From(tab).Run(ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled plan run: %v", err)
+	}
+}

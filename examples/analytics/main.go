@@ -1,12 +1,14 @@
 // Analytics: the Figure-1 query of the paper — a Scan -> Select ->
 // Project -> Aggregate pipeline over a TPC-H-lineitem-like table — built
-// directly from the vectorized operators. This demonstrates that the
+// with the fluent plan builder, which validates every column and
+// expression reference at Build time. This demonstrates that the
 // substrate under the IR workload is a general relational engine, which is
 // the paper's thesis: IR is just another query workload once the kernel is
 // hardware-conscious.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -41,25 +43,26 @@ func main() {
 
 	// SELECT returnflag, SUM(extprice * 1.19) AS sum_vat_price, COUNT(*)
 	// FROM lineitem WHERE shipdate < 11500 GROUP BY returnflag
-	// — the vat-price aggregation of Figure 1.
-	scan, err := repro.NewScan(tab, []string{"shipdate", "returnflag", "extprice"})
+	// — the vat-price aggregation of Figure 1, assembled fluently. Every
+	// column and expression reference is checked when Build runs; a typo'd
+	// name fails here with a named error, not deep inside Open.
+	plan, err := repro.From(tab, "shipdate", "returnflag", "extprice").
+		Where(&repro.CmpIntColVal{Col: "shipdate", Op: repro.CmpLT, Val: 11500}).
+		Project(
+			repro.Projection{Name: "returnflag", Expr: repro.NewColRef("returnflag")},
+			repro.Projection{Name: "vat_price", Expr: repro.NewArith(repro.OpMul,
+				repro.NewToFloat(repro.NewColRef("extprice")),
+				&repro.ConstFloat{Val: 1.19})}).
+		Aggregate([]string{"returnflag"},
+			repro.AggSpec{Op: repro.AggSum, Col: "vat_price", Name: "sum_vat_price"},
+			repro.AggSpec{Op: repro.AggCount, Name: "cnt"}).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sel := repro.NewSelect(scan, &repro.CmpIntColVal{Col: "shipdate", Op: repro.CmpLT, Val: 11500})
-	proj := repro.NewProject(sel, []repro.Projection{
-		{Name: "returnflag", Expr: repro.NewColRef("returnflag")},
-		{Name: "vat_price", Expr: repro.NewArith(repro.OpMul,
-			repro.NewToFloat(repro.NewColRef("extprice")),
-			&repro.ConstFloat{Val: 1.19})},
-	})
-	agg := repro.NewAggregate(proj, []string{"returnflag"}, []repro.AggSpec{
-		{Op: repro.AggSum, Col: "vat_price", Name: "sum_vat_price"},
-		{Op: repro.AggCount, Name: "cnt"},
-	})
 
-	ctx := repro.NewContext()
-	rowsOut, err := repro.Collect(agg, ctx)
+	// Execution honors context cancellation between vectors.
+	rowsOut, err := repro.CollectContext(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,5 +73,5 @@ func main() {
 
 	// The annotated plan: vectorized operators with per-node tuple counts
 	// and self time (the demo display of the paper's §4).
-	fmt.Printf("\nannotated plan:\n%s", repro.Explain(agg))
+	fmt.Printf("\nannotated plan:\n%s", repro.Explain(plan))
 }

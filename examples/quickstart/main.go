@@ -1,58 +1,79 @@
-// Quickstart: generate a small collection, build an index, run one ranked
-// query under every Table 2 strategy, and print the annotated plan —
-// the five-minute tour of the public API.
+// Quickstart: generate a small collection, open a concurrency-safe Engine
+// over it, run one ranked query under every Table 2 strategy (with a
+// per-query deadline), and print the annotated plan — the five-minute
+// tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. A small synthetic collection (a scaled-down GOV2 stand-in).
 	cfg := repro.DefaultCollectionConfig()
 	cfg.NumDocs = 5000
 	coll := repro.GenerateCollection(cfg)
 	fmt.Printf("collection: %d documents, %d postings\n", cfg.NumDocs, coll.NumPostings())
 
-	// 2. Build the index. The default config stores every physical column
-	// (uncompressed, PFOR-compressed, materialized, quantized) so all
-	// strategies are available on one index.
-	ix, err := repro.BuildIndex(coll, repro.DefaultIndexConfig())
+	// 2. Open the engine. The default index config stores every physical
+	// column (uncompressed, PFOR-compressed, materialized, quantized) so
+	// all strategies are available; the options size the buffer pool and
+	// the searcher pool (= max concurrent queries).
+	eng, err := repro.Open(coll,
+		repro.WithBufferPool(256<<20),
+		repro.WithVectorSize(1024),
+		repro.WithSearchers(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("index: %.1f MB on (simulated) disk\n\n", float64(ix.Disk.TotalSize())/1e6)
+	defer eng.Close()
+	fmt.Printf("engine: %.1f MB on (simulated) disk, %d searchers\n\n",
+		float64(eng.Index().Disk.TotalSize())/1e6, eng.Searchers())
 
 	// 3. Pick a realistic query from the built-in workload generator.
 	query := coll.PrecisionQueries(1, 42)[0]
 	fmt.Printf("query: %q (hidden topic %d)\n\n", strings.Join(query.Terms, " "), query.Topic)
 
-	// 4. Search under every strategy of the paper's Table 2.
-	searcher := repro.NewSearcher(ix, 0)
-	for _, strat := range []repro.Strategy{
-		repro.BoolAND, repro.BoolOR, repro.BM25,
-		repro.BM25T, repro.BM25TC, repro.BM25TCM, repro.BM25TCMQ8,
-	} {
-		results, stats, err := searcher.Search(query.Terms, 5, strat)
+	// 4. Search under every strategy of the paper's Table 2. Engine.Search
+	// is safe for concurrent use and honors context deadlines; here each
+	// query gets a generous one.
+	for _, strat := range repro.AllStrategies {
+		qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		resp, err := eng.Search(qctx, repro.SearchRequest{
+			Terms: query.Terms, K: 5, Strategy: strat,
+		})
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
-		p20 := repro.PrecisionAtK(results, coll.Qrels(query), 5)
-		fmt.Printf("%-10v  p@5=%.2f  %6.2f ms wall", strat, p20,
-			float64(stats.Wall.Microseconds())/1000)
-		if len(results) > 0 {
-			fmt.Printf("  top hit: %s (%.3f)", results[0].Name, results[0].Score)
+		p5 := repro.PrecisionAtK(resp.Hits, coll.Qrels(query), 5)
+		fmt.Printf("%-10v  p@5=%.2f  %6.2f ms wall", resp.Strategy, p5,
+			float64(resp.Stats.Wall.Microseconds())/1000)
+		if len(resp.Hits) > 0 {
+			fmt.Printf("  top hit: %s (%.3f)", resp.Hits[0].Name, resp.Hits[0].Score)
 		}
 		fmt.Println()
 	}
 
-	// 5. Show the relational plan behind the ranked query — IR as
+	// 5. Leaving the strategy unset runs the strongest one the index
+	// supports; the response reports what actually executed.
+	resp, err := eng.Search(ctx, repro.SearchRequest{Terms: query.Terms})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndefault request resolved to %v (%d hits)\n", resp.Strategy, len(resp.Hits))
+
+	// 6. Show the relational plan behind the ranked query — IR as
 	// relational algebra is the paper's point.
-	plan, err := searcher.ExplainPlan(query.Terms, 5, repro.BM25TC)
+	plan, err := eng.ExplainPlan(ctx, query.Terms, 5, repro.BM25TC)
 	if err != nil {
 		log.Fatal(err)
 	}

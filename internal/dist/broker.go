@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// Timing reports one broadcast query: the end-to-end total and each
+// server's response time (request written to response decoded). The
+// max-vs-min spread across PerServer is the Table 3 story: per-query
+// latency tracks the slowest partition.
+type Timing struct {
+	Total     time.Duration
+	PerServer []time.Duration
+}
+
+// Broker fans queries out to every server of a cluster and merges the
+// local top-k lists into the global ranking. It keeps one persistent
+// connection per server; it is safe for concurrent use — requests to the
+// same server serialize on that connection while different servers
+// proceed in parallel. For independent throughput streams (Table 3), use
+// one Broker per stream so streams do not share connections.
+type Broker struct {
+	conns []*srvConn
+}
+
+// srvConn is one persistent server connection. A broken connection (I/O
+// error, cancellation mid-round-trip) is closed and lazily redialed on
+// next use, so a canceled query does not poison the broker.
+type srvConn struct {
+	addr string
+
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// Dial connects a broker to the given server addresses.
+func Dial(addrs []string) (*Broker, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("dist: Dial with no addresses")
+	}
+	b := &Broker{conns: make([]*srvConn, len(addrs))}
+	for i, addr := range addrs {
+		sc := &srvConn{addr: addr}
+		if err := sc.dial(); err != nil {
+			b.Close()
+			return nil, err
+		}
+		b.conns[i] = sc
+	}
+	return b, nil
+}
+
+func (sc *srvConn) dial() error {
+	c, err := net.Dial("tcp", sc.addr)
+	if err != nil {
+		return fmt.Errorf("dist: dial %s: %w", sc.addr, err)
+	}
+	sc.c = c
+	sc.enc = gob.NewEncoder(c)
+	sc.dec = gob.NewDecoder(c)
+	return nil
+}
+
+func (sc *srvConn) close() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.c != nil {
+		sc.c.Close()
+		sc.c = nil
+	}
+}
+
+// roundTrip sends one request and decodes the reply, honoring ctx: a
+// deadline bounds the socket I/O and is forwarded to the server, and a
+// cancel unblocks the wait by expiring the connection.
+func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var resp wireResponse
+	if sc.c == nil {
+		if err := sc.dial(); err != nil {
+			return resp, err
+		}
+	}
+	if d, ok := ctx.Deadline(); ok {
+		req.TimeoutNanos = time.Until(d).Nanoseconds()
+		if req.TimeoutNanos <= 0 {
+			return resp, context.DeadlineExceeded
+		}
+		sc.c.SetDeadline(d)
+	} else {
+		sc.c.SetDeadline(time.Time{})
+	}
+	// A cancel must unblock the blocking gob I/O: expire the connection.
+	stop := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			sc.c.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+	err := sc.enc.Encode(req)
+	if err == nil {
+		err = sc.dec.Decode(&resp)
+	}
+	close(stop)
+	<-watchDone
+	if err != nil {
+		// The stream may hold a half-read reply; drop the connection and
+		// redial on next use.
+		sc.c.Close()
+		sc.c = nil
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return resp, ctxErr
+		}
+		return resp, fmt.Errorf("dist: %s: %w", sc.addr, err)
+	}
+	return resp, nil
+}
+
+// Close closes every server connection.
+func (b *Broker) Close() error {
+	for _, sc := range b.conns {
+		if sc != nil {
+			sc.close()
+		}
+	}
+	return nil
+}
+
+// Search broadcasts a query and merges the per-server top-k lists.
+func (b *Broker) Search(terms []string, k int, strat ir.Strategy) ([]ir.Result, Timing, error) {
+	return b.SearchContext(context.Background(), terms, k, strat)
+}
+
+// SearchContext is Search under a context: cancellation and deadlines
+// apply to every server round-trip, and the remaining deadline is
+// forwarded so servers stop working for callers that gave up.
+func (b *Broker) SearchContext(ctx context.Context, terms []string, k int, strat ir.Strategy) ([]ir.Result, Timing, error) {
+	timing := Timing{PerServer: make([]time.Duration, len(b.conns))}
+	req := wireRequest{Terms: terms, K: k, Strategy: int(strat)}
+	start := time.Now()
+
+	type reply struct {
+		i    int
+		resp wireResponse
+		err  error
+	}
+	replies := make(chan reply, len(b.conns))
+	for i, sc := range b.conns {
+		go func(i int, sc *srvConn) {
+			t0 := time.Now()
+			resp, err := sc.roundTrip(ctx, req)
+			timing.PerServer[i] = time.Since(t0)
+			replies <- reply{i: i, resp: resp, err: err}
+		}(i, sc)
+	}
+
+	var merged []ir.Result
+	var firstErr error
+	for range b.conns {
+		r := <-replies
+		switch {
+		case r.err != nil:
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case r.resp.Err != "":
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: server %d: %s", r.i, r.resp.Err)
+			}
+		default:
+			for _, wr := range r.resp.Results {
+				merged = append(merged, ir.Result{DocID: wr.DocID, Name: wr.Name, Score: wr.Score})
+			}
+		}
+	}
+	timing.Total = time.Since(start)
+	if firstErr != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, timing, ctxErr
+		}
+		return nil, timing, firstErr
+	}
+
+	// Global ranking: partitions are disjoint, so the merge is a plain
+	// top-k selection ordered like the single-node TopN (score desc,
+	// docid asc).
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].DocID < merged[j].DocID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, timing, nil
+}

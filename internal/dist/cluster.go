@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+// Cluster is a set of partition servers on loopback TCP, plus the
+// batch-run harness the Table 3 experiments drive.
+type Cluster struct {
+	Servers []*Server
+	Addrs   []string
+
+	owner bool // views produced by Sub must not close the servers
+}
+
+// StartCluster range-partitions the collection across n servers, builds
+// every partition index with the collection's *global* statistics (so
+// per-node BM25 scores are comparable and the merged top-k equals the
+// centralized one), and starts one TCP server per partition. Index builds
+// run in parallel.
+func StartCluster(c *corpus.Collection, n int, cfg ir.BuildConfig) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: cluster size %d < 1", n)
+	}
+	cfg.Stats = ir.CollectionStats(c)
+	parts := partition(c, n)
+
+	servers := make([]*Server, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			servers[i], errs[i] = startServer(parts[i], cfg)
+		}(i)
+	}
+	wg.Wait()
+	cl := &Cluster{Servers: servers, owner: true}
+	for _, err := range errs {
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	cl.Addrs = make([]string, n)
+	for i, s := range servers {
+		cl.Addrs[i] = s.Addr()
+	}
+	return cl, nil
+}
+
+// Close shuts every server down (no-op on Sub views, which share their
+// parent's servers).
+func (cl *Cluster) Close() error {
+	if !cl.owner {
+		return nil
+	}
+	var first error
+	for _, s := range cl.Servers {
+		if s == nil {
+			continue
+		}
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sub returns a view over the first n servers — the fixed-partition-size
+// "using less servers" rows of Table 3, where fewer servers also hold
+// less data. The view shares the parent's servers; only the parent's
+// Close shuts them down.
+func (cl *Cluster) Sub(n int) *Cluster {
+	if n > len(cl.Servers) {
+		n = len(cl.Servers)
+	}
+	return &Cluster{Servers: cl.Servers[:n], Addrs: cl.Addrs[:n]}
+}
+
+// WarmAll runs the queries on every server locally (no network), leaving
+// all buffer pools hot — the precondition of the Table 3 measurements.
+// Servers warm in parallel.
+func (cl *Cluster) WarmAll(strat ir.Strategy, queries []corpus.Query) error {
+	errs := make([]error, len(cl.Servers))
+	var wg sync.WaitGroup
+	for i, s := range cl.Servers {
+		wg.Add(1)
+		go func(i int, s *Server) {
+			defer wg.Done()
+			errs[i] = s.Warm(strat, queries)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunStreams runs the query batch through the cluster with the given
+// number of concurrent streams, each stream owning its own broker
+// (connections are not shared between streams). Queries are dealt
+// round-robin. It returns the Table 3 aggregates.
+func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.Strategy) (RunStats, error) {
+	st := RunStats{Queries: len(queries), Streams: streams}
+	if len(queries) == 0 {
+		return st, nil
+	}
+	if streams < 1 {
+		streams = 1
+		st.Streams = 1
+	}
+	if streams > len(queries) {
+		streams = len(queries)
+	}
+
+	brokers := make([]*Broker, streams)
+	for i := range brokers {
+		b, err := Dial(cl.Addrs)
+		if err != nil {
+			for _, prev := range brokers[:i] {
+				prev.Close()
+			}
+			return st, err
+		}
+		brokers[i] = b
+	}
+	defer func() {
+		for _, b := range brokers {
+			b.Close()
+		}
+	}()
+
+	type acc struct {
+		latency                time.Duration
+		minSrv, avgSrv, maxSrv time.Duration
+		n                      int
+		err                    error
+	}
+	accs := make([]acc, streams)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			a := &accs[s]
+			for qi := s; qi < len(queries); qi += streams {
+				_, timing, err := brokers[s].SearchContext(ctx, queries[qi].Terms, k, strat)
+				if err != nil {
+					a.err = err
+					return
+				}
+				a.latency += timing.Total
+				min, max, sum := timing.PerServer[0], timing.PerServer[0], time.Duration(0)
+				for _, d := range timing.PerServer {
+					if d < min {
+						min = d
+					}
+					if d > max {
+						max = d
+					}
+					sum += d
+				}
+				a.minSrv += min
+				a.maxSrv += max
+				a.avgSrv += sum / time.Duration(len(timing.PerServer))
+				a.n++
+			}
+		}(s)
+	}
+	wg.Wait()
+	st.Total = time.Since(start)
+
+	var latency, minSrv, avgSrv, maxSrv time.Duration
+	n := 0
+	for _, a := range accs {
+		if a.err != nil {
+			return st, a.err
+		}
+		latency += a.latency
+		minSrv += a.minSrv
+		avgSrv += a.avgSrv
+		maxSrv += a.maxSrv
+		n += a.n
+	}
+	if n > 0 {
+		st.Absolute = latency / time.Duration(n)
+		st.Amortized = st.Total / time.Duration(n)
+		st.MinServer = minSrv / time.Duration(n)
+		st.AvgServer = avgSrv / time.Duration(n)
+		st.MaxServer = maxSrv / time.Duration(n)
+	}
+	return st, nil
+}

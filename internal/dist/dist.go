@@ -1,0 +1,111 @@
+// Package dist implements the paper's §3.4 scale-out experiment (Table
+// 3): the collection is range-partitioned over n servers, each server runs
+// the full single-node stack (ColumnBM + vectorized engine + IR plans)
+// over its partition, and a broker broadcasts every query to all servers
+// and merges their local top-k lists into the global ranking.
+//
+// Two properties make the merged ranking equal the centralized one:
+//
+//  1. every partition index is built with the *global* collection
+//     statistics (ir.GlobalStats) so BM25 scores are comparable across
+//     servers — without this each node would rank by partition-local idf;
+//  2. partitions are disjoint docid ranges, so merging is a simple top-k
+//     union with no deduplication.
+//
+// Transport is loopback TCP with gob framing — honest socket round-trips
+// (the latency the paper's Table 3 measures is dominated by the slowest
+// server, not the wire), while staying inside the standard library. The
+// package is designed against the context-aware API: servers execute
+// queries through an ir.SearcherPool and honor per-request deadlines;
+// Broker.SearchContext composes client-side cancellation with the
+// server-side pools.
+package dist
+
+import (
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// wireRequest is one query as sent broker -> server.
+type wireRequest struct {
+	Terms    []string
+	K        int
+	Strategy int
+	// TimeoutNanos, when positive, bounds server-side execution — the
+	// broker forwards the remaining client deadline so a server does not
+	// keep burning CPU for a caller that has already given up.
+	TimeoutNanos int64
+}
+
+// wireResponse is one server's answer.
+type wireResponse struct {
+	Results    []wireResult
+	WallNanos  int64
+	SimIONanos int64
+	Err        string
+}
+
+// wireResult mirrors ir.Result with only exported concrete fields, keeping
+// the wire format independent of internal type changes.
+type wireResult struct {
+	DocID int64
+	Name  string
+	Score float64
+}
+
+// RunStats aggregates a batch run over a cluster — the columns of Table 3.
+type RunStats struct {
+	Queries int // queries executed
+	Streams int // concurrent query streams
+
+	// Total is the wall time of the whole batch; Amortized is Total /
+	// Queries (throughput accounting — it keeps falling as streams are
+	// added); Absolute is the mean end-to-end per-query latency (it does
+	// not — latency tracks the slowest server).
+	Total     time.Duration
+	Absolute  time.Duration
+	Amortized time.Duration
+
+	// Per-query server response extremes, averaged over the batch: the
+	// max >> min spread is the paper's explanation for the sub-linear
+	// partitioned speedup.
+	MinServer time.Duration
+	AvgServer time.Duration
+	MaxServer time.Duration
+}
+
+// partition splits a collection into n contiguous docid ranges. Each part
+// shares the document tables (lengths, names, topics) of the full
+// collection — docids stay global, which keeps per-server name resolution
+// and cross-server score merging trivial — while posting lists are
+// filtered to the part's docid range, so each server stores and scans only
+// its shard of the inverted file.
+func partition(c *corpus.Collection, n int) []*corpus.Collection {
+	numDocs := len(c.DocLens)
+	parts := make([]*corpus.Collection, n)
+	for i := 0; i < n; i++ {
+		lo := int64(i * numDocs / n)
+		hi := int64((i + 1) * numDocs / n)
+		part := &corpus.Collection{
+			Cfg:         c.Cfg,
+			TermStrings: c.TermStrings,
+			DocLens:     c.DocLens,
+			DocNames:    c.DocNames,
+			TopicOfDoc:  c.TopicOfDoc,
+			Topics:      c.Topics,
+			Postings:    make([][]corpus.Posting, len(c.Postings)),
+		}
+		for t, list := range c.Postings {
+			var sub []corpus.Posting
+			for _, p := range list {
+				if p.DocID >= lo && p.DocID < hi {
+					sub = append(sub, p)
+				}
+			}
+			part.Postings[t] = sub
+		}
+		parts[i] = part
+	}
+	return parts
+}

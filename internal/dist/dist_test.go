@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+func testCollection(t *testing.T) *corpus.Collection {
+	t.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 3000
+	cfg.Vocab = 4000
+	cfg.AvgDocLen = 90
+	cfg.NumTopics = 25
+	return corpus.Generate(cfg)
+}
+
+// TestDistributedMatchesCentralized is the §3.4 correctness property: with
+// global statistics distributed to every partition build, the broker's
+// merged top-k equals the single-node top-k.
+func TestDistributedMatchesCentralized(t *testing.T) {
+	c := testCollection(t)
+	central, err := ir.Build(c, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ir.NewSearcher(central, 0)
+
+	cl, err := StartCluster(c, 3, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	brk, err := Dial(cl.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	for _, q := range c.PrecisionQueries(5, 11) {
+		want, _, err := s.Search(q.Terms, 10, ir.BM25TCMQ8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, timing, err := brk.Search(q.Terms, 10, ir.BM25TCMQ8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(timing.PerServer) != 3 {
+			t.Fatalf("per-server timings: %d", len(timing.PerServer))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d results, want %d", q.Terms, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].DocID != want[i].DocID {
+				t.Errorf("query %v rank %d: docid %d != centralized %d",
+					q.Terms, i, got[i].DocID, want[i].DocID)
+			}
+			if diff := got[i].Score - want[i].Score; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("query %v rank %d: score %v != centralized %v",
+					q.Terms, i, got[i].Score, want[i].Score)
+			}
+			if got[i].Name == "" {
+				t.Errorf("query %v rank %d: unresolved name", q.Terms, i)
+			}
+		}
+	}
+}
+
+func TestRunStreamsAndSub(t *testing.T) {
+	c := testCollection(t)
+	cl, err := StartCluster(c, 4, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := c.EfficiencyQueries(24, 3)
+	if err := cl.WarmAll(ir.BM25TCMQ8, queries[:8]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.RunStreams(queries, 3, 10, ir.BM25TCMQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 24 || st.Streams != 3 {
+		t.Errorf("run stats: %+v", st)
+	}
+	if st.Total <= 0 || st.Absolute <= 0 || st.Amortized <= 0 {
+		t.Errorf("timings not recorded: %+v", st)
+	}
+	if st.MaxServer < st.MinServer {
+		t.Errorf("server extremes inverted: %+v", st)
+	}
+
+	sub := cl.Sub(2)
+	if len(sub.Addrs) != 2 {
+		t.Fatalf("sub view: %v", sub.Addrs)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sub views do not own the servers: the full cluster must still work.
+	if _, err := cl.RunStreams(queries[:4], 1, 5, ir.BM25TCMQ8); err != nil {
+		t.Fatalf("cluster dead after sub close: %v", err)
+	}
+}
+
+// TestServerCloseWithOpenConnections guards the shutdown path: Close must
+// not wait for brokers to hang up on their own.
+func TestServerCloseWithOpenConnections(t *testing.T) {
+	c := testCollection(t)
+	cl, err := StartCluster(c, 2, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	brk, err := Dial(cl.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	q := c.EfficiencyQueries(1, 2)[0]
+	if _, _, err := brk.Search(q.Terms, 5, ir.BM25TCMQ8); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		cl.Close() // broker connections still open
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster Close deadlocked on an open broker connection")
+	}
+	// Queries against the closed cluster fail instead of hanging.
+	if _, _, err := brk.Search(q.Terms, 5, ir.BM25TCMQ8); err == nil {
+		t.Error("search succeeded against a closed cluster")
+	}
+}
+
+func TestBrokerCancellation(t *testing.T) {
+	c := testCollection(t)
+	cl, err := StartCluster(c, 2, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	brk, err := Dial(cl.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := c.EfficiencyQueries(1, 5)[0]
+	if _, _, err := brk.SearchContext(ctx, q.Terms, 10, ir.BM25TCMQ8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled broker search: %v", err)
+	}
+	// The broker recovers: the dead connections redial on next use.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	res, _, err := brk.SearchContext(ctx2, q.Terms, 10, ir.BM25TCMQ8)
+	if err != nil {
+		t.Fatalf("broker did not recover after cancel: %v", err)
+	}
+	if len(res) == 0 {
+		t.Error("no results after recovery")
+	}
+}

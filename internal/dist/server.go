@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"context"
+	"encoding/gob"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+// Server is one partition node: a full single-node index over its docid
+// range plus a TCP accept loop. Every connection is served by its own
+// goroutine, and query execution goes through a shared SearcherPool, so
+// one server handles concurrent query streams with bounded parallelism —
+// the Table 3 multi-stream regime.
+type Server struct {
+	ix   *ir.Index
+	pool *ir.SearcherPool
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// startServer builds the partition index and begins accepting on an
+// ephemeral loopback port.
+func startServer(part *corpus.Collection, cfg ir.BuildConfig) (*Server, error) {
+	ix, err := ir.Build(part, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ix:    ix,
+		pool:  ir.NewSearcherPool(ix, 0, runtime.GOMAXPROCS(0)),
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Index exposes the partition index (sizes, statistics).
+func (s *Server) Index() *ir.Index { return s.ix }
+
+// Warm runs the queries locally (no network) so later measurements see a
+// hot buffer pool.
+func (s *Server) Warm(strat ir.Strategy, queries []corpus.Query) error {
+	ctx := context.Background()
+	for _, q := range queries {
+		if _, _, err := s.pool.Search(ctx, q.Terms, 20, strat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops accepting, closes every open broker connection (which
+// aborts their blocked reads), waits for the connection goroutines to
+// exit, and releases the listener. A request already executing finishes
+// but its reply may be lost — the broker sees a dropped connection, the
+// same failure mode as a server crash.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it reports false (and closes the
+// connection) when the server is already shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+// serve answers requests on one broker connection until it closes.
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed (or garbage: drop it either way)
+		}
+		if s.isClosed() {
+			return
+		}
+		resp := s.answer(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) answer(req *wireRequest) wireResponse {
+	ctx := context.Background()
+	if req.TimeoutNanos > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
+		defer cancel()
+	}
+	results, stats, err := s.pool.Search(ctx, req.Terms, req.K, ir.Strategy(req.Strategy))
+	resp := wireResponse{
+		WallNanos:  stats.Wall.Nanoseconds(),
+		SimIONanos: stats.SimIO.Nanoseconds(),
+	}
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Results = make([]wireResult, len(results))
+	for i, r := range results {
+		resp.Results[i] = wireResult{DocID: r.DocID, Name: r.Name, Score: r.Score}
+	}
+	return resp
+}

@@ -53,10 +53,27 @@ type ExecContext struct {
 	// keeps a pipeline's working set inside the CPU cache; the vector-size
 	// ablation benchmark sweeps this parameter.
 	VectorSize int
+
+	// Interrupt, when non-nil, is polled between operator batches (at every
+	// leaf Next call and between Drain iterations). A non-nil return aborts
+	// the query with that error — this is how context.Context cancellation
+	// and deadlines reach a running plan: install func() error { return
+	// ctx.Err() } and every pipeline bottoms out at a leaf within one
+	// vector's worth of work.
+	Interrupt func() error
 }
 
 // NewContext returns a context with the default vector size.
 func NewContext() *ExecContext { return &ExecContext{VectorSize: vector.DefaultSize} }
+
+// Interrupted polls the cancellation hook; nil when no hook is installed
+// or the query may continue.
+func (c *ExecContext) Interrupted() error {
+	if c.Interrupt != nil {
+		return c.Interrupt()
+	}
+	return nil
+}
 
 // OpStats are per-operator profiling counters, displayed by Explain as the
 // annotated query plan of the demonstration ("alongside with the query
@@ -119,6 +136,9 @@ func Drain(op Operator, ctx *ExecContext, fn func(*vector.Batch) error) error {
 	}
 	defer op.Close()
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		batch, err := op.Next()
 		if err != nil {
 			return err

@@ -24,6 +24,7 @@ type Scan struct {
 	batch   *vector.Batch
 	pos     int
 	vecSize int
+	ctx     *ExecContext
 }
 
 // NewScan builds a full-table scan over the named columns.
@@ -50,6 +51,7 @@ func NewRangeScan(table *colbm.Table, cols []string, start, end int) (*Scan, err
 
 // Open allocates cursors and the output batch.
 func (s *Scan) Open(ctx *ExecContext) error {
+	s.ctx = ctx
 	s.vecSize = ctx.VectorSize
 	s.pos = s.start
 	s.cursors = s.cursors[:0]
@@ -63,9 +65,14 @@ func (s *Scan) Open(ctx *ExecContext) error {
 	return nil
 }
 
-// Next reads the next vector of rows.
+// Next reads the next vector of rows. As a pipeline leaf it polls the
+// context's cancellation hook, so every plan above it aborts within one
+// vector of a cancel.
 func (s *Scan) Next() (*vector.Batch, error) {
 	defer func(t time.Time) { s.observe(t, s.batch) }(time.Now())
+	if err := s.ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	if s.pos >= s.end {
 		s.batch = nil
 		return nil, nil
@@ -113,6 +120,7 @@ type Values struct {
 	pos     int
 	vecSize int
 	batch   *vector.Batch
+	ctx     *ExecContext
 }
 
 // NewValues wraps fully materialized columns as an operator.
@@ -135,6 +143,7 @@ func NewValues(names []string, cols []*vector.Vector) (*Values, error) {
 
 // Open resets the read position.
 func (v *Values) Open(ctx *ExecContext) error {
+	v.ctx = ctx
 	v.vecSize = ctx.VectorSize
 	v.pos = 0
 	vecs := make([]*vector.Vector, len(v.cols))
@@ -145,9 +154,13 @@ func (v *Values) Open(ctx *ExecContext) error {
 	return nil
 }
 
-// Next serves the next slice.
+// Next serves the next slice, polling the cancellation hook like every
+// pipeline leaf.
 func (v *Values) Next() (*vector.Batch, error) {
 	defer func(t time.Time) { v.observe(t, v.batch) }(time.Now())
+	if err := v.ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	total := 0
 	if len(v.cols) > 0 {
 		total = v.cols[0].Len()

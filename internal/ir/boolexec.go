@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/engine"
@@ -46,6 +47,16 @@ func (s *Searcher) SearchBool(expr BoolExpr, k int) ([]Result, QueryStats, error
 	stats.Wall = time.Since(start)
 	stats.SimIO = s.ix.Disk.Stats().IOTime - io0
 	return results, stats, nil
+}
+
+// SearchBoolContext is SearchBool honoring context cancellation, wiring
+// the interrupt hook exactly like SearchContext does for ranked queries.
+func (s *Searcher) SearchBoolContext(ctx context.Context, expr BoolExpr, k int) ([]Result, QueryStats, error) {
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx.Interrupt = ctx.Err
+		defer func() { s.ctx.Interrupt = nil }()
+	}
+	return s.SearchBool(expr, k)
 }
 
 // ExplainBool renders the compiled plan of a boolean query.

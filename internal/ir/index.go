@@ -73,20 +73,47 @@ type GlobalStats struct {
 	NumDocs   float64
 	AvgDocLen float64
 	Ftd       map[string]int // term -> number of documents containing it
+
+	// Global-By-Value quantization bounds: the collection-wide min and max
+	// w(D,T). Like idf, these must be shared by every partition build, or
+	// 8-bit quantized scores from different servers are not comparable and
+	// the distributed merge diverges from the centralized ranking.
+	HasScoreBounds   bool
+	ScoreLo, ScoreHi float64
 }
 
 // CollectionStats extracts the global statistics of a collection, for
-// distribution to partition indexes.
+// distribution to partition indexes. It computes the global score bounds
+// with the same Okapi constants Build uses.
 func CollectionStats(c *corpus.Collection) *GlobalStats {
 	st := &GlobalStats{
 		NumDocs:   float64(len(c.DocLens)),
 		AvgDocLen: c.AvgDocLen(),
 		Ftd:       make(map[string]int),
 	}
+	params := primitives.BM25Params{
+		K1: 1.2, B: 0.75, NumDocs: st.NumDocs, AvgDocLn: st.AvgDocLen,
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
 	for termID, list := range c.Postings {
-		if len(list) > 0 {
-			st.Ftd[c.TermStrings[termID]] = len(list)
+		if len(list) == 0 {
+			continue
 		}
+		st.Ftd[c.TermStrings[termID]] = len(list)
+		ftd := float64(len(list))
+		for _, p := range list {
+			w := params.Weight(float64(p.TF), float64(c.DocLens[p.DocID]), ftd)
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+	}
+	if lo <= hi {
+		st.HasScoreBounds = true
+		st.ScoreLo, st.ScoreHi = lo, hi
 	}
 	return st
 }
@@ -192,6 +219,11 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 	if scores == nil {
 		lo, hi = 0, 1
 	}
+	if bc.Stats != nil && bc.Stats.HasScoreBounds {
+		// Partition builds quantize against the collection-wide bounds so
+		// quantized scores are comparable across servers (§3.4).
+		lo, hi = bc.Stats.ScoreLo, bc.Stats.ScoreHi
+	}
 
 	// TD table.
 	var tdSpecs []colbm.ColumnSpec
@@ -268,6 +300,11 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 		cfg:     bc,
 	}, nil
 }
+
+// Config returns the build configuration, letting callers (the Engine
+// facade, the distributed broker) discover which physical columns — and
+// therefore which strategies — this index supports.
+func (ix *Index) Config() BuildConfig { return ix.cfg }
 
 // NumDocs returns the collection size.
 func (ix *Index) NumDocs() int { return ix.D.N }

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,8 +16,14 @@ type Strategy int
 // The strategies of Table 2, in the paper's order. Each BM25 variant adds
 // one optimization on top of the previous: T = two-pass, C = compressed
 // posting columns, M = materialized scores, Q8 = 8-bit quantized scores.
+//
+// StrategyDefault — deliberately the zero value, so an unset request field
+// gets sensible behaviour — asks the searcher to run the strongest
+// strategy the index's physical columns support (BM25TCMQ8 on a
+// default-built index).
 const (
-	BoolAND Strategy = iota
+	StrategyDefault Strategy = iota
+	BoolAND
 	BoolOR
 	BM25
 	BM25T
@@ -27,7 +34,60 @@ const (
 
 // String returns the run name as printed in Table 2.
 func (s Strategy) String() string {
-	return [...]string{"BoolAND", "BoolOR", "BM25", "BM25T", "BM25TC", "BM25TCM", "BM25TCMQ8"}[s]
+	if s < StrategyDefault || s > BM25TCMQ8 {
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+	return [...]string{"Default", "BoolAND", "BoolOR", "BM25", "BM25T", "BM25TC", "BM25TCM", "BM25TCMQ8"}[s]
+}
+
+// Resolve maps a requested strategy to the one the index can actually run:
+// StrategyDefault becomes the strongest supported run, and a ranked
+// strategy whose physical column is absent falls back to the nearest
+// supported variant (preferring the milder optimization, the one whose
+// plan shape is closest). Boolean strategies have no substitute — they
+// need the uncompressed posting columns and error without them.
+func (ix *Index) Resolve(strat Strategy) (Strategy, error) {
+	if strat < StrategyDefault || strat > BM25TCMQ8 {
+		return 0, fmt.Errorf("ir: unknown strategy %v", strat)
+	}
+	supported := func(s Strategy) bool {
+		switch s {
+		case BoolAND, BoolOR, BM25, BM25T:
+			return ix.cfg.Uncompressed
+		case BM25TC:
+			return ix.cfg.Compressed
+		case BM25TCM:
+			return ix.cfg.Materialized
+		case BM25TCMQ8:
+			return ix.cfg.Quantized
+		}
+		return false
+	}
+	if strat == StrategyDefault {
+		for s := BM25TCMQ8; s >= BM25; s-- {
+			if supported(s) {
+				return s, nil
+			}
+		}
+		return 0, fmt.Errorf("ir: index stores no ranked posting columns")
+	}
+	if supported(strat) {
+		return strat, nil
+	}
+	if strat == BoolAND || strat == BoolOR {
+		return 0, fmt.Errorf("ir: %v requires the uncompressed posting columns", strat)
+	}
+	for s := strat - 1; s >= BM25; s-- {
+		if supported(s) {
+			return s, nil
+		}
+	}
+	for s := strat + 1; s <= BM25TCMQ8; s++ {
+		if supported(s) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("ir: no supported substitute for strategy %v", strat)
 }
 
 // AllStrategies lists the Table 2 runs in order.
@@ -48,8 +108,11 @@ type QueryStats struct {
 	Candidates int64         // tuples that reached the scoring/TopN stage
 }
 
-// Total returns wall plus simulated I/O time — the "cold" cost; hot runs
-// report Wall alone since the buffer pool absorbs all I/O.
+// Total returns Wall plus SimIO — the *cold-run* accounting, where every
+// posting chunk is fetched through the simulated disk. On a hot run the
+// buffer pool absorbs all chunk reads, SimIO is zero, and Total equals
+// Wall; the Table 2 harness therefore reports Total for cold timings and
+// Wall for hot ones.
 func (s QueryStats) Total() time.Duration { return s.Wall + s.SimIO }
 
 // Searcher executes keyword queries against an index. It is not safe for
@@ -76,25 +139,47 @@ func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, Quer
 	start := time.Now()
 
 	results, err := s.searchInner(terms, k, strat, &stats)
-
+	if err == nil {
+		for i := range results {
+			var name string
+			if name, err = s.ix.DocName(results[i].DocID); err != nil {
+				break
+			}
+			results[i].Name = name
+		}
+	}
 	stats.Wall = time.Since(start)
+	// One disk-clock read, taken after name resolution: the post-TopN name
+	// lookups hit the disk too, so their I/O is part of the query's charge.
 	stats.SimIO = s.ix.Disk.Stats().IOTime - io0
 	if err != nil {
 		return nil, stats, err
 	}
-	for i := range results {
-		name, err := s.ix.DocName(results[i].DocID)
-		if err != nil {
-			return nil, stats, err
-		}
-		results[i].Name = name
-	}
-	// Name lookups hit the disk too; fold their I/O into the query.
-	stats.SimIO = s.ix.Disk.Stats().IOTime - io0
 	return results, stats, nil
 }
 
+// SearchContext is Search honoring context cancellation and deadlines: the
+// context's Err is installed as the execution interrupt hook, which every
+// pipeline leaf polls between vectors, so a canceled context aborts the
+// running plan returning ctx.Err() (context.Canceled or
+// context.DeadlineExceeded). The Searcher itself remains single-owner; use
+// a SearcherPool for concurrent callers.
+func (s *Searcher) SearchContext(ctx context.Context, terms []string, k int, strat Strategy) ([]Result, QueryStats, error) {
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx.Interrupt = ctx.Err
+		defer func() { s.ctx.Interrupt = nil }()
+	}
+	return s.Search(terms, k, strat)
+}
+
 func (s *Searcher) searchInner(terms []string, k int, strat Strategy, stats *QueryStats) ([]Result, error) {
+	if strat == StrategyDefault {
+		resolved, err := s.ix.Resolve(strat)
+		if err != nil {
+			return nil, err
+		}
+		strat = resolved
+	}
 	infos, missing := s.resolve(terms)
 	switch strat {
 	case BoolAND:
@@ -413,6 +498,13 @@ func (s *Searcher) drainTop(top engine.Operator, stats *QueryStats) ([]Result, e
 // strategy and returns its textual form — the demo's plan display. The
 // plan is Opened to bind expressions, then explained.
 func (s *Searcher) ExplainPlan(terms []string, k int, strat Strategy) (string, error) {
+	if strat == StrategyDefault {
+		resolved, err := s.ix.Resolve(strat)
+		if err != nil {
+			return "", err
+		}
+		strat = resolved
+	}
 	infos, _ := s.resolve(terms)
 	if len(infos) == 0 {
 		return "(empty plan: no known query terms)", nil

@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// engineConfig is the resolved configuration an Engine is opened with.
+// Options validate eagerly where they can and record errors otherwise;
+// Open surfaces every accumulated problem at once instead of failing on
+// the first knob — the "validating entry point" discipline this API
+// replaces the old bag of positional constructors with.
+type engineConfig struct {
+	index      IndexConfig
+	vectorSize int
+	searchers  int
+
+	poolSet bool  // WithBufferPool given (overrides index.PoolBytes)
+	pool    int64 // buffer pool capacity in bytes
+
+	diskSet bool
+	disk    DiskParams
+
+	errs []error
+}
+
+// Option configures an Engine at Open time.
+type Option func(*engineConfig)
+
+func defaultEngineConfig() engineConfig {
+	return engineConfig{
+		index:      DefaultIndexConfig(),
+		vectorSize: 0, // searcher default (1024)
+		searchers:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// WithIndexConfig replaces the physical index configuration (which columns
+// are stored, chunk length, storage simulation). Later WithBufferPool /
+// WithDiskParams options still override the corresponding fields.
+func WithIndexConfig(cfg IndexConfig) Option {
+	return func(c *engineConfig) { c.index = cfg }
+}
+
+// WithBufferPool caps the ColumnBM buffer pool at the given capacity in
+// bytes (0 = unbounded, everything stays hot once loaded).
+func WithBufferPool(capacityBytes int64) Option {
+	return func(c *engineConfig) {
+		if capacityBytes < 0 {
+			c.errs = append(c.errs, fmt.Errorf("repro: negative buffer pool capacity %d", capacityBytes))
+			return
+		}
+		c.poolSet, c.pool = true, capacityBytes
+	}
+}
+
+// WithVectorSize sets the number of tuples per vector in every query
+// pipeline (0 = the 1024 default; the paper's §4 ablation sweeps this).
+func WithVectorSize(n int) Option {
+	return func(c *engineConfig) {
+		if n < 0 {
+			c.errs = append(c.errs, fmt.Errorf("repro: negative vector size %d", n))
+			return
+		}
+		c.vectorSize = n
+	}
+}
+
+// WithSearchers sets the size of the searcher pool: the maximum number of
+// queries executing concurrently (further Search calls queue). The default
+// is GOMAXPROCS.
+func WithSearchers(n int) Option {
+	return func(c *engineConfig) {
+		if n < 1 {
+			c.errs = append(c.errs, fmt.Errorf("repro: searcher pool size %d < 1", n))
+			return
+		}
+		c.searchers = n
+	}
+}
+
+// WithDiskParams replaces the simulated disk model (seek latency and
+// sequential bandwidth).
+func WithDiskParams(p DiskParams) Option {
+	return func(c *engineConfig) {
+		if p.SeekLatency < 0 || p.Bandwidth <= 0 {
+			c.errs = append(c.errs, fmt.Errorf("repro: invalid disk params %+v", p))
+			return
+		}
+		c.diskSet, c.disk = true, p
+	}
+}

@@ -5,9 +5,12 @@
 // compression, running TREC-TeraByte-style keyword retrieval as relational
 // query plans.
 //
-// This package is the public facade: it re-exports the stable surface of
-// the internal packages so applications (see examples/) program against
-// one import. The layering underneath follows Figure 1 of the paper:
+// This package is the public facade. Its center of gravity is the
+// long-lived, concurrency-safe Engine (see engine.go): Open a collection
+// once, then Search it from any number of goroutines under
+// context.Context cancellation and deadlines. Custom relational plans are
+// assembled with the validating fluent builder (see plan.go). The
+// layering underneath follows Figure 1 of the paper:
 //
 //	corpus   — synthetic GOV2-style collection + query workload (testbed)
 //	compress — PFOR, PFOR-DELTA, PDICT blocks; patched + naive decoders
@@ -20,9 +23,33 @@
 // Quick start:
 //
 //	coll := repro.GenerateCollection(repro.DefaultCollectionConfig())
-//	ix, _ := repro.BuildIndex(coll, repro.DefaultIndexConfig())
-//	s := repro.NewSearcher(ix, 0)
-//	hits, _, _ := s.Search([]string{"bd", "bq"}, 20, repro.BM25TCMQ8)
+//	eng, err := repro.Open(coll,
+//		repro.WithBufferPool(256<<20),
+//		repro.WithSearchers(8))
+//	if err != nil { ... }
+//	defer eng.Close()
+//	resp, err := eng.Search(ctx, repro.SearchRequest{
+//		Terms: []string{"bd", "bq"}, K: 20, Strategy: repro.BM25TCMQ8,
+//	})
+//	// resp.Hits, resp.Stats, resp.Strategy (the run actually executed)
+//
+// Analytical plans use the builder, which validates schema references and
+// reports every construction error at Build time:
+//
+//	plan, err := repro.From(lineitem).
+//		Where(&repro.CmpIntColVal{Col: "shipdate", Op: repro.CmpLT, Val: 11500}).
+//		Aggregate([]string{"returnflag"}, repro.AggSpec{Op: repro.AggCount, Name: "n"}).
+//		Build()
+//
+// Scale-out (§3.4, Table 3) goes through internal/dist: StartCluster
+// partitions a collection across loopback-TCP servers, DialCluster
+// returns a Broker whose Search broadcasts and merges top-k; the
+// context-aware Broker.SearchContext composes with each server's searcher
+// pool.
+//
+// The pre-Engine free functions (NewSearcher, NewScan, NewSelect, ...)
+// remain as deprecated shims for one release; new code should not use
+// them.
 package repro
 
 import (
@@ -70,7 +97,8 @@ type (
 	BM25Params = primitives.BM25Params
 )
 
-// The Table 2 strategies.
+// The Table 2 strategies. StrategyDefault (the Strategy zero value,
+// defined in engine.go) resolves to the strongest one the index supports.
 const (
 	BoolAND   = ir.BoolAND
 	BoolOR    = ir.BoolOR
@@ -81,6 +109,9 @@ const (
 	BM25TCMQ8 = ir.BM25TCMQ8
 )
 
+// AllStrategies lists the Table 2 runs in order.
+var AllStrategies = ir.AllStrategies
+
 // DefaultIndexConfig enables every physical column so one index serves all
 // strategies.
 func DefaultIndexConfig() IndexConfig { return ir.DefaultBuildConfig() }
@@ -88,7 +119,20 @@ func DefaultIndexConfig() IndexConfig { return ir.DefaultBuildConfig() }
 // BuildIndex constructs an index from a collection.
 func BuildIndex(c *Collection, cfg IndexConfig) (*Index, error) { return ir.Build(c, cfg) }
 
+// SearcherPool recycles single-owner searchers for concurrent use of one
+// index; the Engine owns one internally.
+type SearcherPool = ir.SearcherPool
+
+// NewSearcherPool builds a pool of n searchers over an index.
+func NewSearcherPool(ix *Index, vectorSize, n int) *SearcherPool {
+	return ir.NewSearcherPool(ix, vectorSize, n)
+}
+
 // NewSearcher returns a searcher (vectorSize 0 = the 1024 default).
+//
+// Deprecated: a Searcher is single-owner and context-unaware. Use Open /
+// Engine.Search for serving, or NewSearcherPool when managing index
+// construction manually.
 func NewSearcher(ix *Index, vectorSize int) *Searcher { return ir.NewSearcher(ix, vectorSize) }
 
 // PrecisionAtK evaluates early precision against relevance judgments.
@@ -159,6 +203,9 @@ type (
 	Broker = dist.Broker
 	// ClusterRunStats aggregates a batch run (Table 3 columns).
 	ClusterRunStats = dist.RunStats
+	// ClusterTiming reports one broadcast query's total and per-server
+	// response times.
+	ClusterTiming = dist.Timing
 )
 
 // StartCluster partitions a collection across n TCP servers.
@@ -270,33 +317,53 @@ const (
 )
 
 // NewScan builds a full-table scan operator.
+//
+// Deprecated: use From(table, cols...), which validates the whole plan at
+// Build time. This shim remains for one release.
 func NewScan(t *Table, cols []string) (Operator, error) { return engine.NewScan(t, cols) }
 
 // NewSelect builds a filter operator.
+//
+// Deprecated: use PlanBuilder.Where, which validates the predicate's
+// column references at Build time instead of at Open.
 func NewSelect(child Operator, pred Predicate) Operator { return engine.NewSelect(child, pred) }
 
 // NewProject builds a projection operator.
+//
+// Deprecated: use PlanBuilder.Project, which binds and type-checks the
+// expressions at Build time instead of at Open.
 func NewProject(child Operator, projs []Projection) Operator {
 	return engine.NewProject(child, projs)
 }
 
 // NewAggregate builds a (hash-)aggregation operator.
+//
+// Deprecated: use PlanBuilder.Aggregate, which validates group and
+// aggregate columns at Build time instead of at Open.
 func NewAggregate(child Operator, groups []string, aggs []AggSpec) Operator {
 	return engine.NewAggregate(child, groups, aggs)
 }
 
 // NewTopN builds a bounded top-n operator.
+//
+// Deprecated: use PlanBuilder.TopN, which validates the ordering columns
+// at Build time instead of at Open.
 func NewTopN(child Operator, n int, order []OrderSpec) Operator {
 	return engine.NewTopN(child, n, order)
 }
 
 // NewMergeJoin builds an inner merge join on strictly increasing Int64
 // keys.
+//
+// Deprecated: use PlanBuilder.Join with a JoinSpec, which names the six
+// positional string arguments and validates key columns at Build time.
 func NewMergeJoin(l, r Operator, lKey, rKey, lPrefix, rPrefix string) Operator {
 	return engine.NewMergeJoin(l, r, lKey, rKey, lPrefix, rPrefix)
 }
 
 // NewMergeOuterJoin builds a full outer merge join.
+//
+// Deprecated: use PlanBuilder.Join with JoinSpec{Outer: true}.
 func NewMergeOuterJoin(l, r Operator, lKey, rKey, lPrefix, rPrefix string) Operator {
 	return engine.NewMergeOuterJoin(l, r, lKey, rKey, lPrefix, rPrefix)
 }

@@ -2,7 +2,9 @@
 // its physical statistics: per-column sizes, bits per posting, and buffer
 // pool behaviour under a chosen capacity. It is the index-construction
 // half of the system (what the paper does once for GOV2 before running
-// queries).
+// queries). With -out it also persists the index in the versioned on-disk
+// format, so ir-search -index (or any OpenDir caller) can serve it later
+// with zero corpus re-parsing.
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -21,6 +24,7 @@ func main() {
 		avgLen    = flag.Int("avglen", 200, "average document length in tokens")
 		seed      = flag.Int64("seed", 2007, "collection seed")
 		poolBytes = flag.Int64("pool", 0, "buffer pool capacity in bytes (0 = unbounded)")
+		out       = flag.String("out", "", "persist the index into this directory (versioned on-disk format)")
 	)
 	flag.Parse()
 
@@ -63,8 +67,25 @@ func main() {
 	}
 	fmt.Printf("\ndocument table D: %.2f MB for %d documents\n",
 		float64(ix.D.DiskSize())/1e6, ix.NumDocs())
-	fmt.Printf("total on-disk size: %.2f MB\n", float64(ix.Disk.TotalSize())/1e6)
+	fmt.Printf("total on-disk size: %.2f MB\n", float64(ix.Store.TotalSize())/1e6)
 	fmt.Printf("BM25 parameters: k1=%.1f b=%.2f N=%.0f avgdl=%.1f\n",
 		ix.Params.K1, ix.Params.B, ix.Params.NumDocs, ix.Params.AvgDocLn)
 	fmt.Printf("score quantization bounds: [%.4f, %.4f] -> 256 buckets\n", ix.ScoreLo, ix.ScoreHi)
+
+	if *out != "" {
+		fmt.Printf("\npersisting index to %s ...\n", *out)
+		if err := storage.WriteIndex(*out, ix); err != nil {
+			fmt.Fprintln(os.Stderr, "indexer:", err)
+			os.Exit(1)
+		}
+		fs, err := storage.NewFileStore(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "indexer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("persisted: %.2f MB in %s (format v%d)\n",
+			float64(fs.TotalSize())/1e6, *out, storage.FormatVersion)
+		fs.Close()
+		fmt.Printf("serve it with:  ir-search -index %s\n", *out)
+	}
 }

@@ -9,6 +9,14 @@
 //	> :strategy BM25TCMQ8            # switch strategy
 //	> :explain storing retrieval     # show the annotated plan
 //	> :quit
+//
+// With -index it serves a persisted index directory (built by
+// cmd/indexer -out or repro.SaveIndex) instead of generating and indexing
+// a collection: startup reads only the manifest, and posting data streams
+// in through the real buffer manager as queries arrive.
+//
+//	indexer -docs 50000 -out /tmp/ix
+//	ir-search -index /tmp/ix -pool 268435456
 package main
 
 import (
@@ -25,19 +33,31 @@ import (
 
 func main() {
 	var (
-		docs    = flag.Int("docs", 20000, "collection size in documents")
-		seed    = flag.Int64("seed", 2007, "collection seed")
-		k       = flag.Int("k", 10, "results per query")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-query deadline (0 = none)")
+		docs     = flag.Int("docs", 20000, "collection size in documents")
+		seed     = flag.Int64("seed", 2007, "collection seed")
+		k        = flag.Int("k", 10, "results per query")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-query deadline (0 = none)")
+		indexDir = flag.String("index", "", "serve this persisted index directory (skips generation and indexing)")
+		pool     = flag.Int64("pool", 0, "buffer manager budget in bytes for -index mode (0 = unbounded)")
 	)
 	flag.Parse()
 
-	cfg := repro.DefaultCollectionConfig()
-	cfg.NumDocs = *docs
-	cfg.Seed = *seed
-	fmt.Printf("generating %d-document collection and index ...\n", cfg.NumDocs)
-	c := repro.GenerateCollection(cfg)
-	eng, err := repro.Open(c)
+	var (
+		c   *repro.Collection
+		eng *repro.Engine
+		err error
+	)
+	if *indexDir != "" {
+		fmt.Printf("opening persisted index %s ...\n", *indexDir)
+		eng, err = repro.OpenDir(*indexDir, repro.WithBufferPoolBytes(*pool))
+	} else {
+		cfg := repro.DefaultCollectionConfig()
+		cfg.NumDocs = *docs
+		cfg.Seed = *seed
+		fmt.Printf("generating %d-document collection and index ...\n", cfg.NumDocs)
+		c = repro.GenerateCollection(cfg)
+		eng, err = repro.Open(c)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ir-search:", err)
 		os.Exit(1)
@@ -74,6 +94,17 @@ func main() {
 		case line == ":quit" || line == ":q":
 			return
 		case line == ":sample":
+			if c == nil {
+				// Persisted mode has no generator; sample the range index.
+				n := 0
+				for term := range ix.Terms {
+					fmt.Printf("  try: %s\n", term)
+					if n++; n == 3 {
+						break
+					}
+				}
+				continue
+			}
 			qs := c.EfficiencyQueries(3, time.Now().UnixNano())
 			for _, q := range qs {
 				fmt.Printf("  try: %s\n", strings.Join(q.Terms, " "))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/storage"
 )
 
 // DefaultK is the result-list depth used when a SearchRequest leaves K
@@ -55,15 +56,24 @@ type Engine struct {
 	ix   *Index
 	pool *ir.SearcherPool
 	cfg  engineConfig
+	// ownsStore marks engines whose index storage was opened (not handed
+	// in): Close releases it. OpenIndex-wrapped indexes stay open — the
+	// caller may share them across engines.
+	ownsStore bool
 }
 
 // Open builds an index over the collection and returns an Engine
 // configured by the options. All option errors are reported together.
 //
 //	eng, err := repro.Open(coll,
-//		repro.WithBufferPool(256<<20),
+//		repro.WithBufferPoolBytes(256<<20),
 //		repro.WithVectorSize(1024),
 //		repro.WithSearchers(8))
+//
+// With WithStorageDir the index lives on real disk: an existing index
+// directory is served as-is (the collection is not re-indexed), a missing
+// or empty one is populated by building from the collection and persisting
+// — after which queries run against the persisted form either way.
 func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	if coll == nil {
 		return nil, errors.New("repro: Open with nil collection")
@@ -74,6 +84,9 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	}
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
+	}
+	if cfg.storageDir != "" && storage.IsIndexDir(cfg.storageDir) {
+		return openPersisted(cfg)
 	}
 	bc := cfg.index
 	if cfg.poolSet {
@@ -86,12 +99,61 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(ix, cfg), nil
+	if cfg.storageDir != "" {
+		if err := storage.WriteIndex(cfg.storageDir, ix); err != nil {
+			return nil, err
+		}
+		return openPersisted(cfg)
+	}
+	eng := newEngine(ix, cfg)
+	eng.ownsStore = true // a SimDisk of our own; Close is a no-op on it
+	return eng, nil
+}
+
+// OpenDir opens a persisted index directory (written by Open with
+// WithStorageDir, SaveIndex, cmd/indexer -out, or dist.BuildPartitions)
+// and serves it without any collection in hand: only the manifest is read
+// up front, and posting data streams in through the buffer manager as
+// queries touch it. Options that shape index construction
+// (WithIndexConfig, WithDiskParams, WithStorageDir) are rejected — the
+// directory already fixes the physical layout.
+func OpenDir(dir string, opts ...Option) (*Engine, error) {
+	cfg := defaultEngineConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.diskSet || cfg.index != DefaultIndexConfig() {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: OpenDir cannot reconfigure index storage (WithIndexConfig/WithDiskParams)"))
+	}
+	if cfg.storageDir != "" {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: OpenDir already names the index directory; drop WithStorageDir"))
+	}
+	if len(cfg.errs) > 0 {
+		return nil, errors.Join(cfg.errs...)
+	}
+	cfg.storageDir = dir
+	return openPersisted(cfg)
+}
+
+// openPersisted opens cfg.storageDir through the storage subsystem and
+// wraps it in an engine that owns (and will Close) the file store.
+func openPersisted(cfg engineConfig) (*Engine, error) {
+	ix, err := storage.OpenIndex(cfg.storageDir, cfg.pool)
+	if err != nil {
+		return nil, err
+	}
+	eng := newEngine(ix, cfg)
+	eng.ownsStore = true
+	return eng, nil
 }
 
 // OpenIndex wraps an already-built index in an Engine. Options that shape
-// index construction (WithIndexConfig, WithBufferPool, WithDiskParams) are
-// rejected here — the index's physical layout is fixed.
+// index construction (WithIndexConfig, WithBufferPoolBytes, WithDiskParams,
+// WithStorageDir) are rejected here — the index's physical layout is fixed,
+// and the caller keeps ownership of its storage (Close will not release
+// it).
 func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 	if ix == nil {
 		return nil, errors.New("repro: OpenIndex with nil index")
@@ -100,9 +162,9 @@ func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.poolSet || cfg.diskSet || cfg.index != DefaultIndexConfig() {
+	if cfg.poolSet || cfg.diskSet || cfg.storageDir != "" || cfg.index != DefaultIndexConfig() {
 		cfg.errs = append(cfg.errs,
-			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPool/WithDiskParams)"))
+			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPoolBytes/WithDiskParams/WithStorageDir)"))
 	}
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
@@ -191,7 +253,14 @@ func (e *Engine) ExplainPlan(ctx context.Context, terms []string, k int, strat S
 	return s.ExplainPlan(terms, k, resolved)
 }
 
-// Close releases the engine. Today's storage is in-memory simulation, so
-// this is bookkeeping only, but callers should treat the engine as
-// unusable afterwards — later PRs will hold real resources here.
-func (e *Engine) Close() error { return nil }
+// Close releases the engine. For engines the storage subsystem opened
+// (Open with WithStorageDir, OpenDir) this closes the index's file store —
+// open file handles are real resources now; for OpenIndex-wrapped indexes
+// the caller keeps ownership and Close touches nothing. The engine is
+// unusable afterwards either way.
+func (e *Engine) Close() error {
+	if e.ownsStore {
+		return e.ix.Store.Close()
+	}
+	return nil
+}

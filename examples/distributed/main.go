@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -77,5 +78,38 @@ func main() {
 			float64(st.MinServer.Microseconds())/1000,
 			float64(st.AvgServer.Microseconds())/1000,
 			float64(st.MaxServer.Microseconds())/1000)
+	}
+
+	// Persisted deployment: build the partitions once (offline), then
+	// serve them from disk — a restarted fleet opens its directories and
+	// answers, with zero corpus re-parsing and the same global-statistics
+	// guarantee, so the merged ranking is still the centralized one.
+	base, err := os.MkdirTemp("", "dist-partitions-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+	dirs, err := repro.BuildPartitions(coll, 4, repro.DefaultIndexConfig(), base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster2, err := repro.StartClusterFromDirs(dirs, 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster2.Close()
+	broker2, err := repro.DialCluster(cluster2.Addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer broker2.Close()
+	q := coll.PrecisionQueries(1, 99)[0]
+	fromDisk, _, err := broker2.SearchContext(ctx, q.Terms, 3, repro.BM25TCMQ8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npersisted cluster (%d partitions on disk) answers %q:\n", len(dirs), strings.Join(q.Terms, " "))
+	for i, r := range fromDisk {
+		fmt.Printf("  %d. %-22s score=%.4f\n", i+1, r.Name, r.Score)
 	}
 }

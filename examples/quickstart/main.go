@@ -1,13 +1,14 @@
 // Quickstart: generate a small collection, open a concurrency-safe Engine
 // over it, run one ranked query under every Table 2 strategy (with a
-// per-query deadline), and print the annotated plan — the five-minute
-// tour of the public API.
+// per-query deadline), print the annotated plan, then persist the index
+// and reopen it from disk — the five-minute tour of the public API.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -28,7 +29,7 @@ func main() {
 	// all strategies are available; the options size the buffer pool and
 	// the searcher pool (= max concurrent queries).
 	eng, err := repro.Open(coll,
-		repro.WithBufferPool(256<<20),
+		repro.WithBufferPoolBytes(256<<20),
 		repro.WithVectorSize(1024),
 		repro.WithSearchers(4))
 	if err != nil {
@@ -36,7 +37,7 @@ func main() {
 	}
 	defer eng.Close()
 	fmt.Printf("engine: %.1f MB on (simulated) disk, %d searchers\n\n",
-		float64(eng.Index().Disk.TotalSize())/1e6, eng.Searchers())
+		float64(eng.Index().Store.TotalSize())/1e6, eng.Searchers())
 
 	// 3. Pick a realistic query from the built-in workload generator.
 	query := coll.PrecisionQueries(1, 42)[0]
@@ -78,4 +79,34 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrelational plan for BM25TC:\n%s", plan)
+
+	// 7. Persist the index and serve it back from real files: OpenDir
+	// reads only the manifest, and posting data streams in through the
+	// ColumnBM buffer manager as queries touch it — no collection, no
+	// re-indexing. This is what a restart (or another process) does.
+	dir, err := os.MkdirTemp("", "quickstart-index-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := repro.SaveIndex(dir, eng.Index()); err != nil {
+		log.Fatal(err)
+	}
+	disk, err := repro.OpenDir(dir, repro.WithBufferPoolBytes(64<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer disk.Close()
+	resp2, err := disk.Search(ctx, repro.SearchRequest{Terms: query.Terms})
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := len(resp2.Hits) == len(resp.Hits)
+	for i := 0; same && i < len(resp2.Hits); i++ {
+		same = resp2.Hits[i] == resp.Hits[i]
+	}
+	st := disk.Index().Cache.Stats()
+	fmt.Printf("\npersisted to %s and reopened: identical top-k = %v\n", dir, same)
+	fmt.Printf("buffer manager after one query: %d misses (cold chunks), %d bytes resident\n",
+		st.Misses, st.Used)
 }

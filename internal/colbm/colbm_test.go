@@ -54,13 +54,13 @@ func TestSimDiskErrors(t *testing.T) {
 
 func TestBufferPoolLRU(t *testing.T) {
 	p := NewBufferPool(100)
-	p.put(&poolEntry{key: "a", size: 40, raw: []byte{1}})
-	p.put(&poolEntry{key: "b", size: 40, raw: []byte{2}})
+	p.put("a", &CachedChunk{Size: 40, Raw: []byte{1}})
+	p.put("b", &CachedChunk{Size: 40, Raw: []byte{2}})
 	if _, ok := p.get("a"); !ok {
 		t.Fatal("a missing")
 	}
 	// Inserting c (40) must evict LRU, which is now b.
-	p.put(&poolEntry{key: "c", size: 40, raw: []byte{3}})
+	p.put("c", &CachedChunk{Size: 40, Raw: []byte{3}})
 	if _, ok := p.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
@@ -87,7 +87,7 @@ func TestBufferPoolLRU(t *testing.T) {
 func TestBufferPoolUnbounded(t *testing.T) {
 	p := NewBufferPool(0)
 	for i := 0; i < 100; i++ {
-		p.put(&poolEntry{key: string(rune('a' + i)), size: 1 << 20, raw: []byte{1}})
+		p.put(string(rune('a'+i)), &CachedChunk{Size: 1 << 20, Raw: []byte{1}})
 	}
 	if st := p.Stats(); st.Used != 100<<20 {
 		t.Errorf("unbounded pool evicted: %+v", st)
@@ -96,13 +96,13 @@ func TestBufferPoolUnbounded(t *testing.T) {
 
 func TestBufferPoolReplaceSameKey(t *testing.T) {
 	p := NewBufferPool(100)
-	p.put(&poolEntry{key: "a", size: 30, raw: []byte{1}})
-	p.put(&poolEntry{key: "a", size: 50, raw: []byte{2}})
+	p.put("a", &CachedChunk{Size: 30, Raw: []byte{1}})
+	p.put("a", &CachedChunk{Size: 50, Raw: []byte{2}})
 	if st := p.Stats(); st.Used != 50 {
 		t.Errorf("replace did not adjust size: %+v", st)
 	}
 	e, _ := p.get("a")
-	if e.raw[0] != 2 {
+	if e.Raw[0] != 2 {
 		t.Error("replace kept old value")
 	}
 }
@@ -456,5 +456,70 @@ func TestFixed32Column(t *testing.T) {
 	b.AppendInt64("c", 1<<40)
 	if _, err := b.Build(); err == nil {
 		t.Error("fixed32 accepted a 40-bit value")
+	}
+}
+
+func TestSimDiskReadReturnsCopy(t *testing.T) {
+	d := NewSimDisk(DefaultDiskParams())
+	d.Write("a", []byte{10, 20, 30, 40})
+	got, err := d.Read("a", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 99 // a misbehaving decoder scribbling on its input
+	again, err := d.Read("a", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 20 || again[1] != 30 {
+		t.Errorf("stored blob corrupted through returned slice: %v", again)
+	}
+}
+
+func TestBufferPoolEvictionCounting(t *testing.T) {
+	p := NewBufferPool(100)
+	p.put("a", &CachedChunk{Size: 60, Raw: []byte{1}})
+	p.put("b", &CachedChunk{Size: 60, Raw: []byte{2}}) // evicts a
+	if st := p.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestStoredTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 200000
+	vals := make([]int64, n)
+	cur := int64(0)
+	for i := range vals {
+		cur += int64(1 + rng.Intn(7))
+		vals[i] = cur
+	}
+	tab, disk, _ := buildInt64Table(t, vals,
+		ColumnSpec{Name: "c", Type: vector.Int64, Enc: EncPFORDelta, Bits: 8, ChunkLen: 8192})
+
+	st := tab.Stored()
+	if st.N != n || len(st.Columns) != 1 || st.Columns[0].Blob != "t.c" {
+		t.Fatalf("stored metadata: %+v", st)
+	}
+	if st.Columns[0].DiskSize() != tab.DiskSize() {
+		t.Errorf("stored size %d, table size %d", st.Columns[0].DiskSize(), tab.DiskSize())
+	}
+
+	// Reopen over the same store with a fresh cache: identical data.
+	reopened, err := OpenTable(st, disk, NewBufferPool(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(readAllInt64(t, reopened, "c"), vals) {
+		t.Error("reopened table data mismatch")
+	}
+
+	// Corrupted metadata is rejected.
+	bad := st
+	bad.Columns = append([]StoredColumn(nil), st.Columns...)
+	bad.Columns[0].Chunks = append([]ChunkInfo(nil), st.Columns[0].Chunks...)
+	bad.Columns[0].Chunks[0].N += 5
+	if _, err := OpenTable(bad, disk, NewBufferPool(0)); err == nil {
+		t.Error("OpenTable accepted inconsistent chunk counts")
 	}
 }

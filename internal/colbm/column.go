@@ -82,14 +82,16 @@ type chunkMeta struct {
 }
 
 // Column is the immutable on-disk representation of one column: a named
-// blob of concatenated chunks plus in-memory chunk metadata.
+// blob of concatenated chunks plus in-memory chunk metadata. Reads go
+// through the chunk cache, which fetches whole chunks from the block store
+// on a miss.
 type Column struct {
 	Spec     ColumnSpec
 	N        int
 	blobName string
 	chunks   []chunkMeta
-	disk     *SimDisk
-	pool     *BufferPool
+	store    BlockStore
+	cache    ChunkCache
 }
 
 // DiskSize returns the column's on-disk footprint in bytes.

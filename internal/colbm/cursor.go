@@ -62,31 +62,30 @@ func (c *Cursor) Read(dst *vector.Vector, start, n int) error {
 	return nil
 }
 
-// loadChunk returns the pool entry for chunk ci, loading it from the
-// simulated disk on a miss. The whole chunk is read in one request —
-// large sequential I/O — and cached in compressed form.
-func (c *Cursor) loadChunk(ci int) (*poolEntry, error) {
+// loadChunk returns the cached chunk ci, fetching it through the chunk
+// cache on a miss. The whole chunk is read from the block store in one
+// request — large sequential I/O — and cached in compressed form; the
+// cache (buffer manager) owns admission, eviction, and fetch deduplication.
+func (c *Cursor) loadChunk(ci int) (*CachedChunk, error) {
 	key := fmt.Sprintf("%s#%d", c.col.blobName, ci)
-	if e, ok := c.col.pool.get(key); ok {
-		return e, nil
-	}
-	m := c.col.chunks[ci]
-	raw, err := c.col.disk.Read(c.col.blobName, m.off, m.size)
-	if err != nil {
-		return nil, err
-	}
-	e := &poolEntry{key: key, size: int64(m.size)}
-	if c.col.Spec.Type == vector.Int64 && isBlockEncoding(c.col.Spec.Enc) {
-		bl, err := compress.Unmarshal(raw)
+	return c.col.cache.GetChunk(key, func() (*CachedChunk, error) {
+		m := c.col.chunks[ci]
+		raw, err := c.col.store.Read(c.col.blobName, m.off, m.size)
 		if err != nil {
-			return nil, fmt.Errorf("colbm: chunk %s: %w", key, err)
+			return nil, err
 		}
-		e.block = bl
-	} else {
-		e.raw = raw
-	}
-	c.col.pool.put(e)
-	return e, nil
+		ch := &CachedChunk{Size: int64(m.size)}
+		if c.col.Spec.Type == vector.Int64 && isBlockEncoding(c.col.Spec.Enc) {
+			bl, err := compress.Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("colbm: chunk %s: %w", key, err)
+			}
+			ch.Block = bl
+		} else {
+			ch.Raw = raw
+		}
+		return ch, nil
+	})
 }
 
 func (c *Cursor) readFromChunk(dst *vector.Vector, dstOff, ci, inChunk, n int) error {
@@ -96,10 +95,10 @@ func (c *Cursor) readFromChunk(dst *vector.Vector, dstOff, ci, inChunk, n int) e
 	}
 	switch c.col.Spec.Type {
 	case vector.Int64:
-		if e.block != nil {
-			return c.decodeInt64(dst.I64[dstOff:dstOff+n], e.block, inChunk, n)
+		if e.Block != nil {
+			return c.decodeInt64(dst.I64[dstOff:dstOff+n], e.Block, inChunk, n)
 		}
-		raw := e.raw
+		raw := e.Raw
 		if c.col.Spec.Enc == EncFixed32 {
 			for i := 0; i < n; i++ {
 				dst.I64[dstOff+i] = int64(int32(leU32(raw[(inChunk+i)*4:])))
@@ -110,14 +109,14 @@ func (c *Cursor) readFromChunk(dst *vector.Vector, dstOff, ci, inChunk, n int) e
 			}
 		}
 	case vector.Float64:
-		raw := e.raw
+		raw := e.Raw
 		for i := 0; i < n; i++ {
 			dst.F64[dstOff+i] = float64(float32frombits(leU32(raw[(inChunk+i)*4:])))
 		}
 	case vector.UInt8:
-		copy(dst.U8[dstOff:dstOff+n], e.raw[inChunk:inChunk+n])
+		copy(dst.U8[dstOff:dstOff+n], e.Raw[inChunk:inChunk+n])
 	case vector.Str:
-		raw := e.raw
+		raw := e.Raw
 		nvals := c.col.chunks[ci].n
 		// Offsets are prefix sums over the length header.
 		base := 4 * nvals

@@ -5,13 +5,12 @@
 // RAM, and decompression happens on demand at vector granularity, directly
 // into CPU-cache-sized buffers feeding the operator pipeline.
 //
-// The paper's hardware substrate (a 12-disk software RAID sustaining
-// hundreds of MB/s) is replaced by SimDisk, a deterministic virtual-clock
-// disk model: reads advance a simulated clock by seek latency plus
-// size/bandwidth, without sleeping. Cold-run times in the Table 2
-// experiments are reported as measured CPU time plus simulated I/O time;
-// see DESIGN.md §5 for why this preserves the compressed-vs-uncompressed
-// I/O trade-off that the experiments measure.
+// Storage is pluggable behind the BlockStore interface. SimDisk, defined
+// here, is the deterministic virtual-clock disk model the experiments use:
+// reads advance a simulated clock by seek latency plus size/bandwidth,
+// without sleeping, so cold-run times can be reported as measured CPU time
+// plus simulated I/O time (see DESIGN.md §5). storage.FileStore is the real
+// counterpart, doing large aligned sequential reads against files on disk.
 package colbm
 
 import (
@@ -34,15 +33,47 @@ func DefaultDiskParams() DiskParams {
 	return DiskParams{SeekLatency: 4 * time.Millisecond, Bandwidth: 400e6}
 }
 
-// DiskStats aggregates the activity of a SimDisk.
+// DiskStats aggregates the read activity of a BlockStore.
 type DiskStats struct {
 	Reads     int64
 	BytesRead int64
-	IOTime    time.Duration // simulated (virtual-clock) time
+	// IOTime is the time spent reading: virtual-clock time for a simulated
+	// store, measured time (already part of query wall time) for a real one.
+	IOTime time.Duration
 }
 
-// SimDisk is a virtual-clock disk holding named immutable blobs (one per
-// column). Read charges simulated time instead of sleeping, so experiments
+// BlockStore is the storage contract of ColumnBM: named immutable blobs
+// (one per column), written once at index-build time and read back with
+// large sequential requests at chunk granularity. Implementations must be
+// safe for concurrent use. The two implementations are SimDisk (simulated,
+// in this package) and storage.FileStore (real files).
+type BlockStore interface {
+	// Write stores a named blob, replacing any previous content.
+	Write(name string, data []byte) error
+	// Read returns size bytes of blob name starting at off. The returned
+	// slice is owned by the caller: implementations must not alias internal
+	// state (a misbehaving decoder must not be able to corrupt the store).
+	Read(name string, off, size int) ([]byte, error)
+	// Size returns the stored size of a blob, or 0 if absent.
+	Size(name string) int
+	// TotalSize returns the summed size of all blobs (the on-disk footprint
+	// of an index).
+	TotalSize() int64
+	// Stats returns a snapshot of the read counters.
+	Stats() DiskStats
+	// ResetStats zeroes the counters (used between experiment runs).
+	ResetStats()
+	// Simulated reports whether IOTime is virtual-clock time, charged on
+	// top of measured wall time, rather than real time already included in
+	// it. Query accounting uses this to avoid double-counting I/O.
+	Simulated() bool
+	// Close releases underlying resources (file handles); the store is
+	// unusable afterwards.
+	Close() error
+}
+
+// SimDisk is a virtual-clock BlockStore holding named immutable blobs in
+// memory. Read charges simulated time instead of sleeping, so experiments
 // can separate CPU cost (measured wall time) from I/O cost (simulated
 // time) deterministically.
 type SimDisk struct {
@@ -60,11 +91,12 @@ func NewSimDisk(params DiskParams) *SimDisk {
 
 // Write stores a named blob. Writing is a load-time operation and is not
 // charged to the virtual clock (the experiments measure query time, not
-// index-build time, matching the TREC efficiency task).
-func (d *SimDisk) Write(name string, data []byte) {
+// index-build time, matching the TREC efficiency task). It never fails.
+func (d *SimDisk) Write(name string, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.blobs[name] = data
+	return nil
 }
 
 // Size returns the stored size of a blob, or 0 if absent.
@@ -87,8 +119,9 @@ func (d *SimDisk) TotalSize() int64 {
 }
 
 // Read returns size bytes of blob name starting at off, charging one seek
-// plus transfer time to the virtual clock. The returned slice aliases the
-// stored blob and must be treated as read-only.
+// plus transfer time to the virtual clock. The returned slice is a fresh
+// copy: callers (and the decoders above them) may scribble on it without
+// corrupting the stored blob, matching the contract of a real disk read.
 func (d *SimDisk) Read(name string, off, size int) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -103,7 +136,9 @@ func (d *SimDisk) Read(name string, off, size int) ([]byte, error) {
 	d.stats.BytesRead += int64(size)
 	d.stats.IOTime += d.params.SeekLatency +
 		time.Duration(float64(size)/d.params.Bandwidth*float64(time.Second))
-	return blob[off : off+size], nil
+	out := make([]byte, size)
+	copy(out, blob[off:off+size])
+	return out, nil
 }
 
 // Stats returns a snapshot of the disk counters.
@@ -119,3 +154,9 @@ func (d *SimDisk) ResetStats() {
 	defer d.mu.Unlock()
 	d.stats = DiskStats{}
 }
+
+// Simulated reports that IOTime is virtual-clock time.
+func (d *SimDisk) Simulated() bool { return true }
+
+// Close releases nothing: the disk is in-memory simulation.
+func (d *SimDisk) Close() error { return nil }

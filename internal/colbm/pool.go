@@ -7,16 +7,62 @@ import (
 	"repro/internal/compress"
 )
 
-// BufferPool caches column chunks in RAM *in compressed form*, the central
-// ColumnBM design decision: keeping blocks compressed multiplies effective
-// buffer capacity, and the PFOR-family decoders are fast enough to
-// decompress at vector granularity on every access (data is decompressed
+// CachedChunk is one column chunk held in RAM *in compressed form*, the
+// central ColumnBM design decision: keeping blocks compressed multiplies
+// effective buffer capacity, and the PFOR-family decoders are fast enough
+// to decompress at vector granularity on every access (data is decompressed
 // "directly into the CPU cache", never written back to RAM uncompressed).
 //
-// Entries are either parsed compress.Blocks (for encoded chunks — parsing
+// A chunk is either a parsed compress.Block (for encoded chunks — parsing
 // is a cheap header decode done once per load) or raw bytes (for
-// uncompressed chunks such as materialized float scores). Eviction is LRU
-// by compressed size.
+// uncompressed chunks such as materialized float scores). Cached chunks are
+// immutable and may be shared by any number of concurrent readers.
+type CachedChunk struct {
+	Block *compress.Block // non-nil for encoded chunks
+	Raw   []byte          // non-nil for uncompressed chunks
+	Size  int64           // compressed footprint charged against the budget
+}
+
+// CacheStats reports hit/miss/eviction counters and occupancy of a
+// ChunkCache.
+type CacheStats struct {
+	Hits, Misses int64
+	// Shared counts fetches coalesced onto another caller's in-flight load
+	// (singleflight); implementations without fetch deduplication report 0.
+	Shared    int64
+	Evictions int64
+	Used, Cap int64
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// ChunkCache is the caching contract column cursors read chunks through: a
+// keyed, size-budgeted cache of compressed chunks. Implementations must be
+// safe for concurrent use. BufferPool (here) is the plain LRU used with the
+// simulated disk; storage.Manager is the real ColumnBM buffer manager with
+// clock eviction and singleflight fetch deduplication.
+type ChunkCache interface {
+	// GetChunk returns the cached chunk for key, calling load on a miss and
+	// retaining the result subject to the implementation's budget.
+	GetChunk(key string, load func() (*CachedChunk, error)) (*CachedChunk, error)
+	// Drop empties the cache (the "cold run" reset), keeping the counters.
+	Drop()
+	// Stats returns a snapshot of the cache counters.
+	Stats() CacheStats
+	// ResetStats zeroes the counters without evicting.
+	ResetStats()
+}
+
+// BufferPool is the simple LRU ChunkCache paired with SimDisk: eviction is
+// least-recently-used by compressed size, and concurrent misses on the same
+// key may load twice (the simulated disk has no latency worth
+// deduplicating — storage.Manager adds singleflight for real stores).
 type BufferPool struct {
 	mu       sync.Mutex
 	capacity int64
@@ -24,21 +70,14 @@ type BufferPool struct {
 	entries  map[string]*list.Element
 	lru      *list.List // front = most recent
 
-	hits   int64
-	misses int64
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type poolEntry struct {
 	key   string
-	size  int64
-	block *compress.Block // non-nil for encoded chunks
-	raw   []byte          // non-nil for uncompressed chunks
-}
-
-// PoolStats reports hit/miss counters and occupancy.
-type PoolStats struct {
-	Hits, Misses int64
-	Used, Cap    int64
+	chunk *CachedChunk
 }
 
 // NewBufferPool returns a pool with the given capacity in bytes. A zero or
@@ -51,8 +90,22 @@ func NewBufferPool(capacity int64) *BufferPool {
 	}
 }
 
-// get returns the cached entry for key, updating recency.
-func (p *BufferPool) get(key string) (*poolEntry, bool) {
+// GetChunk implements ChunkCache. The load callback runs without the pool
+// lock held, so slow loads do not serialize unrelated lookups.
+func (p *BufferPool) GetChunk(key string, load func() (*CachedChunk, error)) (*CachedChunk, error) {
+	if c, ok := p.get(key); ok {
+		return c, nil
+	}
+	c, err := load()
+	if err != nil {
+		return nil, err
+	}
+	p.put(key, c)
+	return c, nil
+}
+
+// get returns the cached chunk for key, updating recency.
+func (p *BufferPool) get(key string) (*CachedChunk, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.entries[key]
@@ -62,33 +115,34 @@ func (p *BufferPool) get(key string) (*poolEntry, bool) {
 	}
 	p.hits++
 	p.lru.MoveToFront(el)
-	return el.Value.(*poolEntry), true
+	return el.Value.(*poolEntry).chunk, true
 }
 
-// put inserts an entry, evicting least-recently-used entries as needed.
+// put inserts a chunk, evicting least-recently-used entries as needed.
 // Oversized entries (bigger than the whole pool) are admitted transiently:
 // they evict everything else and are themselves dropped on the next insert,
 // which keeps the pool useful under pathological capacities in the
 // buffer-size ablation tests.
-func (p *BufferPool) put(e *poolEntry) {
+func (p *BufferPool) put(key string, c *CachedChunk) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if old, ok := p.entries[e.key]; ok {
-		p.used -= old.Value.(*poolEntry).size
+	if old, ok := p.entries[key]; ok {
+		p.used -= old.Value.(*poolEntry).chunk.Size
 		p.lru.Remove(old)
-		delete(p.entries, e.key)
+		delete(p.entries, key)
 	}
 	if p.capacity > 0 {
-		for p.used+e.size > p.capacity && p.lru.Len() > 0 {
+		for p.used+c.Size > p.capacity && p.lru.Len() > 0 {
 			back := p.lru.Back()
 			victim := back.Value.(*poolEntry)
 			p.lru.Remove(back)
 			delete(p.entries, victim.key)
-			p.used -= victim.size
+			p.used -= victim.chunk.Size
+			p.evictions++
 		}
 	}
-	p.entries[e.key] = p.lru.PushFront(e)
-	p.used += e.size
+	p.entries[key] = p.lru.PushFront(&poolEntry{key: key, chunk: c})
+	p.used += c.Size
 }
 
 // Drop empties the pool (the "cold run" reset).
@@ -100,16 +154,16 @@ func (p *BufferPool) Drop() {
 	p.used = 0
 }
 
-// ResetStats zeroes the hit/miss counters without evicting.
+// ResetStats zeroes the hit/miss/eviction counters without evicting.
 func (p *BufferPool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.hits, p.misses = 0, 0
+	p.hits, p.misses, p.evictions = 0, 0, 0
 }
 
 // Stats returns a snapshot of the pool counters.
-func (p *BufferPool) Stats() PoolStats {
+func (p *BufferPool) Stats() CacheStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Hits: p.hits, Misses: p.misses, Used: p.used, Cap: p.capacity}
+	return CacheStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Used: p.used, Cap: p.capacity}
 }

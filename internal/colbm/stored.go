@@ -1,0 +1,90 @@
+package colbm
+
+import "fmt"
+
+// ChunkInfo is the persistable form of one chunk's metadata: its byte
+// extent inside the column blob and the number of values it encodes.
+type ChunkInfo struct {
+	Off  int `json:"off"`
+	Size int `json:"size"`
+	N    int `json:"n"`
+}
+
+// StoredColumn is the persistable description of one column: everything
+// needed to reattach cursors to the column's blob without reading it.
+type StoredColumn struct {
+	Spec   ColumnSpec  `json:"spec"`
+	N      int         `json:"n"`
+	Blob   string      `json:"blob"`
+	Chunks []ChunkInfo `json:"chunks"`
+}
+
+// DiskSize returns the column's on-disk footprint in bytes (the sum of its
+// chunk extents; chunks are laid out contiguously from offset 0).
+func (sc *StoredColumn) DiskSize() int {
+	var total int
+	for _, ch := range sc.Chunks {
+		total += ch.Size
+	}
+	return total
+}
+
+// StoredTable is the persistable description of a table, one entry per
+// column in deterministic (name) order.
+type StoredTable struct {
+	Name    string         `json:"name"`
+	N       int            `json:"n"`
+	Columns []StoredColumn `json:"columns"`
+}
+
+// Stored returns the table's persistable metadata: the input half of the
+// on-disk index format (storage.WriteIndex records it in the manifest,
+// storage.OpenIndex feeds it back through OpenTable).
+func (t *Table) Stored() StoredTable {
+	st := StoredTable{Name: t.Name, N: t.N}
+	for _, name := range t.ColumnNames() {
+		c := t.cols[name]
+		sc := StoredColumn{Spec: c.Spec, N: c.N, Blob: c.blobName}
+		for _, m := range c.chunks {
+			sc.Chunks = append(sc.Chunks, ChunkInfo{Off: m.off, Size: m.size, N: m.n})
+		}
+		st.Columns = append(st.Columns, sc)
+	}
+	return st
+}
+
+// OpenTable reassembles a table from persisted metadata over a block store
+// and chunk cache. No column data is read here: chunks load lazily through
+// cursors (and therefore through the cache) on first access.
+func OpenTable(st StoredTable, store BlockStore, cache ChunkCache) (*Table, error) {
+	if store == nil || cache == nil {
+		return nil, fmt.Errorf("colbm: OpenTable(%q) needs a store and a cache", st.Name)
+	}
+	t := &Table{Name: st.Name, N: st.N, cols: map[string]*Column{}, store: store, cache: cache}
+	for _, sc := range st.Columns {
+		if sc.N != st.N {
+			return nil, fmt.Errorf("colbm: stored column %q has %d values, table %q has %d rows",
+				sc.Spec.Name, sc.N, st.Name, st.N)
+		}
+		col := &Column{Spec: sc.Spec, N: sc.N, blobName: sc.Blob, store: store, cache: cache}
+		values, off := 0, 0
+		for _, ch := range sc.Chunks {
+			if ch.Off != off || ch.Size < 0 || ch.N < 0 {
+				return nil, fmt.Errorf("colbm: stored column %q has a non-contiguous chunk layout at offset %d",
+					sc.Spec.Name, ch.Off)
+			}
+			col.chunks = append(col.chunks, chunkMeta{off: ch.Off, size: ch.Size, n: ch.N})
+			values += ch.N
+			off += ch.Size
+		}
+		if values != sc.N {
+			return nil, fmt.Errorf("colbm: stored column %q chunks cover %d values, want %d",
+				sc.Spec.Name, values, sc.N)
+		}
+		if _, dup := t.cols[sc.Spec.Name]; dup {
+			return nil, fmt.Errorf("colbm: stored table %q has duplicate column %q", st.Name, sc.Spec.Name)
+		}
+		t.cols[sc.Spec.Name] = col
+	}
+	return t, nil
+}

@@ -7,14 +7,14 @@ import (
 	"repro/internal/vector"
 )
 
-// Table is a named collection of equally long columns stored on a SimDisk
-// and cached through a shared BufferPool.
+// Table is a named collection of equally long columns stored on a
+// BlockStore and cached through a shared ChunkCache.
 type Table struct {
-	Name string
-	N    int
-	cols map[string]*Column
-	disk *SimDisk
-	pool *BufferPool
+	Name  string
+	N     int
+	cols  map[string]*Column
+	store BlockStore
+	cache ChunkCache
 }
 
 // Column returns the named column or an error.
@@ -55,13 +55,13 @@ func (t *Table) DiskSize() int {
 }
 
 // Builder accumulates column data in memory and produces an immutable
-// Table, chunk-encoding and writing every column to the simulated disk.
+// Table, chunk-encoding and writing every column to the block store.
 // Index construction is a bulk operation in the paper's setup (the TREC
 // collection is indexed once), so a bulk builder is the honest interface.
 type Builder struct {
 	name  string
-	disk  *SimDisk
-	pool  *BufferPool
+	store BlockStore
+	cache ChunkCache
 	specs []ColumnSpec
 
 	i64 map[string][]int64
@@ -71,9 +71,9 @@ type Builder struct {
 }
 
 // NewBuilder starts a table build.
-func NewBuilder(name string, disk *SimDisk, pool *BufferPool, specs []ColumnSpec) *Builder {
+func NewBuilder(name string, store BlockStore, cache ChunkCache, specs []ColumnSpec) *Builder {
 	b := &Builder{
-		name: name, disk: disk, pool: pool, specs: specs,
+		name: name, store: store, cache: cache, specs: specs,
 		i64: map[string][]int64{},
 		f64: map[string][]float64{},
 		u8:  map[string][]uint8{},
@@ -115,7 +115,7 @@ func (b *Builder) SetUInt8(col string, vals []uint8) { b.u8[col] = vals }
 // Build encodes all columns and returns the finished table. Every column
 // must have the same length.
 func (b *Builder) Build() (*Table, error) {
-	t := &Table{Name: b.name, cols: map[string]*Column{}, disk: b.disk, pool: b.pool}
+	t := &Table{Name: b.name, cols: map[string]*Column{}, store: b.store, cache: b.cache}
 	n := -1
 	for i := range b.specs {
 		spec := b.specs[i]
@@ -160,8 +160,8 @@ func (b *Builder) buildColumn(spec *ColumnSpec, n int) (*Column, error) {
 		Spec:     *spec,
 		N:        n,
 		blobName: blobName,
-		disk:     b.disk,
-		pool:     b.pool,
+		store:    b.store,
+		cache:    b.cache,
 	}
 	var blob []byte
 	for start := 0; start < n || start == 0 && n == 0; start += chunkLen {
@@ -190,6 +190,8 @@ func (b *Builder) buildColumn(spec *ColumnSpec, n int) (*Column, error) {
 			break
 		}
 	}
-	b.disk.Write(blobName, blob)
+	if err := b.store.Write(blobName, blob); err != nil {
+		return nil, err
+	}
 	return col, nil
 }

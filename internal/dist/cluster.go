@@ -3,11 +3,13 @@ package dist
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/storage"
 )
 
 // Cluster is a set of partition servers on loopback TCP, plus the
@@ -50,6 +52,90 @@ func StartCluster(c *corpus.Collection, n int, cfg ir.BuildConfig) (*Cluster, er
 		}
 	}
 	cl.Addrs = make([]string, n)
+	for i, s := range servers {
+		cl.Addrs[i] = s.Addr()
+	}
+	return cl, nil
+}
+
+// BuildPartitions range-partitions the collection, builds every partition
+// index with the *global* statistics (idf and quantization bounds, so the
+// distributed merge equals the centralized ranking), and persists each one
+// under baseDir/part-<i> in the versioned on-disk format. It returns the
+// partition directories in partition order. This is the offline half of a
+// persisted deployment: run it once, then any number of server processes
+// open the directories with StartClusterFromDirs — no corpus in sight.
+// Partition builds run in parallel.
+func BuildPartitions(c *corpus.Collection, n int, cfg ir.BuildConfig, baseDir string) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: partition count %d < 1", n)
+	}
+	cfg.Stats = ir.CollectionStats(c)
+	parts := partition(c, n)
+
+	dirs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dir := filepath.Join(baseDir, fmt.Sprintf("part-%d", i))
+			ix, err := ir.Build(parts[i], cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := storage.WriteIndex(dir, ix); err != nil {
+				errs[i] = err
+				return
+			}
+			dirs[i] = dir
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// StartClusterFromDirs opens persisted partition directories (from
+// BuildPartitions) and starts one TCP server per partition. Nothing is
+// rebuilt and no collection is needed: each server reads its manifest and
+// serves, with posting data streaming in through a buffer manager with
+// poolBytes budget (0 = unbounded) as queries arrive — the cold-start
+// path a production fleet restarts through. Opens run in parallel.
+func StartClusterFromDirs(dirs []string, poolBytes int64) (*Cluster, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("dist: no partition directories")
+	}
+	servers := make([]*Server, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	for i := range dirs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ix, err := storage.OpenIndex(dirs[i], poolBytes)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			servers[i], errs[i] = serveIndex(ix)
+		}(i)
+	}
+	wg.Wait()
+	cl := &Cluster{Servers: servers, owner: true}
+	for _, err := range errs {
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	cl.Addrs = make([]string, len(servers))
 	for i, s := range servers {
 		cl.Addrs[i] = s.Addr()
 	}

@@ -174,3 +174,62 @@ func TestBrokerCancellation(t *testing.T) {
 		t.Error("no results after recovery")
 	}
 }
+
+// TestPersistedClusterMatchesCentralized is the storage-subsystem variant
+// of the §3.4 property: partitions built once and persisted to disk, then
+// served by servers that open the directories (no corpus, no rebuild),
+// must still merge to exactly the centralized ranking.
+func TestPersistedClusterMatchesCentralized(t *testing.T) {
+	c := testCollection(t)
+	central, err := ir.Build(c, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ir.NewSearcher(central, 0)
+
+	dirs, err := BuildPartitions(c, 3, ir.DefaultBuildConfig(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("partition dirs: %v", dirs)
+	}
+	cl, err := StartClusterFromDirs(dirs, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, srv := range cl.Servers {
+		if srv.Index().Store.Simulated() {
+			t.Fatal("persisted server is serving from a simulated store")
+		}
+	}
+	brk, err := Dial(cl.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	for _, q := range c.PrecisionQueries(5, 17) {
+		want, _, err := s.Search(q.Terms, 10, ir.BM25TCMQ8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := brk.Search(q.Terms, 10, ir.BM25TCMQ8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d results, want %d", q.Terms, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].DocID != want[i].DocID || got[i].Name != want[i].Name {
+				t.Errorf("query %v rank %d: %v != centralized %v", q.Terms, i, got[i], want[i])
+			}
+			if diff := got[i].Score - want[i].Score; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("query %v rank %d: score %v != centralized %v",
+					q.Terms, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}

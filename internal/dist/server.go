@@ -35,8 +35,16 @@ func startServer(part *corpus.Collection, cfg ir.BuildConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return serveIndex(ix)
+}
+
+// serveIndex wraps an index — freshly built or reopened from a persisted
+// partition directory — in a serving partition node. The server takes
+// ownership of the index's storage (Close releases it).
+func serveIndex(ix *ir.Index) (*Server, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		ix.Store.Close()
 		return nil, err
 	}
 	s := &Server{
@@ -86,6 +94,11 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	// The server owns its partition index: release its storage (a no-op
+	// for simulated disks, real file handles for persisted partitions).
+	if cerr := s.ix.Store.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 

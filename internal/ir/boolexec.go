@@ -14,7 +14,7 @@ import (
 // operator that stops pulling posting data as soon as k matches exist.
 func (s *Searcher) SearchBool(expr BoolExpr, k int) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	io0 := s.ix.Disk.Stats().IOTime
+	io0 := s.simClock()
 	start := time.Now()
 
 	plan, err := s.boolPlan(expr)
@@ -45,7 +45,7 @@ func (s *Searcher) SearchBool(expr BoolExpr, k int) ([]Result, QueryStats, error
 		results[i].Name = name
 	}
 	stats.Wall = time.Since(start)
-	stats.SimIO = s.ix.Disk.Stats().IOTime - io0
+	stats.SimIO = s.simClock() - io0
 	return results, stats, nil
 }
 

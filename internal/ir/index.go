@@ -142,8 +142,11 @@ type Index struct {
 	// and U of the paper's Global-By-Value formula).
 	ScoreLo, ScoreHi float64
 
-	Disk *colbm.SimDisk
-	Pool *colbm.BufferPool
+	// Store holds the column blobs (a SimDisk for in-memory builds, a
+	// storage.FileStore for persisted indexes); Cache is the compressed
+	// chunk cache all cursor reads go through.
+	Store colbm.BlockStore
+	Cache colbm.ChunkCache
 
 	cfg BuildConfig
 }
@@ -153,8 +156,8 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 	if bc.Materialized && !bc.Compressed {
 		return nil, fmt.Errorf("ir: materialized scores require the compressed docid column")
 	}
-	disk := colbm.NewSimDisk(bc.Disk)
-	pool := colbm.NewBufferPool(bc.PoolBytes)
+	store := colbm.NewSimDisk(bc.Disk)
+	cache := colbm.NewBufferPool(bc.PoolBytes)
 
 	numDocs := len(c.DocLens)
 	params := primitives.BM25Params{
@@ -245,7 +248,7 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 		tdSpecs = append(tdSpecs,
 			colbm.ColumnSpec{Name: ColQScore, Type: vector.UInt8, ChunkLen: bc.ChunkLen})
 	}
-	tdb := colbm.NewBuilder("TD", disk, pool, tdSpecs)
+	tdb := colbm.NewBuilder("TD", store, cache, tdSpecs)
 	if bc.Uncompressed {
 		tdb.SetInt64(ColDocID32, docids)
 		tdb.SetInt64(ColTF32, tfs)
@@ -269,7 +272,7 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 
 	// D table: docid (dense, delta-compresses to nearly nothing), length,
 	// name.
-	db := colbm.NewBuilder("D", disk, pool, []colbm.ColumnSpec{
+	db := colbm.NewBuilder("D", store, cache, []colbm.ColumnSpec{
 		{Name: "docid", Type: vector.Int64, Enc: colbm.EncPFORDelta, Bits: 8, ChunkLen: bc.ChunkLen},
 		{Name: "len", Type: vector.Int64, Enc: colbm.EncPFOR, Bits: 8, ChunkLen: bc.ChunkLen},
 		{Name: "name", Type: vector.Str, ChunkLen: bc.ChunkLen},
@@ -295,10 +298,29 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 		Params:  params,
 		ScoreLo: lo,
 		ScoreHi: hi,
-		Disk:    disk,
-		Pool:    pool,
+		Store:   store,
+		Cache:   cache,
 		cfg:     bc,
 	}, nil
+}
+
+// RestoreIndex reassembles an Index from persisted components: the tables
+// reopened over a block store and chunk cache, plus the scalar state the
+// manifest carries. storage.OpenIndex is the only intended caller; Build
+// remains the constructor for in-memory indexes.
+func RestoreIndex(td, d *colbm.Table, terms map[string]TermInfo, params primitives.BM25Params,
+	scoreLo, scoreHi float64, store colbm.BlockStore, cache colbm.ChunkCache, cfg BuildConfig) *Index {
+	return &Index{
+		TD:      td,
+		D:       d,
+		Terms:   terms,
+		Params:  params,
+		ScoreLo: scoreLo,
+		ScoreHi: scoreHi,
+		Store:   store,
+		Cache:   cache,
+		cfg:     cfg,
+	}
 }
 
 // Config returns the build configuration, letting callers (the Engine

@@ -384,8 +384,8 @@ func TestColdHotQueryCost(t *testing.T) {
 	s := NewSearcher(ix, 0)
 	q := c.EfficiencyQueries(1, 82)[0]
 
-	ix.Pool.Drop()
-	ix.Disk.ResetStats()
+	ix.Cache.Drop()
+	ix.Store.ResetStats()
 	_, cold, err := s.Search(q.Terms, 20, BM25TC)
 	if err != nil {
 		t.Fatal(err)

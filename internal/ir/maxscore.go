@@ -29,8 +29,8 @@ import (
 // the quantity pruning saves.
 func (s *Searcher) SearchMaxScore(terms []string, k int) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	io0 := s.ix.Disk.Stats().IOTime
-	defer func() { stats.SimIO = s.ix.Disk.Stats().IOTime - io0 }()
+	io0 := s.simClock()
+	defer func() { stats.SimIO = s.simClock() - io0 }()
 
 	col, err := s.ix.TD.Column(ColScore)
 	if err != nil {

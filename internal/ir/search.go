@@ -131,11 +131,22 @@ func NewSearcher(ix *Index, vectorSize int) *Searcher {
 	return &Searcher{ix: ix, ctx: ctx}
 }
 
+// simClock reads the virtual I/O clock of the index store, or 0 for a
+// real (non-simulated) store, whose read time is measured wall time
+// already included in QueryStats.Wall — charging it to SimIO as well would
+// double-count the I/O.
+func (s *Searcher) simClock() time.Duration {
+	if !s.ix.Store.Simulated() {
+		return 0
+	}
+	return s.ix.Store.Stats().IOTime
+}
+
 // Search runs a keyword query under the given strategy, returning the top
 // k documents. Names are resolved only for the returned documents.
 func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	io0 := s.ix.Disk.Stats().IOTime
+	io0 := s.simClock()
 	start := time.Now()
 
 	results, err := s.searchInner(terms, k, strat, &stats)
@@ -151,7 +162,7 @@ func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, Quer
 	stats.Wall = time.Since(start)
 	// One disk-clock read, taken after name resolution: the post-TopN name
 	// lookups hit the disk too, so their I/O is part of the query's charge.
-	stats.SimIO = s.ix.Disk.Stats().IOTime - io0
+	stats.SimIO = s.simClock() - io0
 	if err != nil {
 		return nil, stats, err
 	}

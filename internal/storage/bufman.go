@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/colbm"
+)
+
+// Manager is the ColumnBM buffer manager: a colbm.ChunkCache with a fixed
+// byte budget over *compressed* chunks (the central ColumnBM decision —
+// caching compressed multiplies effective capacity, and the PFOR decoders
+// are fast enough to decompress per access), CLOCK (second chance)
+// eviction, and singleflight deduplication so concurrent readers missing
+// on the same chunk trigger exactly one store fetch.
+//
+// CLOCK instead of strict LRU: a hit only sets a reference bit under the
+// lock (no list splice), and eviction sweeps a hand that skips recently
+// referenced frames — the classic approximation real buffer managers use
+// because it keeps the hit path cheap under concurrency.
+type Manager struct {
+	budget int64 // bytes; <= 0 means unbounded
+
+	mu     sync.Mutex
+	frames map[string]*frame
+	order  *list.List    // clock ring in insertion order
+	hand   *list.Element // next eviction candidate; nil wraps to Front
+	used   int64
+
+	inflight map[string]*fetch
+
+	hits, misses, shared, evictions int64
+}
+
+// frame is one resident chunk plus its CLOCK reference bit.
+type frame struct {
+	key   string
+	chunk *colbm.CachedChunk
+	ref   bool
+	elem  *list.Element
+}
+
+// fetch is one in-flight load other callers of the same key wait on.
+type fetch struct {
+	done  chan struct{}
+	chunk *colbm.CachedChunk
+	err   error
+}
+
+// NewManager returns a buffer manager with the given budget in bytes. A
+// zero or negative budget means "unbounded" (everything stays hot once
+// loaded).
+func NewManager(budget int64) *Manager {
+	return &Manager{
+		budget:   budget,
+		frames:   make(map[string]*frame),
+		order:    list.New(),
+		inflight: make(map[string]*fetch),
+	}
+}
+
+// Budget returns the configured capacity in bytes (0 = unbounded).
+func (m *Manager) Budget() int64 { return m.budget }
+
+// GetChunk returns the cached chunk for key. On a miss, exactly one caller
+// runs load (without the manager lock held); every concurrent caller for
+// the same key waits on that load and shares its result, so a thundering
+// herd of cold queries costs one disk fetch per chunk, not one per query.
+func (m *Manager) GetChunk(key string, load func() (*colbm.CachedChunk, error)) (*colbm.CachedChunk, error) {
+	m.mu.Lock()
+	if f, ok := m.frames[key]; ok {
+		f.ref = true
+		m.hits++
+		c := f.chunk
+		m.mu.Unlock()
+		return c, nil
+	}
+	if fl, ok := m.inflight[key]; ok {
+		m.shared++
+		m.mu.Unlock()
+		<-fl.done
+		return fl.chunk, fl.err
+	}
+	m.misses++
+	fl := &fetch{done: make(chan struct{})}
+	m.inflight[key] = fl
+	m.mu.Unlock()
+
+	fl.chunk, fl.err = load()
+
+	m.mu.Lock()
+	delete(m.inflight, key)
+	if fl.err == nil && fl.chunk != nil {
+		m.insertLocked(key, fl.chunk)
+	}
+	m.mu.Unlock()
+	close(fl.done)
+	return fl.chunk, fl.err
+}
+
+// insertLocked admits a chunk, evicting as needed to respect the budget.
+// Oversized chunks (bigger than the whole budget) are admitted
+// transiently: they evict everything else and fall out on the next insert,
+// which keeps the manager useful under pathological budgets.
+func (m *Manager) insertLocked(key string, c *colbm.CachedChunk) {
+	if old, ok := m.frames[key]; ok {
+		m.removeLocked(old)
+	}
+	if m.budget > 0 {
+		for m.used+c.Size > m.budget && m.order.Len() > 0 {
+			m.evictOneLocked()
+		}
+	}
+	f := &frame{key: key, chunk: c}
+	f.elem = m.order.PushBack(f)
+	m.frames[key] = f
+	m.used += c.Size
+}
+
+// evictOneLocked advances the clock hand until it finds a frame whose
+// reference bit is clear, clearing bits as it passes. Two full sweeps
+// bound the scan: the first clears every bit, the second must evict.
+func (m *Manager) evictOneLocked() {
+	for i := 0; i <= 2*m.order.Len(); i++ {
+		if m.hand == nil {
+			m.hand = m.order.Front()
+		}
+		f := m.hand.Value.(*frame)
+		next := m.hand.Next()
+		if f.ref {
+			f.ref = false
+			m.hand = next
+			continue
+		}
+		m.removeLocked(f)
+		m.evictions++
+		m.hand = next
+		return
+	}
+}
+
+// removeLocked unlinks a frame from the map, the ring, and the byte count.
+func (m *Manager) removeLocked(f *frame) {
+	if m.hand == f.elem {
+		m.hand = f.elem.Next()
+	}
+	m.order.Remove(f.elem)
+	delete(m.frames, f.key)
+	m.used -= f.chunk.Size
+}
+
+// Drop empties the manager (the "cold run" reset), keeping the counters.
+// In-flight fetches are unaffected; they insert their result afterwards.
+func (m *Manager) Drop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frames = make(map[string]*frame)
+	m.order.Init()
+	m.hand = nil
+	m.used = 0
+}
+
+// ResetStats zeroes the counters without evicting.
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hits, m.misses, m.shared, m.evictions = 0, 0, 0, 0
+}
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager) Stats() CacheStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return CacheStats{
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Shared:    m.shared,
+		Evictions: m.evictions,
+		Used:      m.used,
+		Cap:       m.budget,
+	}
+}
+
+var _ colbm.ChunkCache = (*Manager)(nil)

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/colbm"
+)
+
+func chunk(size int64) *colbm.CachedChunk {
+	return &colbm.CachedChunk{Raw: []byte{1}, Size: size}
+}
+
+func mustGet(t *testing.T, m *Manager, key string, c *colbm.CachedChunk) *colbm.CachedChunk {
+	t.Helper()
+	got, err := m.GetChunk(key, func() (*colbm.CachedChunk, error) { return c, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestManagerEvictionAtBudgetBoundary(t *testing.T) {
+	m := NewManager(100)
+	mustGet(t, m, "a", chunk(40))
+	mustGet(t, m, "b", chunk(40))
+	if st := m.Stats(); st.Used != 80 || st.Evictions != 0 {
+		t.Fatalf("under budget yet evicted: %+v", st)
+	}
+	// 80+40 > 100: exactly one eviction restores the invariant.
+	mustGet(t, m, "c", chunk(40))
+	st := m.Stats()
+	if st.Used != 80 || st.Evictions != 1 {
+		t.Errorf("boundary eviction: %+v", st)
+	}
+	if st.Used > st.Cap {
+		t.Errorf("over budget: %+v", st)
+	}
+	// A chunk exactly at the remaining headroom must not evict.
+	m2 := NewManager(100)
+	mustGet(t, m2, "a", chunk(60))
+	mustGet(t, m2, "b", chunk(40))
+	if st := m2.Stats(); st.Used != 100 || st.Evictions != 0 {
+		t.Errorf("exact fit evicted: %+v", st)
+	}
+}
+
+func TestManagerClockSecondChance(t *testing.T) {
+	m := NewManager(100)
+	mustGet(t, m, "a", chunk(40))
+	mustGet(t, m, "b", chunk(40))
+	// Touch a: its reference bit makes it survive the next sweep.
+	mustGet(t, m, "a", nil)
+	mustGet(t, m, "c", chunk(40))
+
+	hitsBefore := m.Stats().Hits
+	mustGet(t, m, "a", nil) // must still be resident
+	if m.Stats().Hits != hitsBefore+1 {
+		t.Error("referenced frame was evicted; unreferenced one should have been")
+	}
+	if _, err := m.GetChunk("b", func() (*colbm.CachedChunk, error) {
+		return nil, fmt.Errorf("b was evicted (expected)")
+	}); err == nil {
+		t.Error("unreferenced frame b survived while a was referenced")
+	}
+}
+
+func TestManagerOversizedChunkIsTransient(t *testing.T) {
+	m := NewManager(100)
+	mustGet(t, m, "a", chunk(40))
+	mustGet(t, m, "big", chunk(150)) // evicts everything, admitted transiently
+	if st := m.Stats(); st.Used != 150 {
+		t.Errorf("oversized chunk not admitted: %+v", st)
+	}
+	mustGet(t, m, "b", chunk(40)) // big must fall out now
+	if st := m.Stats(); st.Used != 40 {
+		t.Errorf("oversized chunk not dropped on next insert: %+v", st)
+	}
+}
+
+func TestManagerUnboundedAndDrop(t *testing.T) {
+	m := NewManager(0)
+	for i := 0; i < 50; i++ {
+		mustGet(t, m, fmt.Sprintf("k%d", i), chunk(1<<20))
+	}
+	st := m.Stats()
+	if st.Used != 50<<20 || st.Evictions != 0 {
+		t.Errorf("unbounded manager evicted: %+v", st)
+	}
+	m.Drop()
+	if st := m.Stats(); st.Used != 0 {
+		t.Errorf("Drop left %d bytes", st.Used)
+	}
+	// Counters survive Drop, reset separately.
+	if st := m.Stats(); st.Misses != 50 {
+		t.Errorf("Drop cleared counters: %+v", st)
+	}
+	m.ResetStats()
+	if st := m.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("ResetStats: %+v", st)
+	}
+}
+
+func TestManagerStatsAccounting(t *testing.T) {
+	m := NewManager(0)
+	mustGet(t, m, "a", chunk(10))
+	mustGet(t, m, "a", nil)
+	mustGet(t, m, "a", nil)
+	mustGet(t, m, "b", chunk(10))
+	st := m.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Used != 20 {
+		t.Errorf("stats: %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", got)
+	}
+	// A failed load counts as a miss and caches nothing.
+	if _, err := m.GetChunk("c", func() (*colbm.CachedChunk, error) {
+		return nil, fmt.Errorf("boom")
+	}); err == nil {
+		t.Fatal("load error swallowed")
+	}
+	if st := m.Stats(); st.Misses != 3 || st.Used != 20 {
+		t.Errorf("failed load polluted the cache: %+v", st)
+	}
+}
+
+// TestManagerSingleflight drives many concurrent readers at the same cold
+// key: exactly one loader must run, everyone must get its result, and the
+// rest must be counted as shared. Run under -race (CI does) this also
+// checks the synchronization of the fetch handoff.
+func TestManagerSingleflight(t *testing.T) {
+	m := NewManager(0)
+	const readers = 32
+	var loads atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]*colbm.CachedChunk, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = m.GetChunk("hot", func() (*colbm.CachedChunk, error) {
+				loads.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the fetch open so others pile up
+				return chunk(8), nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Errorf("loader ran %d times, want 1", n)
+	}
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("reader %d got a different chunk", i)
+		}
+	}
+	st := m.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Shared != readers-1 {
+		t.Errorf("shared = %d, want %d", st.Shared, readers-1)
+	}
+}
+
+// TestManagerConcurrentMixedKeys hammers the manager from many goroutines
+// over a key space larger than the budget — the -race workout for the
+// clock sweep, the singleflight map, and the stats counters together.
+func TestManagerConcurrentMixedKeys(t *testing.T) {
+	m := NewManager(64) // tiny: constant eviction pressure
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%20)
+				if _, err := m.GetChunk(key, func() (*colbm.CachedChunk, error) {
+					return chunk(16), nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Used > 64 {
+		t.Errorf("budget violated after concurrent churn: %+v", st)
+	}
+	if st.Hits+st.Misses+st.Shared != 8*500 {
+		t.Errorf("lookups leaked: %+v", st)
+	}
+}

@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/colbm"
+)
+
+// readAlign is the alignment of FileStore read requests: offsets are
+// rounded down and extents rounded up to this boundary, so every request
+// the kernel sees is a page-aligned sequential span — the large-transfer
+// discipline ColumnBM is designed around. Chunk sizes are hundreds of
+// kilobytes, so the at-most-8KiB of over-read per request is noise.
+const readAlign = 4096
+
+// blobExt is the file extension of column blob files inside an index
+// directory.
+const blobExt = ".col"
+
+// FileStore is a colbm.BlockStore over real files: every blob is one file
+// in a directory, written once at index-build time and read back with
+// aligned sequential requests. It is safe for concurrent use; reads on
+// distinct goroutines proceed in parallel (file handles are shared and
+// positioned reads never seek a shared cursor).
+type FileStore struct {
+	dir string
+
+	mu     sync.Mutex
+	files  map[string]*os.File
+	sizes  map[string]int64
+	stats  DiskStats
+	closed bool
+}
+
+// NewFileStore opens (creating if needed) the directory as a block store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &FileStore{
+		dir:   dir,
+		files: make(map[string]*os.File),
+		sizes: make(map[string]int64),
+	}, nil
+}
+
+// Dir returns the directory backing the store.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+func (fs *FileStore) path(name string) string {
+	return filepath.Join(fs.dir, name+blobExt)
+}
+
+// Write stores a blob as <dir>/<name>.col, replacing any previous content.
+// The data lands under a temporary name first and is renamed into place,
+// so a crashed write never leaves a plausible-looking half file.
+func (fs *FileStore) Write(name string, data []byte) error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return fmt.Errorf("storage: write %q on closed store", name)
+	}
+	if f, ok := fs.files[name]; ok { // invalidate a stale read handle
+		f.Close()
+		delete(fs.files, name)
+	}
+	delete(fs.sizes, name)
+	fs.mu.Unlock()
+
+	if err := atomicWriteFile(fs.dir, "."+name+".tmp-*", fs.path(name), data); err != nil {
+		return fmt.Errorf("storage: write %q: %w", name, err)
+	}
+	return nil
+}
+
+// atomicWriteFile writes data to dst (inside dir) via a temporary file and
+// rename, so a crash mid-write never leaves a plausible-looking half file
+// under the final name. Both blob and manifest writes go through it.
+func atomicWriteFile(dir, pattern, dst string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// handle returns an open file and its size, opening lazily on first use.
+func (fs *FileStore) handle(name string) (*os.File, int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, 0, fmt.Errorf("storage: read %q on closed store", name)
+	}
+	if f, ok := fs.files[name]; ok {
+		return f, fs.sizes[name], nil
+	}
+	f, err := os.Open(fs.path(name))
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: no such blob %q: %w", name, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("storage: %w", err)
+	}
+	fs.files[name] = f
+	fs.sizes[name] = fi.Size()
+	return f, fi.Size(), nil
+}
+
+// Read returns size bytes of blob name starting at off. The underlying
+// request is widened to readAlign boundaries (one large sequential read);
+// the returned slice is a fresh sub-slice of that private buffer, owned by
+// the caller.
+func (fs *FileStore) Read(name string, off, size int) ([]byte, error) {
+	if off < 0 || size < 0 {
+		return nil, fmt.Errorf("storage: read [%d,%d) of blob %q", off, off+size, name)
+	}
+	f, fileSize, err := fs.handle(name)
+	if err != nil {
+		return nil, err
+	}
+	if int64(off+size) > fileSize {
+		return nil, fmt.Errorf("storage: read [%d,%d) out of blob %q of %d bytes",
+			off, off+size, name, fileSize)
+	}
+	lo := int64(off) - int64(off)%readAlign
+	hi := int64(off + size)
+	if rem := hi % readAlign; rem != 0 {
+		hi += readAlign - rem
+	}
+	if hi > fileSize {
+		hi = fileSize
+	}
+	buf := make([]byte, hi-lo)
+	start := time.Now()
+	if _, err := f.ReadAt(buf, lo); err != nil {
+		return nil, fmt.Errorf("storage: read %q: %w", name, err)
+	}
+	elapsed := time.Since(start)
+
+	fs.mu.Lock()
+	fs.stats.Reads++
+	fs.stats.BytesRead += int64(len(buf))
+	fs.stats.IOTime += elapsed
+	fs.mu.Unlock()
+	return buf[int64(off)-lo : int64(off)-lo+int64(size)], nil
+}
+
+// Size returns the stored size of a blob, or 0 if absent.
+func (fs *FileStore) Size(name string) int {
+	fs.mu.Lock()
+	if sz, ok := fs.sizes[name]; ok {
+		fs.mu.Unlock()
+		return int(sz)
+	}
+	fs.mu.Unlock()
+	fi, err := os.Stat(fs.path(name))
+	if err != nil {
+		return 0
+	}
+	return int(fi.Size())
+}
+
+// TotalSize returns the summed size of all blob files in the directory.
+func (fs *FileStore) TotalSize() int64 {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), blobExt) {
+			continue
+		}
+		if fi, err := e.Info(); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// Stats returns a snapshot of the read counters. IOTime is measured time,
+// already part of any wall-clock measurement that covers the reads.
+func (fs *FileStore) Stats() DiskStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the counters (used between experiment runs).
+func (fs *FileStore) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = DiskStats{}
+}
+
+// Simulated reports that IOTime is real measured time, not virtual-clock
+// time.
+func (fs *FileStore) Simulated() bool { return false }
+
+// Close releases every open file handle; the store is unusable afterwards.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	var first error
+	for _, f := range fs.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	fs.files = nil
+	return first
+}
+
+var _ colbm.BlockStore = (*FileStore)(nil)

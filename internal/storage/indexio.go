@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/colbm"
+	"repro/internal/ir"
+)
+
+// WriteIndex persists an index into dir as the versioned on-disk format:
+// one <blob>.col file per column plus MANIFEST.json. Column data is copied
+// blob-at-a-time through the index's block store, so both freshly built
+// (SimDisk-backed) and already persisted (FileStore-backed) indexes can be
+// written anywhere. The manifest is written last: a crashed or interrupted
+// WriteIndex leaves a directory OpenIndex refuses, never a torn index.
+func WriteIndex(dir string, ix *ir.Index) error {
+	if ix == nil {
+		return fmt.Errorf("storage: WriteIndex(nil index)")
+	}
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+
+	m := &Manifest{
+		Magic:   FormatMagic,
+		Version: FormatVersion,
+		Config:  ix.Config(),
+		Params:  ix.Params,
+		ScoreLo: ix.ScoreLo,
+		ScoreHi: ix.ScoreHi,
+		Terms:   ix.Terms,
+		TD:      ix.TD.Stored(),
+		D:       ix.D.Stored(),
+	}
+	// The stats override is a build-time input only (its idf and score
+	// bounds are already baked into Params/ScoreLo/ScoreHi and the stored
+	// columns); persisting it would duplicate the collection-wide term map
+	// into every partition manifest.
+	m.Config.Stats = nil
+	for _, table := range []*colbm.StoredTable{&m.TD, &m.D} {
+		for _, col := range table.Columns {
+			data, err := ix.Store.Read(col.Blob, 0, col.DiskSize())
+			if err != nil {
+				return fmt.Errorf("storage: persist column %q: %w", col.Blob, err)
+			}
+			if err := fs.Write(col.Blob, data); err != nil {
+				return err
+			}
+		}
+	}
+	return writeManifest(dir, m)
+}
+
+// OpenIndex opens a persisted index for querying. Only the manifest is
+// read eagerly; column data stays on disk and streams in through a buffer
+// manager with the given byte budget (0 = unbounded) as queries touch it —
+// the cold-start an indexed-once, queried-forever deployment wants, and
+// the reason distributed servers can open prebuilt partitions instead of
+// re-indexing their corpus slice.
+//
+// The caller owns the returned index's store: Close it (engine.Close does)
+// to release the file handles.
+func OpenIndex(dir string, poolBytes int64) (*ir.Index, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	mgr := NewManager(poolBytes)
+	var tables []*colbm.Table
+	for _, st := range []*colbm.StoredTable{&m.TD, &m.D} {
+		// Cheap integrity check before any query trusts the directory: every
+		// column file must exist with exactly the manifest's size.
+		for _, col := range st.Columns {
+			if got, want := fs.Size(col.Blob), col.DiskSize(); got != want {
+				fs.Close()
+				return nil, fmt.Errorf("storage: column file %q is %d bytes, manifest says %d (truncated or mismatched index)",
+					col.Blob, got, want)
+			}
+		}
+		t, err := colbm.OpenTable(*st, fs, mgr)
+		if err != nil {
+			fs.Close()
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return ir.RestoreIndex(tables[0], tables[1], m.Terms, m.Params,
+		m.ScoreLo, m.ScoreHi, fs, mgr, m.Config), nil
+}

@@ -1,0 +1,267 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	data := make([]byte, 3*readAlign+517) // deliberately unaligned length
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := fs.Write("TD.docidc", data); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Size("TD.docidc"); got != len(data) {
+		t.Errorf("Size = %d, want %d", got, len(data))
+	}
+	if got := fs.TotalSize(); got != int64(len(data)) {
+		t.Errorf("TotalSize = %d, want %d", got, len(data))
+	}
+
+	// Unaligned offsets and sizes: the store aligns internally, the caller
+	// sees exactly the requested range.
+	for _, r := range [][2]int{{0, len(data)}, {1, 100}, {readAlign - 1, 2}, {3 * readAlign, 517}, {517, 0}} {
+		got, err := fs.Read("TD.docidc", r[0], r[1])
+		if err != nil {
+			t.Fatalf("read [%d,%d): %v", r[0], r[0]+r[1], err)
+		}
+		if !bytes.Equal(got, data[r[0]:r[0]+r[1]]) {
+			t.Fatalf("read [%d,%d) mismatch", r[0], r[0]+r[1])
+		}
+	}
+
+	// The returned buffer is private.
+	got, err := fs.Read("TD.docidc", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] ^= 0xff
+	again, _ := fs.Read("TD.docidc", 0, 8)
+	if again[0] != data[0] {
+		t.Error("Read aliases shared state")
+	}
+
+	// Errors: missing blob, out-of-range read.
+	if _, err := fs.Read("missing", 0, 1); err == nil {
+		t.Error("read of missing blob succeeded")
+	}
+	if _, err := fs.Read("TD.docidc", len(data)-1, 2); err == nil {
+		t.Error("out-of-range read succeeded")
+	}
+	if _, err := fs.Read("TD.docidc", -1, 2); err == nil {
+		t.Error("negative offset accepted")
+	}
+
+	st := fs.Stats()
+	if st.Reads == 0 || st.BytesRead == 0 {
+		t.Errorf("stats not counted: %+v", st)
+	}
+	if fs.Simulated() {
+		t.Error("FileStore claims to be simulated")
+	}
+	fs.ResetStats()
+	if fs.Stats().Reads != 0 {
+		t.Error("ResetStats did not reset")
+	}
+}
+
+func TestFileStoreAlignedRequests(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	data := make([]byte, 4*readAlign)
+	if err := fs.Write("b", data); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	// A 1-byte logical read still transfers one aligned page.
+	if _, err := fs.Read("b", readAlign+5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.BytesRead != readAlign {
+		t.Errorf("1-byte read transferred %d bytes, want one aligned page (%d)", st.BytesRead, readAlign)
+	}
+}
+
+func buildSmallIndex(t *testing.T) (*corpus.Collection, *ir.Index) {
+	t.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 2500
+	cfg.Vocab = 3000
+	cfg.AvgDocLen = 80
+	cfg.NumTopics = 20
+	c := corpus.Generate(cfg)
+	bc := ir.DefaultBuildConfig()
+	bc.ChunkLen = 4096 // many chunks, so budgets below force real eviction
+	ix, err := ir.Build(c, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ix
+}
+
+// TestIndexRoundTripIdenticalTopK is the acceptance check of the on-disk
+// format: OpenIndex(WriteIndex(ix)) must return byte-identical rankings —
+// same docids, same names, same scores, same order — for every strategy,
+// both with an unbounded buffer manager and with one small enough to force
+// eviction mid-query.
+func TestIndexRoundTripIdenticalTopK(t *testing.T) {
+	c, ix := buildSmallIndex(t)
+	dir := t.TempDir()
+	if err := WriteIndex(dir, ix); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := append(c.PrecisionQueries(5, 11), c.EfficiencyQueries(15, 12)...)
+	mem := ir.NewSearcher(ix, 0)
+
+	for _, budget := range []int64{0, 64 << 10} {
+		pix, err := OpenIndex(dir, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk := ir.NewSearcher(pix, 0)
+		for _, strat := range ir.AllStrategies {
+			for _, q := range queries {
+				want, _, err := mem.Search(q.Terms, 20, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := disk.Search(q.Terms, 20, strat)
+				if err != nil {
+					t.Fatalf("budget %d, %v %q: %v", budget, strat, q.Terms, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("budget %d, %v %q: persisted top-k diverged\n got %v\nwant %v",
+						budget, strat, q.Terms, got, want)
+				}
+				if stats.SimIO != 0 {
+					t.Fatalf("persisted search charged simulated I/O: %v", stats.SimIO)
+				}
+			}
+		}
+		if budget > 0 {
+			if st := pix.Cache.Stats(); st.Evictions == 0 {
+				t.Errorf("budget %d never evicted; the eviction path went untested", budget)
+			}
+		}
+		pix.Store.Close()
+	}
+}
+
+// TestPersistedWarmHitRate checks the acceptance bar directly: repeating a
+// TREC query batch against a persisted index with an adequate budget must
+// serve well over 90% of chunk lookups from the buffer manager.
+func TestPersistedWarmHitRate(t *testing.T) {
+	c, ix := buildSmallIndex(t)
+	dir := t.TempDir()
+	if err := WriteIndex(dir, ix); err != nil {
+		t.Fatal(err)
+	}
+	pix, err := OpenIndex(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pix.Store.Close()
+	s := ir.NewSearcher(pix, 0)
+	queries := c.EfficiencyQueries(100, 13)
+
+	run := func() {
+		for _, q := range queries {
+			if _, _, err := s.Search(q.Terms, 20, ir.BM25TCMQ8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run() // cold: populates the manager
+	pix.Cache.ResetStats()
+	pix.Store.ResetStats()
+	run() // warm repeat of the same batch
+	run()
+	st := pix.Cache.Stats()
+	if hr := st.HitRate(); hr <= 0.9 {
+		t.Errorf("warm hit rate %.3f, want > 0.9 (%+v)", hr, st)
+	}
+	if reads := pix.Store.Stats().Reads; reads != 0 {
+		t.Errorf("warm batches did %d file reads, want 0 under an unbounded budget", reads)
+	}
+}
+
+func TestOpenIndexLazyAndValidating(t *testing.T) {
+	_, ix := buildSmallIndex(t)
+	dir := t.TempDir()
+	if err := WriteIndex(dir, ix); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lazy: opening reads no column data.
+	pix, err := OpenIndex(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads := pix.Store.Stats().Reads; reads != 0 {
+		t.Errorf("OpenIndex did %d column reads; the format is supposed to load lazily", reads)
+	}
+	if pix.NumDocs() != ix.NumDocs() || pix.NumPostings() != ix.NumPostings() {
+		t.Errorf("restored shape: %d docs / %d postings, want %d / %d",
+			pix.NumDocs(), pix.NumPostings(), ix.NumDocs(), ix.NumPostings())
+	}
+	pix.Store.Close()
+
+	// Not an index dir.
+	if _, err := OpenIndex(t.TempDir(), 0); err == nil {
+		t.Error("OpenIndex accepted an empty directory")
+	}
+	if IsIndexDir(t.TempDir()) {
+		t.Error("IsIndexDir true on empty directory")
+	}
+	if !IsIndexDir(dir) {
+		t.Error("IsIndexDir false on a written index")
+	}
+
+	// Wrong version must be rejected loudly.
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m.Version = FormatVersion + 1
+	bumped, _ := json.Marshal(&m)
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndex(dir, 0); err == nil {
+		t.Error("OpenIndex accepted a future format version")
+	}
+	// Restore, then truncate a column file: size check must catch it.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	col := filepath.Join(dir, m.TD.Columns[0].Blob+blobExt)
+	if err := os.Truncate(col, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndex(dir, 0); err == nil {
+		t.Error("OpenIndex accepted a truncated column file")
+	}
+}

@@ -15,11 +15,13 @@ type engineConfig struct {
 	vectorSize int
 	searchers  int
 
-	poolSet bool  // WithBufferPool given (overrides index.PoolBytes)
+	poolSet bool  // WithBufferPoolBytes given (overrides index.PoolBytes)
 	pool    int64 // buffer pool capacity in bytes
 
 	diskSet bool
 	disk    DiskParams
+
+	storageDir string // WithStorageDir: persist to / serve from this directory
 
 	errs []error
 }
@@ -42,15 +44,40 @@ func WithIndexConfig(cfg IndexConfig) Option {
 	return func(c *engineConfig) { c.index = cfg }
 }
 
-// WithBufferPool caps the ColumnBM buffer pool at the given capacity in
-// bytes (0 = unbounded, everything stays hot once loaded).
-func WithBufferPool(capacityBytes int64) Option {
+// WithBufferPoolBytes caps the ColumnBM buffer pool at the given capacity
+// in bytes (0 = unbounded, everything stays hot once loaded). For an
+// engine over simulated storage this sizes the LRU chunk pool; for a
+// persisted index (WithStorageDir, OpenDir) it is the byte budget of the
+// real buffer manager — compressed chunks, clock eviction, singleflight.
+func WithBufferPoolBytes(capacityBytes int64) Option {
 	return func(c *engineConfig) {
 		if capacityBytes < 0 {
 			c.errs = append(c.errs, fmt.Errorf("repro: negative buffer pool capacity %d", capacityBytes))
 			return
 		}
 		c.poolSet, c.pool = true, capacityBytes
+	}
+}
+
+// WithBufferPool is WithBufferPoolBytes under its original name; both
+// remain valid.
+func WithBufferPool(capacityBytes int64) Option { return WithBufferPoolBytes(capacityBytes) }
+
+// WithStorageDir routes the engine's index through real persistent storage
+// rooted at dir. If dir already holds a valid index (a versioned manifest
+// plus column files), Open serves it directly — zero corpus re-parsing,
+// zero index building; otherwise Open builds the index from the collection,
+// persists it into dir, and serves the persisted form. Either way queries
+// run against FileStore-backed columns through the real buffer manager
+// (size it with WithBufferPoolBytes). Use OpenDir to open an existing
+// index directory without a collection in hand.
+func WithStorageDir(dir string) Option {
+	return func(c *engineConfig) {
+		if dir == "" {
+			c.errs = append(c.errs, fmt.Errorf("repro: empty storage directory"))
+			return
+		}
+		c.storageDir = dir
 	}
 }
 

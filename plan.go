@@ -18,11 +18,11 @@ import (
 //		Aggregate([]string{"returnflag"}, repro.AggSpec{Op: repro.AggSum, Col: "price", Name: "sum"}).
 //		Build()
 //
-// Unlike the deprecated NewScan/NewSelect/... free functions — some of
-// which returned errors and some of which deferred validation to Open —
-// the builder validates every step against the running schema as the plan
-// grows: unknown columns, type mismatches, duplicate output names and
-// malformed bounds are all caught at Build time, and every accumulated
+// Unlike the removed pre-Engine free functions (NewScan/NewSelect/...) —
+// some of which returned errors and some of which deferred validation to
+// Open — the builder validates every step against the running schema as
+// the plan grows: unknown columns, type mismatches, duplicate output names
+// and malformed bounds are all caught at Build time, and every accumulated
 // error is reported together rather than one Open failure at a time.
 type PlanBuilder struct {
 	op     Operator
@@ -114,7 +114,7 @@ func (b *PlanBuilder) Project(projs ...Projection) *PlanBuilder {
 
 // JoinSpec names the equi-join keys and the prefixes that disambiguate the
 // two sides' columns in the output — by name, replacing the six positional
-// string arguments of the deprecated NewMergeJoin.
+// string arguments of the removed NewMergeJoin shim.
 type JoinSpec struct {
 	LeftKey, RightKey       string
 	LeftPrefix, RightPrefix string

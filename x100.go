@@ -14,7 +14,12 @@
 //
 //	corpus   — synthetic GOV2-style collection + query workload (testbed)
 //	compress — PFOR, PFOR-DELTA, PDICT blocks; patched + naive decoders
-//	colbm    — column storage, simulated disk, compressed buffer pool
+//	colbm    — column storage contracts (BlockStore, ChunkCache), the
+//	           simulated disk, and the LRU chunk pool
+//	storage  — the persistent backends: FileStore (real aligned file
+//	           I/O), the ColumnBM buffer manager (byte budget, clock
+//	           eviction, singleflight), and the versioned on-disk index
+//	           format (WriteIndex / OpenIndex)
 //	engine   — vectorized operators (Scan, Select, Project, MergeJoin,
 //	           MergeOuterJoin, HashJoin, Aggregate, TopN, Sort)
 //	ir       — inverted index as relations, BM25 plans, Table 2 strategies
@@ -41,15 +46,18 @@
 //		Aggregate([]string{"returnflag"}, repro.AggSpec{Op: repro.AggCount, Name: "n"}).
 //		Build()
 //
-// Scale-out (§3.4, Table 3) goes through internal/dist: StartCluster
-// partitions a collection across loopback-TCP servers, DialCluster
-// returns a Broker whose Search broadcasts and merges top-k; the
-// context-aware Broker.SearchContext composes with each server's searcher
-// pool.
+// Indexes persist: Open(coll, WithStorageDir(dir)) builds once and serves
+// the on-disk form from then on, OpenDir(dir) opens a prebuilt index with
+// no collection in hand, and SaveIndex/LoadIndex expose the same round
+// trip for manually managed indexes. Persisted queries run through the
+// real ColumnBM buffer manager — compressed chunks under a byte budget
+// (WithBufferPoolBytes), clock eviction, singleflight fetches.
 //
-// The pre-Engine free functions (NewSearcher, NewScan, NewSelect, ...)
-// remain as deprecated shims for one release; new code should not use
-// them.
+// Scale-out (§3.4, Table 3) goes through internal/dist: StartCluster
+// partitions a collection across loopback-TCP servers (BuildPartitions +
+// StartClusterFromDirs is the persisted variant), DialCluster returns a
+// Broker whose Search broadcasts and merges top-k; the context-aware
+// Broker.SearchContext composes with each server's searcher pool.
 package repro
 
 import (
@@ -60,6 +68,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/primitives"
+	"repro/internal/storage"
 	"repro/internal/vector"
 )
 
@@ -112,6 +121,17 @@ const (
 // AllStrategies lists the Table 2 runs in order.
 var AllStrategies = ir.AllStrategies
 
+// Physical column names of the TD posting table, one per storage
+// treatment of the Table 2 ladder.
+const (
+	ColDocID32 = ir.ColDocID32
+	ColTF32    = ir.ColTF32
+	ColDocIDC  = ir.ColDocIDC
+	ColTFC     = ir.ColTFC
+	ColScore   = ir.ColScore
+	ColQScore  = ir.ColQScore
+)
+
 // DefaultIndexConfig enables every physical column so one index serves all
 // strategies.
 func DefaultIndexConfig() IndexConfig { return ir.DefaultBuildConfig() }
@@ -127,13 +147,6 @@ type SearcherPool = ir.SearcherPool
 func NewSearcherPool(ix *Index, vectorSize, n int) *SearcherPool {
 	return ir.NewSearcherPool(ix, vectorSize, n)
 }
-
-// NewSearcher returns a searcher (vectorSize 0 = the 1024 default).
-//
-// Deprecated: a Searcher is single-owner and context-unaware. Use Open /
-// Engine.Search for serving, or NewSearcherPool when managing index
-// construction manually.
-func NewSearcher(ix *Index, vectorSize int) *Searcher { return ir.NewSearcher(ix, vectorSize) }
 
 // PrecisionAtK evaluates early precision against relevance judgments.
 func PrecisionAtK(results []Result, relevant map[int64]bool, k int) float64 {
@@ -216,14 +229,47 @@ func StartCluster(c *Collection, n int, cfg IndexConfig) (*Cluster, error) {
 // DialCluster connects a broker to server addresses.
 func DialCluster(addrs []string) (*Broker, error) { return dist.Dial(addrs) }
 
-// Storage simulation knobs.
+// BuildPartitions builds the collection's n partition indexes with global
+// statistics and persists each under baseDir/part-<i>; the returned
+// directories feed StartClusterFromDirs (possibly in another process —
+// the point is that no corpus re-parsing happens at serve time).
+func BuildPartitions(c *Collection, n int, cfg IndexConfig, baseDir string) ([]string, error) {
+	return dist.BuildPartitions(c, n, cfg, baseDir)
+}
+
+// StartClusterFromDirs serves persisted partition directories, each
+// through a buffer manager with poolBytes budget (0 = unbounded).
+func StartClusterFromDirs(dirs []string, poolBytes int64) (*Cluster, error) {
+	return dist.StartClusterFromDirs(dirs, poolBytes)
+}
+
+// Storage surface: the BlockStore/ChunkCache contracts, their simulated
+// and persistent implementations, and the on-disk index format.
 type (
+	// BlockStore stores named column blobs read with large sequential
+	// requests (SimDisk simulates one, FileStore is real files).
+	BlockStore = colbm.BlockStore
+	// ChunkCache caches compressed column chunks (BufferPool is the LRU
+	// used with SimDisk, BufferManager the real ColumnBM manager).
+	ChunkCache = colbm.ChunkCache
+	// CacheStats reports chunk-cache hits, misses, evictions, occupancy.
+	CacheStats = colbm.CacheStats
+	// DiskStats aggregates BlockStore read activity.
+	DiskStats = colbm.DiskStats
 	// DiskParams models seek latency and sequential bandwidth.
 	DiskParams = colbm.DiskParams
 	// SimDisk is the virtual-clock disk that stores column blobs.
 	SimDisk = colbm.SimDisk
 	// BufferPool caches compressed chunks in RAM with LRU eviction.
 	BufferPool = colbm.BufferPool
+	// FileStore is the persistent BlockStore: one file per column blob,
+	// aligned large sequential reads.
+	FileStore = storage.FileStore
+	// BufferManager is the real ColumnBM buffer manager: a byte budget
+	// over compressed chunks, clock eviction, singleflight fetches.
+	BufferManager = storage.Manager
+	// IndexManifest is the versioned root of the on-disk index format.
+	IndexManifest = storage.Manifest
 	// Table is a stored columnar table.
 	Table = colbm.Table
 	// TableBuilder bulk-builds a Table.
@@ -262,10 +308,36 @@ func NewSimDisk(p DiskParams) *SimDisk { return colbm.NewSimDisk(p) }
 // NewBufferPool returns an LRU pool (capacity 0 = unbounded).
 func NewBufferPool(capacity int64) *BufferPool { return colbm.NewBufferPool(capacity) }
 
-// NewTableBuilder starts a bulk table build.
-func NewTableBuilder(name string, disk *SimDisk, pool *BufferPool, specs []ColumnSpec) *TableBuilder {
-	return colbm.NewBuilder(name, disk, pool, specs)
+// NewTableBuilder starts a bulk table build over any store/cache pair
+// (SimDisk+BufferPool for simulation, FileStore+BufferManager for real
+// persistence).
+func NewTableBuilder(name string, store BlockStore, cache ChunkCache, specs []ColumnSpec) *TableBuilder {
+	return colbm.NewBuilder(name, store, cache, specs)
 }
+
+// NewFileStore opens (creating if needed) a directory as a persistent
+// block store.
+func NewFileStore(dir string) (*FileStore, error) { return storage.NewFileStore(dir) }
+
+// NewBufferManager returns a ColumnBM buffer manager with the given byte
+// budget (0 = unbounded).
+func NewBufferManager(budgetBytes int64) *BufferManager { return storage.NewManager(budgetBytes) }
+
+// SaveIndex persists an index into dir as the versioned on-disk format
+// (MANIFEST.json plus one .col file per column). The manifest is written
+// last, so an interrupted save is never mistaken for a valid index.
+func SaveIndex(dir string, ix *Index) error { return storage.WriteIndex(dir, ix) }
+
+// LoadIndex opens a persisted index for querying: the manifest is read
+// eagerly, posting data streams in lazily through a buffer manager with
+// the given byte budget (0 = unbounded). Close the index's Store when
+// done, or wrap the directory with OpenDir and let Engine.Close do it.
+func LoadIndex(dir string, poolBytes int64) (*Index, error) {
+	return storage.OpenIndex(dir, poolBytes)
+}
+
+// IsIndexDir reports whether dir holds a readable persisted index.
+func IsIndexDir(dir string) bool { return storage.IsIndexDir(dir) }
 
 // Relational operators and expressions, re-exported so applications can
 // assemble Figure-1-style plans directly (see examples/analytics).
@@ -315,58 +387,6 @@ const (
 	CmpEQ = engine.EQ
 	CmpNE = engine.NE
 )
-
-// NewScan builds a full-table scan operator.
-//
-// Deprecated: use From(table, cols...), which validates the whole plan at
-// Build time. This shim remains for one release.
-func NewScan(t *Table, cols []string) (Operator, error) { return engine.NewScan(t, cols) }
-
-// NewSelect builds a filter operator.
-//
-// Deprecated: use PlanBuilder.Where, which validates the predicate's
-// column references at Build time instead of at Open.
-func NewSelect(child Operator, pred Predicate) Operator { return engine.NewSelect(child, pred) }
-
-// NewProject builds a projection operator.
-//
-// Deprecated: use PlanBuilder.Project, which binds and type-checks the
-// expressions at Build time instead of at Open.
-func NewProject(child Operator, projs []Projection) Operator {
-	return engine.NewProject(child, projs)
-}
-
-// NewAggregate builds a (hash-)aggregation operator.
-//
-// Deprecated: use PlanBuilder.Aggregate, which validates group and
-// aggregate columns at Build time instead of at Open.
-func NewAggregate(child Operator, groups []string, aggs []AggSpec) Operator {
-	return engine.NewAggregate(child, groups, aggs)
-}
-
-// NewTopN builds a bounded top-n operator.
-//
-// Deprecated: use PlanBuilder.TopN, which validates the ordering columns
-// at Build time instead of at Open.
-func NewTopN(child Operator, n int, order []OrderSpec) Operator {
-	return engine.NewTopN(child, n, order)
-}
-
-// NewMergeJoin builds an inner merge join on strictly increasing Int64
-// keys.
-//
-// Deprecated: use PlanBuilder.Join with a JoinSpec, which names the six
-// positional string arguments and validates key columns at Build time.
-func NewMergeJoin(l, r Operator, lKey, rKey, lPrefix, rPrefix string) Operator {
-	return engine.NewMergeJoin(l, r, lKey, rKey, lPrefix, rPrefix)
-}
-
-// NewMergeOuterJoin builds a full outer merge join.
-//
-// Deprecated: use PlanBuilder.Join with JoinSpec{Outer: true}.
-func NewMergeOuterJoin(l, r Operator, lKey, rKey, lPrefix, rPrefix string) Operator {
-	return engine.NewMergeOuterJoin(l, r, lKey, rKey, lPrefix, rPrefix)
-}
 
 // NewColRef references an input column in an expression.
 func NewColRef(name string) Expr { return engine.NewColRef(name) }

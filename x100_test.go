@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -25,36 +26,45 @@ func facadeFixture(t *testing.T) (*Collection, *Index) {
 
 func TestFacadeEndToEndSearch(t *testing.T) {
 	coll, ix := facadeFixture(t)
-	s := NewSearcher(ix, 0)
+	eng, err := OpenIndex(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
 	q := coll.PrecisionQueries(1, 5)[0]
 
 	for _, strat := range []Strategy{BoolAND, BoolOR, BM25, BM25T, BM25TC, BM25TCM, BM25TCMQ8} {
-		results, stats, err := s.Search(q.Terms, 10, strat)
+		resp, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 10, Strategy: strat})
 		if err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
-		if stats.Wall <= 0 {
+		if resp.Stats.Wall <= 0 {
 			t.Errorf("%v: no wall time recorded", strat)
 		}
-		for _, r := range results {
+		for _, r := range resp.Hits {
 			if r.Name == "" {
 				t.Errorf("%v: unresolved document name", strat)
 			}
 		}
 	}
 	// Ranked retrieval on topic queries scores well.
-	res, _, err := s.Search(q.Terms, 20, BM25)
+	resp, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 20, Strategy: BM25})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := PrecisionAtK(res, coll.Qrels(q), 20); p < 0.2 {
+	if p := PrecisionAtK(resp.Hits, coll.Qrels(q), 20); p < 0.2 {
 		t.Errorf("facade BM25 p@20 = %v", p)
 	}
 }
 
 func TestFacadeBooleanLanguage(t *testing.T) {
 	_, ix := facadeFixture(t)
-	s := NewSearcher(ix, 0)
+	eng, err := OpenIndex(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
 	var terms []string
 	for term := range ix.Terms {
 		terms = append(terms, term)
@@ -66,7 +76,7 @@ func TestFacadeBooleanLanguage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := s.SearchBool(expr, 10)
+	res, _, err := eng.SearchBool(context.Background(), expr, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +106,14 @@ func TestFacadeRelationalPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scan, err := NewScan(tab, []string{"k", "flag"})
+	plan, err := From(tab, "k", "flag").
+		Where(&CmpIntColVal{Col: "k", Op: CmpLT, Val: 50}).
+		Aggregate([]string{"flag"},
+			AggSpec{Op: AggCount, Name: "n"}, AggSpec{Op: AggSum, Col: "k", Name: "sum"}).
+		Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := NewAggregate(
-		NewSelect(scan, &CmpIntColVal{Col: "k", Op: CmpLT, Val: 50}),
-		[]string{"flag"},
-		[]AggSpec{{Op: AggCount, Name: "n"}, {Op: AggSum, Col: "k", Name: "sum"}})
 	rows, err := Collect(plan, NewContext())
 	if err != nil {
 		t.Fatal(err)
@@ -199,19 +209,11 @@ func TestFacadeJoinsAndTopN(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ls, err := NewScan(left, []string{"k", "v"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rs, err := NewScan(right, []string{"k"})
-	if err != nil {
-		t.Fatal(err)
-	}
 	// Inner join on multiples of 6, then top-3 by value.
-	top := NewTopN(
-		NewMergeJoin(ls, rs, "k", "k", "l.", "r."),
-		3, []OrderSpec{{Col: "l.v", Desc: true}})
-	rows, err := Collect(top, NewContext())
+	rows, err := From(left, "k", "v").
+		Join(From(right, "k"), JoinSpec{LeftKey: "k", RightKey: "k", LeftPrefix: "l.", RightPrefix: "r."}).
+		TopN(3, OrderSpec{Col: "l.v", Desc: true}).
+		Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,11 +230,10 @@ func TestFacadeJoinsAndTopN(t *testing.T) {
 	}
 
 	// Outer join through the facade.
-	ls2, _ := NewScan(left, []string{"k"})
-	rs2, _ := NewScan(right, []string{"k"})
-	outer := NewMergeOuterJoin(ls2, rs2, "k", "k", "l.", "r.")
 	n := 0
-	err = Drain(outer, NewContext(), func(batch *Batch) error { n += batch.N; return nil })
+	err = From(left, "k").
+		Join(From(right, "k"), JoinSpec{LeftKey: "k", RightKey: "k", LeftPrefix: "l.", RightPrefix: "r.", Outer: true}).
+		Run(context.Background(), func(batch *Batch) error { n += batch.N; return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,9 +245,13 @@ func TestFacadeJoinsAndTopN(t *testing.T) {
 
 func TestFacadeSearcherExplain(t *testing.T) {
 	coll, ix := facadeFixture(t)
-	s := NewSearcher(ix, 512)
+	eng, err := OpenIndex(ix, WithVectorSize(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
 	q := coll.PrecisionQueries(1, 9)[0]
-	plan, err := s.ExplainPlan(q.Terms, 10, BM25TCMQ8)
+	plan, err := eng.ExplainPlan(context.Background(), q.Terms, 10, BM25TCMQ8)
 	if err != nil {
 		t.Fatal(err)
 	}

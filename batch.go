@@ -1,0 +1,138 @@
+package repro
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// BatchResult is one request's outcome within a SearchMany batch: either a
+// response or a per-request error (an invalid request or a failed
+// execution does not sink the rest of the batch).
+type BatchResult struct {
+	Response SearchResponse
+	Err      error
+}
+
+// BatchStats aggregates one SearchMany call — the throughput-side
+// accounting that complements the per-request QueryStats.
+type BatchStats struct {
+	Queries    int   // requests in the batch
+	Failed     int   // requests that returned a per-request error
+	CacheHits  int   // requests served from the result cache
+	SecondPass int   // requests whose plan needed the disjunctive second pass
+	Candidates int64 // summed scored candidates across the batch
+
+	// Wall is the wall time of the whole batch; with W workers active it is
+	// roughly the summed per-query time divided by W, which is the point.
+	// SimIO sums the per-query simulated I/O charges (zero on real stores,
+	// whose read time is inside the per-query wall times).
+	Wall  time.Duration
+	SimIO time.Duration
+}
+
+// SearchMany executes a batch of requests, fanning them across the
+// searcher pool: up to Searchers() requests run concurrently, each worker
+// holding one pooled searcher for the whole batch (no per-query pool
+// churn). Results are returned in request order, failures are recorded
+// per request, and the result cache (if enabled) is consulted first — a
+// fully cached batch never acquires a searcher at all. The error return is
+// reserved for batch-level failure (a done context); it is ctx.Err() when
+// the context expired mid-batch, with the already-completed results still
+// returned.
+func (e *Engine) SearchMany(ctx context.Context, reqs []SearchRequest) ([]BatchResult, BatchStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(reqs))
+	bs := BatchStats{Queries: len(reqs)}
+	if len(reqs) == 0 {
+		return out, bs, nil
+	}
+	start := time.Now()
+	workers := e.pool.Size()
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The searcher is acquired lazily: a worker whose requests all
+			// hit the cache (or fail validation) never checks one out.
+			var s *ir.Searcher
+			defer func() {
+				if s != nil {
+					e.pool.Release(s)
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i] = e.searchBatched(ctx, &s, reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	bs.Wall = time.Since(start)
+	for i := range out {
+		if out[i].Err != nil {
+			bs.Failed++
+			continue
+		}
+		r := &out[i].Response
+		if r.Cached {
+			// A cache hit carries the stats of the execution that populated
+			// the entry; this batch did none of that work, so only the hit
+			// itself is accounted.
+			bs.CacheHits++
+			continue
+		}
+		if r.Stats.SecondPass {
+			bs.SecondPass++
+		}
+		bs.Candidates += r.Stats.Candidates
+		bs.SimIO += r.Stats.SimIO
+	}
+	return out, bs, ctx.Err()
+}
+
+// searchBatched runs one batched request on the worker's searcher,
+// acquiring it on first need. *s may remain nil when every request the
+// worker sees is answered by the cache.
+func (e *Engine) searchBatched(ctx context.Context, s **ir.Searcher, req SearchRequest) BatchResult {
+	k, strat, err := e.admit(req)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	var key string
+	if e.cache != nil {
+		key = cacheKey(req.Terms, k, strat)
+		if hit, ok := e.cache.get(key); ok {
+			return BatchResult{Response: hit}
+		}
+	}
+	if *s == nil {
+		sr, err := e.pool.Acquire(ctx)
+		if err != nil {
+			return BatchResult{Err: err}
+		}
+		*s = sr
+	}
+	hits, stats, err := (*s).SearchContext(ctx, req.Terms, k, strat)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	resp := SearchResponse{Hits: hits, Stats: stats, Strategy: strat}
+	if e.cache != nil {
+		e.cache.put(key, resp)
+	}
+	return BatchResult{Response: resp}
+}

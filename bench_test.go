@@ -89,6 +89,77 @@ func BenchmarkEngineSearchParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineSearchMany compares three ways of serving the same
+// 64-query batch of hot queries: N sequential Engine.Search calls, one
+// Engine.SearchMany (fanned across the searcher pool — on a multi-core
+// runner throughput must beat sequential), and SearchMany against a warm
+// result cache (served without checking out a searcher at all; the hit
+// rate is reported and enforced).
+func BenchmarkEngineSearchMany(b *testing.B) {
+	_, ix, eff := fixtures(b)
+	const batch = 64
+	reqs := make([]SearchRequest, batch)
+	for i := range reqs {
+		reqs[i] = SearchRequest{Terms: eff[i%len(eff)].Terms, K: 20, Strategy: BM25TCMQ8}
+	}
+	ctx := context.Background()
+	open := func(b *testing.B, opts ...Option) *Engine {
+		b.Helper()
+		eng, err := OpenIndex(ix, append([]Option{WithSearchers(runtime.GOMAXPROCS(0))}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { eng.Close() })
+		return eng
+	}
+	b.Run("sequential", func(b *testing.B) {
+		eng := open(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if _, err := eng.Search(ctx, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(batch, "queries/op")
+	})
+	b.Run("batch", func(b *testing.B) {
+		eng := open(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, bs, err := eng.SearchMany(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bs.Failed > 0 {
+				b.Fatalf("%d of %d batched queries failed: %v", bs.Failed, bs.Queries, out)
+			}
+		}
+		b.ReportMetric(batch, "queries/op")
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := open(b, WithResultCache(2*batch))
+		if _, _, err := eng.SearchMany(ctx, reqs); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, bs, err := eng.SearchMany(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bs.CacheHits != batch {
+				b.Fatalf("cache hits %d of %d", bs.CacheHits, batch)
+			}
+		}
+		b.StopTimer()
+		st := eng.ResultCacheStats()
+		b.ReportMetric(st.HitRate()*100, "hit%")
+		b.ReportMetric(batch, "queries/op")
+	})
+}
+
 // ---- Figure 3: decompression bandwidth, NAIVE vs PATCHED ----
 
 func fig3Block(rate float64, layout compress.Layout) *compress.Block {
@@ -224,7 +295,7 @@ func clusterFixture(b *testing.B) (*dist.Cluster, []corpus.Query) {
 		if err != nil {
 			panic(err)
 		}
-		if err := cl.WarmAll(ir.BM25TCMQ8, eff[:64]); err != nil {
+		if err := cl.WarmAll(ir.BM25TCMQ8, eff[:64], 20); err != nil {
 			panic(err)
 		}
 		cluster = cl

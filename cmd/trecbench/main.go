@@ -10,6 +10,7 @@
 //	trecbench -experiment vecsize    # §4 vector-size ablation
 //	trecbench -experiment concurrent # single-node Engine scaling (searcher pool)
 //	trecbench -experiment coldwarm   # cold vs warm batches over real files (FileStore)
+//	trecbench -experiment batch      # SearchMany vs sequential + result cache
 //	trecbench -experiment all        # everything above, in order
 //
 // Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|all")
 		docs        = flag.Int("docs", 50000, "collection size in documents")
 		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
 		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
@@ -72,6 +74,8 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 		return concurrent(docs, nq, seed)
 	case "coldwarm":
 		return coldwarm(docs, nq, seed)
+	case "batch":
+		return batchServe(docs, nq, seed)
 	case "all":
 		for _, fn := range []func() error{
 			figure2,
@@ -83,6 +87,7 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 			func() error { return vecsize(docs, nq, seed) },
 			func() error { return concurrent(docs, nq, seed) },
 			func() error { return coldwarm(docs, nq, seed) },
+			func() error { return batchServe(docs, nq, seed) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -309,7 +314,7 @@ func table3(docs, nq, servers int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	if err := single.WarmAll(strat, warm); err != nil {
+	if err := single.WarmAll(strat, warm, 20); err != nil {
 		return err
 	}
 	seqStats, err := single.RunStreams(queries, 1, 20, strat)
@@ -327,7 +332,7 @@ func table3(docs, nq, servers int, seed int64) error {
 		return err
 	}
 	defer cl.Close()
-	if err := cl.WarmAll(strat, warm); err != nil {
+	if err := cl.WarmAll(strat, warm, 20); err != nil {
 		return err
 	}
 
@@ -498,6 +503,131 @@ func vecsize(docs, nq int, seed int64) error {
 	return nil
 }
 
+// batchServe measures the query-serving throughput layer: the same hot
+// query batch pushed through N sequential Engine.Search calls, through one
+// Engine.SearchMany (fanned across the searcher pool), through SearchMany
+// with a warm result cache (no searcher checkout at all), and through the
+// distributed broker both one-round-trip-per-query and batched
+// (Broker.SearchMany — one round trip per server for the whole batch).
+func batchServe(docs, nq int, seed int64) error {
+	header("Batched serving: SearchMany, result cache, broker pipelining (hot data)")
+	c, ix, err := buildTestbed(docs, seed)
+	if err != nil {
+		return err
+	}
+	queries := c.EfficiencyQueries(min(nq, 2000), seed+7)
+	reqs := make([]repro.SearchRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = repro.SearchRequest{Terms: q.Terms, K: 20, Strategy: repro.BM25TCMQ8}
+	}
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+
+	eng, err := repro.OpenIndex(ix, repro.WithSearchers(workers))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	// Warm the buffer pool so every row below measures CPU, not first-touch
+	// I/O.
+	for _, r := range reqs {
+		if _, err := eng.Search(ctx, r); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("%d queries, %d searchers\n\n", len(reqs), workers)
+	fmt.Printf("%-34s %12s %14s\n", "serving mode", "total ms", "queries/sec")
+	row := func(name string, d time.Duration) {
+		fmt.Printf("%-34s %12.1f %14.0f\n", name, float64(d.Microseconds())/1000,
+			float64(len(reqs))/d.Seconds())
+	}
+
+	start := time.Now()
+	for _, r := range reqs {
+		if _, err := eng.Search(ctx, r); err != nil {
+			return err
+		}
+	}
+	row("sequential Search", time.Since(start))
+
+	out, bs, err := eng.SearchMany(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	if bs.Failed > 0 {
+		return fmt.Errorf("batch: %d of %d queries failed: %v", bs.Failed, bs.Queries, out)
+	}
+	row("SearchMany", bs.Wall)
+
+	// Result cache: the first batch populates, the second is served without
+	// acquiring a single searcher.
+	ceng, err := repro.OpenIndex(ix, repro.WithSearchers(workers), repro.WithResultCache(len(reqs)))
+	if err != nil {
+		return err
+	}
+	defer ceng.Close()
+	if _, _, err := ceng.SearchMany(ctx, reqs); err != nil {
+		return err
+	}
+	_, bs, err = ceng.SearchMany(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	row(fmt.Sprintf("SearchMany, result cache (%d hits)", bs.CacheHits), bs.Wall)
+	st := ceng.ResultCacheStats()
+	fmt.Printf("result cache: %d hits / %d lookups (%.1f%%), %d entries\n",
+		st.Hits, st.Hits+st.Misses, st.HitRate()*100, st.Entries)
+
+	// Distributed: the same batch through a 4-server loopback cluster, one
+	// round trip per query versus one pipelined batch per server.
+	fmt.Printf("\nbuilding 4-server cluster ...\n")
+	cl, err := dist.StartCluster(c, 4, ir.DefaultBuildConfig())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	warm := queries
+	if len(warm) > 200 {
+		warm = warm[:200]
+	}
+	if err := cl.WarmAll(repro.BM25TCMQ8, warm, 20); err != nil {
+		return err
+	}
+	brk, err := dist.Dial(cl.Addrs)
+	if err != nil {
+		return err
+	}
+	defer brk.Close()
+	dreqs := make([]dist.Request, len(queries))
+	for i, q := range queries {
+		dreqs[i] = dist.Request{Terms: q.Terms, K: 20, Strategy: repro.BM25TCMQ8}
+	}
+	start = time.Now()
+	for _, r := range dreqs {
+		if _, _, err := brk.SearchContext(ctx, r.Terms, r.K, r.Strategy); err != nil {
+			return err
+		}
+	}
+	row("broker, round trip per query", time.Since(start))
+	bout, btiming, err := brk.SearchMany(ctx, dreqs)
+	if err != nil {
+		return err
+	}
+	for _, r := range bout {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	row("broker SearchMany (pipelined)", btiming.Total)
+
+	fmt.Println("\n(shape: SearchMany spreads a batch over the searcher pool, so total")
+	fmt.Println(" time approaches sequential/cores; the result cache answers repeats in")
+	fmt.Println(" microseconds without a searcher; the pipelined broker pays one gob")
+	fmt.Println(" round trip per server for the whole batch instead of one per query)")
+	return nil
+}
+
 // coldwarm exercises the persistent storage subsystem end to end: the
 // index is written in the versioned on-disk format, reopened over a
 // FileStore (real aligned file reads — nothing survives from the build),
@@ -572,5 +702,56 @@ func coldwarm(docs, nq int, seed int64) error {
 	fmt.Println(" hit rate ~100% and warm time is pure CPU; starving the manager forces")
 	fmt.Println(" evictions and the warm runs pay file I/O again, the 426GB-over-4GB")
 	fmt.Println(" regime of the paper's cold column)")
+
+	// Manifest-driven prefetch: the same workload cold, demand paging vs
+	// read-ahead. Finer chunks (1Ki values instead of 128Ki) make the
+	// demand-paging cost visible — a frequent term's posting range spans
+	// many chunks, each a separate file read unless the prefetcher
+	// coalesces them into one sequential request.
+	fmt.Printf("\nPrefetch: cold batch, demand paging vs manifest-driven read-ahead (1Ki-value chunks)\n\n")
+	bc := ir.DefaultBuildConfig()
+	bc.ChunkLen = 1024
+	fix, err := ir.Build(c, bc)
+	if err != nil {
+		return err
+	}
+	fdir, err := os.MkdirTemp("", "trecbench-prefetch-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(fdir)
+	if err := storage.WriteIndex(fdir, fix); err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12s %12s %12s\n", "mode", "cold ms/q", "file reads", "MB read")
+	for _, workers := range []int{0, 4} {
+		var opts []storage.OpenOption
+		name := "demand paging"
+		if workers > 0 {
+			opts = append(opts, storage.WithPrefetchWorkers(workers))
+			name = fmt.Sprintf("prefetch (%d workers)", workers)
+		}
+		pix, err := storage.OpenIndex(fdir, 0, opts...)
+		if err != nil {
+			return err
+		}
+		s := ir.NewSearcher(pix, 0)
+		start := time.Now()
+		for _, q := range queries {
+			if _, _, err := s.Search(q.Terms, 20, ir.BM25TCMQ8); err != nil {
+				pix.Close()
+				return err
+			}
+		}
+		cold := time.Since(start)
+		ds := pix.Store.Stats()
+		pix.Close()
+		fmt.Printf("%-22s %12.3f %12d %12.1f\n", name,
+			float64(cold.Microseconds())/float64(len(queries))/1000,
+			ds.Reads, float64(ds.BytesRead)/1e6)
+	}
+	fmt.Println("\n(shape: the prefetcher claims a scan's missing chunks up front and reads")
+	fmt.Println(" contiguous runs in single large requests, so the cold batch issues far")
+	fmt.Println(" fewer file reads than one-chunk-at-a-time demand paging)")
 	return nil
 }

@@ -41,6 +41,10 @@ type SearchResponse struct {
 	// Strategy is the strategy that actually executed (after resolving
 	// StrategyDefault and physical-column substitutions).
 	Strategy Strategy
+	// Cached marks a response served from the engine result cache (see
+	// WithResultCache): Hits are a private copy, Stats are those of the
+	// execution that populated the entry, and no searcher was acquired.
+	Cached bool
 }
 
 // Engine is the long-lived, concurrency-safe entry point to the system: it
@@ -56,6 +60,9 @@ type Engine struct {
 	ix   *Index
 	pool *ir.SearcherPool
 	cfg  engineConfig
+	// cache is the engine-level result cache (nil unless WithResultCache):
+	// repeat queries are answered from it without acquiring a searcher.
+	cache *resultCache
 	// ownsStore marks engines whose index storage was opened (not handed
 	// in): Close releases it. OpenIndex-wrapped indexes stay open — the
 	// caller may share them across engines.
@@ -81,6 +88,10 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	cfg := defaultEngineConfig()
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.prefetchWorkers > 0 && cfg.storageDir == "" {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: WithPrefetch needs a persisted index (add WithStorageDir, or use OpenDir)"))
 	}
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
@@ -140,7 +151,11 @@ func OpenDir(dir string, opts ...Option) (*Engine, error) {
 // openPersisted opens cfg.storageDir through the storage subsystem and
 // wraps it in an engine that owns (and will Close) the file store.
 func openPersisted(cfg engineConfig) (*Engine, error) {
-	ix, err := storage.OpenIndex(cfg.storageDir, cfg.pool)
+	var opts []storage.OpenOption
+	if cfg.prefetchWorkers > 0 {
+		opts = append(opts, storage.WithPrefetchWorkers(cfg.prefetchWorkers))
+	}
+	ix, err := storage.OpenIndex(cfg.storageDir, cfg.pool, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -162,9 +177,10 @@ func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.poolSet || cfg.diskSet || cfg.storageDir != "" || cfg.index != DefaultIndexConfig() {
+	if cfg.poolSet || cfg.diskSet || cfg.storageDir != "" || cfg.prefetchWorkers > 0 ||
+		cfg.index != DefaultIndexConfig() {
 		cfg.errs = append(cfg.errs,
-			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPoolBytes/WithDiskParams/WithStorageDir)"))
+			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPoolBytes/WithDiskParams/WithStorageDir/WithPrefetch)"))
 	}
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
@@ -173,11 +189,15 @@ func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 }
 
 func newEngine(ix *Index, cfg engineConfig) *Engine {
-	return &Engine{
+	e := &Engine{
 		ix:   ix,
 		pool: ir.NewSearcherPool(ix, cfg.vectorSize, cfg.searchers),
 		cfg:  cfg,
 	}
+	if cfg.resultCache > 0 {
+		e.cache = newResultCache(cfg.resultCache)
+	}
+	return e
 }
 
 // Index exposes the underlying index for inspection (sizes, compression
@@ -187,47 +207,72 @@ func (e *Engine) Index() *Index { return e.ix }
 // Searchers returns the concurrency bound of the searcher pool.
 func (e *Engine) Searchers() int { return e.pool.Size() }
 
-// Search runs one keyword query. It is safe for concurrent use, honors ctx
-// cancellation and deadlines (a canceled context aborts the running plan
-// between vectors and returns ctx.Err()), and blocks while all pooled
-// searchers are busy.
-func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	var resp SearchResponse
+// admit validates a request and resolves its defaults: the terms must be
+// non-empty, K zero means DefaultK, negative K is rejected (consistently
+// with SearchBool), and the strategy is resolved against the index's
+// physical columns.
+func (e *Engine) admit(req SearchRequest) (int, Strategy, error) {
 	if len(req.Terms) == 0 {
-		return resp, errors.New("repro: search request has no terms")
+		return 0, 0, errors.New("repro: search request has no terms")
 	}
 	k := req.K
 	if k == 0 {
 		k = DefaultK
 	}
 	if k < 0 {
-		return resp, fmt.Errorf("repro: search request k=%d", k)
+		return 0, 0, fmt.Errorf("repro: search request k=%d", k)
 	}
 	strat, err := e.ix.Resolve(req.Strategy)
 	if err != nil {
-		return resp, err
+		return 0, 0, err
 	}
-	hits, stats, err := e.pool.Search(ctx, req.Terms, k, strat)
-	if err != nil {
-		return resp, err
+	return k, strat, nil
+}
+
+// Search runs one keyword query. It is safe for concurrent use, honors ctx
+// cancellation and deadlines (a canceled context aborts the running plan
+// between vectors and returns ctx.Err()), and blocks while all pooled
+// searchers are busy. With WithResultCache enabled, a repeat query is
+// answered from the cache without acquiring a searcher (the response's
+// Cached flag reports it).
+func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	resp.Hits = hits
-	resp.Stats = stats
-	resp.Strategy = strat
-	return resp, nil
+	// One-request batch: the admit → cache → execute → cache-put pipeline
+	// lives in searchBatched so the single and batched paths cannot
+	// diverge; the searcher (acquired only on a cache miss) goes straight
+	// back to the pool.
+	var s *ir.Searcher
+	r := e.searchBatched(ctx, &s, req)
+	if s != nil {
+		e.pool.Release(s)
+	}
+	return r.Response, r.Err
+}
+
+// ResultCacheStats returns the hit/miss counters and occupancy of the
+// engine result cache. It is zero-valued when the engine was opened
+// without WithResultCache.
+func (e *Engine) ResultCacheStats() ResultCacheStats {
+	if e.cache == nil {
+		return ResultCacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // SearchBool runs a parsed §3.2 boolean query (see ParseBoolQuery) under
-// the same concurrency and cancellation regime as Search.
+// the same concurrency and cancellation regime as Search. k zero means
+// DefaultK; a negative k is rejected, exactly as in Search.
 func (e *Engine) SearchBool(ctx context.Context, expr BoolExpr, k int) ([]Result, QueryStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if k <= 0 {
+	if k == 0 {
 		k = DefaultK
+	}
+	if k < 0 {
+		return nil, QueryStats{}, fmt.Errorf("repro: search request k=%d", k)
 	}
 	return e.pool.SearchBool(ctx, expr, k)
 }
@@ -254,13 +299,14 @@ func (e *Engine) ExplainPlan(ctx context.Context, terms []string, k int, strat S
 }
 
 // Close releases the engine. For engines the storage subsystem opened
-// (Open with WithStorageDir, OpenDir) this closes the index's file store —
-// open file handles are real resources now; for OpenIndex-wrapped indexes
-// the caller keeps ownership and Close touches nothing. The engine is
-// unusable afterwards either way.
+// (Open with WithStorageDir, OpenDir) this stops the prefetch workers (if
+// any) and closes the index's file store — open file handles and
+// goroutines are real resources now; for OpenIndex-wrapped indexes the
+// caller keeps ownership and Close touches nothing. The engine is unusable
+// afterwards either way.
 func (e *Engine) Close() error {
 	if e.ownsStore {
-		return e.ix.Store.Close()
+		return e.ix.Close()
 	}
 	return nil
 }

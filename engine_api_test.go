@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -211,6 +212,169 @@ func TestEngineStrategyResolution(t *testing.T) {
 	}
 	if resp, err := eng2.Search(context.Background(), SearchRequest{Terms: q.Terms}); err != nil || resp.Strategy != BM25TC {
 		t.Errorf("default on compressed-only index: %v %v", resp.Strategy, err)
+	}
+}
+
+// TestEngineNegativeK guards validation consistency across the public
+// entry points: Search and SearchBool must both reject a negative k (the
+// old SearchBool silently coerced it to DefaultK) and both treat zero as
+// DefaultK.
+func TestEngineNegativeK(t *testing.T) {
+	coll, eng := engineFixture(t)
+	ctx := context.Background()
+	q := coll.EfficiencyQueries(1, 12)[0]
+	if _, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: -1}); err == nil {
+		t.Error("Search accepted k=-1")
+	}
+	var term string
+	for tm := range eng.Index().Terms {
+		term = tm
+		break
+	}
+	expr, err := ParseBoolQuery(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.SearchBool(ctx, expr, -1); err == nil {
+		t.Error("SearchBool accepted k=-1")
+	}
+	if resp, err := eng.Search(ctx, SearchRequest{Terms: q.Terms}); err != nil || len(resp.Hits) > DefaultK {
+		t.Errorf("Search k=0: %d hits, err %v", len(resp.Hits), err)
+	}
+	if res, _, err := eng.SearchBool(ctx, expr, 0); err != nil || len(res) > DefaultK {
+		t.Errorf("SearchBool k=0: %d hits, err %v", len(res), err)
+	}
+}
+
+// TestEngineResultCache exercises the engine-level result cache: the
+// second identical query is a hit, term order does not matter, hits are
+// private copies, and — the point — a cached answer never touches the
+// searcher pool, proven by serving it while the engine's only searcher is
+// held hostage under an already-canceled context.
+func TestEngineResultCache(t *testing.T) {
+	coll, eng := engineFixture(t, WithSearchers(1), WithResultCache(8))
+	ctx := context.Background()
+	var q Query
+	for _, cand := range coll.EfficiencyQueries(20, 21) {
+		if len(cand.Terms) >= 2 {
+			q = cand
+			break
+		}
+	}
+	if len(q.Terms) < 2 {
+		t.Fatal("no multi-term query in the fixture")
+	}
+	req := SearchRequest{Terms: q.Terms, K: 10}
+
+	first, err := eng.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first lookup reported cached")
+	}
+	second, err := eng.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("repeat lookup missed the cache")
+	}
+	if len(second.Hits) != len(first.Hits) || second.Strategy != first.Strategy {
+		t.Errorf("cached response diverged: %d hits %v, want %d hits %v",
+			len(second.Hits), second.Strategy, len(first.Hits), first.Strategy)
+	}
+	// Term order is normalized out of the key.
+	rev := append([]string(nil), q.Terms...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if resp, err := eng.Search(ctx, SearchRequest{Terms: rev, K: 10}); err != nil || !resp.Cached {
+		t.Errorf("reordered terms missed the cache (cached=%v, err=%v)", resp.Cached, err)
+	}
+
+	// Hold the engine's ONLY searcher and cancel the context: a cold query
+	// cannot run, a cached one must still be answered.
+	s, err := eng.pool.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	resp, err := eng.Search(cctx, req)
+	if err != nil || !resp.Cached {
+		t.Fatalf("cache hit needed a searcher: cached=%v err=%v", resp.Cached, err)
+	}
+	other := coll.PrecisionQueries(1, 22)[0]
+	if _, err := eng.Search(cctx, SearchRequest{Terms: other.Terms, K: 10}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold query under canceled ctx and hostage searcher: %v", err)
+	}
+	eng.pool.Release(s)
+
+	// Returned hits are private copies: mutating one must not poison the
+	// cache entry.
+	second.Hits[0].Name = "mutated"
+	if resp, err := eng.Search(ctx, req); err != nil || resp.Hits[0].Name == "mutated" {
+		t.Errorf("cache entry aliased a caller's slice (err %v)", err)
+	}
+
+	st := eng.ResultCacheStats()
+	if st.Hits < 3 || st.Misses < 1 || st.Entries < 1 || st.Cap != 8 {
+		t.Errorf("cache stats: %+v", st)
+	}
+}
+
+// TestEngineSearchMany checks the batched path end to end: request order
+// is preserved, results match sequential Search, an invalid request fails
+// alone without sinking the batch, and batch stats add up.
+func TestEngineSearchMany(t *testing.T) {
+	coll, eng := engineFixture(t, WithSearchers(4))
+	ctx := context.Background()
+	queries := coll.EfficiencyQueries(32, 14)
+	reqs := make([]SearchRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = SearchRequest{Terms: q.Terms, K: 10, Strategy: BM25TCMQ8}
+	}
+	const bad = 5
+	reqs[bad] = SearchRequest{K: 10} // no terms
+
+	out, bs, err := eng.SearchMany(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(out), len(reqs))
+	}
+	if bs.Queries != len(reqs) || bs.Failed != 1 || bs.CacheHits != 0 {
+		t.Errorf("batch stats: %+v", bs)
+	}
+	if bs.Candidates <= 0 || bs.Wall <= 0 {
+		t.Errorf("batch accounting empty: %+v", bs)
+	}
+	for i := range reqs {
+		if i == bad {
+			if out[i].Err == nil {
+				t.Error("empty request did not fail")
+			}
+			continue
+		}
+		if out[i].Err != nil {
+			t.Fatalf("request %d: %v", i, out[i].Err)
+		}
+		want, err := eng.Search(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out[i].Response.Hits, want.Hits) || out[i].Response.Strategy != want.Strategy {
+			t.Errorf("request %d: batched and sequential results disagree", i)
+		}
+	}
+
+	// A dead context fails the batch as a whole.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := eng.SearchMany(cctx, reqs); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled batch: %v", err)
 	}
 }
 

@@ -123,6 +123,52 @@ func TestOpenDirServesWithoutCollection(t *testing.T) {
 	}
 }
 
+// TestEnginePrefetchEquivalence opens the same persisted index with and
+// without manifest-driven prefetch: identical rankings, and the prefetch
+// option is rejected where it cannot apply (no persisted storage).
+func TestEnginePrefetchEquivalence(t *testing.T) {
+	coll := smallCollection()
+	dir := filepath.Join(t.TempDir(), "ix")
+	ctx := context.Background()
+
+	plain, err := Open(coll, WithStorageDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	pre, err := OpenDir(dir, WithPrefetch(2), WithBufferPoolBytes(32<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range coll.PrecisionQueries(3, 29) {
+		for _, strat := range []Strategy{BM25TC, BM25TCMQ8} {
+			want, err := plain.Search(ctx, SearchRequest{Terms: q.Terms, K: 10, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pre.Search(ctx, SearchRequest{Terms: q.Terms, K: 10, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Hits, want.Hits) {
+				t.Errorf("query %v %v: prefetching engine diverged", q.Terms, strat)
+			}
+		}
+	}
+	// Close stops the read-ahead workers along with the store.
+	if err := pre.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prefetch without persisted storage is a configuration error.
+	if _, err := Open(coll, WithPrefetch(2)); err == nil {
+		t.Error("WithPrefetch accepted without WithStorageDir")
+	}
+	if _, err := OpenIndex(plain.Index(), WithPrefetch(2)); err == nil {
+		t.Error("OpenIndex accepted WithPrefetch")
+	}
+}
+
 func TestLoadIndexRoundTrip(t *testing.T) {
 	coll := smallCollection()
 	ix, err := BuildIndex(coll, DefaultIndexConfig())

@@ -62,27 +62,47 @@ func (c *Cursor) Read(dst *vector.Vector, start, n int) error {
 	return nil
 }
 
+// ChunkKey is the cache key of chunk ci of a blob — the shared naming
+// contract between cursors (which demand-page) and prefetchers (which warm
+// the same cache ahead of them).
+func ChunkKey(blob string, ci int) string {
+	return fmt.Sprintf("%s#%d", blob, ci)
+}
+
+// ParseCachedChunk converts raw chunk bytes, exactly as stored, into the
+// in-cache form: block encodings get their header parsed once at load time
+// (a cheap decode), everything else stays raw. The raw slice must be owned
+// by the chunk — callers batching several chunks out of one large read must
+// hand each chunk a private copy.
+func ParseCachedChunk(spec *ColumnSpec, raw []byte) (*CachedChunk, error) {
+	ch := &CachedChunk{Size: int64(len(raw))}
+	if spec.Type == vector.Int64 && isBlockEncoding(spec.Enc) {
+		bl, err := compress.Unmarshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		ch.Block = bl
+	} else {
+		ch.Raw = raw
+	}
+	return ch, nil
+}
+
 // loadChunk returns the cached chunk ci, fetching it through the chunk
 // cache on a miss. The whole chunk is read from the block store in one
 // request — large sequential I/O — and cached in compressed form; the
 // cache (buffer manager) owns admission, eviction, and fetch deduplication.
 func (c *Cursor) loadChunk(ci int) (*CachedChunk, error) {
-	key := fmt.Sprintf("%s#%d", c.col.blobName, ci)
+	key := ChunkKey(c.col.blobName, ci)
 	return c.col.cache.GetChunk(key, func() (*CachedChunk, error) {
 		m := c.col.chunks[ci]
 		raw, err := c.col.store.Read(c.col.blobName, m.off, m.size)
 		if err != nil {
 			return nil, err
 		}
-		ch := &CachedChunk{Size: int64(m.size)}
-		if c.col.Spec.Type == vector.Int64 && isBlockEncoding(c.col.Spec.Enc) {
-			bl, err := compress.Unmarshal(raw)
-			if err != nil {
-				return nil, fmt.Errorf("colbm: chunk %s: %w", key, err)
-			}
-			ch.Block = bl
-		} else {
-			ch.Raw = raw
+		ch, err := ParseCachedChunk(&c.col.Spec, raw)
+		if err != nil {
+			return nil, fmt.Errorf("colbm: chunk %s: %w", key, err)
 		}
 		return ch, nil
 	})

@@ -59,6 +59,22 @@ type ChunkCache interface {
 	ResetStats()
 }
 
+// Prefetcher warms a ChunkCache ahead of a scan: a searcher about to read
+// the value rows [startRow, endRow) of a column hands the range over, and
+// the prefetcher arranges for the covering chunks (whose extents the index
+// manifest records) to be fetched — batched into large sequential reads, on
+// its own workers — before the cursor demand-pages them one at a time.
+// Prefetch is advisory and must never block the caller for the duration of
+// the I/O; implementations must be safe for concurrent use. A nil
+// Prefetcher means demand paging only. storage.Prefetcher is the real
+// implementation.
+type Prefetcher interface {
+	Prefetch(col *Column, startRow, endRow int)
+	// Close stops the workers and waits for in-flight fetches to settle;
+	// Prefetch calls after Close are no-ops.
+	Close() error
+}
+
 // BufferPool is the simple LRU ChunkCache paired with SimDisk: eviction is
 // least-recently-used by compressed size, and concurrent misses on the same
 // key may load twice (the simulated disk has no latency worth

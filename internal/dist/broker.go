@@ -13,13 +13,19 @@ import (
 	"repro/internal/ir"
 )
 
-// Timing reports one broadcast query: the end-to-end total and each
+// Timing reports one broadcast round trip: the end-to-end total and each
 // server's response time (request written to response decoded). The
 // max-vs-min spread across PerServer is the Table 3 story: per-query
 // latency tracks the slowest partition.
 type Timing struct {
 	Total     time.Duration
 	PerServer []time.Duration
+	// Stats are the query stats merged across servers for single-query
+	// Search: Wall is the slowest server's (latency tracks max), SimIO and
+	// Candidates are summed, SecondPass is set when any server needed the
+	// second pass. SearchMany reports stats per query in its BatchResults
+	// instead and leaves this zero.
+	Stats ir.QueryStats
 }
 
 // Broker fans queries out to every server of a cluster and merges the
@@ -149,10 +155,40 @@ func (b *Broker) Search(terms []string, k int, strat ir.Strategy) ([]ir.Result, 
 
 // SearchContext is Search under a context: cancellation and deadlines
 // apply to every server round-trip, and the remaining deadline is
-// forwarded so servers stop working for callers that gave up.
+// forwarded so servers stop working for callers that gave up. It is a
+// batch of one: the returned Timing carries the per-server response times
+// and the cross-server merged stats.
 func (b *Broker) SearchContext(ctx context.Context, terms []string, k int, strat ir.Strategy) ([]ir.Result, Timing, error) {
+	res, timing, err := b.SearchMany(ctx, []Request{{Terms: terms, K: k, Strategy: strat}})
+	if err != nil {
+		return nil, timing, err
+	}
+	if res[0].Err != nil {
+		return nil, timing, res[0].Err
+	}
+	timing.Stats = res[0].Stats
+	return res[0].Results, timing, nil
+}
+
+// SearchMany broadcasts a whole batch of queries in ONE round trip per
+// server — each server executes its slice of work concurrently through its
+// searcher pool — and merges every query's per-server top-k lists into the
+// global rankings. This replaces len(reqs) sequential round trips per
+// server with one, so batch latency approaches the slowest server's batch
+// time instead of the sum of per-query round trips. Results are returned
+// in request order with per-request errors; the error return is reserved
+// for transport-level failure (any server connection breaking fails the
+// batch, as in Search).
+func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult, Timing, error) {
 	timing := Timing{PerServer: make([]time.Duration, len(b.conns))}
-	req := wireRequest{Terms: terms, K: k, Strategy: int(strat)}
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, timing, nil
+	}
+	wreq := wireRequest{Queries: make([]wireQuery, len(reqs))}
+	for i, r := range reqs {
+		wreq.Queries[i] = wireQuery{Terms: r.Terms, K: r.K, Strategy: int(r.Strategy)}
+	}
 	start := time.Now()
 
 	type reply struct {
@@ -164,29 +200,41 @@ func (b *Broker) SearchContext(ctx context.Context, terms []string, k int, strat
 	for i, sc := range b.conns {
 		go func(i int, sc *srvConn) {
 			t0 := time.Now()
-			resp, err := sc.roundTrip(ctx, req)
+			resp, err := sc.roundTrip(ctx, wreq)
 			timing.PerServer[i] = time.Since(t0)
 			replies <- reply{i: i, resp: resp, err: err}
 		}(i, sc)
 	}
 
-	var merged []ir.Result
 	var firstErr error
 	for range b.conns {
 		r := <-replies
-		switch {
-		case r.err != nil:
+		if r.err != nil {
 			if firstErr == nil {
 				firstErr = r.err
 			}
-		case r.resp.Err != "":
+			continue
+		}
+		if len(r.resp.Queries) != len(reqs) {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("dist: server %d: %s", r.i, r.resp.Err)
+				firstErr = fmt.Errorf("dist: server %d answered %d of %d queries",
+					r.i, len(r.resp.Queries), len(reqs))
 			}
-		default:
-			for _, wr := range r.resp.Results {
-				merged = append(merged, ir.Result{DocID: wr.DocID, Name: wr.Name, Score: wr.Score})
+			continue
+		}
+		for qi := range r.resp.Queries {
+			a := &r.resp.Queries[qi]
+			if a.Err != "" {
+				if out[qi].Err == nil {
+					out[qi].Err = fmt.Errorf("dist: server %d: %s", r.i, a.Err)
+				}
+				continue
 			}
+			for _, wr := range a.Results {
+				out[qi].Results = append(out[qi].Results,
+					ir.Result{DocID: wr.DocID, Name: wr.Name, Score: wr.Score})
+			}
+			mergeStats(&out[qi].Stats, a)
 		}
 	}
 	timing.Total = time.Since(start)
@@ -197,17 +245,37 @@ func (b *Broker) SearchContext(ctx context.Context, terms []string, k int, strat
 		return nil, timing, firstErr
 	}
 
-	// Global ranking: partitions are disjoint, so the merge is a plain
-	// top-k selection ordered like the single-node TopN (score desc,
+	// Global ranking per query: partitions are disjoint, so each merge is a
+	// plain top-k selection ordered like the single-node TopN (score desc,
 	// docid asc).
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Score != merged[j].Score {
-			return merged[i].Score > merged[j].Score
+	for qi := range out {
+		if out[qi].Err != nil {
+			out[qi].Results = nil
+			continue
 		}
-		return merged[i].DocID < merged[j].DocID
-	})
-	if len(merged) > k {
-		merged = merged[:k]
+		merged := out[qi].Results
+		sort.Slice(merged, func(i, j int) bool {
+			if merged[i].Score != merged[j].Score {
+				return merged[i].Score > merged[j].Score
+			}
+			return merged[i].DocID < merged[j].DocID
+		})
+		if k := reqs[qi].K; k > 0 && len(merged) > k {
+			merged = merged[:k]
+		}
+		out[qi].Results = merged
 	}
-	return merged, timing, nil
+	return out, timing, nil
+}
+
+// mergeStats folds one server's answer into a query's cross-server stats:
+// per-query latency tracks the slowest server (max wall), while I/O and
+// candidate work add up, and a second pass anywhere marks the query.
+func mergeStats(dst *ir.QueryStats, a *wireAnswer) {
+	if w := time.Duration(a.WallNanos); w > dst.Wall {
+		dst.Wall = w
+	}
+	dst.SimIO += time.Duration(a.SimIONanos)
+	dst.SecondPass = dst.SecondPass || a.SecondPass
+	dst.Candidates += a.Candidates
 }

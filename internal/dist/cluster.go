@@ -107,8 +107,10 @@ func BuildPartitions(c *corpus.Collection, n int, cfg ir.BuildConfig, baseDir st
 // rebuilt and no collection is needed: each server reads its manifest and
 // serves, with posting data streaming in through a buffer manager with
 // poolBytes budget (0 = unbounded) as queries arrive — the cold-start
-// path a production fleet restarts through. Opens run in parallel.
-func StartClusterFromDirs(dirs []string, poolBytes int64) (*Cluster, error) {
+// path a production fleet restarts through. Storage options (e.g.
+// storage.WithPrefetchWorkers) apply to every partition. Opens run in
+// parallel.
+func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...storage.OpenOption) (*Cluster, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("dist: no partition directories")
 	}
@@ -119,7 +121,7 @@ func StartClusterFromDirs(dirs []string, poolBytes int64) (*Cluster, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ix, err := storage.OpenIndex(dirs[i], poolBytes)
+			ix, err := storage.OpenIndex(dirs[i], poolBytes, opts...)
 			if err != nil {
 				errs[i] = err
 				return
@@ -171,17 +173,17 @@ func (cl *Cluster) Sub(n int) *Cluster {
 	return &Cluster{Servers: cl.Servers[:n], Addrs: cl.Addrs[:n]}
 }
 
-// WarmAll runs the queries on every server locally (no network), leaving
-// all buffer pools hot — the precondition of the Table 3 measurements.
-// Servers warm in parallel.
-func (cl *Cluster) WarmAll(strat ir.Strategy, queries []corpus.Query) error {
+// WarmAll runs the queries on every server locally (no network) at result
+// depth k, leaving all buffer pools hot — the precondition of the Table 3
+// measurements. Servers warm in parallel.
+func (cl *Cluster) WarmAll(strat ir.Strategy, queries []corpus.Query, k int) error {
 	errs := make([]error, len(cl.Servers))
 	var wg sync.WaitGroup
 	for i, s := range cl.Servers {
 		wg.Add(1)
 		go func(i int, s *Server) {
 			defer wg.Done()
-			errs[i] = s.Warm(strat, queries)
+			errs[i] = s.Warm(strat, queries, k)
 		}(i, s)
 	}
 	wg.Wait()
@@ -231,6 +233,8 @@ func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.S
 		latency                time.Duration
 		minSrv, avgSrv, maxSrv time.Duration
 		n                      int
+		secondPass             int
+		candidates             int64
 		err                    error
 	}
 	accs := make([]acc, streams)
@@ -248,6 +252,10 @@ func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.S
 					a.err = err
 					return
 				}
+				if timing.Stats.SecondPass {
+					a.secondPass++
+				}
+				a.candidates += timing.Stats.Candidates
 				a.latency += timing.Total
 				min, max, sum := timing.PerServer[0], timing.PerServer[0], time.Duration(0)
 				for _, d := range timing.PerServer {
@@ -280,6 +288,8 @@ func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.S
 		avgSrv += a.avgSrv
 		maxSrv += a.maxSrv
 		n += a.n
+		st.SecondPass += a.secondPass
+		st.Candidates += a.candidates
 	}
 	if n > 0 {
 		st.Absolute = latency / time.Duration(n)

@@ -25,24 +25,45 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/ir"
 )
 
-// wireRequest is one query as sent broker -> server.
+// wireRequest is one broker -> server message: a batch of queries the
+// server executes concurrently through its searcher pool. Single-query
+// Search sends a batch of one; Broker.SearchMany ships a whole batch in
+// one round trip per server instead of one per query.
 type wireRequest struct {
-	Terms    []string
-	K        int
-	Strategy int
-	// TimeoutNanos, when positive, bounds server-side execution — the
-	// broker forwards the remaining client deadline so a server does not
-	// keep burning CPU for a caller that has already given up.
+	Queries []wireQuery
+	// TimeoutNanos, when positive, bounds server-side execution of the
+	// whole batch — the broker forwards the remaining client deadline so a
+	// server does not keep burning CPU for a caller that has already given
+	// up.
 	TimeoutNanos int64
 }
 
-// wireResponse is one server's answer.
+// wireQuery is one query inside a batch.
+type wireQuery struct {
+	Terms    []string
+	K        int
+	Strategy int
+}
+
+// wireResponse answers a wireRequest, one entry per query in request
+// order.
 type wireResponse struct {
+	Queries []wireAnswer
+}
+
+// wireAnswer is one query's results plus the complete per-query stats.
+// SecondPass and Candidates ride the wire alongside the timings so
+// broker-side accounting matches server-side reality (they used to be
+// silently dropped, under-reporting RunStats).
+type wireAnswer struct {
 	Results    []wireResult
 	WallNanos  int64
 	SimIONanos int64
+	SecondPass bool
+	Candidates int64
 	Err        string
 }
 
@@ -54,10 +75,34 @@ type wireResult struct {
 	Score float64
 }
 
+// Request is one query of a broker batch (see Broker.SearchMany): the
+// distributed mirror of repro.SearchRequest.
+type Request struct {
+	Terms    []string
+	K        int
+	Strategy ir.Strategy
+}
+
+// BatchResult is one request's outcome within Broker.SearchMany: the
+// globally merged ranking, the stats merged across servers (wall = slowest
+// server, I/O and candidates summed, second-pass ORed), or a per-request
+// error.
+type BatchResult struct {
+	Results []ir.Result
+	Stats   ir.QueryStats
+	Err     error
+}
+
 // RunStats aggregates a batch run over a cluster — the columns of Table 3.
 type RunStats struct {
 	Queries int // queries executed
 	Streams int // concurrent query streams
+
+	// SecondPass counts queries for which at least one server needed the
+	// disjunctive second pass; Candidates sums scored candidates across all
+	// servers and queries. Both arrive over the wire per answer.
+	SecondPass int
+	Candidates int64
 
 	// Total is the wall time of the whole batch; Amortized is Total /
 	// Queries (throughput accounting — it keeps falling as streams are

@@ -81,7 +81,7 @@ func TestRunStreamsAndSub(t *testing.T) {
 	}
 	defer cl.Close()
 	queries := c.EfficiencyQueries(24, 3)
-	if err := cl.WarmAll(ir.BM25TCMQ8, queries[:8]); err != nil {
+	if err := cl.WarmAll(ir.BM25TCMQ8, queries[:8], 10); err != nil {
 		t.Fatal(err)
 	}
 	st, err := cl.RunStreams(queries, 3, 10, ir.BM25TCMQ8)
@@ -108,6 +108,109 @@ func TestRunStreamsAndSub(t *testing.T) {
 	// Sub views do not own the servers: the full cluster must still work.
 	if _, err := cl.RunStreams(queries[:4], 1, 5, ir.BM25TCMQ8); err != nil {
 		t.Fatalf("cluster dead after sub close: %v", err)
+	}
+}
+
+// TestWireCarriesFullStats guards the wire protocol against dropping
+// QueryStats fields: SecondPass and Candidates must survive the round trip
+// through a live cluster (they used to be silently zeroed broker-side) and
+// must aggregate into RunStats.
+func TestWireCarriesFullStats(t *testing.T) {
+	c := testCollection(t)
+	cl, err := StartCluster(c, 2, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	brk, err := Dial(cl.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	// A multi-term query at k beyond the partition sizes: the conjunctive
+	// pass can never satisfy it, so every server reports a second pass.
+	var q corpus.Query
+	for _, cand := range c.EfficiencyQueries(50, 23) {
+		if len(cand.Terms) >= 2 {
+			q = cand
+			break
+		}
+	}
+	if len(q.Terms) < 2 {
+		t.Fatal("no multi-term query in the fixture")
+	}
+	k := len(c.DocLens) + 1
+	_, timing, err := brk.SearchContext(context.Background(), q.Terms, k, ir.BM25TCMQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timing.Stats.SecondPass {
+		t.Error("SecondPass lost on the wire")
+	}
+	if timing.Stats.Candidates <= 0 {
+		t.Error("Candidates lost on the wire")
+	}
+	if timing.Stats.Wall <= 0 {
+		t.Error("per-server wall time not merged")
+	}
+
+	st, err := cl.RunStreams([]corpus.Query{q}, 1, k, ir.BM25TCMQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SecondPass != 1 || st.Candidates <= 0 {
+		t.Errorf("RunStats under-reports the wire stats: %+v", st)
+	}
+}
+
+// TestBrokerSearchMany checks the pipelined batch path: one round trip per
+// server must produce, per query, exactly the merged ranking the
+// query-at-a-time path produces.
+func TestBrokerSearchMany(t *testing.T) {
+	c := testCollection(t)
+	cl, err := StartCluster(c, 3, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	brk, err := Dial(cl.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	queries := c.EfficiencyQueries(12, 31)
+	reqs := make([]Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = Request{Terms: q.Terms, K: 10, Strategy: ir.BM25TCMQ8}
+	}
+	out, timing, err := brk.SearchMany(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(reqs) || len(timing.PerServer) != 3 {
+		t.Fatalf("batch shape: %d results, %d server timings", len(out), len(timing.PerServer))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		want, _, err := brk.Search(queries[i].Terms, 10, ir.BM25TCMQ8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Results) != len(want) {
+			t.Fatalf("query %d: %d batched results, %d sequential", i, len(r.Results), len(want))
+		}
+		for j := range want {
+			if r.Results[j].DocID != want[j].DocID {
+				t.Errorf("query %d rank %d: %d != %d", i, j, r.Results[j].DocID, want[j].DocID)
+			}
+		}
+		if r.Stats.Candidates <= 0 || r.Stats.Wall <= 0 {
+			t.Errorf("query %d: empty merged stats %+v", i, r.Stats)
+		}
 	}
 }
 

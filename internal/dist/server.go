@@ -44,7 +44,7 @@ func startServer(part *corpus.Collection, cfg ir.BuildConfig) (*Server, error) {
 func serveIndex(ix *ir.Index) (*Server, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		ix.Store.Close()
+		ix.Close()
 		return nil, err
 	}
 	s := &Server{
@@ -64,12 +64,12 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Index exposes the partition index (sizes, statistics).
 func (s *Server) Index() *ir.Index { return s.ix }
 
-// Warm runs the queries locally (no network) so later measurements see a
-// hot buffer pool.
-func (s *Server) Warm(strat ir.Strategy, queries []corpus.Query) error {
+// Warm runs the queries locally (no network) at result depth k so later
+// measurements see a buffer pool warmed by the same plans they will run.
+func (s *Server) Warm(strat ir.Strategy, queries []corpus.Query, k int) error {
 	ctx := context.Background()
 	for _, q := range queries {
-		if _, _, err := s.pool.Search(ctx, q.Terms, 20, strat); err != nil {
+		if _, _, err := s.pool.Search(ctx, q.Terms, k, strat); err != nil {
 			return err
 		}
 	}
@@ -94,9 +94,10 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
-	// The server owns its partition index: release its storage (a no-op
-	// for simulated disks, real file handles for persisted partitions).
-	if cerr := s.ix.Store.Close(); err == nil {
+	// The server owns its partition index: release its resources (a no-op
+	// for simulated disks; real file handles and prefetch workers for
+	// persisted partitions).
+	if cerr := s.ix.Close(); err == nil {
 		err = cerr
 	}
 	return err
@@ -164,6 +165,9 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
+// answer executes one wire request. A batch of one runs inline; a larger
+// batch fans across goroutines, with the searcher pool bounding actual
+// parallelism — the server-side half of the SearchMany pipeline.
 func (s *Server) answer(req *wireRequest) wireResponse {
 	ctx := context.Background()
 	if req.TimeoutNanos > 0 {
@@ -171,18 +175,40 @@ func (s *Server) answer(req *wireRequest) wireResponse {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
 		defer cancel()
 	}
-	results, stats, err := s.pool.Search(ctx, req.Terms, req.K, ir.Strategy(req.Strategy))
-	resp := wireResponse{
-		WallNanos:  stats.Wall.Nanoseconds(),
-		SimIONanos: stats.SimIO.Nanoseconds(),
-	}
-	if err != nil {
-		resp.Err = err.Error()
+	resp := wireResponse{Queries: make([]wireAnswer, len(req.Queries))}
+	if len(req.Queries) == 1 {
+		resp.Queries[0] = s.answerOne(ctx, &req.Queries[0])
 		return resp
 	}
-	resp.Results = make([]wireResult, len(results))
-	for i, r := range results {
-		resp.Results[i] = wireResult{DocID: r.DocID, Name: r.Name, Score: r.Score}
+	var wg sync.WaitGroup
+	for i := range req.Queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Queries[i] = s.answerOne(ctx, &req.Queries[i])
+		}(i)
 	}
+	wg.Wait()
 	return resp
+}
+
+// answerOne executes one query of a batch, forwarding the full per-query
+// stats (wall, simulated I/O, second pass, candidates) onto the wire.
+func (s *Server) answerOne(ctx context.Context, q *wireQuery) wireAnswer {
+	results, stats, err := s.pool.Search(ctx, q.Terms, q.K, ir.Strategy(q.Strategy))
+	a := wireAnswer{
+		WallNanos:  stats.Wall.Nanoseconds(),
+		SimIONanos: stats.SimIO.Nanoseconds(),
+		SecondPass: stats.SecondPass,
+		Candidates: stats.Candidates,
+	}
+	if err != nil {
+		a.Err = err.Error()
+		return a
+	}
+	a.Results = make([]wireResult, len(results))
+	for i, r := range results {
+		a.Results[i] = wireResult{DocID: r.DocID, Name: r.Name, Score: r.Score}
+	}
+	return a
 }

@@ -148,6 +148,12 @@ type Index struct {
 	Store colbm.BlockStore
 	Cache colbm.ChunkCache
 
+	// Prefetcher, when non-nil, receives the posting ranges a plan is about
+	// to scan so the covering chunks stream into the Cache ahead of the
+	// cursors (storage.OpenIndex installs one when prefetch is enabled). Nil
+	// means demand paging only.
+	Prefetcher colbm.Prefetcher
+
 	cfg BuildConfig
 }
 
@@ -327,6 +333,21 @@ func RestoreIndex(td, d *colbm.Table, terms map[string]TermInfo, params primitiv
 // facade, the distributed broker) discover which physical columns — and
 // therefore which strategies — this index supports.
 func (ix *Index) Config() BuildConfig { return ix.cfg }
+
+// Close releases the index's resources: the prefetch workers (if any) are
+// stopped first so no read-ahead lands on a closed store, then the store
+// itself is closed (a no-op for simulated disks, real file handles for
+// persisted indexes). The index is unusable afterwards.
+func (ix *Index) Close() error {
+	var err error
+	if ix.Prefetcher != nil {
+		err = ix.Prefetcher.Close()
+	}
+	if cerr := ix.Store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // NumDocs returns the collection size.
 func (ix *Index) NumDocs() int { return ix.D.N }

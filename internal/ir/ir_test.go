@@ -379,6 +379,67 @@ func TestTwoPassActuallySkipsSecondPass(t *testing.T) {
 	}
 }
 
+// TestSingleTermRunsOnePass guards the single-term fast path of every
+// two-pass strategy: with one query term the conjunctive and disjunctive
+// plans are the identical shape (there is no join to relax), so the second
+// pass must be skipped even when fewer than k results exist. Previously
+// the identical plan ran twice, doubling single-term tail latency and
+// skewing SecondPass/Candidates accounting.
+func TestSingleTermRunsOnePass(t *testing.T) {
+	_, ix := getIndex(t)
+	// A term whose posting list is shorter than k: the old code re-ran the
+	// identical disjunctive plan here.
+	var term string
+	var ftd int
+	for tm, ti := range ix.Terms {
+		if n := ti.End - ti.Start; n >= 5 && n < 40 {
+			term, ftd = tm, n
+			break
+		}
+	}
+	if term == "" {
+		t.Fatal("no suitably rare term in the fixture")
+	}
+	const k = 50
+	s := NewSearcher(ix, 0)
+	for _, strat := range []Strategy{BM25T, BM25TC, BM25TCM, BM25TCMQ8} {
+		res, st, err := s.Search([]string{term}, k, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != ftd {
+			t.Errorf("%v: %d results for a term with %d postings", strat, len(res), ftd)
+		}
+		if st.SecondPass {
+			t.Errorf("%v: second pass ran for a single-term query", strat)
+		}
+		// Candidates counts tuples reaching TopN: one pass over the posting
+		// range scores exactly ftd candidates; the old double pass scored
+		// 2*ftd.
+		if st.Candidates != int64(ftd) {
+			t.Errorf("%v: %d candidates scored, want %d (exactly one pass)",
+				strat, st.Candidates, ftd)
+		}
+	}
+	// Multi-term queries must still fall back to the second pass when the
+	// conjunction starves: at k beyond the collection size the first pass
+	// can never satisfy it.
+	terms := []string{term}
+	for tm := range ix.Terms {
+		if tm != term {
+			terms = append(terms, tm)
+			break
+		}
+	}
+	_, st, err := s.Search(terms, ix.NumDocs()+1, BM25TCMQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SecondPass {
+		t.Error("multi-term starved conjunction did not trigger the second pass")
+	}
+}
+
 func TestColdHotQueryCost(t *testing.T) {
 	c, ix := getIndex(t)
 	s := NewSearcher(ix, 0)

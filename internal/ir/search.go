@@ -192,6 +192,7 @@ func (s *Searcher) searchInner(terms []string, k int, strat Strategy, stats *Que
 		strat = resolved
 	}
 	infos, missing := s.resolve(terms)
+	s.prefetchRanges(infos, strat)
 	switch strat {
 	case BoolAND:
 		if missing {
@@ -212,6 +213,51 @@ func (s *Searcher) searchInner(terms []string, k int, strat Strategy, stats *Que
 		return s.searchMaterialized(infos, k, true, stats)
 	default:
 		return nil, fmt.Errorf("ir: unknown strategy %d", strat)
+	}
+}
+
+// prefetchRanges hands the posting ranges the strategy's plan is about to
+// scan — one per term, over each physical column the plan reads — to the
+// index's prefetcher, so chunk data streams in ahead of the cursors. A nil
+// prefetcher (in-memory indexes, prefetch disabled) makes this a no-op.
+func (s *Searcher) prefetchRanges(infos []TermInfo, strat Strategy) {
+	pf := s.ix.Prefetcher
+	if pf == nil || len(infos) == 0 {
+		return
+	}
+	var names []string
+	switch strat {
+	case BoolAND, BoolOR:
+		names = []string{ColDocID32}
+	case BM25, BM25T:
+		names = []string{ColDocID32, ColTF32}
+	case BM25TC:
+		names = []string{ColDocIDC, ColTFC}
+	case BM25TCM:
+		names = []string{ColDocIDC, ColScore}
+	case BM25TCMQ8:
+		names = []string{ColDocIDC, ColQScore}
+	default:
+		return
+	}
+	for _, name := range names {
+		col, err := s.ix.TD.Column(name)
+		if err != nil {
+			continue
+		}
+		for _, ti := range infos {
+			pf.Prefetch(col, ti.Start, ti.End)
+		}
+	}
+	// The unmaterialized ranked plans also merge-join the whole document
+	// table for lengths — a full sequential scan, the best case for
+	// read-ahead.
+	if strat == BM25 || strat == BM25T || strat == BM25TC {
+		for _, name := range []string{"docid", "len"} {
+			if col, err := s.ix.D.Column(name); err == nil {
+				pf.Prefetch(col, 0, col.N)
+			}
+		}
 	}
 }
 
@@ -407,21 +453,19 @@ func (s *Searcher) searchMaterialized(infos []TermInfo, k int, quantized bool, s
 		return nil, nil
 	}
 	// First pass: conjunctive. Second pass: disjunctive (two-pass is part
-	// of the cumulative ladder, so M and Q8 inherit it).
-	for _, inner := range []bool{true, false} {
-		res, err := s.materializedPass(infos, k, quantized, inner, stats)
-		if err != nil {
-			return nil, err
-		}
-		if inner && len(res) >= k {
-			return res, nil
-		}
-		if !inner {
-			return res, nil
-		}
-		stats.SecondPass = true
+	// of the cumulative ladder, so M and Q8 inherit it). With a single term
+	// the two passes are the same plan shape — there is no join to relax —
+	// so the disjunctive re-run would scan the identical range again for
+	// the identical result; skip it.
+	res, err := s.materializedPass(infos, k, quantized, true, stats)
+	if err != nil {
+		return nil, err
 	}
-	return nil, nil
+	if len(res) >= k || len(infos) == 1 {
+		return res, nil
+	}
+	stats.SecondPass = true
+	return s.materializedPass(infos, k, quantized, false, stats)
 }
 
 func (s *Searcher) materializedPass(infos []TermInfo, k int, quantized, inner bool, stats *QueryStats) ([]Result, error) {
@@ -470,7 +514,9 @@ func (s *Searcher) searchTwoPass(infos []TermInfo, k int, compressed bool, stats
 	if err != nil {
 		return nil, err
 	}
-	if len(res) >= k {
+	// A single-term disjunctive pass is the identical plan (no join to
+	// relax), so re-running it can only repeat the same result: skip it.
+	if len(res) >= k || len(infos) == 1 {
 		return res, nil
 	}
 	stats.SecondPass = true

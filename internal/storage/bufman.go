@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/colbm"
@@ -45,6 +46,11 @@ type fetch struct {
 	done  chan struct{}
 	chunk *colbm.CachedChunk
 	err   error
+	// sharers counts callers that coalesced onto this load. A chunk that
+	// had waiters is hot by definition, so it is admitted with its CLOCK
+	// reference bit already set — otherwise the most contended chunk would
+	// be the first eviction candidate.
+	sharers int
 }
 
 // NewManager returns a buffer manager with the given budget in bytes. A
@@ -66,43 +72,114 @@ func (m *Manager) Budget() int64 { return m.budget }
 // runs load (without the manager lock held); every concurrent caller for
 // the same key waits on that load and shares its result, so a thundering
 // herd of cold queries costs one disk fetch per chunk, not one per query.
+// A failed *shared* fetch (e.g. a dropped prefetch batch) does not fail
+// the waiters: they retry, and one of them becomes the loader.
 func (m *Manager) GetChunk(key string, load func() (*colbm.CachedChunk, error)) (*colbm.CachedChunk, error) {
-	m.mu.Lock()
-	if f, ok := m.frames[key]; ok {
-		f.ref = true
-		m.hits++
-		c := f.chunk
+	var fl *fetch
+	for {
+		m.mu.Lock()
+		if f, ok := m.frames[key]; ok {
+			f.ref = true
+			m.hits++
+			c := f.chunk
+			m.mu.Unlock()
+			return c, nil
+		}
+		if wait, ok := m.inflight[key]; ok {
+			wait.sharers++
+			m.shared++
+			m.mu.Unlock()
+			<-wait.done
+			if wait.err == nil {
+				// A successful shared wait is a hit for warm-rate purposes:
+				// this caller paid no store fetch of its own. A failed one
+				// counts as whatever the retry turns into.
+				m.mu.Lock()
+				m.hits++
+				m.mu.Unlock()
+				return wait.chunk, nil
+			}
+			continue // the load failed on its owner; retry as our own
+		}
+		m.misses++
+		fl = &fetch{done: make(chan struct{})}
+		m.inflight[key] = fl
 		m.mu.Unlock()
-		return c, nil
+		break
 	}
-	if fl, ok := m.inflight[key]; ok {
-		m.shared++
-		m.mu.Unlock()
-		<-fl.done
-		return fl.chunk, fl.err
-	}
-	m.misses++
-	fl := &fetch{done: make(chan struct{})}
-	m.inflight[key] = fl
-	m.mu.Unlock()
 
 	fl.chunk, fl.err = load()
 
 	m.mu.Lock()
 	delete(m.inflight, key)
 	if fl.err == nil && fl.chunk != nil {
-		m.insertLocked(key, fl.chunk)
+		m.insertLocked(key, fl.chunk, fl.sharers > 0)
 	}
 	m.mu.Unlock()
 	close(fl.done)
 	return fl.chunk, fl.err
 }
 
-// insertLocked admits a chunk, evicting as needed to respect the budget.
-// Oversized chunks (bigger than the whole budget) are admitted
-// transiently: they evict everything else and fall out on the next insert,
-// which keeps the manager useful under pathological budgets.
-func (m *Manager) insertLocked(key string, c *colbm.CachedChunk) {
+// BeginFetch claims keys for a batched fetch: the returned subset holds the
+// keys that are neither resident nor already being fetched, each now
+// registered as in flight — demand readers (GetChunk) arriving before the
+// batch lands wait on it instead of issuing duplicate store reads. Claimed
+// keys are counted as misses (they are about to cost a store fetch). The
+// caller MUST follow with EndFetch covering every claimed key, even on
+// failure, or waiters hang. The returned keys preserve input order.
+func (m *Manager) BeginFetch(keys []string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var claimed []string
+	for _, key := range keys {
+		if _, ok := m.frames[key]; ok {
+			continue
+		}
+		if _, ok := m.inflight[key]; ok {
+			continue
+		}
+		m.misses++
+		m.inflight[key] = &fetch{done: make(chan struct{})}
+		claimed = append(claimed, key)
+	}
+	return claimed
+}
+
+// EndFetch completes a BeginFetch for a subset of its claimed keys: each
+// key's chunk is admitted (reference bit set if demand readers were already
+// waiting) and its waiters are woken. A key missing from chunks — or every
+// key, when err is non-nil — fails its waiters instead; they will retry
+// through the demand path. Keys never claimed are ignored.
+func (m *Manager) EndFetch(claimed []string, chunks map[string]*colbm.CachedChunk, err error) {
+	var done []*fetch
+	m.mu.Lock()
+	for _, key := range claimed {
+		fl, ok := m.inflight[key]
+		if !ok {
+			continue
+		}
+		delete(m.inflight, key)
+		fl.chunk, fl.err = chunks[key], err
+		if fl.err == nil && fl.chunk == nil {
+			fl.err = fmt.Errorf("storage: batched fetch did not deliver chunk %q", key)
+		}
+		if fl.err == nil {
+			m.insertLocked(key, fl.chunk, fl.sharers > 0)
+		}
+		done = append(done, fl)
+	}
+	m.mu.Unlock()
+	for _, fl := range done {
+		close(fl.done)
+	}
+}
+
+// insertLocked admits a chunk, evicting as needed to respect the budget;
+// ref pre-sets the CLOCK reference bit (used when the fetch already had
+// waiters sharing it). Oversized chunks (bigger than the whole budget) are
+// admitted transiently: they evict everything else and fall out on the next
+// insert, which keeps the manager useful under pathological budgets.
+func (m *Manager) insertLocked(key string, c *colbm.CachedChunk, ref bool) {
 	if old, ok := m.frames[key]; ok {
 		m.removeLocked(old)
 	}
@@ -111,7 +188,7 @@ func (m *Manager) insertLocked(key string, c *colbm.CachedChunk) {
 			m.evictOneLocked()
 		}
 	}
-	f := &frame{key: key, chunk: c}
+	f := &frame{key: key, chunk: c, ref: ref}
 	f.elem = m.order.PushBack(f)
 	m.frames[key] = f
 	m.used += c.Size

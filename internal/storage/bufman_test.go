@@ -171,6 +171,77 @@ func TestManagerSingleflight(t *testing.T) {
 	}
 }
 
+// TestSharedFetchSetsRefBit guards the eviction fairness of contended
+// chunks: a waiter coalescing onto an in-flight fetch proves the chunk is
+// hot, so it must be admitted with its CLOCK reference bit set (previously
+// it was admitted cold and was first in line for eviction) and the wait
+// must count as a hit in the warm-rate accounting. Run under -race.
+func TestSharedFetchSetsRefBit(t *testing.T) {
+	m := NewManager(100) // room for two 40-byte chunks
+	loadStarted := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := m.GetChunk("a", func() (*colbm.CachedChunk, error) {
+			close(loadStarted)
+			<-release
+			return chunk(40), nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-loadStarted
+	const sharers = 2
+	for i := 0; i < sharers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.GetChunk("a", func() (*colbm.CachedChunk, error) {
+				t.Error("sharer ran its own load despite the in-flight fetch")
+				return chunk(40), nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().Shared < sharers {
+		if time.Now().After(deadline) {
+			t.Fatal("sharers never registered on the in-flight fetch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	st := m.Stats()
+	if st.Misses != 1 || st.Shared != sharers || st.Hits != sharers {
+		t.Errorf("after shared fetch: %+v (want 1 miss, %d shared counted as hits)", st, sharers)
+	}
+
+	// The contended chunk was admitted referenced: under eviction pressure
+	// the clock hand must give it a second chance and take the untouched
+	// "b" instead.
+	mustGet(t, m, "b", chunk(40))
+	mustGet(t, m, "c", chunk(40)) // exceeds the budget: one eviction
+	if _, err := m.GetChunk("a", func() (*colbm.CachedChunk, error) {
+		return nil, fmt.Errorf("contended chunk was evicted first")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := false
+	if _, err := m.GetChunk("b", func() (*colbm.CachedChunk, error) {
+		reloaded = true
+		return chunk(40), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded {
+		t.Error("unreferenced chunk survived; the clock ignored the preset bit")
+	}
+}
+
 // TestManagerConcurrentMixedKeys hammers the manager from many goroutines
 // over a key space larger than the budget — the -race workout for the
 // clock sweep, the singleflight map, and the stats counters together.

@@ -53,6 +53,23 @@ func WriteIndex(dir string, ix *ir.Index) error {
 	return writeManifest(dir, m)
 }
 
+// OpenOption tunes how OpenIndex serves a persisted directory.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	prefetchWorkers int
+}
+
+// WithPrefetchWorkers enables manifest-driven chunk prefetch on the opened
+// index with n read-ahead workers: before a plan scans a posting range, the
+// searcher hands the range's chunk extents (recorded in the manifest) to a
+// Prefetcher that batch-fetches the missing chunks in large sequential
+// reads, ahead of the scanning cursor. n < 1 disables prefetch (the
+// default: demand paging only).
+func WithPrefetchWorkers(n int) OpenOption {
+	return func(c *openConfig) { c.prefetchWorkers = n }
+}
+
 // OpenIndex opens a persisted index for querying. Only the manifest is
 // read eagerly; column data stays on disk and streams in through a buffer
 // manager with the given byte budget (0 = unbounded) as queries touch it —
@@ -60,9 +77,13 @@ func WriteIndex(dir string, ix *ir.Index) error {
 // the reason distributed servers can open prebuilt partitions instead of
 // re-indexing their corpus slice.
 //
-// The caller owns the returned index's store: Close it (engine.Close does)
-// to release the file handles.
-func OpenIndex(dir string, poolBytes int64) (*ir.Index, error) {
+// The caller owns the returned index: Close it (engine.Close does) to
+// release the file handles and stop any prefetch workers.
+func OpenIndex(dir string, poolBytes int64, opts ...OpenOption) (*ir.Index, error) {
+	var oc openConfig
+	for _, opt := range opts {
+		opt(&oc)
+	}
 	m, err := readManifest(dir)
 	if err != nil {
 		return nil, err
@@ -90,6 +111,10 @@ func OpenIndex(dir string, poolBytes int64) (*ir.Index, error) {
 		}
 		tables = append(tables, t)
 	}
-	return ir.RestoreIndex(tables[0], tables[1], m.Terms, m.Params,
-		m.ScoreLo, m.ScoreHi, fs, mgr, m.Config), nil
+	ix := ir.RestoreIndex(tables[0], tables[1], m.Terms, m.Params,
+		m.ScoreLo, m.ScoreHi, fs, mgr, m.Config)
+	if oc.prefetchWorkers > 0 {
+		ix.Prefetcher = NewPrefetcher(fs, mgr, oc.prefetchWorkers)
+	}
+	return ix, nil
 }

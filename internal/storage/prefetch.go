@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/colbm"
+)
+
+// prefetchQueue bounds the number of pending run jobs. When the queue is
+// full a run's claims are released immediately (its waiters retry through
+// the demand path), which keeps Prefetch non-blocking no matter how far
+// the workers fall behind.
+const prefetchQueue = 256
+
+// maxRunBytes caps one batched read. Contiguous missing chunks beyond the
+// cap split into several reads, so a pathological range cannot pin an
+// arbitrarily large private buffer per worker.
+const maxRunBytes = 8 << 20
+
+// errPrefetchDropped fails the claims of a run the saturated worker set
+// could not accept; demand readers waiting on them retry and load
+// themselves.
+var errPrefetchDropped = errors.New("storage: prefetch queue full, run dropped")
+
+// Prefetcher is the manifest-driven read-ahead stage of the storage
+// subsystem: searchers hand it the posting ranges a plan is about to scan,
+// and the missing chunks stream in ahead of the scanning cursors —
+// contiguous runs coalesced into single large sequential store reads —
+// instead of being demand-paged one at a time.
+//
+// The split matters: Prefetch *claims* the missing chunks synchronously
+// (cheap map operations against the buffer manager, no I/O), so a cursor
+// reaching a claimed chunk waits on the batched fetch and shares it —
+// never a duplicate read, and never a race the read-ahead can lose. Only
+// the reads themselves run on the worker set.
+type Prefetcher struct {
+	store colbm.BlockStore
+	cache *Manager
+
+	jobs chan prefetchRun
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	st     PrefetchStats
+}
+
+// prefetchRun is one contiguous claimed chunk run of a column.
+type prefetchRun struct {
+	col *colbm.Column
+	cis []int
+}
+
+// PrefetchStats reports the read-ahead activity of a Prefetcher.
+type PrefetchStats struct {
+	Ranges  int64 // ranges with at least one missing chunk accepted
+	Dropped int64 // runs dropped because the queue was full
+	Reads   int64 // batched store reads issued
+	Chunks  int64 // chunks admitted into the manager
+	Bytes   int64 // bytes read ahead
+}
+
+// NewPrefetcher returns a prefetcher reading from store into cache with the
+// given number of workers (minimum 1). Close it to stop the workers.
+func NewPrefetcher(store colbm.BlockStore, cache *Manager, workers int) *Prefetcher {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Prefetcher{
+		store: store,
+		cache: cache,
+		jobs:  make(chan prefetchRun, prefetchQueue),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Prefetch implements colbm.Prefetcher: it claims the not-yet-resident
+// chunks covering the value rows [startRow, endRow) of col with the buffer
+// manager, splits them into contiguous runs, and hands the runs to the
+// workers. It performs no I/O itself and never blocks on the queue: runs
+// that do not fit have their claims released (demand paging takes over).
+func (p *Prefetcher) Prefetch(col *colbm.Column, startRow, endRow int) {
+	lo, hi := col.ChunkSpan(startRow, endRow)
+	if lo >= hi {
+		return
+	}
+	blob := col.BlobName()
+	keys := make([]string, 0, hi-lo)
+	for ci := lo; ci < hi; ci++ {
+		keys = append(keys, colbm.ChunkKey(blob, ci))
+	}
+	claimed := p.cache.BeginFetch(keys)
+	if len(claimed) == 0 {
+		return
+	}
+	// BeginFetch preserves input order, so claimed chunk indices ascend;
+	// split them into contiguous runs under the byte cap. Chunks resident
+	// (or already in flight) split the runs naturally.
+	claimedSet := make(map[string]bool, len(claimed))
+	for _, key := range claimed {
+		claimedSet[key] = true
+	}
+	run := make([]int, 0, len(claimed))
+	var runBytes int64
+	flush := func() {
+		if len(run) > 0 {
+			p.submit(prefetchRun{col: col, cis: run})
+			run = nil
+		}
+		runBytes = 0
+	}
+	for ci := lo; ci < hi; ci++ {
+		if !claimedSet[colbm.ChunkKey(blob, ci)] {
+			flush()
+			continue
+		}
+		size := int64(col.Chunk(ci).Size)
+		if len(run) > 0 && runBytes+size > maxRunBytes {
+			flush()
+		}
+		run = append(run, ci)
+		runBytes += size
+	}
+	flush()
+	p.mu.Lock()
+	p.st.Ranges++
+	p.mu.Unlock()
+}
+
+// submit enqueues one claimed run, or releases its claims when the workers
+// are saturated (or the prefetcher is closed) so no waiter hangs.
+func (p *Prefetcher) submit(run prefetchRun) {
+	p.mu.Lock()
+	if !p.closed {
+		select {
+		case p.jobs <- run:
+			p.mu.Unlock()
+			return
+		default:
+		}
+	}
+	p.st.Dropped++
+	p.mu.Unlock()
+	p.cache.EndFetch(runKeys(run), nil, errPrefetchDropped)
+}
+
+// runKeys returns the cache keys of a run's chunks.
+func runKeys(run prefetchRun) []string {
+	blob := run.col.BlobName()
+	keys := make([]string, len(run.cis))
+	for i, ci := range run.cis {
+		keys[i] = colbm.ChunkKey(blob, ci)
+	}
+	return keys
+}
+
+// Stats returns a snapshot of the read-ahead counters.
+func (p *Prefetcher) Stats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// Close stops the workers after draining the queued runs (every claimed
+// chunk is delivered or failed — no waiter is left hanging). Prefetch
+// calls after Close are no-ops.
+func (p *Prefetcher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Prefetcher) worker() {
+	defer p.wg.Done()
+	for run := range p.jobs {
+		p.fetchRun(run)
+	}
+}
+
+// fetchRun reads one contiguous chunk run in a single store request and
+// delivers the chunks to the manager, waking the demand readers that piled
+// up on them. On failure the claims are released with the error and the
+// waiters retry through the demand path.
+func (p *Prefetcher) fetchRun(run prefetchRun) {
+	col, cis := run.col, run.cis
+	keys := runKeys(run)
+	first := col.Chunk(cis[0])
+	last := col.Chunk(cis[len(cis)-1])
+	off := first.Off
+	size := last.Off + last.Size - off
+
+	raw, err := p.store.Read(col.BlobName(), off, size)
+	if err != nil {
+		p.cache.EndFetch(keys, nil, err)
+		return
+	}
+	chunks := make(map[string]*colbm.CachedChunk, len(cis))
+	for i, ci := range cis {
+		m := col.Chunk(ci)
+		// Each chunk owns a private copy: aliasing the run buffer would pin
+		// the whole run in memory for as long as any one chunk stays cached.
+		data := append([]byte(nil), raw[m.Off-off:m.Off-off+m.Size]...)
+		ch, perr := colbm.ParseCachedChunk(&col.Spec, data)
+		if perr != nil {
+			p.cache.EndFetch(keys, nil, perr)
+			return
+		}
+		chunks[keys[i]] = ch
+	}
+	p.cache.EndFetch(keys, chunks, nil)
+
+	p.mu.Lock()
+	p.st.Reads++
+	p.st.Chunks += int64(len(cis))
+	p.st.Bytes += int64(size)
+	p.mu.Unlock()
+}
+
+var _ colbm.Prefetcher = (*Prefetcher)(nil)

@@ -23,6 +23,9 @@ type engineConfig struct {
 
 	storageDir string // WithStorageDir: persist to / serve from this directory
 
+	resultCache     int // WithResultCache: entries (0 = disabled)
+	prefetchWorkers int // WithPrefetch: read-ahead workers (0 = disabled)
+
 	errs []error
 }
 
@@ -78,6 +81,39 @@ func WithStorageDir(dir string) Option {
 			return
 		}
 		c.storageDir = dir
+	}
+}
+
+// WithResultCache enables the engine-level result cache with room for the
+// given number of responses. The cache is an LRU keyed on normalized terms
+// + k + resolved strategy; indexes are immutable, so entries never need
+// invalidation, and a hit is served without acquiring a searcher at all —
+// repeat queries cost a map lookup and a top-k copy. Hit/miss counters are
+// surfaced by Engine.ResultCacheStats.
+func WithResultCache(entries int) Option {
+	return func(c *engineConfig) {
+		if entries < 1 {
+			c.errs = append(c.errs, fmt.Errorf("repro: result cache size %d < 1", entries))
+			return
+		}
+		c.resultCache = entries
+	}
+}
+
+// WithPrefetch enables manifest-driven chunk prefetch with the given
+// number of read-ahead workers: before a plan scans a term's posting
+// range, the covering chunk extents (recorded in the index manifest) are
+// batch-fetched in large sequential reads ahead of the scanning cursor,
+// instead of demand-paging chunk by chunk. It applies to persisted indexes
+// only (Open with WithStorageDir, or OpenDir) — an in-memory engine has no
+// manifest to drive it and rejects the option.
+func WithPrefetch(workers int) Option {
+	return func(c *engineConfig) {
+		if workers < 1 {
+			c.errs = append(c.errs, fmt.Errorf("repro: prefetch workers %d < 1", workers))
+			return
+		}
+		c.prefetchWorkers = workers
 	}
 }
 

@@ -219,6 +219,11 @@ type (
 	// ClusterTiming reports one broadcast query's total and per-server
 	// response times.
 	ClusterTiming = dist.Timing
+	// ClusterRequest is one query of a broker batch (Broker.SearchMany
+	// ships a whole batch in one round trip per server).
+	ClusterRequest = dist.Request
+	// ClusterBatchResult is one ClusterRequest's globally merged outcome.
+	ClusterBatchResult = dist.BatchResult
 )
 
 // StartCluster partitions a collection across n TCP servers.
@@ -238,9 +243,10 @@ func BuildPartitions(c *Collection, n int, cfg IndexConfig, baseDir string) ([]s
 }
 
 // StartClusterFromDirs serves persisted partition directories, each
-// through a buffer manager with poolBytes budget (0 = unbounded).
-func StartClusterFromDirs(dirs []string, poolBytes int64) (*Cluster, error) {
-	return dist.StartClusterFromDirs(dirs, poolBytes)
+// through a buffer manager with poolBytes budget (0 = unbounded). Storage
+// options (e.g. WithPrefetchWorkers) apply to every partition.
+func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...StorageOpenOption) (*Cluster, error) {
+	return dist.StartClusterFromDirs(dirs, poolBytes, opts...)
 }
 
 // Storage surface: the BlockStore/ChunkCache contracts, their simulated
@@ -328,12 +334,22 @@ func NewBufferManager(budgetBytes int64) *BufferManager { return storage.NewMana
 // last, so an interrupted save is never mistaken for a valid index.
 func SaveIndex(dir string, ix *Index) error { return storage.WriteIndex(dir, ix) }
 
+// StorageOpenOption tunes how a persisted index directory is opened
+// (LoadIndex, StartClusterFromDirs).
+type StorageOpenOption = storage.OpenOption
+
+// WithPrefetchWorkers enables manifest-driven chunk prefetch with n
+// read-ahead workers on the opened index: posting ranges a plan is about
+// to scan are batch-fetched in large sequential reads ahead of the
+// cursors. The Engine-level equivalent is WithPrefetch.
+func WithPrefetchWorkers(n int) StorageOpenOption { return storage.WithPrefetchWorkers(n) }
+
 // LoadIndex opens a persisted index for querying: the manifest is read
 // eagerly, posting data streams in lazily through a buffer manager with
-// the given byte budget (0 = unbounded). Close the index's Store when
+// the given byte budget (0 = unbounded). Close the returned index when
 // done, or wrap the directory with OpenDir and let Engine.Close do it.
-func LoadIndex(dir string, poolBytes int64) (*Index, error) {
-	return storage.OpenIndex(dir, poolBytes)
+func LoadIndex(dir string, poolBytes int64, opts ...StorageOpenOption) (*Index, error) {
+	return storage.OpenIndex(dir, poolBytes, opts...)
 }
 
 // IsIndexDir reports whether dir holds a readable persisted index.

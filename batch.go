@@ -9,6 +9,16 @@ import (
 	"repro/internal/ir"
 )
 
+// subBatchPerWorker bounds how many requests one worker runs per
+// sub-batch: SearchMany splits batches larger than workers*subBatchPerWorker
+// and completes each slice before scheduling the next. Two effects, both
+// aimed at tail behaviour under heavy traffic: early requests finish (and
+// are delivered, see SearchManyFunc) before the tail is even scheduled,
+// and pooled searchers are released at every sub-batch boundary, so a
+// giant batch cannot hold the whole pool hostage against concurrently
+// arriving single searches.
+const subBatchPerWorker = 8
+
 // BatchResult is one request's outcome within a SearchMany batch: either a
 // response or a per-request error (an invalid request or a failed
 // execution does not sink the rest of the batch).
@@ -25,6 +35,7 @@ type BatchStats struct {
 	CacheHits  int   // requests served from the result cache
 	SecondPass int   // requests whose plan needed the disjunctive second pass
 	Candidates int64 // summed scored candidates across the batch
+	SubBatches int   // sub-batches the batch was split into (adaptive sizing)
 
 	// Wall is the wall time of the whole batch; with W workers active it is
 	// roughly the summed per-query time divided by W, which is the point.
@@ -36,28 +47,109 @@ type BatchStats struct {
 
 // SearchMany executes a batch of requests, fanning them across the
 // searcher pool: up to Searchers() requests run concurrently, each worker
-// holding one pooled searcher for the whole batch (no per-query pool
-// churn). Results are returned in request order, failures are recorded
-// per request, and the result cache (if enabled) is consulted first — a
-// fully cached batch never acquires a searcher at all. The error return is
-// reserved for batch-level failure (a done context); it is ctx.Err() when
-// the context expired mid-batch, with the already-completed results still
-// returned.
+// holding one pooled searcher for at most one sub-batch (batches larger
+// than workers*subBatchPerWorker split, so early requests complete before
+// the tail is scheduled and the pool breathes between slices). Results are
+// returned in request order, failures are recorded per request, and the
+// result cache (if enabled) is consulted first — a fully cached batch
+// never acquires a searcher at all. The whole batch runs against one index
+// generation: a concurrent Refresh does not split it. The error return is
+// reserved for batch-level failure (a done context, a closed engine); it
+// is ctx.Err() when the context expired mid-batch, with the
+// already-completed results still returned.
 func (e *Engine) SearchMany(ctx context.Context, reqs []SearchRequest) ([]BatchResult, BatchStats, error) {
+	return e.searchMany(ctx, reqs, nil)
+}
+
+// SearchManyFunc is SearchMany delivering each result as it completes:
+// fn(i, res) fires once per request, from worker goroutines (make it
+// safe for concurrent use), in completion order. Sub-batch splitting makes
+// delivery incremental for large batches — every result of sub-batch n
+// arrives before any request of sub-batch n+1 starts. No results slice is
+// allocated or retained (each result is dropped after delivery, so a
+// million-request batch holds worker-count responses at a time); the
+// aggregate accounting arrives in BatchStats.
+func (e *Engine) SearchManyFunc(ctx context.Context, reqs []SearchRequest, fn func(i int, res BatchResult)) (BatchStats, error) {
+	_, bs, err := e.searchMany(ctx, reqs, fn)
+	return bs, err
+}
+
+func (e *Engine) searchMany(ctx context.Context, reqs []SearchRequest, fn func(int, BatchResult)) ([]BatchResult, BatchStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]BatchResult, len(reqs))
 	bs := BatchStats{Queries: len(reqs)}
+	var out []BatchResult
+	if fn == nil {
+		out = make([]BatchResult, len(reqs))
+	}
 	if len(reqs) == 0 {
 		return out, bs, nil
 	}
+	ep, err := e.acquireEpoch()
+	if err != nil {
+		return nil, bs, err
+	}
+	defer ep.release()
+
+	// Per-result accounting happens at delivery time (under a mutex — the
+	// work it guards is trivial next to a query), so the streaming path
+	// need not retain anything.
+	var accMu sync.Mutex
+	deliver := func(i int, r BatchResult) {
+		accMu.Lock()
+		switch {
+		case r.Err != nil:
+			bs.Failed++
+		case r.Response.Cached:
+			// A cache hit carries the stats of the execution that populated
+			// the entry; this batch did none of that work, so only the hit
+			// itself is accounted.
+			bs.CacheHits++
+		default:
+			if r.Response.Stats.SecondPass {
+				bs.SecondPass++
+			}
+			bs.Candidates += r.Response.Stats.Candidates
+			bs.SimIO += r.Response.Stats.SimIO
+		}
+		accMu.Unlock()
+		if out != nil {
+			out[i] = r
+		}
+		if fn != nil {
+			fn(i, r)
+		}
+	}
+
 	start := time.Now()
-	workers := e.pool.Size()
+	workers := ep.pool.Size()
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
-	var next int64
+	chunk := workers * subBatchPerWorker
+	for lo := 0; lo < len(reqs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		e.runSubBatch(ctx, ep, reqs, lo, hi, workers, deliver)
+		bs.SubBatches++
+	}
+	bs.Wall = time.Since(start)
+	return out, bs, ctx.Err()
+}
+
+// runSubBatch fans requests [lo, hi) across the workers and waits for all
+// of them — the barrier between sub-batches is what guarantees the
+// "first results before the tail is scheduled" ordering and returns every
+// held searcher to the pool.
+func (e *Engine) runSubBatch(ctx context.Context, ep *epoch, reqs []SearchRequest,
+	lo, hi, workers int, deliver func(int, BatchResult)) {
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	next := int64(lo)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -68,59 +160,38 @@ func (e *Engine) SearchMany(ctx context.Context, reqs []SearchRequest) ([]BatchR
 			var s *ir.Searcher
 			defer func() {
 				if s != nil {
-					e.pool.Release(s)
+					ep.pool.Release(s)
 				}
 			}()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(reqs) {
+				if i >= hi {
 					return
 				}
-				out[i] = e.searchBatched(ctx, &s, reqs[i])
+				deliver(i, e.searchBatched(ctx, ep, &s, reqs[i]))
 			}
 		}()
 	}
 	wg.Wait()
-	bs.Wall = time.Since(start)
-	for i := range out {
-		if out[i].Err != nil {
-			bs.Failed++
-			continue
-		}
-		r := &out[i].Response
-		if r.Cached {
-			// A cache hit carries the stats of the execution that populated
-			// the entry; this batch did none of that work, so only the hit
-			// itself is accounted.
-			bs.CacheHits++
-			continue
-		}
-		if r.Stats.SecondPass {
-			bs.SecondPass++
-		}
-		bs.Candidates += r.Stats.Candidates
-		bs.SimIO += r.Stats.SimIO
-	}
-	return out, bs, ctx.Err()
 }
 
 // searchBatched runs one batched request on the worker's searcher,
 // acquiring it on first need. *s may remain nil when every request the
 // worker sees is answered by the cache.
-func (e *Engine) searchBatched(ctx context.Context, s **ir.Searcher, req SearchRequest) BatchResult {
-	k, strat, err := e.admit(req)
+func (e *Engine) searchBatched(ctx context.Context, ep *epoch, s **ir.Searcher, req SearchRequest) BatchResult {
+	k, strat, err := e.admit(ep, req)
 	if err != nil {
 		return BatchResult{Err: err}
 	}
 	var key string
 	if e.cache != nil {
-		key = cacheKey(req.Terms, k, strat)
+		key = cacheKey(req.Terms, k, strat, ep.snap.Gen())
 		if hit, ok := e.cache.get(key); ok {
 			return BatchResult{Response: hit}
 		}
 	}
 	if *s == nil {
-		sr, err := e.pool.Acquire(ctx)
+		sr, err := ep.pool.Acquire(ctx)
 		if err != nil {
 			return BatchResult{Err: err}
 		}

@@ -723,3 +723,57 @@ func BenchmarkBufferManagerGet(b *testing.B) {
 		})
 	})
 }
+
+// ---- PR 4: segmented index — live appends, multi-segment search, merge ----
+
+// BenchmarkSegmentedLiveAppend measures the incremental-update loop the
+// segmented architecture exists for: each iteration Adds a fresh document
+// batch as one immutable segment (commit + refresh, no rebuild of prior
+// segments) and serves a hot query burst across the segment set. The
+// background merger runs concurrently, bounding the segment count; merge
+// totals are reported as metrics.
+func BenchmarkSegmentedLiveAppend(b *testing.B) {
+	coll, _, eff := fixtures(b)
+	const batchDocs = 200
+	docs, err := coll.Docs(0, len(coll.DocLens)/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	first, err := coll.Slice(0, len(coll.DocLens)/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	eng, err := Open(first, WithStorageDir(dir), WithSegments(), WithAutoMerge(6),
+		WithSearchers(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-ingest a rolling window of existing docs as the "live" batch
+		// (names get a nonce so the workload stays append-only in spirit).
+		lo := (i * batchDocs) % (len(docs) - batchDocs)
+		batch := make([]Doc, batchDocs)
+		for j := range batch {
+			src := docs[lo+j]
+			batch[j] = Doc{Name: fmt.Sprintf("%s+%d", src.Name, i), Tokens: src.Tokens}
+		}
+		if err := eng.Add(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+		for q := 0; q < 8; q++ {
+			qq := eff[(i*8+q)%len(eff)]
+			if _, err := eng.Search(ctx, SearchRequest{Terms: qq.Terms, K: 20}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := eng.SegmentStats()
+	b.ReportMetric(float64(st.Segments), "segments")
+	b.ReportMetric(float64(st.Merges), "merges")
+}

@@ -55,8 +55,11 @@ func newResultCache(entries int) *resultCache {
 // ties break on docid) — so "a b" and "b a" share an entry; duplicates are
 // kept, since a repeated term is scored twice. k and the *resolved*
 // strategy complete the key, so StrategyDefault and its resolution share
-// entries too.
-func cacheKey(terms []string, k int, strat Strategy) string {
+// entries too. The index generation is folded in last: a segmented engine
+// that refreshes to a newer generation (live appends, background merges)
+// thereby invalidates every prior entry without any flush — stale keys are
+// simply never asked for again and age out of the LRU.
+func cacheKey(terms []string, k int, strat Strategy, gen uint64) string {
 	sorted := append(make([]string, 0, len(terms)), terms...)
 	sort.Strings(sorted)
 	var b strings.Builder
@@ -67,6 +70,8 @@ func cacheKey(terms []string, k int, strat Strategy) string {
 	b.WriteString(strconv.Itoa(k))
 	b.WriteByte(0)
 	b.WriteString(strconv.Itoa(int(strat)))
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(gen, 10))
 	return b.String()
 }
 

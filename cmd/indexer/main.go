@@ -5,6 +5,15 @@
 // queries). With -out it also persists the index in the versioned on-disk
 // format, so ir-search -index (or any OpenDir caller) can serve it later
 // with zero corpus re-parsing.
+//
+// Segmented mode: -out with -segmented persists the build as the first
+// segment of a segmented directory (SEGMENTS.json over immutable segment
+// subdirectories), and -append adds the generated collection as one MORE
+// segment to an existing segmented directory — the offline ingest path a
+// live deployment pairs with Engine.Refresh:
+//
+//	indexer -docs 200000 -out /data/ix -segmented   # initial build
+//	indexer -docs 5000 -seed 9 -out /data/ix -append # nightly delta
 package main
 
 import (
@@ -25,6 +34,8 @@ func main() {
 		seed      = flag.Int64("seed", 2007, "collection seed")
 		poolBytes = flag.Int64("pool", 0, "buffer pool capacity in bytes (0 = unbounded)")
 		out       = flag.String("out", "", "persist the index into this directory (versioned on-disk format)")
+		segmented = flag.Bool("segmented", false, "with -out: persist as a segmented directory (enables later -append)")
+		appendSeg = flag.Bool("append", false, "append the generated collection as one new segment of the existing segmented directory at -out")
 	)
 	flag.Parse()
 
@@ -38,6 +49,36 @@ func main() {
 		cfg.NumDocs, cfg.Vocab, cfg.AvgDocLen)
 	c := corpus.Generate(cfg)
 	fmt.Printf("collection: %d postings, realized avg doc length %.1f\n\n", c.NumPostings(), c.AvgDocLen())
+
+	if *appendSeg || *segmented {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "indexer: -segmented/-append need -out")
+			os.Exit(1)
+		}
+		if *appendSeg && !storage.IsSegmentedDir(*out) {
+			fmt.Fprintf(os.Stderr, "indexer: %s is not a segmented index directory (build one with -segmented first)\n", *out)
+			os.Exit(1)
+		}
+		gen, err := storage.AppendSegment(*out, c, ir.DefaultBuildConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "indexer:", err)
+			os.Exit(1)
+		}
+		sm, err := storage.ReadSegments(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "indexer:", err)
+			os.Exit(1)
+		}
+		var totalDocs, totalPostings int
+		for _, e := range sm.Segments {
+			totalDocs += e.Docs
+			totalPostings += e.Postings
+		}
+		fmt.Printf("committed generation %d of %s: %d segments, %d docs, %d postings\n",
+			gen, *out, len(sm.Segments), totalDocs, totalPostings)
+		fmt.Printf("serve it with:  ir-search -index %s   (running engines pick it up via Refresh)\n", *out)
+		return
+	}
 
 	bc := ir.DefaultBuildConfig()
 	bc.PoolBytes = *poolBytes

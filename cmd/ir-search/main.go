@@ -72,9 +72,13 @@ func main() {
 		return context.WithCancel(context.Background())
 	}
 
-	ix := eng.Index()
-	fmt.Printf("ready: %d documents, %d postings, %d distinct terms\n",
-		ix.NumDocs(), ix.NumPostings(), len(ix.Terms))
+	if st := eng.SegmentStats(); st.Segments > 1 {
+		fmt.Printf("ready: %d documents, %d postings in %d segments (generation %d)\n",
+			eng.NumDocs(), eng.NumPostings(), st.Segments, st.Generation)
+	} else {
+		fmt.Printf("ready: %d documents, %d postings, %d distinct terms\n",
+			eng.NumDocs(), eng.NumPostings(), len(eng.Index().Terms))
+	}
 	fmt.Printf("commands: ':strategy <name>', ':explain <terms>', ':sample', ':quit'\n")
 	fmt.Printf("queries with AND/OR/parentheses use the boolean engine directly,\n")
 	fmt.Printf("e.g.  information AND (storing OR retrieval)\n")
@@ -95,9 +99,10 @@ func main() {
 			return
 		case line == ":sample":
 			if c == nil {
-				// Persisted mode has no generator; sample the range index.
+				// Persisted mode has no generator; sample the range index
+				// (the first segment's dictionary is plenty for a demo).
 				n := 0
-				for term := range ix.Terms {
+				for term := range eng.Index().Terms {
 					fmt.Printf("  try: %s\n", term)
 					if n++; n == 3 {
 						break

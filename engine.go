@@ -4,7 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/corpus"
 	"repro/internal/ir"
 	"repro/internal/storage"
 )
@@ -17,6 +22,9 @@ const DefaultK = 20
 // StrategyDefault (the Strategy zero value) asks the engine to run the
 // strongest strategy the index supports.
 const StrategyDefault = ir.StrategyDefault
+
+// ErrEngineClosed is returned by every entry point of a closed engine.
+var ErrEngineClosed = errors.New("repro: engine is closed")
 
 // SearchRequest is one keyword query against an Engine.
 type SearchRequest struct {
@@ -47,26 +55,94 @@ type SearchResponse struct {
 	Cached bool
 }
 
-// Engine is the long-lived, concurrency-safe entry point to the system: it
-// owns the simulated disk, the ColumnBM buffer pool, the inverted index,
-// and a bounded pool of searchers, so Search may be called from any number
-// of goroutines. Construct one with Open, close it with Close.
-//
-// Concurrency model: storage (buffer pool, simulated disk) is shared and
-// internally synchronized; execution state is not shared — each query
-// checks a whole single-owner searcher out of the pool, which also bounds
-// the number of in-flight plans (admission control under heavy traffic).
-type Engine struct {
-	ix   *Index
+// epoch is one served index generation: an immutable snapshot plus its
+// searcher pool, reference-counted so a Refresh can swap the current
+// generation without dropping in-flight searches. The engine holds one
+// reference for as long as the epoch is current; every search holds one
+// for its duration. When the count drains to zero the snapshot's storage
+// closes and the drain hook fires (deregistration + segment GC).
+type epoch struct {
+	snap *ir.Snapshot
 	pool *ir.SearcherPool
-	cfg  engineConfig
-	// cache is the engine-level result cache (nil unless WithResultCache):
-	// repeat queries are answered from it without acquiring a searcher.
+
+	// segNames are the segment directory names this generation references
+	// (empty for non-segmented engines) — the in-use set segment GC
+	// honors.
+	segNames []string
+
+	refs     atomic.Int64
+	done     chan struct{}
+	closeErr error
+	closeOne sync.Once
+	// deregister runs synchronously at drain time, before done closes, so
+	// anyone who observed done can rely on the epoch being out of the live
+	// registry (Close's final sweep depends on this ordering); sweep runs
+	// asynchronously afterwards.
+	deregister func()
+	sweep      func()
+}
+
+// release drops one reference; the last one out closes the snapshot. A
+// late acquirer that lost the swap race may push the count 0->1->0 again —
+// the Once keeps the close single-shot, and the loser never uses the
+// epoch (its re-check of the current pointer fails first).
+func (ep *epoch) release() {
+	if ep.refs.Add(-1) == 0 {
+		ep.closeOne.Do(func() {
+			ep.closeErr = ep.snap.Close()
+			if ep.deregister != nil {
+				ep.deregister()
+			}
+			close(ep.done)
+			if ep.sweep != nil {
+				go ep.sweep()
+			}
+		})
+	}
+}
+
+// Engine is the long-lived, concurrency-safe entry point to the system: it
+// owns the storage, the index snapshot (one or many segments), and a
+// bounded pool of searchers, so Search may be called from any number of
+// goroutines. Construct one with Open, close it with Close.
+//
+// Concurrency model: storage (buffer manager, stores) is shared and
+// internally synchronized; execution state is not shared — each query
+// checks a whole single-owner searcher out of the current epoch's pool,
+// which also bounds the number of in-flight plans (admission control under
+// heavy traffic). Generations swap under an epoch reference count: Refresh
+// (and Add, which appends a segment and refreshes) installs a new
+// snapshot+pool pair while searches already running keep their old one
+// until they finish; the superseded generation's storage closes when its
+// last search drains, and its segment directories are garbage-collected
+// once no generation references them.
+type Engine struct {
+	cfg   engineConfig
 	cache *resultCache
-	// ownsStore marks engines whose index storage was opened (not handed
-	// in): Close releases it. OpenIndex-wrapped indexes stay open — the
-	// caller may share them across engines.
-	ownsStore bool
+
+	cur    atomic.Pointer[epoch]
+	closed atomic.Bool
+
+	// segDir is the segmented index directory this engine serves ("" for
+	// monolithic and in-memory engines); segCfg is the physical layout
+	// appends must match; segMgr is the long-lived buffer manager shared
+	// across generations so a refresh keeps unchanged segments' chunks
+	// warm instead of cold-starting the pool.
+	segDir string
+	segCfg ir.BuildConfig
+	segMgr *storage.Manager
+
+	// commitMu serializes everything that rewrites SEGMENTS.json or swaps
+	// the current epoch: Add, merge commits, Refresh, sweeps, Close.
+	commitMu sync.Mutex
+	// regMu guards the live-epoch registry and the set of segment
+	// directories currently being built (both feed the GC's in-use set).
+	regMu   sync.Mutex
+	epochs  map[*epoch]struct{}
+	pending map[string]bool
+
+	merger *merger
+	merges atomic.Int64
 }
 
 // Open builds an index over the collection and returns an Engine
@@ -80,7 +156,11 @@ type Engine struct {
 // With WithStorageDir the index lives on real disk: an existing index
 // directory is served as-is (the collection is not re-indexed), a missing
 // or empty one is populated by building from the collection and persisting
-// — after which queries run against the persisted form either way.
+// — after which queries run against the persisted form either way. Adding
+// WithSegments persists the build as the first segment of a *segmented*
+// directory, unlocking live appends (Engine.Add) and background merges
+// (WithAutoMerge); a directory that already holds a segmented index is
+// detected and served segmented regardless.
 func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	if coll == nil {
 		return nil, errors.New("repro: Open with nil collection")
@@ -93,10 +173,23 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 		cfg.errs = append(cfg.errs,
 			errors.New("repro: WithPrefetch needs a persisted index (add WithStorageDir, or use OpenDir)"))
 	}
+	if cfg.segmented && cfg.storageDir == "" {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: WithSegments needs a storage directory (add WithStorageDir)"))
+	}
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
 	}
+	if cfg.storageDir != "" && storage.IsSegmentedDir(cfg.storageDir) {
+		return openSegmented(cfg)
+	}
+	if cfg.autoMerge > 0 && !cfg.segmented {
+		return nil, errors.New("repro: WithAutoMerge needs a segmented index (add WithSegments)")
+	}
 	if cfg.storageDir != "" && storage.IsIndexDir(cfg.storageDir) {
+		if cfg.segmented {
+			return nil, fmt.Errorf("repro: %q already holds a monolithic index; WithSegments cannot convert it", cfg.storageDir)
+		}
 		return openPersisted(cfg)
 	}
 	bc := cfg.index
@@ -105,6 +198,12 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	}
 	if cfg.diskSet {
 		bc.Disk = cfg.disk
+	}
+	if cfg.segmented {
+		if _, err := storage.AppendSegment(cfg.storageDir, coll, bc); err != nil {
+			return nil, err
+		}
+		return openSegmented(cfg)
 	}
 	ix, err := BuildIndex(coll, bc)
 	if err != nil {
@@ -116,16 +215,20 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 		}
 		return openPersisted(cfg)
 	}
-	eng := newEngine(ix, cfg)
-	eng.ownsStore = true // a SimDisk of our own; Close is a no-op on it
-	return eng, nil
+	snap, err := ir.NewSnapshot([]*ir.Index{ix}, ir.SnapshotConfig{Owned: true})
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(snap, nil, cfg), nil
 }
 
 // OpenDir opens a persisted index directory (written by Open with
 // WithStorageDir, SaveIndex, cmd/indexer -out, or dist.BuildPartitions)
-// and serves it without any collection in hand: only the manifest is read
-// up front, and posting data streams in through the buffer manager as
-// queries touch it. Options that shape index construction
+// and serves it without any collection in hand: only the manifests are
+// read up front, and posting data streams in through the buffer manager
+// as queries touch it. Segmented directories (Open with WithSegments,
+// cmd/indexer -segmented, AppendSegment) are detected and served with
+// live-append support. Options that shape index construction
 // (WithIndexConfig, WithDiskParams, WithStorageDir) are rejected — the
 // directory already fixes the physical layout.
 func OpenDir(dir string, opts ...Option) (*Engine, error) {
@@ -145,23 +248,83 @@ func OpenDir(dir string, opts ...Option) (*Engine, error) {
 		return nil, errors.Join(cfg.errs...)
 	}
 	cfg.storageDir = dir
+	if storage.IsSegmentedDir(dir) {
+		return openSegmented(cfg)
+	}
+	if cfg.segmented {
+		return nil, fmt.Errorf("repro: %q does not hold a segmented index (WithSegments applies to Open, which builds one)", dir)
+	}
+	if cfg.autoMerge > 0 {
+		return nil, fmt.Errorf("repro: WithAutoMerge needs a segmented index directory, %q is monolithic", dir)
+	}
 	return openPersisted(cfg)
 }
 
-// openPersisted opens cfg.storageDir through the storage subsystem and
-// wraps it in an engine that owns (and will Close) the file store.
-func openPersisted(cfg engineConfig) (*Engine, error) {
+// storageOpts translates engine options to storage open options.
+func (cfg *engineConfig) storageOpts() []storage.OpenOption {
 	var opts []storage.OpenOption
 	if cfg.prefetchWorkers > 0 {
 		opts = append(opts, storage.WithPrefetchWorkers(cfg.prefetchWorkers))
 	}
-	ix, err := storage.OpenIndex(cfg.storageDir, cfg.pool, opts...)
+	return opts
+}
+
+// openPersisted opens cfg.storageDir as a monolithic persisted index.
+func openPersisted(cfg engineConfig) (*Engine, error) {
+	ix, err := storage.OpenIndex(cfg.storageDir, cfg.pool, cfg.storageOpts()...)
 	if err != nil {
 		return nil, err
 	}
-	eng := newEngine(ix, cfg)
-	eng.ownsStore = true
-	return eng, nil
+	snap, err := ir.NewSnapshot([]*ir.Index{ix}, ir.SnapshotConfig{Owned: true})
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	return newEngine(snap, nil, cfg), nil
+}
+
+// openSegmented opens cfg.storageDir's current generation as a segmented
+// engine with live-append support.
+func openSegmented(cfg engineConfig) (*Engine, error) {
+	sm, err := storage.ReadSegments(cfg.storageDir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.autoMerge > 0 && sm.External {
+		return nil, fmt.Errorf("repro: %q carries externally coordinated statistics; merge by rebuilding the partition set, not WithAutoMerge", cfg.storageDir)
+	}
+	mgr := storage.NewManager(cfg.pool)
+	snap, err := storage.OpenSegmented(cfg.storageDir, cfg.pool,
+		append(cfg.storageOpts(), storage.WithSharedManager(mgr))...)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(snap, segNamesOf(sm), cfg)
+	e.segDir = cfg.storageDir
+	e.segCfg = layoutOf(snap.Primary().Config())
+	e.segMgr = mgr
+	if cfg.autoMerge > 0 {
+		e.merger = newMerger(e, cfg.autoMerge)
+		e.merger.notify() // an already-oversized directory merges right away
+	}
+	return e, nil
+}
+
+func segNamesOf(sm *storage.SegmentsManifest) []string {
+	names := make([]string, len(sm.Segments))
+	for i, s := range sm.Segments {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// layoutOf strips the build-time-only fields from a segment's recorded
+// configuration, leaving the physical layout appends must reproduce.
+func layoutOf(bc ir.BuildConfig) ir.BuildConfig {
+	bc.Stats = nil
+	bc.DocIDBase = 0
+	bc.TablePrefix = ""
+	return bc
 }
 
 // OpenIndex wraps an already-built index in an Engine. Options that shape
@@ -178,40 +341,140 @@ func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 		opt(&cfg)
 	}
 	if cfg.poolSet || cfg.diskSet || cfg.storageDir != "" || cfg.prefetchWorkers > 0 ||
-		cfg.index != DefaultIndexConfig() {
+		cfg.segmented || cfg.autoMerge > 0 || cfg.index != DefaultIndexConfig() {
 		cfg.errs = append(cfg.errs,
-			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPoolBytes/WithDiskParams/WithStorageDir/WithPrefetch)"))
+			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPoolBytes/WithDiskParams/WithStorageDir/WithPrefetch/WithSegments/WithAutoMerge)"))
 	}
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
 	}
-	return newEngine(ix, cfg), nil
+	return newEngine(ir.SingleSnapshot(ix), nil, cfg), nil
 }
 
-func newEngine(ix *Index, cfg engineConfig) *Engine {
+func newEngine(snap *ir.Snapshot, segNames []string, cfg engineConfig) *Engine {
 	e := &Engine{
-		ix:   ix,
-		pool: ir.NewSearcherPool(ix, cfg.vectorSize, cfg.searchers),
-		cfg:  cfg,
+		cfg:     cfg,
+		epochs:  make(map[*epoch]struct{}),
+		pending: make(map[string]bool),
 	}
 	if cfg.resultCache > 0 {
 		e.cache = newResultCache(cfg.resultCache)
 	}
+	e.cur.Store(e.newEpoch(snap, segNames))
 	return e
 }
 
+// newEpoch wraps a snapshot in a registered, referenced epoch.
+func (e *Engine) newEpoch(snap *ir.Snapshot, segNames []string) *epoch {
+	ep := &epoch{
+		snap:     snap,
+		pool:     ir.NewSnapshotSearcherPool(snap, e.cfg.vectorSize, e.cfg.searchers),
+		segNames: segNames,
+		done:     make(chan struct{}),
+	}
+	ep.refs.Store(1)
+	ep.deregister = func() {
+		e.regMu.Lock()
+		delete(e.epochs, ep)
+		e.regMu.Unlock()
+	}
+	ep.sweep = func() {
+		if e.segDir != "" {
+			e.gcSweep()
+		}
+	}
+	e.regMu.Lock()
+	e.epochs[ep] = struct{}{}
+	e.regMu.Unlock()
+	return ep
+}
+
+// acquireEpoch takes a reference on the current epoch. The increment is
+// re-validated against the pointer so a concurrent swap-and-drain can
+// never hand out a closed epoch.
+func (e *Engine) acquireEpoch() (*epoch, error) {
+	for {
+		ep := e.cur.Load()
+		if ep == nil {
+			return nil, ErrEngineClosed
+		}
+		ep.refs.Add(1)
+		if e.cur.Load() == ep {
+			return ep, nil
+		}
+		ep.release()
+	}
+}
+
 // Index exposes the underlying index for inspection (sizes, compression
-// ratios, BM25 parameters). Treat it as read-only.
-func (e *Engine) Index() *Index { return e.ix }
+// ratios, BM25 parameters); for a segmented engine it is the first
+// segment of the currently served generation. Treat it as read-only, and
+// only while the engine stays open; nil after Close.
+func (e *Engine) Index() *Index {
+	ep := e.cur.Load()
+	if ep == nil {
+		return nil
+	}
+	return ep.snap.Primary()
+}
 
 // Searchers returns the concurrency bound of the searcher pool.
-func (e *Engine) Searchers() int { return e.pool.Size() }
+func (e *Engine) Searchers() int { return e.cfg.searchers }
+
+// NumDocs returns the document count of the serving generation, across
+// all segments (0 after Close).
+func (e *Engine) NumDocs() int {
+	ep := e.cur.Load()
+	if ep == nil {
+		return 0
+	}
+	return ep.snap.NumDocs()
+}
+
+// NumPostings returns the posting count of the serving generation, across
+// all segments (0 after Close).
+func (e *Engine) NumPostings() int {
+	ep := e.cur.Load()
+	if ep == nil {
+		return 0
+	}
+	return ep.snap.NumPostings()
+}
+
+// SegmentStats reports the serving generation's segment shape.
+type SegmentStats struct {
+	// Segments in the serving generation (1 for monolithic engines).
+	Segments int
+	// Virtual counts segments whose materialized strategies recompute
+	// scores at query time because their baked columns predate the latest
+	// append; the next merge re-bakes them.
+	Virtual int
+	// Generation of the serving snapshot (0 for non-segmented engines).
+	Generation uint64
+	// Merges completed by this engine's background merger.
+	Merges int64
+}
+
+// SegmentStats returns the serving generation's segment shape (zero value
+// after Close).
+func (e *Engine) SegmentStats() SegmentStats {
+	ep := e.cur.Load()
+	if ep == nil {
+		return SegmentStats{}
+	}
+	return SegmentStats{
+		Segments:   ep.snap.NumSegments(),
+		Virtual:    ep.snap.NumVirtual(),
+		Generation: ep.snap.Gen(),
+		Merges:     e.merges.Load(),
+	}
+}
 
 // admit validates a request and resolves its defaults: the terms must be
 // non-empty, K zero means DefaultK, negative K is rejected (consistently
 // with SearchBool), and the strategy is resolved against the index's
 // physical columns.
-func (e *Engine) admit(req SearchRequest) (int, Strategy, error) {
+func (e *Engine) admit(ep *epoch, req SearchRequest) (int, Strategy, error) {
 	if len(req.Terms) == 0 {
 		return 0, 0, errors.New("repro: search request has no terms")
 	}
@@ -222,7 +485,7 @@ func (e *Engine) admit(req SearchRequest) (int, Strategy, error) {
 	if k < 0 {
 		return 0, 0, fmt.Errorf("repro: search request k=%d", k)
 	}
-	strat, err := e.ix.Resolve(req.Strategy)
+	strat, err := ep.snap.Resolve(req.Strategy)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -234,21 +497,204 @@ func (e *Engine) admit(req SearchRequest) (int, Strategy, error) {
 // between vectors and returns ctx.Err()), and blocks while all pooled
 // searchers are busy. With WithResultCache enabled, a repeat query is
 // answered from the cache without acquiring a searcher (the response's
-// Cached flag reports it).
+// Cached flag reports it). The query runs against the generation current
+// at call time; a concurrent Refresh does not disturb it.
 func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ep, err := e.acquireEpoch()
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	defer ep.release()
 	// One-request batch: the admit → cache → execute → cache-put pipeline
 	// lives in searchBatched so the single and batched paths cannot
 	// diverge; the searcher (acquired only on a cache miss) goes straight
 	// back to the pool.
 	var s *ir.Searcher
-	r := e.searchBatched(ctx, &s, req)
+	r := e.searchBatched(ctx, ep, &s, req)
 	if s != nil {
-		e.pool.Release(s)
+		ep.pool.Release(s)
 	}
 	return r.Response, r.Err
+}
+
+// Add indexes a batch of live documents as one fresh immutable segment and
+// refreshes the engine to the new generation — the incremental-update path
+// that replaces "rebuild the whole index" for a growing collection. It
+// requires a segmented engine (Open with WithSegments, or OpenDir on a
+// segmented directory). Concurrent Adds serialize; concurrent Searches
+// proceed against the prior generation until the refresh lands. The
+// background merger (WithAutoMerge) is nudged afterwards.
+func (e *Engine) Add(ctx context.Context, docs []Doc) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if e.segDir == "" {
+		return errors.New("repro: live appends need a segmented index (Open with WithSegments, or OpenDir on a segmented directory)")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	batch, err := corpus.FromDocs(docs)
+	if err != nil {
+		return err
+	}
+	e.commitMu.Lock()
+	if e.closed.Load() {
+		e.commitMu.Unlock()
+		return ErrEngineClosed
+	}
+	_, err = storage.AppendSegment(e.segDir, batch, e.segCfg)
+	if err == nil {
+		err = e.refreshLocked()
+	}
+	e.commitMu.Unlock()
+	if err == nil && e.merger != nil {
+		e.merger.notify()
+	}
+	return err
+}
+
+// Refresh re-reads the segmented directory's super-manifest and, if a
+// newer generation exists (another process appended, a merge committed),
+// swaps it in without dropping in-flight searches: running queries finish
+// on the old snapshot, whose storage closes when the last one drains. The
+// result cache needs no flush — the generation is part of every cache key.
+func (e *Engine) Refresh(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if e.segDir == "" {
+		return errors.New("repro: Refresh needs a segmented index directory")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	return e.refreshLocked()
+}
+
+// refreshLocked (commitMu held) swaps the current epoch for the
+// directory's newest generation if it moved.
+func (e *Engine) refreshLocked() error {
+	sm, err := storage.ReadSegments(e.segDir)
+	if err != nil {
+		return err
+	}
+	cur := e.cur.Load()
+	if cur != nil && cur.snap.Gen() == sm.Generation {
+		return nil
+	}
+	// The long-lived manager carries every unchanged segment's cached
+	// chunks across the swap; replaced segments' entries are dropped by
+	// the GC sweep once their directories go.
+	snap, err := storage.OpenSegmented(e.segDir, e.cfg.pool,
+		append(e.cfg.storageOpts(), storage.WithSharedManager(e.segMgr))...)
+	if err != nil {
+		return err
+	}
+	ep := e.newEpoch(snap, segNamesOf(sm))
+	old := e.cur.Swap(ep)
+	if old != nil {
+		old.release()
+	}
+	return nil
+}
+
+// gcSweep removes segment directories no generation references anymore:
+// neither the manifest's current generation, nor any live epoch (readers
+// drain first), nor a merge build in progress. Serialized with commits so
+// it can never observe a segment mid-construction.
+func (e *Engine) gcSweep() {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	live := make(map[string]bool)
+	e.regMu.Lock()
+	for ep := range e.epochs {
+		for _, name := range ep.segNames {
+			live[name] = true
+		}
+	}
+	for name := range e.pending {
+		live[name] = true
+	}
+	e.regMu.Unlock()
+	// Best effort: a failed sweep (e.g. the directory disappeared under a
+	// test) retries at the next drain or at Close.
+	removed, _ := storage.SweepSegments(e.segDir, func(name string) bool { return live[name] })
+	// A removed segment's cached chunks must go with it: under an
+	// unbounded budget nothing else would ever release them, and under a
+	// bounded one they would squat on budget until CLOCK cycled past.
+	if e.segMgr != nil {
+		for _, name := range removed {
+			e.segMgr.DropPrefix(name + ".")
+		}
+	}
+}
+
+// mergeOnce runs one tiered merge if the policy calls for one: pick the
+// cheapest adjacent run, build the merged segment off to the side (no
+// locks held — appends and searches proceed; cancel aborts the build so a
+// closing engine never waits out work it will discard), then commit and
+// refresh under the commit lock. Returns whether a merge happened.
+func (e *Engine) mergeOnce(maxSegments int, cancel func() bool) (bool, error) {
+	sm, err := storage.ReadSegments(e.segDir)
+	if err != nil {
+		return false, err
+	}
+	names := sm.PlanMerge(maxSegments)
+	if names == nil {
+		return false, nil
+	}
+	into, err := storage.AllocSegmentDir(e.segDir)
+	if err != nil {
+		return false, err
+	}
+	e.regMu.Lock()
+	e.pending[into] = true
+	e.regMu.Unlock()
+	defer func() {
+		e.regMu.Lock()
+		delete(e.pending, into)
+		e.regMu.Unlock()
+	}()
+	bakedEpoch, err := storage.BuildMergedSegment(e.segDir, names, into, cancel)
+	if err != nil {
+		os.RemoveAll(filepath.Join(e.segDir, into))
+		if errors.Is(err, storage.ErrBuildCanceled) {
+			return false, nil
+		}
+		return false, err
+	}
+	e.commitMu.Lock()
+	if e.closed.Load() {
+		e.commitMu.Unlock()
+		os.RemoveAll(filepath.Join(e.segDir, into))
+		return false, nil
+	}
+	_, err = storage.CommitMerge(e.segDir, names, into, bakedEpoch)
+	if err == nil {
+		err = e.refreshLocked()
+	}
+	e.commitMu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	e.merges.Add(1)
+	e.gcSweep()
+	return true, nil
 }
 
 // ResultCacheStats returns the hit/miss counters and occupancy of the
@@ -274,7 +720,12 @@ func (e *Engine) SearchBool(ctx context.Context, expr BoolExpr, k int) ([]Result
 	if k < 0 {
 		return nil, QueryStats{}, fmt.Errorf("repro: search request k=%d", k)
 	}
-	return e.pool.SearchBool(ctx, expr, k)
+	ep, err := e.acquireEpoch()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer ep.release()
+	return ep.pool.SearchBool(ctx, expr, k)
 }
 
 // ExplainPlan renders the relational plan a query would run under a
@@ -286,27 +737,60 @@ func (e *Engine) ExplainPlan(ctx context.Context, terms []string, k int, strat S
 	if k <= 0 {
 		k = DefaultK
 	}
-	resolved, err := e.ix.Resolve(strat)
+	ep, err := e.acquireEpoch()
 	if err != nil {
 		return "", err
 	}
-	s, err := e.pool.Acquire(ctx)
+	defer ep.release()
+	resolved, err := ep.snap.Resolve(strat)
 	if err != nil {
 		return "", err
 	}
-	defer e.pool.Release(s)
+	s, err := ep.pool.Acquire(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer ep.pool.Release(s)
 	return s.ExplainPlan(terms, k, resolved)
 }
 
-// Close releases the engine. For engines the storage subsystem opened
-// (Open with WithStorageDir, OpenDir) this stops the prefetch workers (if
-// any) and closes the index's file store — open file handles and
-// goroutines are real resources now; for OpenIndex-wrapped indexes the
-// caller keeps ownership and Close touches nothing. The engine is unusable
-// afterwards either way.
+// Close releases the engine: new calls fail with ErrEngineClosed
+// immediately, in-flight searches finish on their epoch, and Close blocks
+// until every generation has drained and released its storage (file
+// handles, prefetch workers). The background merger is stopped first; for
+// segmented engines a final sweep then reclaims every unreferenced
+// segment directory. Closing twice is a no-op.
 func (e *Engine) Close() error {
-	if e.ownsStore {
-		return e.ix.Close()
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
 	}
-	return nil
+	if e.merger != nil {
+		e.merger.stop()
+	}
+	e.commitMu.Lock()
+	ep := e.cur.Swap(nil)
+	e.commitMu.Unlock()
+	// Snapshot the registry BEFORE dropping the engine reference: an idle
+	// current epoch drains (and deregisters) synchronously inside
+	// release(), and its storage-close error must still be collected.
+	e.regMu.Lock()
+	waiting := make([]*epoch, 0, len(e.epochs))
+	for old := range e.epochs {
+		waiting = append(waiting, old)
+	}
+	e.regMu.Unlock()
+	if ep != nil {
+		ep.release()
+	}
+	var err error
+	for _, old := range waiting {
+		<-old.done
+		if old.closeErr != nil && err == nil {
+			err = old.closeErr
+		}
+	}
+	if e.segDir != "" {
+		e.gcSweep()
+	}
+	return err
 }

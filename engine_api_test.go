@@ -295,7 +295,8 @@ func TestEngineResultCache(t *testing.T) {
 
 	// Hold the engine's ONLY searcher and cancel the context: a cold query
 	// cannot run, a cached one must still be answered.
-	s, err := eng.pool.Acquire(ctx)
+	pool := eng.cur.Load().pool
+	s, err := pool.Acquire(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestEngineResultCache(t *testing.T) {
 	if _, err := eng.Search(cctx, SearchRequest{Terms: other.Terms, K: 10}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cold query under canceled ctx and hostage searcher: %v", err)
 	}
-	eng.pool.Release(s)
+	pool.Release(s)
 
 	// Returned hits are private copies: mutating one must not poison the
 	// cache entry.

@@ -523,3 +523,47 @@ func TestStoredTableRoundTrip(t *testing.T) {
 		t.Error("OpenTable accepted inconsistent chunk counts")
 	}
 }
+
+// TestCursorReadOffset: the docid-remapping read path adds a delta to
+// Int64 values (segment merges rebase global docids) and refuses
+// non-integer columns.
+func TestCursorReadOffset(t *testing.T) {
+	store := NewSimDisk(DefaultDiskParams())
+	cache := NewBufferPool(0)
+	b := NewBuilder("T", store, cache, []ColumnSpec{
+		{Name: "id", Type: vector.Int64, Enc: EncPFORDelta, Bits: 8, ChunkLen: 256},
+		{Name: "s", Type: vector.Str, ChunkLen: 256},
+	})
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(1000 + i)
+		b.AppendStr("s", "x")
+	}
+	b.SetInt64("id", vals)
+	tab, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := tab.MustColumn("id")
+	v := vector.New(vector.Int64, 100)
+	cur := NewCursor(col)
+	if err := cur.ReadOffset(v, 500, 100, -1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v.I64[i] != int64(500+i) {
+			t.Fatalf("row %d: %d, want %d", 500+i, v.I64[i], 500+i)
+		}
+	}
+	// Zero delta is a plain read.
+	if err := cur.ReadOffset(v, 0, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.I64[0] != 1000 {
+		t.Fatalf("zero-delta read: %d, want 1000", v.I64[0])
+	}
+	sv := vector.New(vector.Str, 10)
+	if err := NewCursor(tab.MustColumn("s")).ReadOffset(sv, 0, 10, 1); err == nil {
+		t.Error("ReadOffset accepted a string column")
+	}
+}

@@ -62,6 +62,28 @@ func (c *Cursor) Read(dst *vector.Vector, start, n int) error {
 	return nil
 }
 
+// ReadOffset is Read for Int64 columns with delta added to every value —
+// the docid-remapping read path of the segmented index: a segment merge
+// reads another segment's globally numbered docid column rebased to the
+// merged segment's own base, and append-time statistics scans rebase global
+// docids to local document-table rows, all without materializing an
+// intermediate copy.
+func (c *Cursor) ReadOffset(dst *vector.Vector, start, n int, delta int64) error {
+	if c.col.Spec.Type != vector.Int64 {
+		return fmt.Errorf("colbm: ReadOffset on %v column %q (Int64 only)",
+			c.col.Spec.Type, c.col.Spec.Name)
+	}
+	if err := c.Read(dst, start, n); err != nil {
+		return err
+	}
+	if delta != 0 {
+		for i := 0; i < n; i++ {
+			dst.I64[i] += delta
+		}
+	}
+	return nil
+}
+
 // ChunkKey is the cache key of chunk ci of a blob — the shared naming
 // contract between cursors (which demand-page) and prefetchers (which warm
 // the same cache ahead of them).

@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Live-update inputs. A running system does not re-generate its corpus: new
+// documents arrive as token bags and are folded into a small batch
+// Collection, which the segmented index layer turns into one fresh
+// immutable segment. Slice is the inverse direction — carving a docid range
+// out of an existing collection — used to split a corpus into append
+// batches (and into segmented partition builds) whose union is exactly the
+// original.
+
+// Doc is one live document: a name plus its token stream. Token order is
+// irrelevant (only per-term frequencies matter to the index); the document
+// length is the token count.
+type Doc struct {
+	Name   string
+	Tokens []string
+}
+
+// FromDocs builds a batch Collection from live documents. Docids are local
+// to the batch (0..len(docs)-1, in input order); the segmented storage
+// layer assigns the global docid base when the batch becomes a segment.
+// Terms are whatever strings the tokens carry — matching surface forms in
+// other segments share dictionary entries, new forms extend it.
+func FromDocs(docs []Doc) (*Collection, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("corpus: FromDocs with no documents")
+	}
+	c := &Collection{
+		Cfg:        Config{NumDocs: len(docs)},
+		DocLens:    make([]int64, len(docs)),
+		DocNames:   make([]string, len(docs)),
+		TopicOfDoc: make([]int, len(docs)),
+	}
+	termID := map[string]int{}
+	tf := map[string]int64{}
+	perDoc := make([]map[string]int64, len(docs))
+	for d, doc := range docs {
+		if len(doc.Tokens) == 0 {
+			return nil, fmt.Errorf("corpus: document %d (%q) has no tokens", d, doc.Name)
+		}
+		c.DocNames[d] = doc.Name
+		c.DocLens[d] = int64(len(doc.Tokens))
+		c.TopicOfDoc[d] = -1
+		clear(tf)
+		for _, t := range doc.Tokens {
+			tf[t]++
+		}
+		m := make(map[string]int64, len(tf))
+		for t, f := range tf {
+			m[t] = f
+			if _, ok := termID[t]; !ok {
+				termID[t] = -1 // id assigned after sorting
+			}
+		}
+		perDoc[d] = m
+	}
+	// Deterministic term ids: sorted surface forms.
+	c.TermStrings = make([]string, 0, len(termID))
+	for t := range termID {
+		c.TermStrings = append(c.TermStrings, t)
+	}
+	sort.Strings(c.TermStrings)
+	for i, t := range c.TermStrings {
+		termID[t] = i
+	}
+	c.Cfg.Vocab = len(c.TermStrings)
+	c.Postings = make([][]Posting, len(c.TermStrings))
+	for d, m := range perDoc {
+		for t, f := range m {
+			id := termID[t]
+			c.Postings[id] = append(c.Postings[id], Posting{DocID: int64(d), TF: f})
+		}
+	}
+	// Postings were appended in ascending docid order already (outer loop),
+	// so each list is docid-ordered as the index builder requires.
+	return c, nil
+}
+
+// Slice extracts documents [lo, hi) as a self-contained collection with
+// local docids 0..hi-lo-1. The vocabulary is shared with the parent (term
+// ids and surface forms are unchanged; lists outside the range simply come
+// out empty), so a sliced batch indexes against the same dictionary the
+// full collection would.
+func (c *Collection) Slice(lo, hi int) (*Collection, error) {
+	if lo < 0 || hi > len(c.DocLens) || lo >= hi {
+		return nil, fmt.Errorf("corpus: slice [%d,%d) of %d documents", lo, hi, len(c.DocLens))
+	}
+	sub := &Collection{
+		Cfg:         c.Cfg,
+		TermStrings: c.TermStrings,
+		DocLens:     c.DocLens[lo:hi],
+		DocNames:    c.DocNames[lo:hi],
+		TopicOfDoc:  c.TopicOfDoc[lo:hi],
+		Topics:      c.Topics,
+		Postings:    make([][]Posting, len(c.Postings)),
+	}
+	sub.Cfg.NumDocs = hi - lo
+	for t, list := range c.Postings {
+		// Lists are docid-ordered: binary-search the range once.
+		i := sort.Search(len(list), func(i int) bool { return list[i].DocID >= int64(lo) })
+		j := sort.Search(len(list), func(i int) bool { return list[i].DocID >= int64(hi) })
+		if i == j {
+			continue
+		}
+		part := make([]Posting, j-i)
+		for k, p := range list[i:j] {
+			part[k] = Posting{DocID: p.DocID - int64(lo), TF: p.TF}
+		}
+		sub.Postings[t] = part
+	}
+	return sub, nil
+}
+
+// Docs materializes documents [lo, hi) as live-update inputs: each document
+// becomes its token bag (term repeated tf times; token order is not
+// preserved, which the index never observes). This is the bridge test
+// harnesses and benchmarks use to replay an existing collection through the
+// live append path.
+func (c *Collection) Docs(lo, hi int) ([]Doc, error) {
+	if lo < 0 || hi > len(c.DocLens) || lo >= hi {
+		return nil, fmt.Errorf("corpus: docs [%d,%d) of %d documents", lo, hi, len(c.DocLens))
+	}
+	docs := make([]Doc, hi-lo)
+	for d := range docs {
+		docs[d] = Doc{Name: c.DocNames[lo+d], Tokens: make([]string, 0, c.DocLens[lo+d])}
+	}
+	for t, list := range c.Postings {
+		i := sort.Search(len(list), func(i int) bool { return list[i].DocID >= int64(lo) })
+		for _, p := range list[i:] {
+			if p.DocID >= int64(hi) {
+				break
+			}
+			doc := &docs[p.DocID-int64(lo)]
+			for n := int64(0); n < p.TF; n++ {
+				doc.Tokens = append(doc.Tokens, c.TermStrings[t])
+			}
+		}
+	}
+	return docs, nil
+}

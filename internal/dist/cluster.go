@@ -102,14 +102,82 @@ func BuildPartitions(c *corpus.Collection, n int, cfg ir.BuildConfig, baseDir st
 	return dirs, nil
 }
 
+// BuildSegmentedPartitions is BuildPartitions emitting each partition as
+// a *segmented* directory of segsPer segments (contiguous docid
+// sub-ranges), the layout partition servers share with the single-node
+// segmented engine. Statistics stay globally coordinated — every segment
+// of every partition is built with the collection-wide idf, document
+// statistics and quantization bounds, and the directories are marked
+// external so nothing recomputes them locally — which preserves the
+// merged-equals-centralized ranking guarantee across both partition and
+// segment boundaries.
+func BuildSegmentedPartitions(c *corpus.Collection, n, segsPer int, cfg ir.BuildConfig, baseDir string) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: partition count %d < 1", n)
+	}
+	if segsPer < 1 {
+		return nil, fmt.Errorf("dist: segment count %d < 1", segsPer)
+	}
+	stats := ir.CollectionStats(c)
+	numDocs := len(c.DocLens)
+
+	dirs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dir := filepath.Join(baseDir, fmt.Sprintf("part-%d", i))
+			plo, phi := i*numDocs/n, (i+1)*numDocs/n
+			var segs []*ir.Index
+			for j := 0; j < segsPer; j++ {
+				slo := plo + j*(phi-plo)/segsPer
+				shi := plo + (j+1)*(phi-plo)/segsPer
+				if slo >= shi {
+					continue
+				}
+				sub, err := c.Slice(slo, shi)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				bc := cfg
+				bc.Stats = stats
+				bc.DocIDBase = int64(slo)
+				bc.TablePrefix = fmt.Sprintf("p%d-s%d.", i, j)
+				ix, err := ir.Build(sub, bc)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				segs = append(segs, ix)
+			}
+			if err := storage.WriteSegmentedIndex(dir, segs); err != nil {
+				errs[i] = err
+				return
+			}
+			dirs[i] = dir
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
 // StartClusterFromDirs opens persisted partition directories (from
-// BuildPartitions) and starts one TCP server per partition. Nothing is
-// rebuilt and no collection is needed: each server reads its manifest and
-// serves, with posting data streaming in through a buffer manager with
-// poolBytes budget (0 = unbounded) as queries arrive — the cold-start
-// path a production fleet restarts through. Storage options (e.g.
-// storage.WithPrefetchWorkers) apply to every partition. Opens run in
-// parallel.
+// BuildPartitions or BuildSegmentedPartitions — monolithic and segmented
+// layouts are detected per directory) and starts one TCP server per
+// partition. Nothing is rebuilt and no collection is needed: each server
+// reads its manifests and serves, with posting data streaming in through
+// a buffer manager with poolBytes budget (0 = unbounded) as queries
+// arrive — the cold-start path a production fleet restarts through.
+// Storage options (e.g. storage.WithPrefetchWorkers) apply to every
+// partition. Opens run in parallel.
 func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...storage.OpenOption) (*Cluster, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("dist: no partition directories")
@@ -121,6 +189,15 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...storage.OpenOp
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if storage.IsSegmentedDir(dirs[i]) {
+				snap, err := storage.OpenSegmented(dirs[i], poolBytes, opts...)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				servers[i], errs[i] = serveSnapshot(snap)
+				return
+			}
 			ix, err := storage.OpenIndex(dirs[i], poolBytes, opts...)
 			if err != nil {
 				errs[i] = err

@@ -336,3 +336,58 @@ func TestPersistedClusterMatchesCentralized(t *testing.T) {
 		}
 	}
 }
+
+// TestSegmentedPartitionsMatchCentralized extends the §3.4 guarantee to
+// segmented partition directories: partitions split into multiple segments
+// per server, all built with the collection-wide statistics, still merge
+// to exactly the centralized ranking.
+func TestSegmentedPartitionsMatchCentralized(t *testing.T) {
+	c := testCollection(t)
+	central, err := ir.Build(c, ir.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ir.NewSearcher(central, 0)
+
+	dirs, err := BuildSegmentedPartitions(c, 3, 2, ir.DefaultBuildConfig(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartClusterFromDirs(dirs, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, srv := range cl.Servers {
+		if n := srv.Snapshot().NumSegments(); n != 2 {
+			t.Fatalf("partition serves %d segments, want 2", n)
+		}
+	}
+	brk, err := Dial(cl.Addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	for _, q := range c.PrecisionQueries(5, 17) {
+		for _, strat := range []ir.Strategy{ir.BM25TC, ir.BM25TCM, ir.BM25TCMQ8} {
+			want, _, err := s.Search(q.Terms, 10, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := brk.Search(q.Terms, 10, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v query %v: got %d results, want %d", strat, q.Terms, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].DocID != want[i].DocID || got[i].Score != want[i].Score {
+					t.Errorf("%v query %v rank %d: got (%d, %v), want (%d, %v)",
+						strat, q.Terms, i, got[i].DocID, got[i].Score, want[i].DocID, want[i].Score)
+				}
+			}
+		}
+	}
+}

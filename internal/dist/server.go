@@ -12,13 +12,14 @@ import (
 	"repro/internal/ir"
 )
 
-// Server is one partition node: a full single-node index over its docid
+// Server is one partition node: a full single-node snapshot (one index,
+// or the segment set of a segmented partition directory) over its docid
 // range plus a TCP accept loop. Every connection is served by its own
 // goroutine, and query execution goes through a shared SearcherPool, so
 // one server handles concurrent query streams with bounded parallelism —
 // the Table 3 multi-stream regime.
 type Server struct {
-	ix   *ir.Index
+	snap *ir.Snapshot
 	pool *ir.SearcherPool
 	ln   net.Listener
 
@@ -42,14 +43,26 @@ func startServer(part *corpus.Collection, cfg ir.BuildConfig) (*Server, error) {
 // partition directory — in a serving partition node. The server takes
 // ownership of the index's storage (Close releases it).
 func serveIndex(ix *ir.Index) (*Server, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	snap, err := ir.NewSnapshot([]*ir.Index{ix}, ir.SnapshotConfig{Owned: true})
 	if err != nil {
 		ix.Close()
 		return nil, err
 	}
+	return serveSnapshot(snap)
+}
+
+// serveSnapshot wraps a snapshot — a single index or a segmented
+// partition's segment set — in a serving partition node. The server takes
+// ownership of the snapshot's storage (Close releases it).
+func serveSnapshot(snap *ir.Snapshot) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
 	s := &Server{
-		ix:    ix,
-		pool:  ir.NewSearcherPool(ix, 0, runtime.GOMAXPROCS(0)),
+		snap:  snap,
+		pool:  ir.NewSnapshotSearcherPool(snap, 0, runtime.GOMAXPROCS(0)),
 		ln:    ln,
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -61,8 +74,12 @@ func serveIndex(ix *ir.Index) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Index exposes the partition index (sizes, statistics).
-func (s *Server) Index() *ir.Index { return s.ix }
+// Index exposes the partition's first (often only) segment index (sizes,
+// statistics).
+func (s *Server) Index() *ir.Index { return s.snap.Primary() }
+
+// Snapshot exposes the partition's full segment set.
+func (s *Server) Snapshot() *ir.Snapshot { return s.snap }
 
 // Warm runs the queries locally (no network) at result depth k so later
 // measurements see a buffer pool warmed by the same plans they will run.
@@ -94,10 +111,10 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
-	// The server owns its partition index: release its resources (a no-op
-	// for simulated disks; real file handles and prefetch workers for
-	// persisted partitions).
-	if cerr := s.ix.Close(); err == nil {
+	// The server owns its partition snapshot: release its resources (a
+	// no-op for simulated disks; real file handles and prefetch workers
+	// for persisted partitions, across every segment).
+	if cerr := s.snap.Close(); err == nil {
 		err = cerr
 	}
 	return err

@@ -382,3 +382,65 @@ func BM25Composed(tf, doclen Expr, ftd float64, p primitives.BM25Params) Expr {
 	den := NewArith(Add, tfF, norm)
 	return NewArith(Mul, idf, NewArith(Div, num, den))
 }
+
+// BM25Stored is the *virtual materialization* expression: it computes, at
+// query time, exactly the value a materialized (or quantized) score column
+// would hold for this posting — the Okapi weight pushed through float32
+// storage, or through 8-bit Global-By-Value quantization with the
+// collection bounds [Lo, Hi]. Segmented indexes use it for segments whose
+// baked score columns predate the current collection statistics: the plan
+// shape follows the unmaterialized strategies (tf and doclen are read), but
+// the produced scores are bitwise those of a fresh bake, so stale and fresh
+// segments merge into one consistent ranking.
+type BM25Stored struct {
+	TF, DocLen Expr
+	Ftd        float64
+	Params     primitives.BM25Params
+	Quantized  bool
+	Lo, Hi     float64 // Global-By-Value bounds (Quantized only)
+	out        *vector.Vector
+}
+
+// Bind binds the children and checks they are Int64.
+func (e *BM25Stored) Bind(s Schema, vecSize int) error {
+	if err := e.TF.Bind(s, vecSize); err != nil {
+		return err
+	}
+	if err := e.DocLen.Bind(s, vecSize); err != nil {
+		return err
+	}
+	if e.TF.Type() != vector.Int64 || e.DocLen.Type() != vector.Int64 {
+		return fmt.Errorf("engine: BM25Stored needs Int64 tf and doclen, got %v, %v", e.TF.Type(), e.DocLen.Type())
+	}
+	e.out = vector.New(vector.Float64, vecSize)
+	return nil
+}
+
+// Type returns Float64.
+func (e *BM25Stored) Type() vector.Type { return vector.Float64 }
+
+// Eval applies the materialized- or quantized-score replication kernel.
+func (e *BM25Stored) Eval(b *vector.Batch) *vector.Vector {
+	tf := e.TF.Eval(b)
+	dl := e.DocLen.Eval(b)
+	n := b.FullLen()
+	sel := b.Sel
+	cnt := n
+	if sel != nil {
+		cnt = b.N
+	}
+	e.out.SetLen(n)
+	if e.Quantized {
+		primitives.MapBM25QuantTfLenCol(e.out.F64, tf.I64, dl.I64, e.Ftd, e.Params, e.Lo, e.Hi, sel, cnt)
+	} else {
+		primitives.MapBM25MatTfLenCol(e.out.F64, tf.I64, dl.I64, e.Ftd, e.Params, sel, cnt)
+	}
+	return e.out
+}
+
+func (e *BM25Stored) String() string {
+	if e.Quantized {
+		return fmt.Sprintf("bm25q8(%s, %s, ftd=%g, [%g,%g])", e.TF, e.DocLen, e.Ftd, e.Lo, e.Hi)
+	}
+	return fmt.Sprintf("bm25f32(%s, %s, ftd=%g)", e.TF, e.DocLen, e.Ftd)
+}

@@ -12,14 +12,67 @@ import (
 // MergeJoin, OR to MergeOuterJoin, leaves to posting-range scans. Results
 // are unranked, in ascending docid order, truncated to k by a Limit
 // operator that stops pulling posting data as soon as k matches exist.
+// Segments cover ascending docid ranges, so evaluating them in order and
+// stopping at k matches yields the global first-k.
 func (s *Searcher) SearchBool(expr BoolExpr, k int) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	io0 := s.simClock()
+	io0 := s.simIO()
 	start := time.Now()
 
+	var results []Result
+	for _, sub := range s.subs {
+		if len(results) >= k {
+			break
+		}
+		res, err := sub.searchBoolExpr(expr, k-len(results))
+		if err != nil {
+			return nil, stats, err
+		}
+		results = append(results, res...)
+	}
+	for i := range results {
+		name, err := s.snap.DocName(results[i].DocID)
+		if err != nil {
+			return nil, stats, err
+		}
+		results[i].Name = name
+	}
+	stats.Wall = time.Since(start)
+	stats.SimIO = s.simIO() - io0
+	return results, stats, nil
+}
+
+// SearchBoolContext is SearchBool honoring context cancellation, wiring
+// the interrupt hook exactly like SearchContext does for ranked queries.
+func (s *Searcher) SearchBoolContext(ctx context.Context, expr BoolExpr, k int) ([]Result, QueryStats, error) {
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx.Interrupt = ctx.Err
+		defer func() { s.ctx.Interrupt = nil }()
+	}
+	return s.SearchBool(expr, k)
+}
+
+// ExplainBool renders the compiled plan of a boolean query (the first
+// segment's; every segment runs the same shape over its own ranges).
+func (s *Searcher) ExplainBool(expr BoolExpr, k int) (string, error) {
+	plan, err := s.subs[0].boolPlan(expr)
+	if err != nil {
+		return "", err
+	}
+	limited := engine.NewLimit(plan, k)
+	if err := limited.Open(s.ctx); err != nil {
+		return "", err
+	}
+	defer limited.Close()
+	return engine.Explain(limited), nil
+}
+
+// searchBoolExpr compiles and runs a boolean query against one segment,
+// returning up to k matches in docid order (names unresolved).
+func (s *segSearcher) searchBoolExpr(expr BoolExpr, k int) ([]Result, error) {
 	plan, err := s.boolPlan(expr)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	limited := engine.NewLimit(plan, k)
 	var results []Result
@@ -35,48 +88,15 @@ func (s *Searcher) SearchBool(expr BoolExpr, k int) ([]Result, QueryStats, error
 		return nil
 	})
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
-	for i := range results {
-		name, err := s.ix.DocName(results[i].DocID)
-		if err != nil {
-			return nil, stats, err
-		}
-		results[i].Name = name
-	}
-	stats.Wall = time.Since(start)
-	stats.SimIO = s.simClock() - io0
-	return results, stats, nil
-}
-
-// SearchBoolContext is SearchBool honoring context cancellation, wiring
-// the interrupt hook exactly like SearchContext does for ranked queries.
-func (s *Searcher) SearchBoolContext(ctx context.Context, expr BoolExpr, k int) ([]Result, QueryStats, error) {
-	if ctx != nil && ctx.Done() != nil {
-		s.ctx.Interrupt = ctx.Err
-		defer func() { s.ctx.Interrupt = nil }()
-	}
-	return s.SearchBool(expr, k)
-}
-
-// ExplainBool renders the compiled plan of a boolean query.
-func (s *Searcher) ExplainBool(expr BoolExpr, k int) (string, error) {
-	plan, err := s.boolPlan(expr)
-	if err != nil {
-		return "", err
-	}
-	limited := engine.NewLimit(plan, k)
-	if err := limited.Open(s.ctx); err != nil {
-		return "", err
-	}
-	defer limited.Close()
-	return engine.Explain(limited), nil
+	return results, nil
 }
 
 // boolPlan compiles a boolean expression to an operator tree with output
 // schema [docid]. Every subtree emits strictly increasing docids, so the
 // composition of merge joins stays valid by induction.
-func (s *Searcher) boolPlan(expr BoolExpr) (engine.Operator, error) {
+func (s *segSearcher) boolPlan(expr BoolExpr) (engine.Operator, error) {
 	switch e := expr.(type) {
 	case *BoolTerm:
 		ti, ok := s.ix.Terms[e.Term]

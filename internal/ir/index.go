@@ -60,6 +60,22 @@ type BuildConfig struct {
 	PoolBytes int64
 	Disk      colbm.DiskParams
 
+	// DocIDBase is the global docid of the collection's first document.
+	// Segmented indexes assign each segment a disjoint docid range by
+	// building it from a batch with local docids and a non-zero base: the
+	// stored docid columns (and the document table's docid column) carry
+	// base-shifted — i.e. global — identifiers, so results from different
+	// segments merge without any per-query remapping, exactly as dist
+	// partitions do.
+	DocIDBase int64
+
+	// TablePrefix namespaces the table (and therefore column blob and
+	// chunk-cache) names. Segments of one segmented directory share a
+	// buffer manager, and cache keys are blob-derived — without a
+	// per-segment prefix every segment's "TD.docid32#0" would alias the
+	// same frame and serve one segment's postings to another's cursors.
+	TablePrefix string
+
 	// Stats, when non-nil, overrides the collection-derived BM25
 	// statistics. Distributed deployments pass the *global* statistics to
 	// every partition build so that per-node scores are comparable and the
@@ -205,7 +221,7 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 		ftd := float64(ftdInt)
 		maxScore := 0.0
 		for _, p := range list {
-			docids = append(docids, p.DocID)
+			docids = append(docids, p.DocID+bc.DocIDBase)
 			tfs = append(tfs, p.TF)
 			if scores != nil {
 				w := params.Weight(float64(p.TF), float64(c.DocLens[p.DocID]), ftd)
@@ -254,7 +270,7 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 		tdSpecs = append(tdSpecs,
 			colbm.ColumnSpec{Name: ColQScore, Type: vector.UInt8, ChunkLen: bc.ChunkLen})
 	}
-	tdb := colbm.NewBuilder("TD", store, cache, tdSpecs)
+	tdb := colbm.NewBuilder(bc.TablePrefix+"TD", store, cache, tdSpecs)
 	if bc.Uncompressed {
 		tdb.SetInt64(ColDocID32, docids)
 		tdb.SetInt64(ColTF32, tfs)
@@ -278,14 +294,14 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 
 	// D table: docid (dense, delta-compresses to nearly nothing), length,
 	// name.
-	db := colbm.NewBuilder("D", store, cache, []colbm.ColumnSpec{
+	db := colbm.NewBuilder(bc.TablePrefix+"D", store, cache, []colbm.ColumnSpec{
 		{Name: "docid", Type: vector.Int64, Enc: colbm.EncPFORDelta, Bits: 8, ChunkLen: bc.ChunkLen},
 		{Name: "len", Type: vector.Int64, Enc: colbm.EncPFOR, Bits: 8, ChunkLen: bc.ChunkLen},
 		{Name: "name", Type: vector.Str, ChunkLen: bc.ChunkLen},
 	})
 	dense := make([]int64, numDocs)
 	for i := range dense {
-		dense[i] = int64(i)
+		dense[i] = bc.DocIDBase + int64(i)
 	}
 	db.SetInt64("docid", dense)
 	db.SetInt64("len", c.DocLens)
@@ -355,15 +371,21 @@ func (ix *Index) NumDocs() int { return ix.D.N }
 // NumPostings returns the TD row count.
 func (ix *Index) NumPostings() int { return ix.TD.N }
 
-// DocName fetches one document name (the post-TopN lookup of the
-// materialized plans).
+// DocBase returns the global docid of this index's first document (0 for
+// non-segmented indexes; a segment's docid-range start otherwise).
+func (ix *Index) DocBase() int64 { return ix.cfg.DocIDBase }
+
+// DocName fetches one document name by global docid (the post-TopN lookup
+// of the materialized plans). The document table stores this index's docid
+// range only, so the global id maps to row docid-DocBase.
 func (ix *Index) DocName(docid int64) (string, error) {
 	col, err := ix.D.Column("name")
 	if err != nil {
 		return "", err
 	}
+	row := docid - ix.cfg.DocIDBase
 	v := vector.New(vector.Str, 1)
-	if err := colbm.NewCursor(col).Read(v, int(docid), 1); err != nil {
+	if err := colbm.NewCursor(col).Read(v, int(row), 1); err != nil {
 		return "", err
 	}
 	return v.S[0], nil

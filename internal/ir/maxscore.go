@@ -22,28 +22,54 @@ import (
 // ColumnBM cursors into per-document accumulators, and after every list
 // the stopping criterion is evaluated.
 
-// SearchMaxScore runs term-at-a-time retrieval with max-score pruning.
-// Results carry accumulated (possibly truncated) scores; the top-k *set*
-// is exact whenever pruning triggers, per the stopping criterion. The
-// returned stats note how many posting entries were read (Candidates) —
-// the quantity pruning saves.
+// SearchMaxScore runs term-at-a-time retrieval with max-score pruning,
+// segment by segment, merging the per-segment top-k lists. Results carry
+// accumulated (possibly truncated) scores; the top-k *set* is exact
+// whenever pruning triggers, per the stopping criterion. The returned
+// stats note how many posting entries were read (Candidates) — the
+// quantity pruning saves. On a segment whose baked score column is stale
+// (appended after it was built, not yet merged) the pruning runs over the
+// baked values — max-score is an approximate technique and regains
+// exactness at the next merge.
 func (s *Searcher) SearchMaxScore(terms []string, k int) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	io0 := s.simClock()
-	defer func() { stats.SimIO = s.simClock() - io0 }()
+	io0 := s.simIO()
+	defer func() { stats.SimIO = s.simIO() - io0 }()
 
+	var all []Result
+	for _, sub := range s.subs {
+		res, err := sub.maxScoreSeg(terms, k, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		all = append(all, res...)
+	}
+	results := mergeTopK(all, k)
+	for i := range results {
+		name, err := s.snap.DocName(results[i].DocID)
+		if err != nil {
+			return nil, stats, err
+		}
+		results[i].Name = name
+	}
+	return results, stats, nil
+}
+
+// maxScoreSeg runs the pruned term-at-a-time loop over one segment's
+// materialized score column (names unresolved).
+func (s *segSearcher) maxScoreSeg(terms []string, k int, stats *QueryStats) ([]Result, error) {
 	col, err := s.ix.TD.Column(ColScore)
 	if err != nil {
-		return nil, stats, fmt.Errorf("ir: max-score pruning requires materialized scores: %w", err)
+		return nil, fmt.Errorf("ir: max-score pruning requires materialized scores: %w", err)
 	}
 	docCol, err := s.ix.TD.Column(ColDocIDC)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 
 	infos, _ := s.resolve(terms)
 	if len(infos) == 0 {
-		return nil, stats, nil
+		return nil, nil
 	}
 	// Process the most influential lists first so the criterion can
 	// trigger with as much of the total mass as possible already applied.
@@ -71,10 +97,10 @@ func (s *Searcher) SearchMaxScore(terms []string, k int) ([]Result, QueryStats, 
 				n = vector.DefaultSize
 			}
 			if err := docCur.Read(docVec, pos, n); err != nil {
-				return nil, stats, err
+				return nil, err
 			}
 			if err := scoreCur.Read(scoreVec, pos, n); err != nil {
-				return nil, stats, err
+				return nil, err
 			}
 			for j := 0; j < n; j++ {
 				acc[docVec.I64[j]] += scoreVec.F64[j]
@@ -84,15 +110,7 @@ func (s *Searcher) SearchMaxScore(terms []string, k int) ([]Result, QueryStats, 
 		}
 	}
 
-	results := topKFromAccumulators(acc, k)
-	for i := range results {
-		name, err := s.ix.DocName(results[i].DocID)
-		if err != nil {
-			return nil, stats, err
-		}
-		results[i].Name = name
-	}
-	return results, stats, nil
+	return topKFromAccumulators(acc, k), nil
 }
 
 // stopSatisfied implements the Buckley criterion: with the current

@@ -23,12 +23,20 @@ type SearcherPool struct {
 // NewSearcherPool builds n searchers over the index (vectorSize 0 = the
 // 1024 default). n < 1 is treated as 1.
 func NewSearcherPool(ix *Index, vectorSize, n int) *SearcherPool {
+	return NewSnapshotSearcherPool(SingleSnapshot(ix), vectorSize, n)
+}
+
+// NewSnapshotSearcherPool builds n searchers over a snapshot's segment set
+// (vectorSize 0 = the 1024 default). n < 1 is treated as 1. All searchers
+// share the snapshot's immutable segments; the engine swaps whole
+// pool+snapshot pairs on Refresh rather than mutating one in place.
+func NewSnapshotSearcherPool(snap *Snapshot, vectorSize, n int) *SearcherPool {
 	if n < 1 {
 		n = 1
 	}
 	p := &SearcherPool{free: make(chan *Searcher, n)}
 	for i := 0; i < n; i++ {
-		p.free <- NewSearcher(ix, vectorSize)
+		p.free <- NewSnapshotSearcher(snap, vectorSize)
 	}
 	return p
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/colbm"
 	"repro/internal/engine"
 	"repro/internal/vector"
 )
@@ -115,45 +116,88 @@ type QueryStats struct {
 // Wall for hot ones.
 func (s QueryStats) Total() time.Duration { return s.Wall + s.SimIO }
 
-// Searcher executes keyword queries against an index. It is not safe for
-// concurrent use; each worker (or distributed server goroutine) owns one.
+// Searcher executes keyword queries against a snapshot — one or many
+// segments behind one entry point. It is not safe for concurrent use; each
+// worker (or distributed server goroutine) owns one.
+//
+// Multi-segment execution follows the dist broker's discipline: each
+// segment runs the per-segment plan over its own cursors (docids are
+// global, statistics are collection-wide after the snapshot's stats
+// patch), and per-segment top-k lists merge by (score, docid). The
+// two-pass gate is global — the conjunctive pass runs on every segment
+// first, and only if the merged conjunctive yield falls short of k does
+// any segment run the disjunctive pass — exactly the decision a single
+// whole-collection index would make.
 type Searcher struct {
-	ix  *Index
-	ctx *engine.ExecContext
+	snap *Snapshot
+	subs []*segSearcher
+	ctx  *engine.ExecContext
 }
 
-// NewSearcher returns a searcher with the given vector size (0 = default).
+// segSearcher executes plans against one segment. All segments of a
+// Searcher share one ExecContext (vector size, interrupt hook).
+type segSearcher struct {
+	ix      *Index
+	virtual bool
+	ctx     *engine.ExecContext
+}
+
+// NewSearcher returns a searcher over a single index with the given vector
+// size (0 = default).
 func NewSearcher(ix *Index, vectorSize int) *Searcher {
+	return NewSnapshotSearcher(SingleSnapshot(ix), vectorSize)
+}
+
+// NewSnapshotSearcher returns a searcher over a snapshot's segment set
+// with the given vector size (0 = default).
+func NewSnapshotSearcher(snap *Snapshot, vectorSize int) *Searcher {
 	ctx := engine.NewContext()
 	if vectorSize > 0 {
 		ctx.VectorSize = vectorSize
 	}
-	return &Searcher{ix: ix, ctx: ctx}
+	s := &Searcher{snap: snap, ctx: ctx}
+	for _, sub := range snap.subs {
+		s.subs = append(s.subs, &segSearcher{ix: sub.ix, virtual: sub.virtual, ctx: ctx})
+	}
+	return s
 }
 
-// simClock reads the virtual I/O clock of the index store, or 0 for a
-// real (non-simulated) store, whose read time is measured wall time
-// already included in QueryStats.Wall — charging it to SimIO as well would
-// double-count the I/O.
-func (s *Searcher) simClock() time.Duration {
-	if !s.ix.Store.Simulated() {
-		return 0
+// simIO sums the virtual I/O clocks of the segments' stores (each segment
+// owns its own store; a shared one is counted once). Real stores return 0
+// — their read time is measured wall time already included in
+// QueryStats.Wall, and charging it to SimIO as well would double-count.
+func (s *Searcher) simIO() time.Duration {
+	var total time.Duration
+	var seen []colbm.BlockStore
+next:
+	for _, sub := range s.subs {
+		st := sub.ix.Store
+		if !st.Simulated() {
+			continue
+		}
+		for _, prev := range seen {
+			if prev == st {
+				continue next
+			}
+		}
+		seen = append(seen, st)
+		total += st.Stats().IOTime
 	}
-	return s.ix.Store.Stats().IOTime
+	return total
 }
 
 // Search runs a keyword query under the given strategy, returning the top
 // k documents. Names are resolved only for the returned documents.
 func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	io0 := s.simClock()
+	io0 := s.simIO()
 	start := time.Now()
 
 	results, err := s.searchInner(terms, k, strat, &stats)
 	if err == nil {
 		for i := range results {
 			var name string
-			if name, err = s.ix.DocName(results[i].DocID); err != nil {
+			if name, err = s.snap.DocName(results[i].DocID); err != nil {
 				break
 			}
 			results[i].Name = name
@@ -162,7 +206,7 @@ func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, Quer
 	stats.Wall = time.Since(start)
 	// One disk-clock read, taken after name resolution: the post-TopN name
 	// lookups hit the disk too, so their I/O is part of the query's charge.
-	stats.SimIO = s.simClock() - io0
+	stats.SimIO = s.simIO() - io0
 	if err != nil {
 		return nil, stats, err
 	}
@@ -185,42 +229,146 @@ func (s *Searcher) SearchContext(ctx context.Context, terms []string, k int, str
 
 func (s *Searcher) searchInner(terms []string, k int, strat Strategy, stats *QueryStats) ([]Result, error) {
 	if strat == StrategyDefault {
-		resolved, err := s.ix.Resolve(strat)
+		resolved, err := s.snap.Resolve(strat)
 		if err != nil {
 			return nil, err
 		}
 		strat = resolved
 	}
-	infos, missing := s.resolve(terms)
-	s.prefetchRanges(infos, strat)
 	switch strat {
 	case BoolAND:
-		if missing {
-			return nil, nil // a missing term makes the conjunction empty
-		}
-		return s.searchBoolean(infos, k, false)
+		return s.searchBooleanAll(terms, k, false)
 	case BoolOR:
-		return s.searchBoolean(infos, k, true)
+		return s.searchBooleanAll(terms, k, true)
 	case BM25:
-		return s.searchBM25(infos, k, false, false, stats)
-	case BM25T:
-		return s.searchTwoPass(infos, k, false, stats)
-	case BM25TC:
-		return s.searchTwoPass(infos, k, true, stats)
-	case BM25TCM:
-		return s.searchMaterialized(infos, k, false, stats)
-	case BM25TCMQ8:
-		return s.searchMaterialized(infos, k, true, stats)
+		return s.searchRanked(terms, k, strat, false, stats)
+	case BM25T, BM25TC, BM25TCM, BM25TCMQ8:
+		return s.searchRanked(terms, k, strat, true, stats)
 	default:
 		return nil, fmt.Errorf("ir: unknown strategy %d", strat)
 	}
 }
 
+// searchBooleanAll evaluates unranked boolean retrieval across the segment
+// set. Segments cover ascending docid ranges, so collecting the first
+// matches segment by segment yields the global first-k in docid order; a
+// segment whose dictionary is missing a conjunction term contributes
+// nothing (none of its documents can contain the term) and is skipped.
+func (s *Searcher) searchBooleanAll(terms []string, k int, or bool) ([]Result, error) {
+	var results []Result
+	for _, sub := range s.subs {
+		if len(results) >= k {
+			break
+		}
+		infos, missing := sub.resolve(terms)
+		if len(infos) == 0 || (!or && missing) {
+			continue
+		}
+		strat := BoolAND
+		if or {
+			strat = BoolOR
+		}
+		sub.prefetchRanges(infos, strat)
+		res, err := sub.searchBoolean(infos, k-len(results), or)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res...)
+	}
+	return results, nil
+}
+
+// searchRanked runs a ranked strategy over the segment set. With twoPass,
+// the conjunctive pass runs on every segment first; only if the merged
+// conjunctive matches fall short of k (and more than one query term
+// resolved anywhere — a single-term disjunctive pass is the identical
+// plan) does the disjunctive pass run. This is the global two-pass gate: a
+// single whole-collection index decides pass 2 on its global conjunctive
+// yield, so the segment set must too, or a segment-local fallback could
+// promote disjunctive-only documents a single index would not rank.
+func (s *Searcher) searchRanked(terms []string, k int, strat Strategy, twoPass bool, stats *QueryStats) ([]Result, error) {
+	resolved := 0
+	for _, t := range terms {
+		if s.snap.hasTerm(t) {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		return nil, nil
+	}
+	if !twoPass {
+		all, err := s.rankedPass(terms, k, strat, resolved, false, stats)
+		if err != nil {
+			return nil, err
+		}
+		return mergeTopK(all, k), nil
+	}
+	all, err := s.rankedPass(terms, k, strat, resolved, true, stats)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) >= k || resolved == 1 {
+		return mergeTopK(all, k), nil
+	}
+	stats.SecondPass = true
+	all, err = s.rankedPass(terms, k, strat, resolved, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	return mergeTopK(all, k), nil
+}
+
+// rankedPass runs one conjunctive or disjunctive pass of a ranked strategy
+// on every segment, concatenating the per-segment top-k candidates.
+// resolved is the number of query terms (duplicates kept) present in the
+// merged dictionary.
+func (s *Searcher) rankedPass(terms []string, k int, strat Strategy, resolved int, inner bool, stats *QueryStats) ([]Result, error) {
+	var all []Result
+	for _, sub := range s.subs {
+		infos, _ := sub.resolve(terms)
+		if len(infos) == 0 {
+			continue
+		}
+		// Conjunctive pass: a segment whose dictionary is missing a term
+		// the merged dictionary knows can hold no conjunctive match — the
+		// term simply has no postings in this docid range. Dropping the
+		// term locally (as the disjunctive pass legitimately does, the
+		// missing side scoring zero) would instead join over the remaining
+		// terms and surface pseudo-conjunctive matches a single
+		// whole-collection index would never rank in pass 1.
+		if inner && len(infos) < resolved {
+			continue
+		}
+		sub.prefetchRanges(infos, strat)
+		var res []Result
+		var err error
+		switch strat {
+		case BM25, BM25T:
+			res, err = sub.scoredPass(infos, k, false, inner, stats)
+		case BM25TC:
+			res, err = sub.scoredPass(infos, k, true, inner, stats)
+		case BM25TCM:
+			res, err = sub.materializedPass(infos, k, false, inner, stats)
+		case BM25TCMQ8:
+			res, err = sub.materializedPass(infos, k, true, inner, stats)
+		default:
+			return nil, fmt.Errorf("ir: unranked strategy %v in ranked pass", strat)
+		}
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, res...)
+	}
+	return all, nil
+}
+
 // prefetchRanges hands the posting ranges the strategy's plan is about to
 // scan — one per term, over each physical column the plan reads — to the
-// index's prefetcher, so chunk data streams in ahead of the cursors. A nil
-// prefetcher (in-memory indexes, prefetch disabled) makes this a no-op.
-func (s *Searcher) prefetchRanges(infos []TermInfo, strat Strategy) {
+// segment's prefetcher, so chunk data streams in ahead of the cursors. A
+// nil prefetcher (in-memory indexes, prefetch disabled) makes this a
+// no-op. Virtual segments read tf columns instead of their stale score
+// columns, and the read-ahead follows suit.
+func (s *segSearcher) prefetchRanges(infos []TermInfo, strat Strategy) {
 	pf := s.ix.Prefetcher
 	if pf == nil || len(infos) == 0 {
 		return
@@ -240,6 +388,9 @@ func (s *Searcher) prefetchRanges(infos []TermInfo, strat Strategy) {
 	default:
 		return
 	}
+	if s.virtual && (strat == BM25TCM || strat == BM25TCMQ8) {
+		names = []string{ColDocIDC, ColTFC}
+	}
 	for _, name := range names {
 		col, err := s.ix.TD.Column(name)
 		if err != nil {
@@ -249,10 +400,11 @@ func (s *Searcher) prefetchRanges(infos []TermInfo, strat Strategy) {
 			pf.Prefetch(col, ti.Start, ti.End)
 		}
 	}
-	// The unmaterialized ranked plans also merge-join the whole document
-	// table for lengths — a full sequential scan, the best case for
-	// read-ahead.
-	if strat == BM25 || strat == BM25T || strat == BM25TC {
+	// The unmaterialized ranked plans (and virtual materialized scoring)
+	// also merge-join the whole document table for lengths — a full
+	// sequential scan, the best case for read-ahead.
+	if strat == BM25 || strat == BM25T || strat == BM25TC ||
+		(s.virtual && (strat == BM25TCM || strat == BM25TCMQ8)) {
 		for _, name := range []string{"docid", "len"} {
 			if col, err := s.ix.D.Column(name); err == nil {
 				pf.Prefetch(col, 0, col.N)
@@ -263,7 +415,7 @@ func (s *Searcher) prefetchRanges(infos []TermInfo, strat Strategy) {
 
 // resolve maps query terms to range-index entries, dropping unknown terms
 // and reporting whether any were missing.
-func (s *Searcher) resolve(terms []string) ([]TermInfo, bool) {
+func (s *segSearcher) resolve(terms []string) ([]TermInfo, bool) {
 	infos := make([]TermInfo, 0, len(terms))
 	missing := false
 	for _, t := range terms {
@@ -280,7 +432,7 @@ func (s *Searcher) resolve(terms []string) ([]TermInfo, bool) {
 // MergeJoins (AND) or MergeOuterJoins (OR) over posting ranges, taking the
 // first k matches in docid order (there is no score to rank by — the
 // near-zero p@20 of the BoolAND/BoolOR rows in Table 2 is the point).
-func (s *Searcher) searchBoolean(infos []TermInfo, k int, or bool) ([]Result, error) {
+func (s *segSearcher) searchBoolean(infos []TermInfo, k int, or bool) ([]Result, error) {
 	if len(infos) == 0 {
 		return nil, nil
 	}
@@ -320,14 +472,14 @@ type planCols struct {
 	score string // empty unless materialized
 }
 
-func (s *Searcher) docCol(compressed bool) string {
+func (s *segSearcher) docCol(compressed bool) string {
 	if compressed {
 		return ColDocIDC
 	}
 	return ColDocID32
 }
 
-func (s *Searcher) tfCol(compressed bool) string {
+func (s *segSearcher) tfCol(compressed bool) string {
 	if compressed {
 		return ColTFC
 	}
@@ -341,7 +493,7 @@ func (s *Searcher) tfCol(compressed bool) string {
 // MAX(left, right), the paper's D.docid=MAX(TD1.docid, TD2.docid) trick —
 // for inner joins both sides agree, for outer joins the missing side reads
 // as zero and MAX picks the present one.
-func (s *Searcher) combinedPlan(infos []TermInfo, outer bool, cols planCols) (engine.Operator, error) {
+func (s *segSearcher) combinedPlan(infos []TermInfo, outer bool, cols planCols) (engine.Operator, error) {
 	scanCols := []string{cols.doc}
 	val := ""
 	if cols.tf != "" {
@@ -399,11 +551,46 @@ func (s *Searcher) combinedPlan(infos []TermInfo, outer bool, cols planCols) (en
 
 func vcol(i int) string { return fmt.Sprintf("v%d", i) }
 
-// searchBM25 is the unmaterialized ranked plan: (outer-)join cascade over
-// [docid, tf], merge-join with the document table for lengths, project the
-// summed Okapi BM25 score, TopN. With inner=true it is the first pass of
-// the two-pass strategy.
-func (s *Searcher) searchBM25(infos []TermInfo, k int, compressed, inner bool, stats *QueryStats) ([]Result, error) {
+// scoredPass is one pass of the unmaterialized ranked plan: (outer-)join
+// cascade over [docid, tf], merge-join with the document table for
+// lengths, project the summed Okapi BM25 score, TopN. inner selects the
+// conjunctive (first-pass) shape.
+func (s *segSearcher) scoredPass(infos []TermInfo, k int, compressed, inner bool, stats *QueryStats) ([]Result, error) {
+	return s.joinedPass(infos, k, compressed, inner, stats, func(i int, ti TermInfo) engine.Expr {
+		return &engine.BM25{
+			TF:     engine.NewColRef(vcol(i)),
+			DocLen: engine.NewColRef("d.len"),
+			Ftd:    float64(ti.Ftd),
+			Params: s.ix.Params,
+		}
+	})
+}
+
+// virtualPass is the stale-segment materialized pass: the plan reads tf
+// like the unmaterialized strategies, but each term's weight expression
+// reproduces — bitwise — the value a freshly baked score (or quantized
+// score) column would hold under the current collection statistics. A
+// segment whose baked columns predate the latest append thereby ranks
+// identically to one baked afterwards, which is what lets appends leave
+// existing segments untouched.
+func (s *segSearcher) virtualPass(infos []TermInfo, k int, quantized, inner bool, stats *QueryStats) ([]Result, error) {
+	return s.joinedPass(infos, k, true, inner, stats, func(i int, ti TermInfo) engine.Expr {
+		return &engine.BM25Stored{
+			TF:        engine.NewColRef(vcol(i)),
+			DocLen:    engine.NewColRef("d.len"),
+			Ftd:       float64(ti.Ftd),
+			Params:    s.ix.Params,
+			Quantized: quantized,
+			Lo:        s.ix.ScoreLo,
+			Hi:        s.ix.ScoreHi,
+		}
+	})
+}
+
+// joinedPass executes the tf-reading ranked plan shape with a caller-chosen
+// per-term weight expression.
+func (s *segSearcher) joinedPass(infos []TermInfo, k int, compressed, inner bool, stats *QueryStats,
+	weight func(i int, ti TermInfo) engine.Expr) ([]Result, error) {
 	if len(infos) == 0 {
 		return nil, nil
 	}
@@ -421,12 +608,7 @@ func (s *Searcher) searchBM25(infos []TermInfo, k int, compressed, inner bool, s
 
 	var scoreExpr engine.Expr
 	for i, ti := range infos {
-		w := &engine.BM25{
-			TF:     engine.NewColRef(vcol(i)),
-			DocLen: engine.NewColRef("d.len"),
-			Ftd:    float64(ti.Ftd),
-			Params: s.ix.Params,
-		}
+		w := weight(i, ti)
 		if scoreExpr == nil {
 			scoreExpr = w
 		} else {
@@ -444,31 +626,17 @@ func (s *Searcher) searchBM25(infos []TermInfo, k int, compressed, inner bool, s
 	return s.drainTop(top, stats)
 }
 
-// searchMaterialized is the BM25TCM/BM25TCMQ8 plan: scans of [docid,
-// score] (or quantized score) ranges, outer-join cascade, summed scores,
-// TopN — no document-table join at all, since per-document statistics are
-// baked into the materialized column.
-func (s *Searcher) searchMaterialized(infos []TermInfo, k int, quantized bool, stats *QueryStats) ([]Result, error) {
+// materializedPass is one pass of the BM25TCM/BM25TCMQ8 plan. Freshly
+// baked segments scan [docid, score] (or quantized score) ranges with no
+// document-table join at all — per-document statistics are baked into the
+// materialized column; stale segments route through virtualPass instead.
+func (s *segSearcher) materializedPass(infos []TermInfo, k int, quantized, inner bool, stats *QueryStats) ([]Result, error) {
 	if len(infos) == 0 {
 		return nil, nil
 	}
-	// First pass: conjunctive. Second pass: disjunctive (two-pass is part
-	// of the cumulative ladder, so M and Q8 inherit it). With a single term
-	// the two passes are the same plan shape — there is no join to relax —
-	// so the disjunctive re-run would scan the identical range again for
-	// the identical result; skip it.
-	res, err := s.materializedPass(infos, k, quantized, true, stats)
-	if err != nil {
-		return nil, err
+	if s.virtual {
+		return s.virtualPass(infos, k, quantized, inner, stats)
 	}
-	if len(res) >= k || len(infos) == 1 {
-		return res, nil
-	}
-	stats.SecondPass = true
-	return s.materializedPass(infos, k, quantized, false, stats)
-}
-
-func (s *Searcher) materializedPass(infos []TermInfo, k int, quantized, inner bool, stats *QueryStats) ([]Result, error) {
 	cols := planCols{doc: s.docCol(true)}
 	if quantized {
 		cols.score = ColQScore
@@ -502,29 +670,8 @@ func (s *Searcher) materializedPass(infos []TermInfo, k int, quantized, inner bo
 	return s.drainTop(top, stats)
 }
 
-// searchTwoPass is the BM25T/BM25TC strategy: a conjunctive (MergeJoin)
-// pass first, and only if it yields fewer than k documents, the full
-// disjunctive (MergeOuterJoin) pass. The heuristic: documents containing
-// all query terms are likely to dominate the top ranks.
-func (s *Searcher) searchTwoPass(infos []TermInfo, k int, compressed bool, stats *QueryStats) ([]Result, error) {
-	if len(infos) == 0 {
-		return nil, nil
-	}
-	res, err := s.searchBM25(infos, k, compressed, true, stats)
-	if err != nil {
-		return nil, err
-	}
-	// A single-term disjunctive pass is the identical plan (no join to
-	// relax), so re-running it can only repeat the same result: skip it.
-	if len(res) >= k || len(infos) == 1 {
-		return res, nil
-	}
-	stats.SecondPass = true
-	return s.searchBM25(infos, k, compressed, false, stats)
-}
-
 // drainTop executes a TopN plan and converts its output.
-func (s *Searcher) drainTop(top engine.Operator, stats *QueryStats) ([]Result, error) {
+func (s *segSearcher) drainTop(top engine.Operator, stats *QueryStats) ([]Result, error) {
 	var results []Result
 	err := engine.Drain(top, s.ctx, func(b *vector.Batch) error {
 		di := top.Schema().MustIndex("docid")
@@ -551,18 +698,31 @@ func (s *Searcher) drainTop(top engine.Operator, stats *QueryStats) ([]Result, e
 	return results, nil
 }
 
-// ExplainLast builds (without executing) the plan for a query under a
+// ExplainPlan builds (without executing) the plan for a query under a
 // strategy and returns its textual form — the demo's plan display. The
-// plan is Opened to bind expressions, then explained.
+// plan is Opened to bind expressions, then explained. For a multi-segment
+// snapshot the first segment's plan is shown (every segment runs the same
+// shape over its own ranges).
 func (s *Searcher) ExplainPlan(terms []string, k int, strat Strategy) (string, error) {
 	if strat == StrategyDefault {
-		resolved, err := s.ix.Resolve(strat)
+		resolved, err := s.snap.Resolve(strat)
 		if err != nil {
 			return "", err
 		}
 		strat = resolved
 	}
-	infos, _ := s.resolve(terms)
+	// Explain against the first segment that knows any of the terms (new
+	// vocabulary may exist only in recently appended segments); every
+	// segment runs the same plan shape over its own ranges.
+	sub := s.subs[0]
+	infos, _ := sub.resolve(terms)
+	for _, cand := range s.subs[1:] {
+		if len(infos) > 0 {
+			break
+		}
+		sub = cand
+		infos, _ = sub.resolve(terms)
+	}
 	if len(infos) == 0 {
 		return "(empty plan: no known query terms)", nil
 	}
@@ -570,22 +730,22 @@ func (s *Searcher) ExplainPlan(terms []string, k int, strat Strategy) (string, e
 	var err error
 	switch strat {
 	case BoolAND:
-		op, err = s.combinedPlan(infos, false, planCols{doc: s.docCol(false)})
+		op, err = sub.combinedPlan(infos, false, planCols{doc: sub.docCol(false)})
 	case BoolOR:
-		op, err = s.combinedPlan(infos, true, planCols{doc: s.docCol(false)})
+		op, err = sub.combinedPlan(infos, true, planCols{doc: sub.docCol(false)})
 	default:
 		// Show the disjunctive scoring plan, the interesting one.
 		quant := strat == BM25TCMQ8
 		if strat == BM25TCM || strat == BM25TCMQ8 {
-			cols := planCols{doc: s.docCol(true), score: ColScore}
+			cols := planCols{doc: sub.docCol(true), score: ColScore}
 			if quant {
 				cols.score = ColQScore
 			}
-			op, err = s.combinedPlan(infos, true, cols)
+			op, err = sub.combinedPlan(infos, true, cols)
 		} else {
 			compressed := strat == BM25TC
-			cols := planCols{doc: s.docCol(compressed), tf: s.tfCol(compressed)}
-			op, err = s.combinedPlan(infos, true, cols)
+			cols := planCols{doc: sub.docCol(compressed), tf: sub.tfCol(compressed)}
+			op, err = sub.combinedPlan(infos, true, cols)
 		}
 	}
 	if err != nil {

@@ -81,6 +81,88 @@ func MapBM25U8TfLenCol(res []float64, tf []uint8, doclen []int64, ftd float64, p
 	}
 }
 
+// MapBM25MatTfLenCol computes res[i] = float64(float32(w(D,T))) — the Okapi
+// weight pushed through the float32 storage representation of a
+// materialized score column. This is the *virtual materialization* kernel:
+// a segment whose baked score column predates the collection's current
+// statistics recomputes, at query time, exactly the values a fresh bake
+// would have stored, so stale and freshly baked segments rank identically.
+// The arithmetic mirrors BM25Params.Weight operation for operation (not the
+// hoisted MapBM25TfLenCol form), because bakes go through Weight and float
+// results must match bitwise.
+// A zero tf is the disjunctive plan's outer-join pad, not a posting: it
+// reproduces the stored column's pad value, +0.
+func MapBM25MatTfLenCol(res []float64, tf, doclen []int64, ftd float64, p BM25Params, sel []int32, n int) {
+	idf := math.Log(p.NumDocs / ftd)
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			f := float64(tf[i])
+			if f == 0 {
+				res[i] = 0
+				continue
+			}
+			norm := (1 - p.B) + p.B*float64(doclen[i])/p.AvgDocLn
+			res[i] = float64(float32(idf * ((p.K1 + 1) * f) / (f + p.K1*norm)))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			f := float64(tf[s])
+			if f == 0 {
+				res[s] = 0
+				continue
+			}
+			norm := (1 - p.B) + p.B*float64(doclen[s])/p.AvgDocLn
+			res[s] = float64(float32(idf * ((p.K1 + 1) * f) / (f + p.K1*norm)))
+		}
+	}
+}
+
+// MapBM25QuantTfLenCol computes res[i] = float64(quantize(w(D,T))) — the
+// weight pushed through Global-By-Value quantization with the collection's
+// [lo, hi] bounds, exactly as an 8-bit qscore column stores it (and exactly
+// as the quantized plan reads it back: the bucket code widened to float).
+// The quantization arithmetic mirrors QuantizeGlobalByValue with q = 256.
+// A zero tf is the disjunctive plan's outer-join pad, not a posting: the
+// stored-column plan reads the pad as code 0, so the kernel emits 0 rather
+// than quantizing the zero weight (which would land in bucket 1).
+func MapBM25QuantTfLenCol(res []float64, tf, doclen []int64, ftd float64, p BM25Params, lo, hi float64, sel []int32, n int) {
+	idf := math.Log(p.NumDocs / ftd)
+	scale := float64(256) / (hi - lo + 1e-9)
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			f := float64(tf[i])
+			if f == 0 {
+				res[i] = 0
+				continue
+			}
+			norm := (1 - p.B) + p.B*float64(doclen[i])/p.AvgDocLn
+			w := idf * ((p.K1 + 1) * f) / (f + p.K1*norm)
+			c := int(scale*(w-lo)) + 1
+			if c > 255 {
+				c = 255
+			}
+			res[i] = float64(uint8(c))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := sel[i]
+			f := float64(tf[s])
+			if f == 0 {
+				res[s] = 0
+				continue
+			}
+			norm := (1 - p.B) + p.B*float64(doclen[s])/p.AvgDocLn
+			w := idf * ((p.K1 + 1) * f) / (f + p.K1*norm)
+			c := int(scale*(w-lo)) + 1
+			if c > 255 {
+				c = 255
+			}
+			res[s] = float64(uint8(c))
+		}
+	}
+}
+
 // QuantizeGlobalByValue applies the paper's linear Global-By-Value
 // quantization,
 //

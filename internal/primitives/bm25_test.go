@@ -172,3 +172,47 @@ func TestDequantizeMidpoint(t *testing.T) {
 		t.Errorf("selective dequantize: %v", sel)
 	}
 }
+
+// TestVirtualMaterializationKernels: the stale-segment scoring kernels
+// must reproduce the baked columns bit for bit — the float32 storage
+// roundtrip of a materialized score, the Global-By-Value bucket code of a
+// quantized one, and the outer-join pad (tf = 0) as the stored pad value.
+func TestVirtualMaterializationKernels(t *testing.T) {
+	p := BM25Params{K1: 1.2, B: 0.75, NumDocs: 50000, AvgDocLn: 197.3}
+	tf := []int64{0, 1, 2, 3, 7, 15, 40, 0, 9, 1}
+	dl := []int64{80, 80, 211, 64, 400, 33, 500, 16, 197, 1200}
+	const ftd, lo, hi = 775.0, 0.0132, 17.9
+
+	mat := make([]float64, len(tf))
+	MapBM25MatTfLenCol(mat, tf, dl, ftd, p, nil, len(tf))
+	quant := make([]float64, len(tf))
+	MapBM25QuantTfLenCol(quant, tf, dl, ftd, p, lo, hi, nil, len(tf))
+
+	for i := range tf {
+		if tf[i] == 0 {
+			if mat[i] != 0 || quant[i] != 0 {
+				t.Errorf("pad row %d: mat=%v quant=%v, want 0 (stored pads)", i, mat[i], quant[i])
+			}
+			continue
+		}
+		w := p.Weight(float64(tf[i]), float64(dl[i]), ftd)
+		if want := float64(float32(w)); mat[i] != want {
+			t.Errorf("row %d: mat kernel %v != float32 roundtrip of Weight %v", i, mat[i], want)
+		}
+		var code [1]uint8
+		QuantizeGlobalByValue(code[:], []float64{w}, lo, hi, 256, nil, 1)
+		if want := float64(code[0]); quant[i] != want {
+			t.Errorf("row %d: quant kernel %v != stored bucket %v", i, quant[i], want)
+		}
+	}
+
+	// Selection-vector variant agrees with the dense one.
+	sel := []int32{1, 4, 8}
+	mat2 := make([]float64, len(tf))
+	MapBM25MatTfLenCol(mat2, tf, dl, ftd, p, sel, len(sel))
+	for _, s := range sel {
+		if mat2[s] != mat[s] {
+			t.Errorf("sel row %d: %v != %v", s, mat2[s], mat[s])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/colbm"
@@ -224,6 +225,26 @@ func (m *Manager) removeLocked(f *frame) {
 	m.order.Remove(f.elem)
 	delete(m.frames, f.key)
 	m.used -= f.chunk.Size
+}
+
+// DropPrefix evicts every resident chunk whose key starts with prefix —
+// the hook segment garbage collection uses to release a deleted segment's
+// frames. Chunk keys are blob-name-derived and segment blob names carry
+// the segment-directory prefix, so one call frees exactly one dead
+// segment; without it an *unbounded* manager would pin every chunk ever
+// read from superseded generations forever (a bounded one merely wastes
+// budget on them until CLOCK cycles through). Returns the bytes released.
+func (m *Manager) DropPrefix(prefix string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var freed int64
+	for key, f := range m.frames {
+		if strings.HasPrefix(key, prefix) {
+			freed += f.chunk.Size
+			m.removeLocked(f)
+		}
+	}
+	return freed
 }
 
 // Drop empties the manager (the "cold run" reset), keeping the counters.

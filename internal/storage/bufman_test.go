@@ -272,3 +272,40 @@ func TestManagerConcurrentMixedKeys(t *testing.T) {
 		t.Errorf("lookups leaked: %+v", st)
 	}
 }
+
+// TestManagerDropPrefix: segment GC releases a dead segment's frames by
+// key prefix — under an unbounded budget nothing else ever would.
+func TestManagerDropPrefix(t *testing.T) {
+	m := NewManager(0)
+	load := func(val byte) func() (*colbm.CachedChunk, error) {
+		return func() (*colbm.CachedChunk, error) {
+			return &colbm.CachedChunk{Raw: []byte{val}, Size: 10}, nil
+		}
+	}
+	for _, key := range []string{"seg-000001.TD.docidc#0", "seg-000001.TD.tfc#0", "seg-000002.TD.docidc#0"} {
+		if _, err := m.GetChunk(key, load(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if freed := m.DropPrefix("seg-000001."); freed != 20 {
+		t.Errorf("DropPrefix freed %d bytes, want 20", freed)
+	}
+	if st := m.Stats(); st.Used != 10 {
+		t.Errorf("after DropPrefix: %d bytes resident, want 10", st.Used)
+	}
+	// The survivor is still a hit; the dropped keys reload.
+	hits0 := m.Stats().Hits
+	if _, err := m.GetChunk("seg-000002.TD.docidc#0", load(2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Hits != hits0+1 {
+		t.Error("survivor chunk was not served from cache")
+	}
+	misses0 := m.Stats().Misses
+	if _, err := m.GetChunk("seg-000001.TD.docidc#0", load(3)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Misses != misses0+1 {
+		t.Error("dropped chunk was served from cache")
+	}
+}

@@ -2,6 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/colbm"
 	"repro/internal/ir"
@@ -58,6 +61,8 @@ type OpenOption func(*openConfig)
 
 type openConfig struct {
 	prefetchWorkers int
+	prefetchWindow  int
+	manager         *Manager
 }
 
 // WithPrefetchWorkers enables manifest-driven chunk prefetch on the opened
@@ -68,6 +73,67 @@ type openConfig struct {
 // default: demand paging only).
 func WithPrefetchWorkers(n int) OpenOption {
 	return func(c *openConfig) { c.prefetchWorkers = n }
+}
+
+// WithPrefetchWindow bounds how many chunks a prefetch range may hold
+// claimed ahead of the scanning cursor at once (the read-ahead window; 0 =
+// DefaultPrefetchWindow). Long ranges are claimed and fetched window by
+// window instead of all up front, so concurrent cold scans cannot flood
+// the buffer manager with read-ahead data far ahead of any cursor.
+func WithPrefetchWindow(n int) OpenOption {
+	return func(c *openConfig) { c.prefetchWindow = n }
+}
+
+// WithSharedManager serves the opened index (or segmented generation)
+// through an existing buffer manager instead of a fresh one, ignoring the
+// poolBytes argument. A refreshing engine passes its long-lived manager so
+// a generation swap keeps every cached chunk of the unchanged segments
+// warm (chunk-cache keys are segment-name-scoped and segment names are
+// never reused, so stale entries cannot alias) — without it, each append
+// would cold-start the whole pool.
+func WithSharedManager(m *Manager) OpenOption {
+	return func(c *openConfig) { c.manager = m }
+}
+
+// verifyIndexFiles cross-checks a manifest against the directory's column
+// files before any query trusts it: every referenced column file must
+// exist with exactly the manifest's size, and no unreferenced .col file
+// may be present. Failing eagerly with the offending file named beats the
+// alternative — a stray or truncated blob surfacing as a decode error in
+// the middle of some later query.
+func verifyIndexFiles(dir string, m *Manifest) error {
+	want := make(map[string]int, len(m.TD.Columns)+len(m.D.Columns))
+	for _, st := range []*colbm.StoredTable{&m.TD, &m.D} {
+		for _, col := range st.Columns {
+			want[col.Blob] = col.DiskSize()
+		}
+	}
+	for blob, size := range want {
+		fi, err := os.Stat(filepath.Join(dir, blob+blobExt))
+		if err != nil {
+			return fmt.Errorf("storage: index in %q is missing column file %q (crashed write or mixed index?)",
+				dir, blob+blobExt)
+		}
+		if got := int(fi.Size()); got != size {
+			return fmt.Errorf("storage: column file %q is %d bytes, manifest says %d (truncated or mismatched index)",
+				blob+blobExt, got, size)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, blobExt) {
+			continue
+		}
+		if _, ok := want[strings.TrimSuffix(name, blobExt)]; !ok {
+			return fmt.Errorf("storage: stray column file %q in %q (not referenced by the manifest; partial write or mixed index?)",
+				name, dir)
+		}
+	}
+	return nil
 }
 
 // OpenIndex opens a persisted index for querying. Only the manifest is
@@ -84,6 +150,18 @@ func OpenIndex(dir string, poolBytes int64, opts ...OpenOption) (*ir.Index, erro
 	for _, opt := range opts {
 		opt(&oc)
 	}
+	mgr := oc.manager
+	if mgr == nil {
+		mgr = NewManager(poolBytes)
+	}
+	return openIndexWith(dir, mgr, oc)
+}
+
+// openIndexWith is OpenIndex over a caller-provided buffer manager — the
+// segmented path opens every segment of a generation against one shared
+// manager so the byte budget covers the whole directory, not each segment
+// separately.
+func openIndexWith(dir string, mgr *Manager, oc openConfig) (*ir.Index, error) {
 	m, err := readManifest(dir)
 	if err != nil {
 		return nil, err
@@ -92,18 +170,12 @@ func OpenIndex(dir string, poolBytes int64, opts ...OpenOption) (*ir.Index, erro
 	if err != nil {
 		return nil, err
 	}
-	mgr := NewManager(poolBytes)
+	if err := verifyIndexFiles(dir, m); err != nil {
+		fs.Close()
+		return nil, err
+	}
 	var tables []*colbm.Table
 	for _, st := range []*colbm.StoredTable{&m.TD, &m.D} {
-		// Cheap integrity check before any query trusts the directory: every
-		// column file must exist with exactly the manifest's size.
-		for _, col := range st.Columns {
-			if got, want := fs.Size(col.Blob), col.DiskSize(); got != want {
-				fs.Close()
-				return nil, fmt.Errorf("storage: column file %q is %d bytes, manifest says %d (truncated or mismatched index)",
-					col.Blob, got, want)
-			}
-		}
 		t, err := colbm.OpenTable(*st, fs, mgr)
 		if err != nil {
 			fs.Close()
@@ -114,7 +186,11 @@ func OpenIndex(dir string, poolBytes int64, opts ...OpenOption) (*ir.Index, erro
 	ix := ir.RestoreIndex(tables[0], tables[1], m.Terms, m.Params,
 		m.ScoreLo, m.ScoreHi, fs, mgr, m.Config)
 	if oc.prefetchWorkers > 0 {
-		ix.Prefetcher = NewPrefetcher(fs, mgr, oc.prefetchWorkers)
+		pf := NewPrefetcher(fs, mgr, oc.prefetchWorkers)
+		if oc.prefetchWindow > 0 {
+			pf.SetWindow(oc.prefetchWindow)
+		}
+		ix.Prefetcher = pf
 	}
 	return ix, nil
 }

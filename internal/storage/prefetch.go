@@ -7,16 +7,25 @@ import (
 	"repro/internal/colbm"
 )
 
-// prefetchQueue bounds the number of pending run jobs. When the queue is
-// full a run's claims are released immediately (its waiters retry through
-// the demand path), which keeps Prefetch non-blocking no matter how far
-// the workers fall behind.
+// prefetchQueue bounds the number of pending jobs. When the queue is full
+// a run's claims are released immediately (its waiters retry through the
+// demand path) and tail ranges are dropped outright, which keeps Prefetch
+// non-blocking no matter how far the workers fall behind.
 const prefetchQueue = 256
 
 // maxRunBytes caps one batched read. Contiguous missing chunks beyond the
 // cap split into several reads, so a pathological range cannot pin an
 // arbitrarily large private buffer per worker.
 const maxRunBytes = 8 << 20
+
+// DefaultPrefetchWindow is the read-ahead window in chunks: how many
+// chunks of one range may be claimed ahead of the scanning cursor at a
+// time. Claiming a whole multi-gigabyte range up front would flood the
+// buffer manager with data no cursor touches for seconds (and, under a
+// byte budget, evict it again before use); a window keeps the read-ahead
+// just ahead of the scan, bounding the memory pressure of concurrent cold
+// scans to window-sized slack per range.
+const DefaultPrefetchWindow = 32
 
 // errPrefetchDropped fails the claims of a run the saturated worker set
 // could not accept; demand readers waiting on them retry and load
@@ -29,21 +38,34 @@ var errPrefetchDropped = errors.New("storage: prefetch queue full, run dropped")
 // contiguous runs coalesced into single large sequential store reads —
 // instead of being demand-paged one at a time.
 //
-// The split matters: Prefetch *claims* the missing chunks synchronously
-// (cheap map operations against the buffer manager, no I/O), so a cursor
-// reaching a claimed chunk waits on the batched fetch and shares it —
-// never a duplicate read, and never a race the read-ahead can lose. Only
-// the reads themselves run on the worker set.
+// The split matters: Prefetch *claims* missing chunks synchronously (cheap
+// map operations against the buffer manager, no I/O), so a cursor reaching
+// a claimed chunk waits on the batched fetch and shares it — never a
+// duplicate read, and never a race the read-ahead can lose. Only the reads
+// themselves run on the worker set. Claims are windowed: Prefetch claims
+// only the first window of a long range; the worker claims each further
+// window as the previous one lands, pacing the read-ahead to the scan
+// instead of front-loading the whole range (a cursor that overtakes the
+// window simply demand-pages, and the worker's later claim skips what is
+// already resident or in flight).
 type Prefetcher struct {
-	store colbm.BlockStore
-	cache *Manager
+	store  colbm.BlockStore
+	cache  *Manager
+	window int
 
-	jobs chan prefetchRun
+	jobs chan prefetchJob
 	wg   sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 	st     PrefetchStats
+}
+
+// prefetchJob is either one contiguous claimed chunk run to fetch, or the
+// unclaimed tail of a long range to work through window by window.
+type prefetchJob struct {
+	run  *prefetchRun
+	tail *prefetchTail
 }
 
 // prefetchRun is one contiguous claimed chunk run of a column.
@@ -52,25 +74,35 @@ type prefetchRun struct {
 	cis []int
 }
 
+// prefetchTail is the not-yet-claimed remainder of a range: chunks
+// [from, to) of a column, claimed in window-sized steps by the worker.
+type prefetchTail struct {
+	col      *colbm.Column
+	from, to int
+}
+
 // PrefetchStats reports the read-ahead activity of a Prefetcher.
 type PrefetchStats struct {
-	Ranges  int64 // ranges with at least one missing chunk accepted
-	Dropped int64 // runs dropped because the queue was full
+	Ranges  int64 // ranges whose first window claimed at least one missing chunk
+	Windows int64 // claim windows processed (first window + each tail step)
+	Dropped int64 // runs or tails dropped (queue full, or budget headroom exhausted)
 	Reads   int64 // batched store reads issued
 	Chunks  int64 // chunks admitted into the manager
 	Bytes   int64 // bytes read ahead
 }
 
 // NewPrefetcher returns a prefetcher reading from store into cache with the
-// given number of workers (minimum 1). Close it to stop the workers.
+// given number of workers (minimum 1) and the default claim window. Close
+// it to stop the workers.
 func NewPrefetcher(store colbm.BlockStore, cache *Manager, workers int) *Prefetcher {
 	if workers < 1 {
 		workers = 1
 	}
 	p := &Prefetcher{
-		store: store,
-		cache: cache,
-		jobs:  make(chan prefetchRun, prefetchQueue),
+		store:  store,
+		cache:  cache,
+		window: DefaultPrefetchWindow,
+		jobs:   make(chan prefetchJob, prefetchQueue),
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -79,28 +111,67 @@ func NewPrefetcher(store colbm.BlockStore, cache *Manager, workers int) *Prefetc
 	return p
 }
 
-// Prefetch implements colbm.Prefetcher: it claims the not-yet-resident
-// chunks covering the value rows [startRow, endRow) of col with the buffer
-// manager, splits them into contiguous runs, and hands the runs to the
-// workers. It performs no I/O itself and never blocks on the queue: runs
-// that do not fit have their claims released (demand paging takes over).
+// SetWindow overrides the claim window in chunks (minimum 1). Call before
+// the first Prefetch; the window is not synchronized.
+func (p *Prefetcher) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.window = n
+}
+
+// Prefetch implements colbm.Prefetcher: it claims the first window of
+// not-yet-resident chunks covering the value rows [startRow, endRow) of
+// col with the buffer manager, hands the claimed runs to the workers, and
+// queues the remainder of the range as a tail the workers claim window by
+// window. It performs no I/O itself and never blocks on the queue: runs
+// that do not fit have their claims released and tails are dropped (demand
+// paging takes over).
 func (p *Prefetcher) Prefetch(col *colbm.Column, startRow, endRow int) {
 	lo, hi := col.ChunkSpan(startRow, endRow)
 	if lo >= hi {
 		return
 	}
+	head := lo + p.window
+	if head > hi {
+		head = hi
+	}
+	claimed := p.claimWindow(col, lo, head, func(run *prefetchRun) {
+		p.submit(prefetchJob{run: run})
+	})
+	// A fully resident first window means the range was read recently
+	// (warm engine, repeat query): skip the tail rather than keep workers
+	// walking no-op windows under the manager lock on every hot query. If
+	// later chunks did fall out, the cursor demand-pages them.
+	if claimed == 0 {
+		return
+	}
+	if head < hi {
+		p.submit(prefetchJob{tail: &prefetchTail{col: col, from: head, to: hi}})
+	}
+	p.mu.Lock()
+	p.st.Ranges++
+	p.mu.Unlock()
+}
+
+// claimWindow claims the missing chunks of [lo, hi) with the buffer
+// manager, hands each resulting contiguous run to sink, and returns how
+// many chunks were claimed. BeginFetch preserves input order, so claimed
+// chunk indices ascend; resident (or already in-flight) chunks and the
+// byte cap split the runs naturally.
+func (p *Prefetcher) claimWindow(col *colbm.Column, lo, hi int, sink func(*prefetchRun)) int {
 	blob := col.BlobName()
 	keys := make([]string, 0, hi-lo)
 	for ci := lo; ci < hi; ci++ {
 		keys = append(keys, colbm.ChunkKey(blob, ci))
 	}
 	claimed := p.cache.BeginFetch(keys)
+	p.mu.Lock()
+	p.st.Windows++
+	p.mu.Unlock()
 	if len(claimed) == 0 {
-		return
+		return 0
 	}
-	// BeginFetch preserves input order, so claimed chunk indices ascend;
-	// split them into contiguous runs under the byte cap. Chunks resident
-	// (or already in flight) split the runs naturally.
 	claimedSet := make(map[string]bool, len(claimed))
 	for _, key := range claimed {
 		claimedSet[key] = true
@@ -109,7 +180,7 @@ func (p *Prefetcher) Prefetch(col *colbm.Column, startRow, endRow int) {
 	var runBytes int64
 	flush := func() {
 		if len(run) > 0 {
-			p.submit(prefetchRun{col: col, cis: run})
+			sink(&prefetchRun{col: col, cis: run})
 			run = nil
 		}
 		runBytes = 0
@@ -127,18 +198,17 @@ func (p *Prefetcher) Prefetch(col *colbm.Column, startRow, endRow int) {
 		runBytes += size
 	}
 	flush()
-	p.mu.Lock()
-	p.st.Ranges++
-	p.mu.Unlock()
+	return len(claimed)
 }
 
-// submit enqueues one claimed run, or releases its claims when the workers
-// are saturated (or the prefetcher is closed) so no waiter hangs.
-func (p *Prefetcher) submit(run prefetchRun) {
+// submit enqueues one job. A claimed run that does not fit has its claims
+// released (so no waiter hangs); a tail that does not fit is simply
+// dropped — nothing was claimed for it yet.
+func (p *Prefetcher) submit(job prefetchJob) {
 	p.mu.Lock()
 	if !p.closed {
 		select {
-		case p.jobs <- run:
+		case p.jobs <- job:
 			p.mu.Unlock()
 			return
 		default:
@@ -146,11 +216,13 @@ func (p *Prefetcher) submit(run prefetchRun) {
 	}
 	p.st.Dropped++
 	p.mu.Unlock()
-	p.cache.EndFetch(runKeys(run), nil, errPrefetchDropped)
+	if job.run != nil {
+		p.cache.EndFetch(runKeys(job.run), nil, errPrefetchDropped)
+	}
 }
 
 // runKeys returns the cache keys of a run's chunks.
-func runKeys(run prefetchRun) []string {
+func runKeys(run *prefetchRun) []string {
 	blob := run.col.BlobName()
 	keys := make([]string, len(run.cis))
 	for i, ci := range run.cis {
@@ -166,9 +238,15 @@ func (p *Prefetcher) Stats() PrefetchStats {
 	return p.st
 }
 
-// Close stops the workers after draining the queued runs (every claimed
-// chunk is delivered or failed — no waiter is left hanging). Prefetch
-// calls after Close are no-ops.
+func (p *Prefetcher) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Close stops the workers after draining the queued jobs (every claimed
+// chunk is delivered or failed — no waiter is left hanging; tails stop
+// claiming new windows). Prefetch calls after Close are no-ops.
 func (p *Prefetcher) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -184,16 +262,69 @@ func (p *Prefetcher) Close() error {
 
 func (p *Prefetcher) worker() {
 	defer p.wg.Done()
-	for run := range p.jobs {
-		p.fetchRun(run)
+	for job := range p.jobs {
+		switch {
+		case job.run != nil:
+			p.fetchRun(job.run)
+		case job.tail != nil:
+			p.fetchTail(job.tail)
+		}
 	}
+}
+
+// fetchTail works through a range tail window by window: claim the next
+// window, fetch its runs inline, repeat. The next window is claimed only
+// after the previous one landed, and only while the buffer manager has
+// headroom for it — read-ahead that would evict resident data to make
+// room is worse than useless (under a tight budget the prefetched chunks
+// would themselves be evicted before the slower cursor arrives, doubling
+// the I/O), so a tail that outruns the budget stops and leaves the
+// remainder to demand paging. A closing prefetcher stops the same way;
+// nothing is left hanging either way, since unclaimed chunks have no
+// waiters.
+func (p *Prefetcher) fetchTail(tail *prefetchTail) {
+	for w := tail.from; w < tail.to; w += p.window {
+		if p.isClosed() {
+			return
+		}
+		hi := w + p.window
+		if hi > tail.to {
+			hi = tail.to
+		}
+		if !p.headroom(tail.col, w, hi) {
+			p.mu.Lock()
+			p.st.Dropped++
+			p.mu.Unlock()
+			return
+		}
+		// Runs are fetched in this worker, bypassing the queue (a tail must
+		// not deadlock on its own queue slot); the next window is claimed
+		// only after they land, which is the pacing.
+		p.claimWindow(tail.col, w, hi, p.fetchRun)
+	}
+}
+
+// headroom reports whether the buffer manager can admit the chunks of
+// window [lo, hi) without evicting anything (always true for unbounded
+// managers). Resident chunks inside the window over-count the need — a
+// conservative error in the right direction.
+func (p *Prefetcher) headroom(col *colbm.Column, lo, hi int) bool {
+	st := p.cache.Stats()
+	if st.Cap <= 0 {
+		return true
+	}
+	var need int64
+	for ci := lo; ci < hi; ci++ {
+		need += int64(col.Chunk(ci).Size)
+	}
+	return st.Used+need <= st.Cap
 }
 
 // fetchRun reads one contiguous chunk run in a single store request and
 // delivers the chunks to the manager, waking the demand readers that piled
 // up on them. On failure the claims are released with the error and the
 // waiters retry through the demand path.
-func (p *Prefetcher) fetchRun(run prefetchRun) {
+func (p *Prefetcher) fetchRun(run *prefetchRun) {
 	col, cis := run.col, run.cis
 	keys := runKeys(run)
 	first := col.Chunk(cis[0])

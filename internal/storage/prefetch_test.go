@@ -170,3 +170,117 @@ func TestPrefetchConcurrentWithDemandReads(t *testing.T) {
 		t.Errorf("%d store reads for %d chunks: duplicate fetches slipped through", got, nchunks)
 	}
 }
+
+// TestPrefetcherWindowedClaims pins the pacing satellite: a range longer
+// than the claim window is NOT claimed up front — the first window claims
+// synchronously (preserving the no-duplicate-read guarantee for imminent
+// chunks) and the tail claims window by window as fetches land, so the
+// read-ahead never holds more than a window of claims ahead of the scan.
+func TestPrefetcherWindowedClaims(t *testing.T) {
+	const nchunks, chunkLen, window = 24, 256, 4
+	col, fs, mgr := prefetchFixture(t, nchunks, chunkLen)
+	pf := NewPrefetcher(fs, mgr, 1)
+	pf.SetWindow(window)
+	defer pf.Close()
+
+	pf.Prefetch(col, 0, col.N)
+	waitPrefetched(t, pf, nchunks)
+	st := pf.Stats()
+	if want := int64(nchunks / window); st.Windows != want {
+		t.Errorf("claim windows %d, want %d (range split into window-sized steps)", st.Windows, want)
+	}
+	// Each window coalesces into one contiguous read: nchunks/window reads,
+	// where the old claim-everything behavior issued a single giant one.
+	if want := int64(nchunks / window); fs.Stats().Reads != want {
+		t.Errorf("store reads %d, want %d (one per window)", fs.Stats().Reads, want)
+	}
+	// Everything is resident and correct.
+	cur := colbm.NewCursor(col)
+	v := vector.New(vector.Int64, chunkLen)
+	for start := 0; start < col.N; start += chunkLen {
+		if err := cur.Read(v, start, chunkLen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.Stats().Reads; got != int64(nchunks/window) {
+		t.Errorf("cursor re-read prefetched data: %d store reads total", got)
+	}
+}
+
+// TestPrefetcherStopsAtBudget: a tail that outruns the buffer manager's
+// byte budget stops instead of evicting resident data to read further
+// ahead — the memory-pressure bound the windowed claim exists for. The
+// cursor then demand-pages the remainder; nothing is read twice.
+func TestPrefetcherStopsAtBudget(t *testing.T) {
+	const nchunks, chunkLen, window = 32, 256, 2
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	// Budget: roughly a third of the column; the tail must stop early.
+	mgr := NewManager(0)
+	b := colbm.NewBuilder("T", fs, mgr, []colbm.ColumnSpec{
+		{Name: "v", Type: vector.Int64, Enc: colbm.EncPFOR, ChunkLen: chunkLen},
+	})
+	vals := make([]int64, nchunks*chunkLen)
+	for i := range vals {
+		vals[i] = int64(i % 251)
+	}
+	b.SetInt64("v", vals)
+	tab, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tab.Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var colBytes int64
+	for ci := 0; ci < col.NumChunks(); ci++ {
+		colBytes += int64(col.Chunk(ci).Size)
+	}
+	mgr = NewManager(colBytes / 3)
+	tab2, err := colbm.OpenTable(tab.Stored(), fs, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2, err := tab2.Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+
+	pf := NewPrefetcher(fs, mgr, 1)
+	pf.SetWindow(window)
+	defer pf.Close()
+	pf.Prefetch(col2, 0, col2.N)
+	deadline := time.Now().Add(10 * time.Second)
+	for pf.Stats().Dropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tail never stopped at the budget: %+v", pf.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := pf.Stats()
+	if st.Chunks >= nchunks {
+		t.Errorf("prefetch admitted all %d chunks under a third-size budget: %+v", st.Chunks, st)
+	}
+	if ev := mgr.Stats().Evictions; ev != 0 {
+		t.Errorf("read-ahead evicted %d resident chunks; the headroom guard should stop first", ev)
+	}
+
+	// The scan still sees every value; the remainder demand-pages.
+	cur := colbm.NewCursor(col2)
+	v := vector.New(vector.Int64, chunkLen)
+	for start := 0; start < col2.N; start += chunkLen {
+		if err := cur.Read(v, start, chunkLen); err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range v.I64 {
+			if want := int64((start + i) % 251); got != want {
+				t.Fatalf("row %d: %d != %d", start+i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,933 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/colbm"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/primitives"
+	"repro/internal/vector"
+)
+
+// Segmented index layout. A segmented directory holds an *ordered set of
+// immutable segments* instead of one monolithic index:
+//
+//	dir/
+//	  SEGMENTS.json      generation-stamped super-manifest (written last,
+//	                     atomically — the only mutable file)
+//	  seg-000001/        one segment: MANIFEST.json v1 + .col files,
+//	  seg-000002/        exactly the single-index on-disk format
+//	  ...
+//
+// Appending documents writes a brand-new segment directory and commits a
+// new generation of SEGMENTS.json; nothing already on disk is modified, so
+// readers of older generations keep serving from their open segments until
+// they drain, and crash recovery is "whatever generation SEGMENTS.json
+// names" — a half-written segment directory is simply never referenced.
+//
+// Statistics. BM25 scores and the Global-By-Value quantization bounds are
+// collection-wide quantities; every append changes them. The manifest
+// tracks a StatsEpoch that increments per append, and each segment records
+// the epoch whose statistics its *baked* score/qscore columns reflect.
+// Query-time statistics (df, document counts, mean length) are recomputed
+// from the manifests on open — exact integer sums — and patched into every
+// segment, so tf-reading strategies always score as a single
+// whole-collection index would; segments whose baked columns lag the
+// current epoch are flagged and score materialized strategies through the
+// virtual kernels (see ir.Snapshot) until a merge re-bakes them.
+const (
+	// SegmentsManifestName is the super-manifest filename.
+	SegmentsManifestName = "SEGMENTS.json"
+	// SegmentsMagic identifies a segmented-index super-manifest.
+	SegmentsMagic = "x100-segments"
+	// SegmentsFormatVersion is the current super-manifest version.
+	SegmentsFormatVersion = 1
+)
+
+// segDirPrefix prefixes every segment subdirectory. Names are allocated
+// monotonically and never reused, so a merged segment can never be
+// confused with one of its inputs.
+const segDirPrefix = "seg-"
+
+// Okapi constants, identical to the ones ir.Build bakes in.
+const (
+	okapiK1 = 1.2
+	okapiB  = 0.75
+)
+
+// SegmentEntry describes one segment of the current generation.
+type SegmentEntry struct {
+	Name string `json:"name"` // subdirectory holding the segment
+	Docs int    `json:"docs"`
+	// Postings is the segment's TD row count (merge policy sizes runs by
+	// it).
+	Postings int `json:"postings"`
+	// DocBase is the global docid of the segment's first document; segment
+	// ranges are contiguous and disjoint in manifest order.
+	DocBase int64 `json:"doc_base"`
+	// DocLenSum is the exact summed token length of the segment's
+	// documents — the integer the merged AvgDocLen is derived from, so
+	// append-built and single-built statistics match bitwise.
+	DocLenSum int64 `json:"doclen_sum"`
+	// StatsEpoch is the statistics epoch the segment's baked score columns
+	// reflect. Equal to the manifest's StatsEpoch = fresh (baked columns
+	// served directly); older = stale (materialized strategies recompute at
+	// query time until a merge re-bakes).
+	StatsEpoch uint64 `json:"stats_epoch"`
+}
+
+// SegmentsManifest is the generation-stamped super-manifest of a segmented
+// index directory.
+type SegmentsManifest struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+
+	// Generation increments on every commit (append or merge). Readers
+	// serve one generation until refreshed.
+	Generation uint64 `json:"generation"`
+	// StatsEpoch increments on every append (merges leave the collection —
+	// and therefore its statistics — unchanged).
+	StatsEpoch uint64 `json:"stats_epoch"`
+	// NextSeq seeds segment-directory name allocation.
+	NextSeq uint64 `json:"next_seq"`
+	// External marks directories whose segment statistics are coordinated
+	// outside this directory (dist partition builds share collection-wide
+	// stats across directories): open-time stats patching is skipped and
+	// local appends are refused — appending here would silently break the
+	// cross-partition score comparability dist guarantees.
+	External bool `json:"external,omitempty"`
+
+	// HasBounds/ScoreLo/ScoreHi are the exact collection-wide
+	// Global-By-Value quantization bounds as of StatsEpoch.
+	HasBounds bool    `json:"has_bounds,omitempty"`
+	ScoreLo   float64 `json:"score_lo,omitempty"`
+	ScoreHi   float64 `json:"score_hi,omitempty"`
+
+	Segments []SegmentEntry `json:"segments"`
+}
+
+func segmentsPath(dir string) string { return filepath.Join(dir, SegmentsManifestName) }
+
+// IsSegmentedDir reports whether dir holds a readable segmented-index
+// super-manifest.
+func IsSegmentedDir(dir string) bool {
+	fi, err := os.Stat(segmentsPath(dir))
+	return err == nil && fi.Mode().IsRegular()
+}
+
+// ReadSegments loads and validates the super-manifest of a segmented
+// directory. A missing manifest returns an error wrapping os.ErrNotExist.
+func ReadSegments(dir string) (*SegmentsManifest, error) {
+	data, err := os.ReadFile(segmentsPath(dir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("storage: %q is not a segmented index directory (no %s): %w",
+				dir, SegmentsManifestName, os.ErrNotExist)
+		}
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var sm SegmentsManifest
+	if err := json.Unmarshal(data, &sm); err != nil {
+		return nil, fmt.Errorf("storage: corrupt segments manifest in %q: %w", dir, err)
+	}
+	if sm.Magic != SegmentsMagic {
+		return nil, fmt.Errorf("storage: %q is not a segments manifest (magic %q)", dir, sm.Magic)
+	}
+	if sm.Version != SegmentsFormatVersion {
+		return nil, fmt.Errorf("storage: segmented index in %q has format version %d, this build reads version %d",
+			dir, sm.Version, SegmentsFormatVersion)
+	}
+	var base int64
+	for i, e := range sm.Segments {
+		if i == 0 {
+			base = e.DocBase
+		}
+		if e.DocBase != base {
+			return nil, fmt.Errorf("storage: segments manifest in %q: segment %q starts at docid %d, want %d",
+				dir, e.Name, e.DocBase, base)
+		}
+		base += int64(e.Docs)
+	}
+	return &sm, nil
+}
+
+// writeSegments serializes the super-manifest atomically (temp + rename):
+// the commit point of every append and merge.
+func writeSegments(dir string, sm *SegmentsManifest) error {
+	data, err := json.Marshal(sm)
+	if err != nil {
+		return fmt.Errorf("storage: encode segments manifest: %w", err)
+	}
+	if err := atomicWriteFile(dir, ".segments-*", segmentsPath(dir), data); err != nil {
+		return fmt.Errorf("storage: write segments manifest: %w", err)
+	}
+	return nil
+}
+
+// AllocSegmentDir creates and returns a fresh, uniquely named segment
+// subdirectory (the Mkdir is the lock: concurrent allocators can never
+// collide, whatever the manifest says). The caller fills it and commits it
+// into the manifest — or removes it on failure.
+func AllocSegmentDir(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("storage: %w", err)
+	}
+	seq := uint64(1)
+	if sm, err := ReadSegments(dir); err == nil {
+		seq = sm.NextSeq
+	}
+	for ; ; seq++ {
+		name := fmt.Sprintf("%s%06d", segDirPrefix, seq)
+		err := os.Mkdir(filepath.Join(dir, name), 0o755)
+		if err == nil {
+			return name, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return "", fmt.Errorf("storage: %w", err)
+		}
+	}
+}
+
+func segSeq(name string) uint64 {
+	var seq uint64
+	fmt.Sscanf(strings.TrimPrefix(name, segDirPrefix), "%d", &seq)
+	return seq
+}
+
+// mergedStats recomputes the collection-wide statistics over existing
+// segment manifests plus an optional un-indexed batch: exact integer
+// document and length totals, and global document frequencies as the sum
+// of per-segment posting-range widths.
+type mergedStats struct {
+	numDocs  int
+	lenSum   int64
+	df       map[string]int
+	params   primitives.BM25Params
+	segs     []*Manifest // manifest per existing segment, entry order
+	nextBase int64       // docid base for the next appended segment
+}
+
+func collectStats(dir string, sm *SegmentsManifest, batch *corpus.Collection) (*mergedStats, error) {
+	st := &mergedStats{df: make(map[string]int)}
+	for _, e := range sm.Segments {
+		m, err := readManifest(filepath.Join(dir, e.Name))
+		if err != nil {
+			return nil, err
+		}
+		st.segs = append(st.segs, m)
+		for t, ti := range m.Terms {
+			st.df[t] += ti.End - ti.Start
+		}
+		st.numDocs += e.Docs
+		st.lenSum += e.DocLenSum
+		st.nextBase = e.DocBase + int64(e.Docs)
+	}
+	if batch != nil {
+		for termID, list := range batch.Postings {
+			if len(list) > 0 {
+				st.df[batch.TermStrings[termID]] += len(list)
+			}
+		}
+		st.numDocs += len(batch.DocLens)
+		for _, l := range batch.DocLens {
+			st.lenSum += l
+		}
+	}
+	st.params = primitives.BM25Params{
+		K1: okapiK1, B: okapiB,
+		NumDocs:  float64(st.numDocs),
+		AvgDocLn: float64(st.lenSum) / float64(st.numDocs),
+	}
+	return st, nil
+}
+
+// scanInt64Column reads an Int64 column sequentially in vector-sized
+// steps, handing each batch of values to fn — the one read discipline
+// every segmented-layer column scan (length sums, merge streaming) goes
+// through.
+func scanInt64Column(col *colbm.Column, fn func(vals []int64)) error {
+	v := vector.New(vector.Int64, vector.DefaultSize)
+	cur := colbm.NewCursor(col)
+	for pos := 0; pos < col.N; pos += v.Len() {
+		n := col.N - pos
+		if n > vector.DefaultSize {
+			n = vector.DefaultSize
+		}
+		if err := cur.Read(v, pos, n); err != nil {
+			return err
+		}
+		fn(v.I64[:n])
+	}
+	return nil
+}
+
+// scanStrColumn is scanInt64Column for string columns.
+func scanStrColumn(col *colbm.Column, fn func(vals []string)) error {
+	v := vector.New(vector.Str, vector.DefaultSize)
+	cur := colbm.NewCursor(col)
+	for pos := 0; pos < col.N; pos += v.Len() {
+		n := col.N - pos
+		if n > vector.DefaultSize {
+			n = vector.DefaultSize
+		}
+		if err := cur.Read(v, pos, n); err != nil {
+			return err
+		}
+		fn(v.S[:n])
+	}
+	return nil
+}
+
+// sumInt64Column folds an Int64 column into its exact total.
+func sumInt64Column(col *colbm.Column) (int64, error) {
+	var sum int64
+	err := scanInt64Column(col, func(vals []int64) {
+		for _, v := range vals {
+			sum += v
+		}
+	})
+	return sum, err
+}
+
+// ErrBuildCanceled aborts a segment build whose cancel hook fired (an
+// engine shutting down mid-merge); the partially written directory is the
+// caller's to remove.
+var ErrBuildCanceled = errors.New("storage: segment build canceled")
+
+// scanPostings streams a segment's postings term at a time through its
+// docid and tf columns (compressed or fixed, per the segment's layout),
+// docids shifted by delta, handing each vector of parallel (docids, tfs)
+// to fn — the read discipline both the append-time bounds scan and the
+// merge rebuild share. cancel, when non-nil, is polled between terms.
+func scanPostings(ix *ir.Index, delta int64, cancel func() bool,
+	fn func(term string, docids, tfs []int64)) error {
+	docName, tfName := ir.ColDocIDC, ir.ColTFC
+	if !ix.Config().Compressed {
+		docName, tfName = ir.ColDocID32, ir.ColTF32
+	}
+	docCol, err := ix.TD.Column(docName)
+	if err != nil {
+		return err
+	}
+	tfCol, err := ix.TD.Column(tfName)
+	if err != nil {
+		return err
+	}
+	docCur, tfCur := colbm.NewCursor(docCol), colbm.NewCursor(tfCol)
+	docVec := vector.New(vector.Int64, vector.DefaultSize)
+	tfVec := vector.New(vector.Int64, vector.DefaultSize)
+	for t, ti := range ix.Terms {
+		if cancel != nil && cancel() {
+			return ErrBuildCanceled
+		}
+		for pos := ti.Start; pos < ti.End; {
+			n := ti.End - pos
+			if n > vector.DefaultSize {
+				n = vector.DefaultSize
+			}
+			if err := docCur.ReadOffset(docVec, pos, n, delta); err != nil {
+				return err
+			}
+			if err := tfCur.Read(tfVec, pos, n); err != nil {
+				return err
+			}
+			fn(t, docVec.I64[:n], tfVec.I64[:n])
+			pos += n
+		}
+	}
+	return nil
+}
+
+// scoreBounds folds a segment's (or batch's) Okapi weights under the new
+// statistics into the running collection-wide min/max — the exact
+// Global-By-Value bounds a whole-collection build would compute. Segments
+// are scanned through their tf and docid columns (a sequential read; no
+// tokenization, no sorting — the part of a rebuild appends actually skip).
+func (st *mergedStats) segScoreBounds(segDir string, lo, hi *float64) error {
+	ix, err := OpenIndex(segDir, 64<<20)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	lenCol, err := ix.D.Column("len")
+	if err != nil {
+		return err
+	}
+	lens := make([]int64, 0, ix.NumDocs())
+	if err := scanInt64Column(lenCol, func(vals []int64) {
+		lens = append(lens, vals...)
+	}); err != nil {
+		return err
+	}
+
+	// Stored docids are global; rebase to local document-table rows.
+	return scanPostings(ix, -ix.DocBase(), nil, func(t string, docids, tfs []int64) {
+		ftd := float64(st.df[t])
+		for i := range docids {
+			w := st.params.Weight(float64(tfs[i]), float64(lens[docids[i]]), ftd)
+			if w < *lo {
+				*lo = w
+			}
+			if w > *hi {
+				*hi = w
+			}
+		}
+	})
+}
+
+func (st *mergedStats) batchScoreBounds(batch *corpus.Collection, lo, hi *float64) {
+	for termID, list := range batch.Postings {
+		if len(list) == 0 {
+			continue
+		}
+		ftd := float64(st.df[batch.TermStrings[termID]])
+		for _, p := range list {
+			w := st.params.Weight(float64(p.TF), float64(batch.DocLens[p.DocID]), ftd)
+			if w < *lo {
+				*lo = w
+			}
+			if w > *hi {
+				*hi = w
+			}
+		}
+	}
+}
+
+// globalStats assembles the ir build override from the merged view.
+func (st *mergedStats) globalStats(hasBounds bool, lo, hi float64) *ir.GlobalStats {
+	return &ir.GlobalStats{
+		NumDocs:        st.params.NumDocs,
+		AvgDocLen:      st.params.AvgDocLn,
+		Ftd:            st.df,
+		HasScoreBounds: hasBounds,
+		ScoreLo:        lo,
+		ScoreHi:        hi,
+	}
+}
+
+// compatibleLayout verifies an append's build configuration matches the
+// physical layout the directory's segments already use — mixed layouts
+// would leave some strategies runnable on only part of the collection.
+func compatibleLayout(cfg ir.BuildConfig, m *Manifest) error {
+	have := m.Config
+	if cfg.Uncompressed != have.Uncompressed || cfg.Compressed != have.Compressed ||
+		cfg.Materialized != have.Materialized || cfg.Quantized != have.Quantized ||
+		cfg.ChunkLen != have.ChunkLen {
+		return fmt.Errorf("storage: append layout %+v does not match the directory's existing segments", struct {
+			Uncompressed, Compressed, Materialized, Quantized bool
+			ChunkLen                                          int
+		}{cfg.Uncompressed, cfg.Compressed, cfg.Materialized, cfg.Quantized, cfg.ChunkLen})
+	}
+	return nil
+}
+
+// AppendSegment indexes a document batch into one fresh immutable segment
+// of the segmented directory and commits a new generation. A directory
+// without a super-manifest is initialized (first segment at docid 0).
+// Existing segments are not touched: the new segment is built with the
+// *merged* collection statistics (so its baked score columns are current),
+// the commit records the new statistics epoch and exact quantization
+// bounds, and previously baked segments — now one epoch behind — serve
+// materialized strategies through the query-time kernels until a merge
+// re-bakes them. Cost is O(batch) to index plus, for quantized layouts,
+// one sequential tf-scan of the existing segments to recompute the exact
+// collection-wide score bounds.
+//
+// Commits are read-modify-write on SEGMENTS.json: callers must serialize
+// AppendSegment/CommitMerge per directory (the engine holds one commit
+// lock; multi-process writers are not supported).
+func AppendSegment(dir string, batch *corpus.Collection, cfg ir.BuildConfig) (uint64, error) {
+	if batch == nil || len(batch.DocLens) == 0 {
+		return 0, errors.New("storage: AppendSegment with an empty batch")
+	}
+	if cfg.Stats != nil || cfg.DocIDBase != 0 {
+		return 0, errors.New("storage: AppendSegment derives Stats and DocIDBase itself; leave them zero")
+	}
+	sm, err := ReadSegments(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		if IsIndexDir(dir) {
+			return 0, fmt.Errorf("storage: %q holds a monolithic index; appends need the segmented layout", dir)
+		}
+		sm = &SegmentsManifest{Magic: SegmentsMagic, Version: SegmentsFormatVersion, NextSeq: 1}
+		err = nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if sm.External {
+		return 0, fmt.Errorf("storage: %q carries externally coordinated statistics (a dist partition); local appends would break cross-partition score comparability", dir)
+	}
+	st, err := collectStats(dir, sm, batch)
+	if err != nil {
+		return 0, err
+	}
+	if len(st.segs) > 0 {
+		if err := compatibleLayout(cfg, st.segs[0]); err != nil {
+			return 0, err
+		}
+	}
+
+	hasBounds := false
+	lo, hi := math.Inf(1), math.Inf(-1)
+	if cfg.Quantized {
+		for _, e := range sm.Segments {
+			if err := st.segScoreBounds(filepath.Join(dir, e.Name), &lo, &hi); err != nil {
+				return 0, err
+			}
+		}
+		st.batchScoreBounds(batch, &lo, &hi)
+		hasBounds = lo <= hi
+	}
+
+	name, err := AllocSegmentDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	segDir := filepath.Join(dir, name)
+	bc := cfg
+	bc.Stats = st.globalStats(hasBounds, lo, hi)
+	bc.DocIDBase = st.nextBase
+	// Segments share one buffer manager; the prefix keeps their
+	// chunk-cache keys (blob-name derived) from aliasing each other.
+	bc.TablePrefix = name + "."
+	ix, err := ir.Build(batch, bc)
+	if err == nil {
+		err = WriteIndex(segDir, ix)
+	}
+	if err != nil {
+		os.RemoveAll(segDir)
+		return 0, err
+	}
+
+	var batchLen int64
+	for _, l := range batch.DocLens {
+		batchLen += l
+	}
+	sm.Generation++
+	sm.StatsEpoch++
+	if seq := segSeq(name); seq >= sm.NextSeq {
+		sm.NextSeq = seq + 1
+	}
+	sm.HasBounds, sm.ScoreLo, sm.ScoreHi = hasBounds, lo, hi
+	if !hasBounds {
+		sm.ScoreLo, sm.ScoreHi = 0, 0
+	}
+	sm.Segments = append(sm.Segments, SegmentEntry{
+		Name:       name,
+		Docs:       len(batch.DocLens),
+		Postings:   batch.NumPostings(),
+		DocBase:    bc.DocIDBase,
+		DocLenSum:  batchLen,
+		StatsEpoch: sm.StatsEpoch,
+	})
+	if err := writeSegments(dir, sm); err != nil {
+		os.RemoveAll(segDir)
+		return 0, err
+	}
+	return sm.Generation, nil
+}
+
+// OpenSegmented opens the current generation of a segmented directory as
+// an ir.Snapshot: every segment opens lazily (manifest only) against ONE
+// shared buffer manager with the given byte budget, collection-wide
+// statistics are recomputed from the manifests and patched in, and
+// segments whose baked columns lag the statistics epoch are flagged for
+// virtual scoring. The returned snapshot owns the segments' storage.
+func OpenSegmented(dir string, poolBytes int64, opts ...OpenOption) (*ir.Snapshot, error) {
+	sm, err := ReadSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(sm.Segments) == 0 {
+		return nil, fmt.Errorf("storage: segmented index in %q has no segments", dir)
+	}
+	var oc openConfig
+	for _, opt := range opts {
+		opt(&oc)
+	}
+	mgr := oc.manager
+	if mgr == nil {
+		mgr = NewManager(poolBytes)
+	}
+	segs := make([]*ir.Index, 0, len(sm.Segments))
+	virtual := make([]bool, 0, len(sm.Segments))
+	var lenSum int64
+	fail := func(err error) (*ir.Snapshot, error) {
+		for _, ix := range segs {
+			ix.Close()
+		}
+		return nil, err
+	}
+	prefixes := make(map[string]bool, len(sm.Segments))
+	for _, e := range sm.Segments {
+		ix, err := openIndexWith(filepath.Join(dir, e.Name), mgr, oc)
+		if err != nil {
+			return fail(err)
+		}
+		if ix.DocBase() != e.DocBase || ix.NumDocs() != e.Docs {
+			ix.Close()
+			return fail(fmt.Errorf("storage: segment %q covers docids [%d,%d), manifest says [%d,%d)",
+				e.Name, ix.DocBase(), ix.DocBase()+int64(ix.NumDocs()), e.DocBase, e.DocBase+int64(e.Docs)))
+		}
+		// Segments share the buffer manager: their chunk-cache namespaces
+		// (table prefixes) must be distinct or cursors would read one
+		// segment's cached chunks as another's.
+		if prefix := ix.Config().TablePrefix; prefixes[prefix] {
+			ix.Close()
+			return fail(fmt.Errorf("storage: segments in %q share table prefix %q (cache keys would alias)", dir, prefix))
+		} else {
+			prefixes[prefix] = true
+		}
+		segs = append(segs, ix)
+		virtual = append(virtual, !sm.External && e.StatsEpoch != sm.StatsEpoch)
+		lenSum += e.DocLenSum
+	}
+	snap, err := ir.NewSnapshot(segs, ir.SnapshotConfig{
+		Gen:        sm.Generation,
+		Virtual:    virtual,
+		MergeStats: !sm.External,
+		DocLenSum:  lenSum,
+		HasBounds:  !sm.External && sm.HasBounds,
+		ScoreLo:    sm.ScoreLo,
+		ScoreHi:    sm.ScoreHi,
+		Owned:      true,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return snap, nil
+}
+
+// PlanMerge picks the adjacent run of segments the tiered policy would
+// merge: when the segment count exceeds maxSegments, the run is sized so
+// one merge restores the bound (at least 2) and placed where the summed
+// posting count is smallest — merging small segments amortizes; adjacency
+// is mandatory because segment order is docid order. Returns nil when no
+// merge is due.
+func (sm *SegmentsManifest) PlanMerge(maxSegments int) []string {
+	if maxSegments < 1 {
+		maxSegments = 1
+	}
+	n := len(sm.Segments)
+	if n <= maxSegments {
+		return nil
+	}
+	width := n - maxSegments + 1
+	if width < 2 {
+		width = 2
+	}
+	bestAt, bestSum := 0, int64(math.MaxInt64)
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += int64(sm.Segments[i].Postings)
+		if i >= width {
+			sum -= int64(sm.Segments[i-width].Postings)
+		}
+		if i >= width-1 && sum < bestSum {
+			bestAt, bestSum = i-width+1, sum
+		}
+	}
+	names := make([]string, width)
+	for i := range names {
+		names[i] = sm.Segments[bestAt+i].Name
+	}
+	return names
+}
+
+// findRun locates names as a consecutive run inside the manifest's
+// segment list, returning its index range [i, i+len(names)).
+func (sm *SegmentsManifest) findRun(names []string) (int, error) {
+	if len(names) == 0 {
+		return 0, errors.New("storage: empty merge run")
+	}
+	for i := 0; i+len(names) <= len(sm.Segments); i++ {
+		if sm.Segments[i].Name != names[0] {
+			continue
+		}
+		for j := 1; j < len(names); j++ {
+			if sm.Segments[i+j].Name != names[j] {
+				return 0, fmt.Errorf("storage: merge run %v is not adjacent in the current generation", names)
+			}
+		}
+		return i, nil
+	}
+	return 0, fmt.Errorf("storage: merge run %v not found in the current generation", names)
+}
+
+// BuildMergedSegment merges the named adjacent segments into the
+// preallocated segment directory `into` (from AllocSegmentDir), re-baking
+// score columns with the collection statistics current at build time. It
+// reads postings term-at-a-time through cursors — docids rebased from
+// global to merged-local with the offset read path — reconstructs a batch
+// collection, and runs the ordinary segment build. Nothing is committed:
+// the manifest is untouched until CommitMerge, and concurrent appends stay
+// legal (they only ever add segments after the run; if one lands mid-build,
+// the merged segment simply commits one epoch stale and serves virtually
+// until the next merge). cancel, when non-nil, is polled while streaming;
+// a true return abandons the build with ErrBuildCanceled so a shutting-down
+// engine never waits out a long merge it is about to discard. Returns the
+// statistics epoch the merged segment was baked against.
+func BuildMergedSegment(dir string, names []string, into string, cancel func() bool) (uint64, error) {
+	sm, err := ReadSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	if sm.External {
+		return 0, fmt.Errorf("storage: %q carries externally coordinated statistics; merge it by rebuilding the partition set", dir)
+	}
+	at, err := sm.findRun(names)
+	if err != nil {
+		return 0, err
+	}
+	st, err := collectStats(dir, sm, nil)
+	if err != nil {
+		return 0, err
+	}
+	run := sm.Segments[at : at+len(names)]
+	runBase := run[0].DocBase
+
+	var docs, postings int
+	for _, e := range run {
+		docs += e.Docs
+		postings += e.Postings
+	}
+	coll := &corpus.Collection{
+		Cfg:        corpus.Config{NumDocs: docs},
+		DocLens:    make([]int64, 0, docs),
+		DocNames:   make([]string, 0, docs),
+		TopicOfDoc: make([]int, docs),
+	}
+	for i := range coll.TopicOfDoc {
+		coll.TopicOfDoc[i] = -1
+	}
+
+	// Sorted union of the run's dictionaries fixes the merged term ids.
+	termSet := make(map[string]bool)
+	for _, m := range st.segs[at : at+len(names)] {
+		for t := range m.Terms {
+			termSet[t] = true
+		}
+	}
+	coll.TermStrings = make([]string, 0, len(termSet))
+	for t := range termSet {
+		coll.TermStrings = append(coll.TermStrings, t)
+	}
+	sort.Strings(coll.TermStrings)
+	coll.Cfg.Vocab = len(coll.TermStrings)
+	termID := make(map[string]int, len(coll.TermStrings))
+	for i, t := range coll.TermStrings {
+		termID[t] = i
+	}
+	coll.Postings = make([][]corpus.Posting, len(coll.TermStrings))
+
+	var layout ir.BuildConfig
+	for i, e := range run {
+		if cancel != nil && cancel() {
+			return 0, ErrBuildCanceled
+		}
+		ix, err := OpenIndex(filepath.Join(dir, e.Name), 64<<20)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			layout = ix.Config()
+		}
+		err = appendSegmentRows(coll, ix, termID, runBase, cancel)
+		ix.Close()
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	bc := layout
+	bc.Stats = st.globalStats(sm.HasBounds, sm.ScoreLo, sm.ScoreHi)
+	bc.DocIDBase = runBase
+	bc.TablePrefix = into + "."
+	// Last poll before the (uninterruptible) index build of the merged
+	// segment; cancellation covers the streaming phase, not Build itself.
+	if cancel != nil && cancel() {
+		return 0, ErrBuildCanceled
+	}
+	ix, err := ir.Build(coll, bc)
+	if err == nil {
+		err = WriteIndex(filepath.Join(dir, into), ix)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return sm.StatsEpoch, nil
+}
+
+// appendSegmentRows streams one input segment's documents and postings
+// into the merge collection. Postings arrive per term in docid order, and
+// input segments are visited in ascending docid-range order, so appending
+// keeps every merged list docid-ordered.
+func appendSegmentRows(coll *corpus.Collection, ix *ir.Index, termID map[string]int, runBase int64, cancel func() bool) error {
+	lenCol, err := ix.D.Column("len")
+	if err != nil {
+		return err
+	}
+	nameCol, err := ix.D.Column("name")
+	if err != nil {
+		return err
+	}
+	if err := scanInt64Column(lenCol, func(vals []int64) {
+		coll.DocLens = append(coll.DocLens, vals...)
+	}); err != nil {
+		return err
+	}
+	if err := scanStrColumn(nameCol, func(vals []string) {
+		coll.DocNames = append(coll.DocNames, vals...)
+	}); err != nil {
+		return err
+	}
+
+	// Global docids rebase to the merged segment's local space; the merged
+	// build re-adds runBase as its DocIDBase.
+	return scanPostings(ix, -runBase, cancel, func(t string, docids, tfs []int64) {
+		id := termID[t]
+		for i := range docids {
+			coll.Postings[id] = append(coll.Postings[id],
+				corpus.Posting{DocID: docids[i], TF: tfs[i]})
+		}
+	})
+}
+
+// CommitMerge atomically replaces the named adjacent segments with the
+// merged segment built into `into`, bumping the generation (the statistics
+// epoch is unchanged — a merge moves postings, not the collection). The
+// replaced directories are NOT removed here: readers of older generations
+// may still hold them open; garbage collection (SweepSegments) reclaims
+// them once unreferenced. bakedEpoch is BuildMergedSegment's return.
+func CommitMerge(dir string, names []string, into string, bakedEpoch uint64) (uint64, error) {
+	sm, err := ReadSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	at, err := sm.findRun(names)
+	if err != nil {
+		return 0, err
+	}
+	run := sm.Segments[at : at+len(names)]
+	merged := SegmentEntry{
+		Name:       into,
+		DocBase:    run[0].DocBase,
+		StatsEpoch: bakedEpoch,
+	}
+	for _, e := range run {
+		merged.Docs += e.Docs
+		merged.Postings += e.Postings
+		merged.DocLenSum += e.DocLenSum
+	}
+	segs := make([]SegmentEntry, 0, len(sm.Segments)-len(names)+1)
+	segs = append(segs, sm.Segments[:at]...)
+	segs = append(segs, merged)
+	segs = append(segs, sm.Segments[at+len(names):]...)
+	sm.Segments = segs
+	sm.Generation++
+	if seq := segSeq(into); seq >= sm.NextSeq {
+		sm.NextSeq = seq + 1
+	}
+	if err := writeSegments(dir, sm); err != nil {
+		return 0, err
+	}
+	return sm.Generation, nil
+}
+
+// SweepSegments garbage-collects segment directories that are neither
+// referenced by the current generation nor reported in use (by a live
+// reader epoch or an in-progress build). Returns the removed names.
+func SweepSegments(dir string, inUse func(name string) bool) ([]string, error) {
+	sm, err := ReadSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]bool, len(sm.Segments))
+	for _, e := range sm.Segments {
+		keep[e.Name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var removed []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, segDirPrefix) {
+			continue
+		}
+		if keep[name] || (inUse != nil && inUse(name)) {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return removed, fmt.Errorf("storage: sweep %q: %w", name, err)
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
+}
+
+// WriteSegmentedIndex persists pre-built indexes as the segments of a new
+// segmented directory with externally coordinated statistics — the dist
+// partition path, where collection-wide stats (including quantization
+// bounds) were shared across *directories* at build time and must not be
+// recomputed from any one directory's segments. Segment docid ranges must
+// be contiguous; bounds are taken from the first index (identical across
+// externally coordinated builds by construction).
+func WriteSegmentedIndex(dir string, segs []*ir.Index) error {
+	if len(segs) == 0 {
+		return errors.New("storage: WriteSegmentedIndex with no segments")
+	}
+	sm := &SegmentsManifest{
+		Magic:      SegmentsMagic,
+		Version:    SegmentsFormatVersion,
+		Generation: 1,
+		External:   true,
+		HasBounds:  true,
+		ScoreLo:    segs[0].ScoreLo,
+		ScoreHi:    segs[0].ScoreHi,
+		NextSeq:    1,
+	}
+	next := segs[0].DocBase()
+	for _, ix := range segs {
+		if ix.DocBase() != next {
+			return fmt.Errorf("storage: segment docid ranges not contiguous at %d (want base %d)", ix.DocBase(), next)
+		}
+		next += int64(ix.NumDocs())
+		name, err := AllocSegmentDir(dir)
+		if err != nil {
+			return err
+		}
+		if err := WriteIndex(filepath.Join(dir, name), ix); err != nil {
+			return err
+		}
+		lenCol, err := ix.D.Column("len")
+		if err != nil {
+			return err
+		}
+		lenSum, err := sumInt64Column(lenCol)
+		if err != nil {
+			return err
+		}
+		sm.Segments = append(sm.Segments, SegmentEntry{
+			Name:      name,
+			Docs:      ix.NumDocs(),
+			Postings:  ix.NumPostings(),
+			DocBase:   ix.DocBase(),
+			DocLenSum: lenSum,
+		})
+		if seq := segSeq(name); seq >= sm.NextSeq {
+			sm.NextSeq = seq + 1
+		}
+	}
+	return writeSegments(dir, sm)
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/corpus"
@@ -264,4 +265,66 @@ func TestOpenIndexLazyAndValidating(t *testing.T) {
 	if _, err := OpenIndex(dir, 0); err == nil {
 		t.Error("OpenIndex accepted a truncated column file")
 	}
+}
+
+// TestOpenIndexNamesCorruptFiles is the corruption-injection suite: a
+// truncated, missing, or stray .col file must fail OpenIndex *eagerly*
+// with an error naming the offending file — never lazily in the middle of
+// some later query.
+func TestOpenIndexNamesCorruptFiles(t *testing.T) {
+	_, ix := buildSmallIndex(t)
+	write := func(t *testing.T) (string, *Manifest) {
+		t.Helper()
+		dir := t.TempDir()
+		if err := WriteIndex(dir, ix); err != nil {
+			t.Fatal(err)
+		}
+		m, err := readManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, m
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		dir, m := write(t)
+		victim := m.TD.Columns[1].Blob + blobExt
+		if err := os.Truncate(filepath.Join(dir, victim), 7); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenIndex(dir, 0)
+		if err == nil || !strings.Contains(err.Error(), victim) {
+			t.Errorf("truncated column error does not name %q: %v", victim, err)
+		}
+	})
+	t.Run("missing", func(t *testing.T) {
+		dir, m := write(t)
+		victim := m.D.Columns[0].Blob + blobExt
+		if err := os.Remove(filepath.Join(dir, victim)); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenIndex(dir, 0)
+		if err == nil || !strings.Contains(err.Error(), victim) {
+			t.Errorf("missing column error does not name %q: %v", victim, err)
+		}
+	})
+	t.Run("stray", func(t *testing.T) {
+		dir, _ := write(t)
+		stray := "leftover.partial" + blobExt
+		if err := os.WriteFile(filepath.Join(dir, stray), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenIndex(dir, 0)
+		if err == nil || !strings.Contains(err.Error(), stray) {
+			t.Errorf("stray column error does not name %q: %v", stray, err)
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		dir, _ := write(t)
+		pix, err := OpenIndex(dir, 0)
+		if err != nil {
+			t.Fatalf("clean directory rejected: %v", err)
+		}
+		pix.Close()
+	})
 }

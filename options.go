@@ -22,6 +22,8 @@ type engineConfig struct {
 	disk    DiskParams
 
 	storageDir string // WithStorageDir: persist to / serve from this directory
+	segmented  bool   // WithSegments: segmented layout (live appends)
+	autoMerge  int    // WithAutoMerge: background merge above this segment count (0 = off)
 
 	resultCache     int // WithResultCache: entries (0 = disabled)
 	prefetchWorkers int // WithPrefetch: read-ahead workers (0 = disabled)
@@ -81,6 +83,34 @@ func WithStorageDir(dir string) Option {
 			return
 		}
 		c.storageDir = dir
+	}
+}
+
+// WithSegments lays the persisted index out as a *segmented* directory —
+// an ordered set of immutable segments under one generation-stamped
+// super-manifest — instead of one monolithic index. This is what unlocks
+// live updates: Engine.Add indexes new documents into fresh segments (cost
+// proportional to the batch, not the collection) and Refresh swaps
+// generations without dropping in-flight searches. Requires WithStorageDir;
+// a directory that already holds a segmented index is served segmented
+// with or without this option.
+func WithSegments() Option {
+	return func(c *engineConfig) { c.segmented = true }
+}
+
+// WithAutoMerge starts the engine's background merger: whenever the
+// segment count exceeds maxSegments (after an Add, or at open), the
+// cheapest adjacent run of segments is merged into one — re-baking
+// materialized score columns against current collection statistics — and
+// the replaced directories are garbage-collected once no in-flight search
+// references them. maxSegments must be at least 1; segmented engines only.
+func WithAutoMerge(maxSegments int) Option {
+	return func(c *engineConfig) {
+		if maxSegments < 1 {
+			c.errs = append(c.errs, fmt.Errorf("repro: auto-merge segment bound %d < 1", maxSegments))
+			return
+		}
+		c.autoMerge = maxSegments
 	}
 }
 

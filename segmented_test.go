@@ -1,0 +1,364 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// segColl generates the shared collection for the segmented engine tests.
+func segColl(t *testing.T) *Collection {
+	t.Helper()
+	cfg := DefaultCollectionConfig()
+	cfg.NumDocs = 1800
+	cfg.Vocab = 2600
+	cfg.AvgDocLen = 64
+	cfg.NumTopics = 18
+	return GenerateCollection(cfg)
+}
+
+// TestEngineSegmentedLifecycle drives the live-update path end to end:
+// Open a half collection as a segmented directory, Add the other half in
+// batches through the engine, and require the final ranking to equal an
+// in-memory engine over the whole collection — exactly, scores included —
+// for every strategy. Along the way the result cache must invalidate per
+// generation and SegmentStats must track the growth.
+func TestEngineSegmentedLifecycle(t *testing.T) {
+	coll := segColl(t)
+	ctx := context.Background()
+	total := len(coll.DocLens)
+	half := total / 2
+
+	first, err := coll.Slice(0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "segix")
+	eng, err := Open(first, WithStorageDir(dir), WithSegments(), WithResultCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !IsSegmentedDir(dir) {
+		t.Fatal("WithSegments left no segmented directory behind")
+	}
+	if st := eng.SegmentStats(); st.Segments != 1 || st.Generation != 1 {
+		t.Fatalf("fresh segmented engine stats %+v", st)
+	}
+
+	q := coll.PrecisionQueries(1, 31)[0]
+	req := SearchRequest{Terms: q.Terms, K: 10}
+	before, err := eng.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit, err := eng.Search(ctx, req); err != nil || !hit.Cached {
+		t.Fatalf("repeat query within one generation missed the cache (cached=%v err=%v)", hit.Cached, err)
+	}
+
+	// Live appends: half the collection arrives in two batches.
+	for _, cut := range [][2]int{{half, 3 * total / 4}, {3 * total / 4, total}} {
+		docs, err := coll.Docs(cut[0], cut[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Add(ctx, docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.SegmentStats(); st.Segments != 3 || st.Generation != 3 {
+		t.Fatalf("after two adds: %+v", st)
+	}
+
+	// The generation is part of the cache key: the same request re-executes
+	// against the grown collection instead of serving the stale entry.
+	after, err := eng.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Error("post-append query served the previous generation's cache entry")
+	}
+	if reflect.DeepEqual(after.Hits, before.Hits) {
+		t.Log("note: ranking unchanged by appends for this query (legal, just unlikely)")
+	}
+
+	// Exact equivalence with a whole-collection in-memory engine.
+	mem, err := Open(coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	for _, q := range append(coll.PrecisionQueries(4, 33), coll.EfficiencyQueries(4, 34)...) {
+		for _, strat := range AllStrategies {
+			want, err := mem.Search(ctx, SearchRequest{Terms: q.Terms, K: 10, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 10, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Hits, want.Hits) {
+				t.Errorf("%v %v: segmented engine diverged from monolithic:\n got %v\nwant %v",
+					strat, q.Terms, got.Hits, want.Hits)
+			}
+		}
+	}
+
+	// Add without a segmented directory fails loudly.
+	if err := mem.Add(ctx, []Doc{{Name: "d", Tokens: []string{"x"}}}); err == nil {
+		t.Error("in-memory engine accepted Add")
+	}
+}
+
+// TestEngineCloseRacesInFlightSearch closes the engine while searches are
+// running from many goroutines (under -race in CI): in-flight searches
+// either complete normally or report ErrEngineClosed / a context error —
+// never a torn read against released storage — and post-Close calls fail
+// immediately.
+func TestEngineCloseRacesInFlightSearch(t *testing.T) {
+	coll := segColl(t)
+	dir := filepath.Join(t.TempDir(), "segix")
+	eng, err := Open(coll, WithStorageDir(dir), WithSegments(), WithSearchers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := coll.EfficiencyQueries(16, 41)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(g+i)%len(queries)]
+				_, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 10})
+				if err != nil {
+					if !errors.Is(err, ErrEngineClosed) {
+						t.Errorf("in-flight search failed with %v", err)
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond) // let searches pile in
+	if err := eng.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := eng.Search(ctx, SearchRequest{Terms: queries[0].Terms}); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("post-Close search returned %v, want ErrEngineClosed", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestSegmentedMergeRacesSearchAndRefresh runs the background merger
+// concurrently with live appends, explicit Refreshes and a searching
+// goroutine pool (under -race in CI), then verifies the tiered policy
+// bounded the segment count and the garbage collector reclaimed every
+// directory no generation references.
+func TestSegmentedMergeRacesSearchAndRefresh(t *testing.T) {
+	coll := segColl(t)
+	ctx := context.Background()
+	total := len(coll.DocLens)
+	const batches = 8
+	firstDocs := total / batches
+
+	first, err := coll.Slice(0, firstDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "segix")
+	eng, err := Open(first, WithStorageDir(dir), WithSegments(), WithAutoMerge(3), WithSearchers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := coll.EfficiencyQueries(12, 43)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(g+i)%len(queries)]
+				if _, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 10}); err != nil {
+					t.Errorf("search during merge churn: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Refresh churn from a second goroutine (idempotent when current).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := eng.Refresh(ctx); err != nil && !errors.Is(err, ErrEngineClosed) {
+				t.Errorf("refresh during merge churn: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for b := 1; b < batches; b++ {
+		docs, err := coll.Docs(b*total/batches, (b+1)*total/batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Add(ctx, docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The merger settles: segment count back under the bound.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := eng.SegmentStats()
+		if st.Segments <= 3 && st.Merges > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merger never settled: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The full collection is still served, exactly.
+	mem, err := Open(coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	for _, q := range coll.PrecisionQueries(3, 44) {
+		want, err := mem.Search(ctx, SearchRequest{Terms: q.Terms, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Hits, want.Hits) {
+			t.Errorf("query %v: merged engine diverged from monolithic", q.Terms)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After Close every reader generation has drained: only the current
+	// generation's segment directories may remain on disk.
+	sm, err := storage.ReadSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := make(map[string]bool, len(sm.Segments))
+	for _, e := range sm.Segments {
+		keep[e.Name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && !keep[e.Name()] {
+			t.Errorf("generation garbage survived Close: %s", e.Name())
+		}
+	}
+}
+
+// TestSearchManySubBatchOrdering pins the adaptive batch sizing contract:
+// a batch larger than workers*subBatchPerWorker splits into sub-batches,
+// and every result of an earlier sub-batch is delivered before any
+// request of a later one is scheduled — first-result latency no longer
+// waits on the tail of a giant batch.
+func TestSearchManySubBatchOrdering(t *testing.T) {
+	coll := segColl(t)
+	eng, err := Open(coll, WithSearchers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const workers = 2
+	chunk := workers * subBatchPerWorker
+	n := 3 * chunk
+	queries := coll.EfficiencyQueries(n, 45)
+	reqs := make([]SearchRequest, n)
+	for i, q := range queries {
+		reqs[i] = SearchRequest{Terms: q.Terms, K: 10}
+	}
+
+	var seq atomic.Int64
+	order := make([]int64, n)
+	bs, err := eng.SearchManyFunc(context.Background(), reqs, func(i int, res BatchResult) {
+		if res.Err != nil {
+			t.Errorf("request %d: %v", i, res.Err)
+		}
+		order[i] = seq.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.SubBatches != 3 {
+		t.Fatalf("batch of %d split into %d sub-batches, want 3", n, bs.SubBatches)
+	}
+	maxOf := func(lo, hi int) int64 {
+		var m int64
+		for i := lo; i < hi; i++ {
+			if order[i] > m {
+				m = order[i]
+			}
+		}
+		return m
+	}
+	minOf := func(lo, hi int) int64 {
+		m := int64(1 << 62)
+		for i := lo; i < hi; i++ {
+			if order[i] < m {
+				m = order[i]
+			}
+		}
+		return m
+	}
+	for c := 0; c+1 < 3; c++ {
+		if maxOf(c*chunk, (c+1)*chunk) >= minOf((c+1)*chunk, min((c+2)*chunk, n)) {
+			t.Errorf("sub-batch %d completed after sub-batch %d started", c, c+1)
+		}
+	}
+}

@@ -88,6 +88,10 @@ func DefaultCollectionConfig() CollectionConfig { return corpus.DefaultConfig() 
 // GenerateCollection builds a collection deterministically from its seed.
 func GenerateCollection(cfg CollectionConfig) *Collection { return corpus.Generate(cfg) }
 
+// Doc is one live document for Engine.Add: a name plus its token stream
+// (order irrelevant; only per-term frequencies reach the index).
+type Doc = corpus.Doc
+
 // Indexing and search (the paper's §3).
 type (
 	// Index is a searchable inverted-file index stored in ColumnBM.
@@ -242,9 +246,19 @@ func BuildPartitions(c *Collection, n int, cfg IndexConfig, baseDir string) ([]s
 	return dist.BuildPartitions(c, n, cfg, baseDir)
 }
 
-// StartClusterFromDirs serves persisted partition directories, each
-// through a buffer manager with poolBytes budget (0 = unbounded). Storage
-// options (e.g. WithPrefetchWorkers) apply to every partition.
+// BuildSegmentedPartitions is BuildPartitions emitting each partition as a
+// segmented directory of segsPer segments, the layout partition servers
+// share with the single-node segmented engine. Global statistics (idf,
+// document counts, quantization bounds) stay coordinated across every
+// segment of every partition, preserving merged == centralized ranking.
+func BuildSegmentedPartitions(c *Collection, n, segsPer int, cfg IndexConfig, baseDir string) ([]string, error) {
+	return dist.BuildSegmentedPartitions(c, n, segsPer, cfg, baseDir)
+}
+
+// StartClusterFromDirs serves persisted partition directories — monolithic
+// or segmented, detected per directory — each through a buffer manager
+// with poolBytes budget (0 = unbounded). Storage options (e.g.
+// WithPrefetchWorkers) apply to every partition.
 func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...StorageOpenOption) (*Cluster, error) {
 	return dist.StartClusterFromDirs(dirs, poolBytes, opts...)
 }
@@ -344,6 +358,12 @@ type StorageOpenOption = storage.OpenOption
 // cursors. The Engine-level equivalent is WithPrefetch.
 func WithPrefetchWorkers(n int) StorageOpenOption { return storage.WithPrefetchWorkers(n) }
 
+// WithPrefetchWindow bounds how many chunks the prefetcher holds claimed
+// ahead of a scanning cursor (0 = default window): long ranges are
+// claimed and fetched window by window, pacing the read-ahead to the scan
+// so concurrent cold scans cannot flood the buffer manager.
+func WithPrefetchWindow(n int) StorageOpenOption { return storage.WithPrefetchWindow(n) }
+
 // LoadIndex opens a persisted index for querying: the manifest is read
 // eagerly, posting data streams in lazily through a buffer manager with
 // the given byte budget (0 = unbounded). Close the returned index when
@@ -354,6 +374,25 @@ func LoadIndex(dir string, poolBytes int64, opts ...StorageOpenOption) (*Index, 
 
 // IsIndexDir reports whether dir holds a readable persisted index.
 func IsIndexDir(dir string) bool { return storage.IsIndexDir(dir) }
+
+// IsSegmentedDir reports whether dir holds a segmented index (a
+// generation-stamped SEGMENTS.json over immutable segment directories).
+// Open and OpenDir serve such directories with live-append support.
+func IsSegmentedDir(dir string) bool { return storage.IsSegmentedDir(dir) }
+
+// AppendSegment indexes a batch of live documents into one fresh segment
+// of the segmented directory (creating the directory on first use) and
+// commits a new generation — the offline counterpart of Engine.Add for
+// ingest pipelines that run without a serving engine. Readers pick the new
+// generation up via Engine.Refresh (or the next OpenDir).
+func AppendSegment(dir string, docs []Doc, cfg IndexConfig) error {
+	batch, err := corpus.FromDocs(docs)
+	if err != nil {
+		return err
+	}
+	_, err = storage.AppendSegment(dir, batch, cfg)
+	return err
+}
 
 // Relational operators and expressions, re-exported so applications can
 // assemble Figure-1-style plans directly (see examples/analytics).

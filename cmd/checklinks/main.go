@@ -1,0 +1,197 @@
+// Command checklinks verifies every relative link and anchor in the
+// repository's markdown files: link targets must exist on disk, and
+// fragment anchors (in the same file or a linked markdown file) must
+// match a heading, using GitHub's heading-to-anchor slug rules. External
+// links (http, https, mailto) are not fetched — CI must not depend on
+// the network — but everything the repo can break by renaming a file or
+// a heading is caught.
+//
+//	go run ./cmd/checklinks        # check the whole repository
+//	go run ./cmd/checklinks docs   # check one tree
+//
+// Exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// linkRe matches inline markdown links/images: [text](target). Nested
+// brackets in the text are not supported; targets with spaces must be
+// <angle-bracketed> per CommonMark, which this also accepts.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(<?([^)<>\s]+)>?\)`)
+
+// headingRe matches ATX headings; the anchor is derived from the text.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// Skip VCS internals and hidden trees, but not "." itself.
+				if name := d.Name(); name != "." && strings.HasPrefix(name, ".") && name != ".github" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.EqualFold(filepath.Ext(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checklinks:", err)
+			os.Exit(2)
+		}
+	}
+
+	anchors := make(map[string]map[string]bool, len(files))
+	for _, f := range files {
+		a, err := collectAnchors(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checklinks:", err)
+			os.Exit(2)
+		}
+		anchors[filepath.Clean(f)] = a
+	}
+
+	broken := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checklinks:", err)
+			os.Exit(2)
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if problem := check(f, target, anchors); problem != "" {
+					fmt.Printf("%s:%d: broken link %q: %s\n", f, lineNo+1, target, problem)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Printf("checklinks: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("checklinks: %d markdown file(s) clean\n", len(files))
+}
+
+// check validates one link target found in file. External schemes pass;
+// relative paths must exist; fragments must match a heading anchor of
+// the target markdown file.
+func check(file, target string, anchors map[string]map[string]bool) string {
+	for _, scheme := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, scheme) {
+			return ""
+		}
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := filepath.Clean(file)
+	if path != "" {
+		resolved = filepath.Clean(filepath.Join(filepath.Dir(file), path))
+		if _, err := os.Stat(resolved); err != nil {
+			return "target does not exist"
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	a, ok := anchors[resolved]
+	if !ok {
+		return "anchor into a non-markdown target"
+	}
+	if !a[strings.ToLower(frag)] {
+		return "no heading produces this anchor"
+	}
+	return ""
+}
+
+// collectAnchors reads a markdown file and returns the set of GitHub
+// anchor slugs its headings produce, handling duplicate headings with
+// the -1, -2 … suffix scheme. Headings inside fenced code blocks do not
+// count.
+func collectAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors, nil
+}
+
+// inlineStrip strips markdown inline syntax that GitHub drops from
+// anchors: code spans and asterisk emphasis. Underscores stay — GitHub
+// keeps them in anchors (`## foo_bar` → #foo_bar), so stripping them
+// would reject valid snake_case links.
+var inlineStrip = strings.NewReplacer("`", "", "*", "")
+
+// slugify reproduces GitHub's heading-to-anchor rule: lowercase, spaces
+// to hyphens, drop everything that is not a letter, digit, hyphen, or
+// space (after stripping inline markup).
+func slugify(heading string) string {
+	// Keep link text, drop the target: [text](url) -> text.
+	heading = linkRe.ReplaceAllStringFunc(heading, func(s string) string {
+		open := strings.IndexByte(s, '[')
+		close := strings.IndexByte(s, ']')
+		if open < 0 || close < 0 {
+			return s
+		}
+		return s[open+1 : close]
+	})
+	heading = inlineStrip.Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			b.WriteRune(r)
+		case r > 127 && (unicode.IsLetter(r) || unicode.IsDigit(r) || unicode.IsMark(r)):
+			// GitHub keeps non-ASCII letters (é, CJK…) but drops
+			// punctuation like — or §.
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

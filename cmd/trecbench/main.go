@@ -12,6 +12,7 @@
 //	trecbench -experiment coldwarm   # cold vs warm batches over real files (FileStore)
 //	trecbench -experiment batch      # SearchMany vs sequential + result cache
 //	trecbench -experiment segments   # append-heavy live updates + background merge
+//	trecbench -experiment hedge      # replica groups: hedged tail latency + failover
 //	trecbench -experiment all        # everything above, in order
 //
 // Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
@@ -25,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|all")
 		docs        = flag.Int("docs", 50000, "collection size in documents")
 		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
 		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
@@ -79,6 +81,8 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 		return batchServe(docs, nq, seed)
 	case "segments":
 		return segmentsExperiment(docs, nq, seed)
+	case "hedge":
+		return hedgeExperiment(docs, nq, servers, seed)
 	case "all":
 		for _, fn := range []func() error{
 			figure2,
@@ -92,6 +96,7 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 			func() error { return coldwarm(docs, nq, seed) },
 			func() error { return batchServe(docs, nq, seed) },
 			func() error { return segmentsExperiment(docs, nq, seed) },
+			func() error { return hedgeExperiment(docs, nq, servers, seed) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -630,6 +635,171 @@ func batchServe(docs, nq int, seed int64) error {
 	fmt.Println(" microseconds without a searcher; the pipelined broker pays one gob")
 	fmt.Println(" round trip per server for the whole batch instead of one per query)")
 	return nil
+}
+
+// hedgeExperiment measures the replica-group tail-latency defenses: a
+// partitioned cluster where every partition range is served by two
+// replicas, one of which is an induced intermittent straggler (it stalls
+// every 10th request it sees — the kind of fault a latency estimate alone
+// cannot route around, because the replica is fast between stalls). The
+// same hot query stream runs through an unhedged broker and through one
+// armed with a hedge budget, and the per-query latency distribution is
+// compared: unhedged p99 absorbs the full stall, hedged p99 sits near the
+// budget because the slice is re-issued to the healthy replica and the
+// first answer wins. A final round kills a whole replica per partition
+// mid-service and shows the broker failing over without dropping a query.
+func hedgeExperiment(docs, nq, servers int, seed int64) error {
+	header("Replica groups: hedged fan-out vs an intermittent straggler, then failover")
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = docs
+	cfg.Seed = seed
+	c := corpus.Generate(cfg)
+	queries := c.EfficiencyQueries(min(nq, 2000), seed+17)
+	strat := ir.BM25TCMQ8
+	ctx := context.Background()
+
+	partitions := servers / 2
+	if partitions < 2 {
+		partitions = 2
+	}
+	fmt.Printf("building %d partitions x 2 replicas ...\n", partitions)
+	cl, err := dist.StartCluster(c, partitions, ir.DefaultBuildConfig(), dist.WithReplicas(2))
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	warm := queries
+	if len(warm) > 200 {
+		warm = warm[:200]
+	}
+	if err := cl.WarmAll(strat, warm, 20); err != nil {
+		return err
+	}
+
+	// Calibrate the hedge budget against the healthy cluster: a small
+	// multiple of the unperturbed p50, floored at 1ms, is "just above
+	// normal" — hedges then fire only in the tail.
+	calBrk, err := cl.NewBroker()
+	if err != nil {
+		return err
+	}
+	cal, _, err := runLatencies(ctx, calBrk, queries[:min(len(queries), 200)], 20, strat)
+	calBrk.Close()
+	if err != nil {
+		return err
+	}
+	budget := 4 * percentile(cal, 50)
+	if budget < time.Millisecond {
+		budget = time.Millisecond
+	}
+
+	// The fault: replica 0 of partition 0 stalls every 10th request it
+	// serves, for many multiples of the budget. Round-robin primary duty
+	// sends it half the stream, so roughly 5% of queries hit a stall —
+	// squarely inside the p99.
+	stall := 20 * budget
+	if stall < 25*time.Millisecond {
+		stall = 25 * time.Millisecond
+	}
+	cl.Replica(0, 0).SetStall(10, stall)
+	fmt.Printf("straggler: partition 0 replica 0 stalls %.1f ms every 10th request; hedge budget %.2f ms\n\n",
+		float64(stall.Microseconds())/1000, float64(budget.Microseconds())/1000)
+
+	fmt.Printf("%-26s %10s %10s %10s %10s %8s %8s\n",
+		"broker", "p50 ms", "p90 ms", "p99 ms", "max ms", "hedged", "retried")
+	for _, mode := range []struct {
+		name string
+		opts []dist.BrokerOption
+	}{
+		{"unhedged", nil},
+		{fmt.Sprintf("hedged (%.2f ms)", float64(budget.Microseconds())/1000),
+			[]dist.BrokerOption{dist.WithHedgeBudget(budget)}},
+	} {
+		brk, err := cl.NewBroker(mode.opts...)
+		if err != nil {
+			return err
+		}
+		lats, timing, err := runLatencies(ctx, brk, queries, 20, strat)
+		brk.Close()
+		if err != nil {
+			return err
+		}
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		fmt.Printf("%-26s %10.2f %10.2f %10.2f %10.2f %8d %8d\n",
+			mode.name, ms(percentile(lats, 50)), ms(percentile(lats, 90)),
+			ms(percentile(lats, 99)), ms(percentile(lats, 100)),
+			timing.Hedged, timing.Retried)
+	}
+
+	// Failover: kill one whole replica of every partition while the hedged
+	// broker keeps serving — every query must still be answered, with the
+	// retry counter recording the transparent re-issues.
+	fmt.Printf("\nkilling replica 0 of every partition, same broker keeps serving ...\n")
+	brk, err := cl.NewBroker(dist.WithHedgeBudget(budget))
+	if err != nil {
+		return err
+	}
+	defer brk.Close()
+	if _, _, err := brk.SearchContext(ctx, queries[0].Terms, 20, strat); err != nil {
+		return err
+	}
+	for p := 0; p < cl.Partitions(); p++ {
+		cl.Replica(p, 0).SetStall(0, 0)
+		cl.Replica(p, 0).Close()
+	}
+	kill := queries[:min(len(queries), 400)]
+	lats, timing, err := runLatencies(ctx, brk, kill, 20, strat)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d/%d queries answered on the surviving replicas (retried %d, p99 %.2f ms)\n",
+		len(lats), len(kill), timing.Retried,
+		float64(percentile(lats, 99).Microseconds())/1000)
+
+	fmt.Println("\n(shape: the unhedged p99 absorbs the full stall because per-query latency")
+	fmt.Println(" tracks the slowest partition server; the hedged p99 sits near the hedge")
+	fmt.Println(" budget because the stalled slice is re-issued to the healthy replica and")
+	fmt.Println(" the first answer wins. Killing a replica outright is absorbed the same")
+	fmt.Println(" way: the broker retries the slice on the surviving replica and only a")
+	fmt.Println(" whole dead replica group would surface an error)")
+	return nil
+}
+
+// runLatencies pushes the queries through the broker one at a time,
+// returning each query's end-to-end latency plus the summed hedge/retry
+// counters.
+func runLatencies(ctx context.Context, brk *dist.Broker, queries []corpus.Query, k int, strat ir.Strategy) ([]time.Duration, dist.Timing, error) {
+	var agg dist.Timing
+	lats := make([]time.Duration, 0, len(queries))
+	for _, q := range queries {
+		_, timing, err := brk.SearchContext(ctx, q.Terms, k, strat)
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.Hedged += timing.Hedged
+		agg.Retried += timing.Retried
+		lats = append(lats, timing.Total)
+	}
+	return lats, agg, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of the latency
+// sample; p=100 is the maximum. The input is not modified.
+func percentile(sample []time.Duration, p int) time.Duration {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // coldwarm exercises the persistent storage subsystem end to end: the

@@ -1,9 +1,13 @@
-// Distributed: a four-node retrieval cluster on loopback TCP — partition
-// the collection, start one server per partition, broadcast queries
-// through a broker under a per-query deadline, and merge local top-k
-// lists into the global ranking (§3.4 of the paper). Because every
-// partition index is built with the collection-wide statistics (idf and
-// quantization bounds), the merged ranking equals the centralized one.
+// Distributed: a replicated retrieval cluster on loopback TCP — partition
+// the collection, serve every partition range with a replica group of two
+// servers, fan queries out through a group-aware broker under a per-query
+// deadline, and merge local top-k lists into the global ranking (§3.4 of
+// the paper). Because every partition index is built with the
+// collection-wide statistics (idf and quantization bounds), the merged
+// ranking equals the centralized one — and because replicas of a
+// partition serve the same index, the broker may freely hedge a slow
+// partition's work onto another replica (WithHedgeBudget) or fail over
+// when a replica dies, without changing a single ranked result.
 package main
 
 import (
@@ -25,21 +29,28 @@ func main() {
 	coll := repro.GenerateCollection(cfg)
 	fmt.Printf("collection: %d documents\n", cfg.NumDocs)
 
-	cluster, err := repro.StartCluster(coll, 4, repro.DefaultIndexConfig())
+	// 4 partition ranges x 2 replicas = 8 servers. Replicas build the same
+	// partition index, so which replica answers never matters.
+	cluster, err := repro.StartCluster(coll, 4, repro.DefaultIndexConfig(),
+		repro.WithClusterReplicas(2))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	fmt.Printf("cluster: %d servers on %v\n\n", len(cluster.Servers), cluster.Addrs)
+	fmt.Printf("cluster: %d partitions x %d replicas on %v\n\n",
+		cluster.Partitions(), cluster.Replicas(), cluster.Addrs)
 
-	broker, err := repro.DialCluster(cluster.Addrs)
+	// The group-aware broker: one connection per replica, hedging armed.
+	// A partition whose primary has not answered within the budget has its
+	// work re-issued to the other replica; the first answer wins.
+	broker, err := cluster.NewBroker(repro.WithHedgeBudget(20 * time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer broker.Close()
 
 	for _, q := range coll.PrecisionQueries(3, 99) {
-		// Each broadcast runs under a deadline; the broker forwards the
+		// Each fan-out runs under a deadline; the broker forwards the
 		// remaining budget to every server so nobody keeps working for a
 		// caller that has given up.
 		qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
@@ -51,7 +62,7 @@ func main() {
 		fmt.Printf("query %q: %.2f ms total\n", strings.Join(q.Terms, " "),
 			float64(timing.Total.Microseconds())/1000)
 		for i, d := range timing.PerServer {
-			fmt.Printf("  server %d responded in %.2f ms\n", i, float64(d.Microseconds())/1000)
+			fmt.Printf("  partition %d answered in %.2f ms\n", i, float64(d.Microseconds())/1000)
 		}
 		for i, r := range results {
 			if i >= 5 {
@@ -62,6 +73,36 @@ func main() {
 		fmt.Println()
 	}
 
+	// Failure injection: kill one replica of partition 0 outright. The
+	// broker retries the slice on the surviving replica — same ranking,
+	// Retried counts the re-issue, and the health view records the death.
+	fmt.Println("killing partition 0, replica 0 ...")
+	cluster.Replica(0, 0).Close()
+	// Two queries: primary duty round-robins across the group, so at least
+	// one of them is routed at the dead replica and must be retried.
+	q := coll.PrecisionQueries(1, 42)[0]
+	retried, hedged := 0, 0
+	var results []repro.Result
+	for i := 0; i < 2; i++ {
+		var timing repro.ClusterTiming
+		var err error
+		results, timing, err = broker.SearchContext(ctx, q.Terms, 5, repro.BM25TCMQ8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		retried += timing.Retried
+		hedged += timing.Hedged
+	}
+	fmt.Printf("query %q survived: %d results (retried %d, hedged %d)\n",
+		strings.Join(q.Terms, " "), len(results), retried, hedged)
+	for gi, g := range broker.Replicas() {
+		for ri, r := range g {
+			fmt.Printf("  partition %d replica %d (%s): healthy=%v fails=%d est=%.2f ms\n",
+				gi, ri, r.Addr, r.Healthy, r.Fails, float64(r.EWMA.Microseconds())/1000)
+		}
+	}
+	fmt.Println()
+
 	// Throughput under concurrent query streams (the Table 3 protocol):
 	// amortized per-query time keeps falling as streams are added even
 	// though absolute latency tracks the slowest server.
@@ -71,19 +112,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%d stream(s): %.2f ms/query absolute, %.2f ms/query amortized (server min/avg/max %.2f/%.2f/%.2f ms)\n",
+		fmt.Printf("%d stream(s): %.2f ms/query absolute, %.2f ms/query amortized (partition min/avg/max %.2f/%.2f/%.2f ms, retried %d)\n",
 			streams,
 			float64(st.Absolute.Microseconds())/1000,
 			float64(st.Amortized.Microseconds())/1000,
 			float64(st.MinServer.Microseconds())/1000,
 			float64(st.AvgServer.Microseconds())/1000,
-			float64(st.MaxServer.Microseconds())/1000)
+			float64(st.MaxServer.Microseconds())/1000,
+			st.Retried)
 	}
 
 	// Persisted deployment: build the partitions once (offline), then
-	// serve them from disk — a restarted fleet opens its directories and
-	// answers, with zero corpus re-parsing and the same global-statistics
-	// guarantee, so the merged ranking is still the centralized one.
+	// serve them from disk with a replica group per directory — a
+	// restarted fleet opens its directories and answers, with zero corpus
+	// re-parsing and the same global-statistics guarantee, so the merged
+	// ranking is still the centralized one. Replicas share the on-disk
+	// layout; each opens it with its own file handles and buffer manager.
 	base, err := os.MkdirTemp("", "dist-partitions-")
 	if err != nil {
 		log.Fatal(err)
@@ -93,22 +137,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster2, err := repro.StartClusterFromDirs(dirs, 64<<20)
+	cluster2, err := repro.StartClusterFromDirs(dirs, 64<<20,
+		repro.WithClusterReplicas(2))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster2.Close()
-	broker2, err := repro.DialCluster(cluster2.Addrs)
+	broker2, err := cluster2.NewBroker()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer broker2.Close()
-	q := coll.PrecisionQueries(1, 99)[0]
+	q = coll.PrecisionQueries(1, 99)[0]
 	fromDisk, _, err := broker2.SearchContext(ctx, q.Terms, 3, repro.BM25TCMQ8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\npersisted cluster (%d partitions on disk) answers %q:\n", len(dirs), strings.Join(q.Terms, " "))
+	fmt.Printf("\npersisted cluster (%d partition dirs x %d replicas) answers %q:\n",
+		len(dirs), cluster2.Replicas(), strings.Join(q.Terms, " "))
 	for i, r := range fromDisk {
 		fmt.Printf("  %d. %-22s score=%.4f\n", i+1, r.Name, r.Score)
 	}

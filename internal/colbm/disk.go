@@ -1,16 +1,3 @@
-// Package colbm implements ColumnBM, the column-oriented buffer manager and
-// storage layer of MonetDB/X100 as described in the paper: columns are
-// stored as sequences of multi-megabyte compressed blocks, disk accesses
-// are large and sequential to maximize bandwidth, blocks stay compressed in
-// RAM, and decompression happens on demand at vector granularity, directly
-// into CPU-cache-sized buffers feeding the operator pipeline.
-//
-// Storage is pluggable behind the BlockStore interface. SimDisk, defined
-// here, is the deterministic virtual-clock disk model the experiments use:
-// reads advance a simulated clock by seek latency plus size/bandwidth,
-// without sleeping, so cold-run times can be reported as measured CPU time
-// plus simulated I/O time (see DESIGN.md §5). storage.FileStore is the real
-// counterpart, doing large aligned sequential reads against files on disk.
 package colbm
 
 import (

@@ -1,0 +1,37 @@
+// Package colbm implements ColumnBM, the column-oriented buffer manager
+// and storage layer of MonetDB/X100 as described in the paper: columns
+// are stored as sequences of multi-megabyte compressed blocks, disk
+// accesses are large and sequential to maximize bandwidth, blocks stay
+// compressed in RAM, and decompression happens on demand at vector
+// granularity, directly into CPU-cache-sized buffers feeding the operator
+// pipeline.
+//
+// # Contracts
+//
+// The package defines the two storage contracts every layer above reads
+// through, so cursors, operators, and search plans are storage-agnostic:
+//
+//   - BlockStore — named column blobs, read with large sequential
+//     requests. SimDisk (here) is the deterministic virtual-clock model
+//     the paper-reproduction experiments use: reads advance a simulated
+//     clock by seek latency plus size/bandwidth, without sleeping, so
+//     cold-run times can be reported as measured CPU time plus simulated
+//     I/O time. storage.FileStore is the real counterpart, doing large
+//     aligned sequential reads against files on disk.
+//   - ChunkCache — compressed column chunks cached in RAM under a byte
+//     budget. BufferPool (here) is the simple LRU paired with SimDisk;
+//     storage.Manager is the real ColumnBM manager (CLOCK eviction,
+//     singleflight fetches).
+//
+// # Tables, columns, cursors
+//
+// A Table is a named set of stored columns sharing row count and chunk
+// length; Builder bulk-builds one, encoding each column per its
+// ColumnSpec (raw, fixed-32, PFOR, PFOR-DELTA, PDICT). Readers open a
+// Cursor per column: it claims compressed chunks from the ChunkCache and
+// decompresses on demand into the caller's vectors. Cursor.ReadOffset
+// additionally rebases docid-like columns, which is what lets a segment
+// merge read postings from arbitrary source segments. The Prefetcher
+// contract lets an external read-ahead engine (storage.Prefetcher) claim
+// the chunk ranges a plan is about to scan before the cursors arrive.
+package colbm

@@ -8,18 +8,24 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ir"
 )
 
-// Timing reports one broadcast round trip: the end-to-end total and each
-// server's response time (request written to response decoded). The
-// max-vs-min spread across PerServer is the Table 3 story: per-query
-// latency tracks the slowest partition.
+// Timing reports one fan-out round trip: the end-to-end total and each
+// partition group's response time (request written to the winning
+// replica's response decoded). The max-vs-min spread across PerServer is
+// the Table 3 story: per-query latency tracks the slowest partition.
 type Timing struct {
 	Total     time.Duration
 	PerServer []time.Duration
+	// Hedged counts hedge requests this call issued (primary exceeded the
+	// hedge budget, slice re-sent to another replica); Retried counts
+	// failover re-issues after a replica failed mid-query.
+	Hedged  int
+	Retried int
 	// Stats are the query stats merged across servers for single-query
 	// Search: Wall is the slowest server's (latency tracks max), SimIO and
 	// Candidates are summed, SecondPass is set when any server needed the
@@ -28,14 +34,160 @@ type Timing struct {
 	Stats ir.QueryStats
 }
 
-// Broker fans queries out to every server of a cluster and merges the
-// local top-k lists into the global ranking. It keeps one persistent
-// connection per server; it is safe for concurrent use — requests to the
-// same server serialize on that connection while different servers
-// proceed in parallel. For independent throughput streams (Table 3), use
-// one Broker per stream so streams do not share connections.
+// ReplicaStatus is one replica's broker-side view: its address, whether it
+// is currently considered healthy (not in a failure cooldown), the moving
+// response-time estimate steering hedge/retry target order, and the count
+// of consecutive failures.
+type ReplicaStatus struct {
+	Addr    string
+	Healthy bool
+	EWMA    time.Duration
+	Fails   int
+}
+
+// BrokerOption tunes a Broker at dial time.
+type BrokerOption func(*brokerConfig)
+
+type brokerConfig struct {
+	hedgeBudget time.Duration
+}
+
+// WithHedgeBudget arms hedged fan-out: when a partition's primary replica
+// has not answered within d, the broker re-issues that partition's batch
+// slice to the next-best replica of the group and takes whichever answer
+// lands first, canceling the loser. The budget should sit just above the
+// expected response time (a small multiple of the p50) so hedges fire only
+// in the tail; 0 (the default) disables hedging. Partitions with a single
+// replica never hedge.
+func WithHedgeBudget(d time.Duration) BrokerOption {
+	return func(c *brokerConfig) { c.hedgeBudget = d }
+}
+
+// Failure cooldown: after n consecutive failures a replica is parked for
+// min(n, maxBackoffShifts) doublings of replicaBackoff, so a dead server
+// stops being everyone's first choice while still being retried as a last
+// resort (cooling replicas stay in the candidate order, after healthy
+// ones).
+const (
+	replicaBackoff   = 250 * time.Millisecond
+	maxBackoffShifts = 5 // caps the cooldown at 8s
+)
+
+// replica is one server connection plus the broker-side accounting that
+// steers primary selection, hedge targets, and failover order.
+type replica struct {
+	conn *srvConn
+
+	mu        sync.Mutex
+	ewma      time.Duration // moving response-time estimate; 0 = unmeasured
+	fails     int           // consecutive failures
+	downUntil time.Time     // cooldown deadline while failing
+}
+
+// observeSuccess folds a measured response time into the moving estimate
+// and clears any failure state.
+func (r *replica) observeSuccess(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = 0
+	r.downUntil = time.Time{}
+	if r.ewma == 0 {
+		r.ewma = d
+	} else {
+		r.ewma = (3*r.ewma + d) / 4
+	}
+}
+
+// observeFailure opens (or extends) the failure cooldown.
+func (r *replica) observeFailure(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails++
+	shift := r.fails - 1
+	if shift > maxBackoffShifts {
+		shift = maxBackoffShifts
+	}
+	r.downUntil = now.Add(replicaBackoff << shift)
+}
+
+// snapshot reads the replica's accounting once, under one lock: the
+// exported status plus the cooldown deadline candidate ordering needs.
+func (r *replica) snapshot(now time.Time) (ReplicaStatus, time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		Addr:    r.conn.addr,
+		Healthy: !now.Before(r.downUntil) || r.fails == 0,
+		EWMA:    r.ewma,
+		Fails:   r.fails,
+	}, r.downUntil
+}
+
+func (r *replica) status(now time.Time) ReplicaStatus {
+	st, _ := r.snapshot(now)
+	return st
+}
+
+// group is one partition's replica set plus the round-robin cursor that
+// spreads primary duty across healthy replicas.
+type group struct {
+	replicas []*replica
+	rr       uint32
+}
+
+// candidates returns the replicas in attempt order for one call: the
+// round-robin primary first, then the remaining healthy replicas by
+// ascending latency estimate (unmeasured ones first, so every replica
+// gets measured), then cooling-down replicas by soonest recovery — they
+// are retries of last resort, never skipped entirely, because a group
+// must exhaust every member before a query is failed.
+func (g *group) candidates(now time.Time) []*replica {
+	if len(g.replicas) == 1 {
+		return g.replicas
+	}
+	// One consistent snapshot per replica; sorting must not re-read state
+	// that observeSuccess/observeFailure may be changing under it.
+	type cand struct {
+		r    *replica
+		ewma time.Duration
+		down time.Time
+	}
+	var healthy, cooling []cand
+	for _, r := range g.replicas {
+		st, down := r.snapshot(now)
+		if st.Healthy {
+			healthy = append(healthy, cand{r: r, ewma: st.EWMA})
+		} else {
+			cooling = append(cooling, cand{r: r, down: down})
+		}
+	}
+	order := make([]*replica, 0, len(g.replicas))
+	if len(healthy) > 0 {
+		pi := int((atomic.AddUint32(&g.rr, 1) - 1) % uint32(len(healthy)))
+		order = append(order, healthy[pi].r)
+		rest := append(append([]cand{}, healthy[:pi]...), healthy[pi+1:]...)
+		sort.SliceStable(rest, func(i, j int) bool { return rest[i].ewma < rest[j].ewma })
+		for _, c := range rest {
+			order = append(order, c.r)
+		}
+	}
+	sort.SliceStable(cooling, func(i, j int) bool { return cooling[i].down.Before(cooling[j].down) })
+	for _, c := range cooling {
+		order = append(order, c.r)
+	}
+	return order
+}
+
+// Broker fans query batches out to one replica per partition group and
+// merges the local top-k lists into the global ranking, hedging and
+// failing over inside each group. It keeps one persistent connection per
+// replica; it is safe for concurrent use — requests to the same replica
+// serialize on that connection while different replicas proceed in
+// parallel. For independent throughput streams (Table 3), use one Broker
+// per stream so streams do not share connections.
 type Broker struct {
-	conns []*srvConn
+	groups      []*group
+	hedgeBudget time.Duration
 }
 
 // srvConn is one persistent server connection. A broken connection (I/O
@@ -48,21 +200,67 @@ type srvConn struct {
 	c   net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	seq uint64
 }
 
-// Dial connects a broker to the given server addresses.
-func Dial(addrs []string) (*Broker, error) {
+// Dial connects a broker to the given server addresses, one partition per
+// address — the unreplicated layout. For replica groups, use DialGroups
+// (or Cluster.NewBroker, which knows the cluster's groups).
+func Dial(addrs []string, opts ...BrokerOption) (*Broker, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("dist: Dial with no addresses")
 	}
-	b := &Broker{conns: make([]*srvConn, len(addrs))}
-	for i, addr := range addrs {
-		sc := &srvConn{addr: addr}
-		if err := sc.dial(); err != nil {
+	groups := make([][]string, len(addrs))
+	for i, a := range addrs {
+		groups[i] = []string{a}
+	}
+	return DialGroups(groups, opts...)
+}
+
+// DialGroups connects a broker to a replicated cluster: groups[p] lists
+// the addresses of partition p's replica group. Every replica of a group
+// must serve the same partition index — the broker freely re-issues a
+// partition's work to any member when hedging or failing over.
+//
+// A replica that cannot be dialed does not fail the broker as long as its
+// group has at least one reachable member: the dead replica starts in a
+// failure cooldown and is lazily redialed when next tried, so brokers can
+// come up while part of the fleet is down. Only a fully unreachable group
+// is an error.
+func DialGroups(groups [][]string, opts ...BrokerOption) (*Broker, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("dist: DialGroups with no groups")
+	}
+	var cfg brokerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b := &Broker{groups: make([]*group, len(groups)), hedgeBudget: cfg.hedgeBudget}
+	for gi, addrs := range groups {
+		if len(addrs) == 0 {
 			b.Close()
-			return nil, err
+			return nil, fmt.Errorf("dist: partition %d has no replica addresses", gi)
 		}
-		b.conns[i] = sc
+		g := &group{replicas: make([]*replica, len(addrs))}
+		live := 0
+		var dialErr error
+		for ri, addr := range addrs {
+			sc := &srvConn{addr: addr}
+			r := &replica{conn: sc}
+			if err := sc.dial(); err != nil {
+				dialErr = err
+				r.observeFailure(time.Now())
+			} else {
+				live++
+			}
+			g.replicas[ri] = r
+		}
+		if live == 0 {
+			b.Close()
+			return nil, fmt.Errorf("dist: partition %d: replica group unreachable (all %d replicas failed): %w",
+				gi, len(addrs), dialErr)
+		}
+		b.groups[gi] = g
 	}
 	return b, nil
 }
@@ -89,7 +287,10 @@ func (sc *srvConn) close() {
 
 // roundTrip sends one request and decodes the reply, honoring ctx: a
 // deadline bounds the socket I/O and is forwarded to the server, and a
-// cancel unblocks the wait by expiring the connection.
+// cancel unblocks the wait by expiring the connection. The reply must
+// echo the request's sequence number; a mismatch (a desynchronized stream
+// serving some earlier request's answer) drops the connection and fails
+// the call, which the caller treats like any replica failure.
 func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse, error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -99,6 +300,8 @@ func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse
 			return resp, err
 		}
 	}
+	sc.seq++
+	req.Seq = sc.seq
 	if d, ok := ctx.Deadline(); ok {
 		req.TimeoutNanos = time.Until(d).Nanoseconds()
 		if req.TimeoutNanos <= 0 {
@@ -123,6 +326,9 @@ func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse
 	if err == nil {
 		err = sc.dec.Decode(&resp)
 	}
+	if err == nil && resp.Seq != req.Seq {
+		err = fmt.Errorf("reply for request %d to request %d", resp.Seq, req.Seq)
+	}
 	close(stop)
 	<-watchDone
 	if err != nil {
@@ -138,14 +344,34 @@ func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse
 	return resp, nil
 }
 
-// Close closes every server connection.
+// Close closes every replica connection.
 func (b *Broker) Close() error {
-	for _, sc := range b.conns {
-		if sc != nil {
-			sc.close()
+	for _, g := range b.groups {
+		if g == nil {
+			continue
+		}
+		for _, r := range g.replicas {
+			if r != nil {
+				r.conn.close()
+			}
 		}
 	}
 	return nil
+}
+
+// Replicas reports the broker's current per-replica view, one slice per
+// partition group: health, consecutive failures, and the moving latency
+// estimate. Observability for operators and the failure-injection tests.
+func (b *Broker) Replicas() [][]ReplicaStatus {
+	now := time.Now()
+	out := make([][]ReplicaStatus, len(b.groups))
+	for gi, g := range b.groups {
+		out[gi] = make([]ReplicaStatus, len(g.replicas))
+		for ri, r := range g.replicas {
+			out[gi][ri] = r.status(now)
+		}
+	}
+	return out
 }
 
 // Search broadcasts a query and merges the per-server top-k lists.
@@ -156,8 +382,8 @@ func (b *Broker) Search(terms []string, k int, strat ir.Strategy) ([]ir.Result, 
 // SearchContext is Search under a context: cancellation and deadlines
 // apply to every server round-trip, and the remaining deadline is
 // forwarded so servers stop working for callers that gave up. It is a
-// batch of one: the returned Timing carries the per-server response times
-// and the cross-server merged stats.
+// batch of one: the returned Timing carries the per-partition response
+// times, hedge/retry counts, and the cross-server merged stats.
 func (b *Broker) SearchContext(ctx context.Context, terms []string, k int, strat ir.Strategy) ([]ir.Result, Timing, error) {
 	res, timing, err := b.SearchMany(ctx, []Request{{Terms: terms, K: k, Strategy: strat}})
 	if err != nil {
@@ -170,17 +396,27 @@ func (b *Broker) SearchContext(ctx context.Context, terms []string, k int, strat
 	return res[0].Results, timing, nil
 }
 
-// SearchMany broadcasts a whole batch of queries in ONE round trip per
-// server — each server executes its slice of work concurrently through its
-// searcher pool — and merges every query's per-server top-k lists into the
-// global rankings. This replaces len(reqs) sequential round trips per
-// server with one, so batch latency approaches the slowest server's batch
-// time instead of the sum of per-query round trips. Results are returned
-// in request order with per-request errors; the error return is reserved
-// for transport-level failure (any server connection breaking fails the
-// batch, as in Search).
+// groupReply is one partition group's outcome for a batch.
+type groupReply struct {
+	gi      int
+	resp    wireResponse
+	err     error
+	hedged  int
+	retried int
+}
+
+// SearchMany fans a whole batch of queries out in ONE round trip per
+// partition — each server executes its slice of work concurrently through
+// its searcher pool — and merges every query's per-server top-k lists into
+// the global rankings. Within each replica group the broker picks a
+// primary (round-robin over healthy replicas), hedges when the primary
+// exceeds the hedge budget, and fails over to the remaining replicas when
+// a connection breaks; a query errors at the transport level only when a
+// whole replica group is down. Results are returned in request order with
+// per-request errors; the error return is reserved for transport-level
+// failure.
 func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult, Timing, error) {
-	timing := Timing{PerServer: make([]time.Duration, len(b.conns))}
+	timing := Timing{PerServer: make([]time.Duration, len(b.groups))}
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
 		return out, timing, nil
@@ -191,34 +427,32 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	}
 	start := time.Now()
 
-	type reply struct {
-		i    int
-		resp wireResponse
-		err  error
-	}
-	replies := make(chan reply, len(b.conns))
-	for i, sc := range b.conns {
-		go func(i int, sc *srvConn) {
+	replies := make(chan groupReply, len(b.groups))
+	for gi, g := range b.groups {
+		go func(gi int, g *group) {
 			t0 := time.Now()
-			resp, err := sc.roundTrip(ctx, wreq)
-			timing.PerServer[i] = time.Since(t0)
-			replies <- reply{i: i, resp: resp, err: err}
-		}(i, sc)
+			rep := b.searchGroup(ctx, g, wreq)
+			rep.gi = gi
+			timing.PerServer[gi] = time.Since(t0)
+			replies <- rep
+		}(gi, g)
 	}
 
 	var firstErr error
-	for range b.conns {
+	for range b.groups {
 		r := <-replies
+		timing.Hedged += r.hedged
+		timing.Retried += r.retried
 		if r.err != nil {
 			if firstErr == nil {
-				firstErr = r.err
+				firstErr = fmt.Errorf("dist: partition %d: %w", r.gi, r.err)
 			}
 			continue
 		}
 		if len(r.resp.Queries) != len(reqs) {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("dist: server %d answered %d of %d queries",
-					r.i, len(r.resp.Queries), len(reqs))
+				firstErr = fmt.Errorf("dist: partition %d answered %d of %d queries",
+					r.gi, len(r.resp.Queries), len(reqs))
 			}
 			continue
 		}
@@ -226,7 +460,7 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 			a := &r.resp.Queries[qi]
 			if a.Err != "" {
 				if out[qi].Err == nil {
-					out[qi].Err = fmt.Errorf("dist: server %d: %s", r.i, a.Err)
+					out[qi].Err = fmt.Errorf("dist: partition %d: %s", r.gi, a.Err)
 				}
 				continue
 			}
@@ -266,6 +500,84 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 		out[qi].Results = merged
 	}
 	return out, timing, nil
+}
+
+// searchGroup runs one partition's slice of a batch against its replica
+// group: primary first, a hedge re-issue if the hedge budget expires
+// before an answer lands, and failover re-issues as attempts fail. The
+// first successful answer wins and outstanding attempts are canceled.
+// The group errors only when every replica has been tried and failed.
+func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) groupReply {
+	order := g.candidates(time.Now())
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the losers of a hedge race
+
+	type attempt struct {
+		resp wireResponse
+		err  error
+		r    *replica
+		d    time.Duration
+	}
+	ch := make(chan attempt, len(order))
+	next := 0
+	launch := func() {
+		r := order[next]
+		next++
+		go func(r *replica) {
+			t0 := time.Now()
+			resp, err := r.conn.roundTrip(gctx, wreq)
+			ch <- attempt{resp: resp, err: err, r: r, d: time.Since(t0)}
+		}(r)
+	}
+	launch()
+	inflight := 1
+
+	var rep groupReply
+	var hedgeC <-chan time.Time
+	if b.hedgeBudget > 0 && len(order) > 1 {
+		t := time.NewTimer(b.hedgeBudget)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case a := <-ch:
+			inflight--
+			if a.err == nil {
+				a.r.observeSuccess(a.d)
+				rep.resp = a.resp
+				return rep
+			}
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				rep.err = ctxErr
+				return rep
+			}
+			a.r.observeFailure(time.Now())
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if next < len(order) {
+				launch()
+				rep.retried++
+				inflight++
+			} else if inflight == 0 {
+				rep.err = fmt.Errorf("replica group down (all %d replicas failed): %w",
+					len(order), firstErr)
+				return rep
+			}
+		case <-hedgeC:
+			hedgeC = nil // one hedge per partition per call
+			if next < len(order) {
+				launch()
+				rep.hedged++
+				inflight++
+			}
+		case <-ctx.Done():
+			rep.err = ctx.Err()
+			return rep
+		}
+	}
 }
 
 // mergeStats folds one server's answer into a query's cross-server stats:

@@ -12,50 +12,145 @@ import (
 	"repro/internal/storage"
 )
 
-// Cluster is a set of partition servers on loopback TCP, plus the
-// batch-run harness the Table 3 experiments drive.
-type Cluster struct {
-	Servers []*Server
-	Addrs   []string
+// ClusterOption tunes cluster startup (StartCluster,
+// StartClusterFromDirs).
+type ClusterOption func(*clusterConfig)
 
-	owner bool // views produced by Sub must not close the servers
+type clusterConfig struct {
+	replicas  int
+	storeOpts []storage.OpenOption
 }
 
-// StartCluster range-partitions the collection across n servers, builds
-// every partition index with the collection's *global* statistics (so
-// per-node BM25 scores are comparable and the merged top-k equals the
-// centralized one), and starts one TCP server per partition. Index builds
-// run in parallel.
-func StartCluster(c *corpus.Collection, n int, cfg ir.BuildConfig) (*Cluster, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("dist: cluster size %d < 1", n)
-	}
-	cfg.Stats = ir.CollectionStats(c)
-	parts := partition(c, n)
+// WithReplicas serves every partition range with r servers instead of
+// one. In-memory clusters build r identical copies of each partition
+// index; persisted clusters open the partition directory r times, each
+// replica with its own file handles and buffer manager — replicas share
+// the on-disk segment layout, nothing else. Replication changes no
+// ranking (replicas are identical), it buys the broker hedge targets and
+// failover capacity. r < 1 is treated as 1.
+func WithReplicas(r int) ClusterOption {
+	return func(c *clusterConfig) { c.replicas = r }
+}
 
-	servers := make([]*Server, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := range parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			servers[i], errs[i] = startServer(parts[i], cfg)
-		}(i)
+// WithStorageOptions forwards storage open options (e.g.
+// storage.WithPrefetchWorkers) to every partition replica opened by
+// StartClusterFromDirs. Ignored by in-memory StartCluster.
+func WithStorageOptions(opts ...storage.OpenOption) ClusterOption {
+	return func(c *clusterConfig) { c.storeOpts = append(c.storeOpts, opts...) }
+}
+
+func applyClusterOptions(opts []ClusterOption) clusterConfig {
+	cfg := clusterConfig{replicas: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	wg.Wait()
-	cl := &Cluster{Servers: servers, owner: true}
-	for _, err := range errs {
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
+	if cfg.replicas < 1 {
+		cfg.replicas = 1
 	}
-	cl.Addrs = make([]string, n)
+	return cfg
+}
+
+// Cluster is a set of partition servers on loopback TCP — every partition
+// range served by a replica group of uniform size — plus the batch-run
+// harness the Table 3 experiments drive.
+type Cluster struct {
+	// Servers holds every server, group-major: partition p's replica r is
+	// Servers[p*Replicas()+r] (see Replica). Addrs is aligned with it.
+	Servers []*Server
+	Addrs   []string
+	// Groups lists each partition's replica addresses — the shape
+	// DialGroups and NewBroker consume.
+	Groups [][]string
+
+	replicas int
+	owner    bool // views produced by Sub must not close the servers
+}
+
+// assemble wires a flat, group-major server slice into a Cluster.
+func assemble(servers []*Server, partitions, replicas int) *Cluster {
+	cl := &Cluster{
+		Servers:  servers,
+		Addrs:    make([]string, len(servers)),
+		Groups:   make([][]string, partitions),
+		replicas: replicas,
+		owner:    true,
+	}
 	for i, s := range servers {
 		cl.Addrs[i] = s.Addr()
 	}
-	return cl, nil
+	for p := 0; p < partitions; p++ {
+		cl.Groups[p] = cl.Addrs[p*replicas : (p+1)*replicas]
+	}
+	return cl
+}
+
+// Partitions returns the number of partition ranges (replica groups).
+func (cl *Cluster) Partitions() int { return len(cl.Groups) }
+
+// Replicas returns the replica-group size (1 = unreplicated).
+func (cl *Cluster) Replicas() int { return cl.replicas }
+
+// Replica returns partition p's replica r.
+func (cl *Cluster) Replica(p, r int) *Server { return cl.Servers[p*cl.replicas+r] }
+
+// NewBroker dials a broker over the cluster's replica groups. This is the
+// group-aware counterpart of Dial(cl.Addrs): with replication, Dial would
+// mistake every replica for its own partition and return duplicated
+// rankings — NewBroker is the only correct way to dial a replicated
+// cluster.
+func (cl *Cluster) NewBroker(opts ...BrokerOption) (*Broker, error) {
+	return DialGroups(cl.Groups, opts...)
+}
+
+// StartCluster range-partitions the collection across n partitions,
+// builds every partition index with the collection's *global* statistics
+// (so per-node BM25 scores are comparable and the merged top-k equals the
+// centralized one), and starts one TCP server per partition replica
+// (WithReplicas; one by default). Index builds run in parallel.
+func StartCluster(c *corpus.Collection, n int, cfg ir.BuildConfig, opts ...ClusterOption) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: cluster size %d < 1", n)
+	}
+	ccfg := applyClusterOptions(opts)
+	cfg.Stats = ir.CollectionStats(c)
+	parts := partition(c, n)
+
+	servers := make([]*Server, n*ccfg.replicas)
+	errs := make([]error, len(servers))
+	var wg sync.WaitGroup
+	for p := range parts {
+		for r := 0; r < ccfg.replicas; r++ {
+			wg.Add(1)
+			go func(p, r int) {
+				defer wg.Done()
+				i := p*ccfg.replicas + r
+				servers[i], errs[i] = startServer(parts[p], cfg)
+			}(p, r)
+		}
+	}
+	wg.Wait()
+	if err := closeOnError(servers, errs); err != nil {
+		return nil, err
+	}
+	return assemble(servers, n, ccfg.replicas), nil
+}
+
+// closeOnError tears down whatever servers did start when any of a
+// parallel startup's slots failed, returning the first error. It must
+// run before assemble, which assumes every slot is live.
+func closeOnError(servers []*Server, errs []error) error {
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		for _, s := range servers {
+			if s != nil {
+				s.Close()
+			}
+		}
+		return err
+	}
+	return nil
 }
 
 // BuildPartitions range-partitions the collection, builds every partition
@@ -65,7 +160,8 @@ func StartCluster(c *corpus.Collection, n int, cfg ir.BuildConfig) (*Cluster, er
 // partition directories in partition order. This is the offline half of a
 // persisted deployment: run it once, then any number of server processes
 // open the directories with StartClusterFromDirs — no corpus in sight.
-// Partition builds run in parallel.
+// Partition builds run in parallel. Replication needs nothing here: a
+// replica group's members all open the same directory.
 func BuildPartitions(c *corpus.Collection, n int, cfg ir.BuildConfig, baseDir string) ([]string, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dist: partition count %d < 1", n)
@@ -105,12 +201,13 @@ func BuildPartitions(c *corpus.Collection, n int, cfg ir.BuildConfig, baseDir st
 // BuildSegmentedPartitions is BuildPartitions emitting each partition as
 // a *segmented* directory of segsPer segments (contiguous docid
 // sub-ranges), the layout partition servers share with the single-node
-// segmented engine. Statistics stay globally coordinated — every segment
-// of every partition is built with the collection-wide idf, document
-// statistics and quantization bounds, and the directories are marked
-// external so nothing recomputes them locally — which preserves the
-// merged-equals-centralized ranking guarantee across both partition and
-// segment boundaries.
+// segmented engine — and, replicated, with every member of the
+// partition's replica group. Statistics stay globally coordinated — every
+// segment of every partition is built with the collection-wide idf,
+// document statistics and quantization bounds, and the directories are
+// marked external so nothing recomputes them locally — which preserves
+// the merged-equals-centralized ranking guarantee across partition,
+// segment, and replica boundaries.
 func BuildSegmentedPartitions(c *corpus.Collection, n, segsPer int, cfg ir.BuildConfig, baseDir string) ([]string, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dist: partition count %d < 1", n)
@@ -172,53 +269,51 @@ func BuildSegmentedPartitions(c *corpus.Collection, n, segsPer int, cfg ir.Build
 // StartClusterFromDirs opens persisted partition directories (from
 // BuildPartitions or BuildSegmentedPartitions — monolithic and segmented
 // layouts are detected per directory) and starts one TCP server per
-// partition. Nothing is rebuilt and no collection is needed: each server
-// reads its manifests and serves, with posting data streaming in through
-// a buffer manager with poolBytes budget (0 = unbounded) as queries
-// arrive — the cold-start path a production fleet restarts through.
-// Storage options (e.g. storage.WithPrefetchWorkers) apply to every
-// partition. Opens run in parallel.
-func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...storage.OpenOption) (*Cluster, error) {
+// partition replica (WithReplicas; one by default — each replica opens
+// the shared directory with its own file handles and buffer manager).
+// Nothing is rebuilt and no collection is needed: each server reads its
+// manifests and serves, with posting data streaming in through a buffer
+// manager with poolBytes budget (0 = unbounded) as queries arrive — the
+// cold-start path a production fleet restarts through. Storage options
+// ride in via WithStorageOptions and apply to every replica. Opens run in
+// parallel.
+func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption) (*Cluster, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("dist: no partition directories")
 	}
-	servers := make([]*Server, len(dirs))
-	errs := make([]error, len(dirs))
+	ccfg := applyClusterOptions(opts)
+	servers := make([]*Server, len(dirs)*ccfg.replicas)
+	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
-	for i := range dirs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if storage.IsSegmentedDir(dirs[i]) {
-				snap, err := storage.OpenSegmented(dirs[i], poolBytes, opts...)
+	for p := range dirs {
+		for r := 0; r < ccfg.replicas; r++ {
+			wg.Add(1)
+			go func(p, r int) {
+				defer wg.Done()
+				i := p*ccfg.replicas + r
+				if storage.IsSegmentedDir(dirs[p]) {
+					snap, err := storage.OpenSegmented(dirs[p], poolBytes, ccfg.storeOpts...)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					servers[i], errs[i] = serveSnapshot(snap)
+					return
+				}
+				ix, err := storage.OpenIndex(dirs[p], poolBytes, ccfg.storeOpts...)
 				if err != nil {
 					errs[i] = err
 					return
 				}
-				servers[i], errs[i] = serveSnapshot(snap)
-				return
-			}
-			ix, err := storage.OpenIndex(dirs[i], poolBytes, opts...)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			servers[i], errs[i] = serveIndex(ix)
-		}(i)
-	}
-	wg.Wait()
-	cl := &Cluster{Servers: servers, owner: true}
-	for _, err := range errs {
-		if err != nil {
-			cl.Close()
-			return nil, err
+				servers[i], errs[i] = serveIndex(ix)
+			}(p, r)
 		}
 	}
-	cl.Addrs = make([]string, len(servers))
-	for i, s := range servers {
-		cl.Addrs[i] = s.Addr()
+	wg.Wait()
+	if err := closeOnError(servers, errs); err != nil {
+		return nil, err
 	}
-	return cl, nil
+	return assemble(servers, len(dirs), ccfg.replicas), nil
 }
 
 // Close shuts every server down (no-op on Sub views, which share their
@@ -239,20 +334,27 @@ func (cl *Cluster) Close() error {
 	return first
 }
 
-// Sub returns a view over the first n servers — the fixed-partition-size
-// "using less servers" rows of Table 3, where fewer servers also hold
-// less data. The view shares the parent's servers; only the parent's
-// Close shuts them down.
+// Sub returns a view over the first n partitions — the
+// fixed-partition-size "using less servers" rows of Table 3, where fewer
+// servers also hold less data. The view shares the parent's servers
+// (every replica of the retained partitions); only the parent's Close
+// shuts them down.
 func (cl *Cluster) Sub(n int) *Cluster {
-	if n > len(cl.Servers) {
-		n = len(cl.Servers)
+	if n > len(cl.Groups) {
+		n = len(cl.Groups)
 	}
-	return &Cluster{Servers: cl.Servers[:n], Addrs: cl.Addrs[:n]}
+	return &Cluster{
+		Servers:  cl.Servers[:n*cl.replicas],
+		Addrs:    cl.Addrs[:n*cl.replicas],
+		Groups:   cl.Groups[:n],
+		replicas: cl.replicas,
+	}
 }
 
 // WarmAll runs the queries on every server locally (no network) at result
 // depth k, leaving all buffer pools hot — the precondition of the Table 3
-// measurements. Servers warm in parallel.
+// measurements. Every replica warms (each has its own pool). Servers warm
+// in parallel.
 func (cl *Cluster) WarmAll(strat ir.Strategy, queries []corpus.Query, k int) error {
 	errs := make([]error, len(cl.Servers))
 	var wg sync.WaitGroup
@@ -273,10 +375,12 @@ func (cl *Cluster) WarmAll(strat ir.Strategy, queries []corpus.Query, k int) err
 }
 
 // RunStreams runs the query batch through the cluster with the given
-// number of concurrent streams, each stream owning its own broker
-// (connections are not shared between streams). Queries are dealt
-// round-robin. It returns the Table 3 aggregates.
-func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.Strategy) (RunStats, error) {
+// number of concurrent streams, each stream owning its own group-aware
+// broker (connections are not shared between streams; broker options such
+// as WithHedgeBudget apply to every stream). Queries are dealt
+// round-robin. It returns the Table 3 aggregates, including how often the
+// hedge/retry defenses fired.
+func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.Strategy, opts ...BrokerOption) (RunStats, error) {
 	st := RunStats{Queries: len(queries), Streams: streams}
 	if len(queries) == 0 {
 		return st, nil
@@ -291,7 +395,7 @@ func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.S
 
 	brokers := make([]*Broker, streams)
 	for i := range brokers {
-		b, err := Dial(cl.Addrs)
+		b, err := cl.NewBroker(opts...)
 		if err != nil {
 			for _, prev := range brokers[:i] {
 				prev.Close()
@@ -312,6 +416,7 @@ func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.S
 		n                      int
 		secondPass             int
 		candidates             int64
+		hedged, retried        int
 		err                    error
 	}
 	accs := make([]acc, streams)
@@ -333,6 +438,8 @@ func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.S
 					a.secondPass++
 				}
 				a.candidates += timing.Stats.Candidates
+				a.hedged += timing.Hedged
+				a.retried += timing.Retried
 				a.latency += timing.Total
 				min, max, sum := timing.PerServer[0], timing.PerServer[0], time.Duration(0)
 				for _, d := range timing.PerServer {
@@ -367,6 +474,8 @@ func (cl *Cluster) RunStreams(queries []corpus.Query, streams, k int, strat ir.S
 		n += a.n
 		st.SecondPass += a.secondPass
 		st.Candidates += a.candidates
+		st.Hedged += a.hedged
+		st.Retried += a.retried
 	}
 	if n > 0 {
 		st.Absolute = latency / time.Duration(n)

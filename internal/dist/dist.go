@@ -1,24 +1,3 @@
-// Package dist implements the paper's §3.4 scale-out experiment (Table
-// 3): the collection is range-partitioned over n servers, each server runs
-// the full single-node stack (ColumnBM + vectorized engine + IR plans)
-// over its partition, and a broker broadcasts every query to all servers
-// and merges their local top-k lists into the global ranking.
-//
-// Two properties make the merged ranking equal the centralized one:
-//
-//  1. every partition index is built with the *global* collection
-//     statistics (ir.GlobalStats) so BM25 scores are comparable across
-//     servers — without this each node would rank by partition-local idf;
-//  2. partitions are disjoint docid ranges, so merging is a simple top-k
-//     union with no deduplication.
-//
-// Transport is loopback TCP with gob framing — honest socket round-trips
-// (the latency the paper's Table 3 measures is dominated by the slowest
-// server, not the wire), while staying inside the standard library. The
-// package is designed against the context-aware API: servers execute
-// queries through an ir.SearcherPool and honor per-request deadlines;
-// Broker.SearchContext composes client-side cancellation with the
-// server-side pools.
 package dist
 
 import (
@@ -33,6 +12,13 @@ import (
 // Search sends a batch of one; Broker.SearchMany ships a whole batch in
 // one round trip per server instead of one per query.
 type wireRequest struct {
+	// Seq is the connection-local request sequence number; the server
+	// echoes it in the response. Retries and hedges re-issue read-only
+	// batches on *other* connections, so idempotency is free — the echo
+	// guards the one remaining hazard, a desynchronized gob stream handing
+	// a retried request some earlier request's reply. A mismatched echo
+	// drops the connection instead of returning a stale answer.
+	Seq     uint64
 	Queries []wireQuery
 	// TimeoutNanos, when positive, bounds server-side execution of the
 	// whole batch — the broker forwards the remaining client deadline so a
@@ -49,8 +35,9 @@ type wireQuery struct {
 }
 
 // wireResponse answers a wireRequest, one entry per query in request
-// order.
+// order. Seq echoes the request's sequence number (see wireRequest.Seq).
 type wireResponse struct {
+	Seq     uint64
 	Queries []wireAnswer
 }
 
@@ -103,6 +90,14 @@ type RunStats struct {
 	// servers and queries. Both arrive over the wire per answer.
 	SecondPass int
 	Candidates int64
+
+	// Hedged counts hedge requests issued (a partition's batch slice
+	// re-sent to another replica because the primary exceeded the hedge
+	// budget); Retried counts failover re-issues after a replica failed.
+	// Both are zero on an unreplicated cluster — they are the observable
+	// record of the tail-latency defense firing.
+	Hedged  int
+	Retried int
 
 	// Total is the wall time of the whole batch; Amortized is Total /
 	// Queries (throughput accounting — it keeps falling as streams are

@@ -1,0 +1,62 @@
+// Package dist implements the paper's §3.4 scale-out experiment (Table
+// 3) and grows it into a small serving fleet: the collection is
+// range-partitioned over n partitions, each partition is served by a
+// *replica group* of R servers running the full single-node stack
+// (ColumnBM + vectorized engine + IR plans), and a broker fans every
+// query batch out to one replica per partition and merges the local
+// top-k lists into the global ranking.
+//
+// # Correctness
+//
+// Two properties make the merged ranking equal the centralized one:
+//
+//  1. every partition index is built with the *global* collection
+//     statistics (ir.GlobalStats) so BM25 scores are comparable across
+//     servers — without this each node would rank by partition-local idf;
+//  2. partitions are disjoint docid ranges, so merging is a simple top-k
+//     union with no deduplication.
+//
+// Replication adds nothing to merge correctness: replicas of a partition
+// serve the same immutable index (in-memory replicas build identical
+// copies; persisted replicas open the same directory), so *which* replica
+// answers never changes the ranking — the property failover and hedging
+// rely on to re-issue work freely.
+//
+// # Replica groups, hedging, failover
+//
+// Table 3's finding is that per-query latency tracks the *slowest*
+// partition server. Replica groups (WithReplicas on StartCluster, the
+// replicas argument threaded through StartClusterFromDirs's cluster
+// options) are the defense: the broker tracks per-replica health
+// (consecutive failures open a cooldown) and a moving latency estimate
+// (EWMA of response times), rotates primaries round-robin to spread load,
+// and
+//
+//   - *hedges*: with WithHedgeBudget(d), when a partition's primary has
+//     not answered within d, the same batch slice is re-issued to the
+//     next-best replica and whichever answer lands first wins — the loser
+//     is canceled;
+//   - *fails over*: a replica connection breaking mid-query re-issues the
+//     slice on the next live replica of the group transparently. Only
+//     when every replica of a group has failed does the batch error, and
+//     the error says which partition died.
+//
+// Queries are read-only, so re-issuing is always safe; the wire protocol
+// still guards against a desynchronized connection delivering a *stale*
+// reply to a retried request: every request carries a sequence number the
+// server echoes, and a mismatched echo drops the connection instead of
+// returning another request's answer. Timing.Hedged/Retried (and the
+// RunStats aggregates of the same names) count both mechanisms, so
+// experiments can report exactly how often the tail defense fired.
+//
+// # Transport
+//
+// Transport is loopback TCP with gob framing — honest socket round-trips
+// (the latency the paper's Table 3 measures is dominated by the slowest
+// server, not the wire), while staying inside the standard library. One
+// wireRequest carries a whole query batch; servers execute batches
+// concurrently through an ir.SearcherPool and honor the forwarded
+// remainder of the client's deadline. The package is designed against the
+// context-aware API: Broker.SearchContext/SearchMany compose client-side
+// cancellation with the server-side pools.
+package dist

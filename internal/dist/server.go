@@ -27,6 +27,14 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	// Failure injection (SetStall): every stallEvery-th request sleeps for
+	// stallDur before executing — the induced straggler the hedging
+	// experiments and tests defend against.
+	stallMu    sync.Mutex
+	stallEvery int
+	stallDur   time.Duration
+	stallCount int
 }
 
 // startServer builds the partition index and begins accepting on an
@@ -91,6 +99,36 @@ func (s *Server) Warm(strat ir.Strategy, queries []corpus.Query, k int) error {
 		}
 	}
 	return nil
+}
+
+// SetStall injects a latency fault: every n-th request to this server
+// stalls for d before executing (n <= 1 stalls every request; d <= 0
+// disables). This is the failure-injection hook behind the hedging
+// experiments — an intermittently slow replica that a latency estimate
+// alone cannot route around, only a hedge can beat.
+func (s *Server) SetStall(n int, d time.Duration) {
+	s.stallMu.Lock()
+	defer s.stallMu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	s.stallEvery = n
+	s.stallDur = d
+	s.stallCount = 0
+}
+
+// stall returns the injected delay owed by the current request, if any.
+func (s *Server) stall() time.Duration {
+	s.stallMu.Lock()
+	defer s.stallMu.Unlock()
+	if s.stallDur <= 0 {
+		return 0
+	}
+	s.stallCount++
+	if s.stallCount%s.stallEvery == 0 {
+		return s.stallDur
+	}
+	return 0
 }
 
 // Close stops accepting, closes every open broker connection (which
@@ -186,13 +224,16 @@ func (s *Server) serve(conn net.Conn) {
 // batch fans across goroutines, with the searcher pool bounding actual
 // parallelism — the server-side half of the SearchMany pipeline.
 func (s *Server) answer(req *wireRequest) wireResponse {
+	if d := s.stall(); d > 0 {
+		time.Sleep(d)
+	}
 	ctx := context.Background()
 	if req.TimeoutNanos > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
 		defer cancel()
 	}
-	resp := wireResponse{Queries: make([]wireAnswer, len(req.Queries))}
+	resp := wireResponse{Seq: req.Seq, Queries: make([]wireAnswer, len(req.Queries))}
 	if len(req.Queries) == 1 {
 		resp.Queries[0] = s.answerOne(ctx, &req.Queries[0])
 		return resp

@@ -1,0 +1,42 @@
+// Package ir implements information retrieval on top of the relational
+// engine, following §3 of the paper: the inverted index is an ordinary
+// [term, docid, tf] relation ordered on (term, docid), with the term
+// column replaced by a range index; keyword search is relational algebra
+// (merge joins over posting ranges); ranking is a projection computing
+// Okapi BM25 followed by TopN; and the performance-optimization ladder of
+// Table 2 (two-pass, compression, score materialization, 8-bit
+// quantization) is a set of alternative physical plans over alternative
+// column encodings.
+//
+// # Strategies
+//
+// A Strategy names one Table 2 run: BoolAND/BoolOR execute the §3.2
+// boolean language; BM25 and BM25T rank over the uncompressed 32-bit
+// columns (T adds the conjunctive-first two-pass heuristic); BM25TC reads
+// the PFOR/PFOR-DELTA compressed columns; BM25TCM reads the materialized
+// float score column; BM25TCMQ8 reads the 8-bit Global-By-Value quantized
+// score column. One Index carries every physical column its BuildConfig
+// enabled, so a single index serves the whole ladder and each strategy
+// reads only what it needs.
+//
+// # Segments and snapshots
+//
+// Search runs over a Snapshot: an ordered set of one or more immutable
+// Index segments (disjoint docid ranges) plus collection-wide statistics.
+// The multi-segment Searcher plans each segment separately, applies a
+// global two-pass gate (the disjunctive second pass runs only when the
+// merged conjunctive yield falls short), and merges per-segment results
+// through a (score, docid) top-k. Segments whose baked score columns
+// predate the newest global statistics are served through query-time
+// kernels that reproduce the baked values bit-exactly until a merge
+// re-bakes them.
+//
+// # Concurrency
+//
+// A Searcher is single-owner: its execution state (ExecContext, operator
+// buffers, cursors) must not be shared. SearcherPool recycles a fixed set
+// of searchers, doubling as admission control — at most Size() plans
+// execute at once; Engine.Search and the dist partition servers both
+// query through a pool. Everything underneath (buffer manager, block
+// stores) is internally synchronized.
+package ir

@@ -1,11 +1,3 @@
-// Package ir implements information retrieval on top of the relational
-// engine, following §3 of the paper: the inverted index is an ordinary
-// [term, docid, tf] relation ordered on (term, docid), with the term column
-// replaced by a range index; keyword search is relational algebra (merge
-// joins over posting ranges); ranking is a projection computing Okapi BM25
-// followed by TopN; and the performance-optimization ladder of Table 2
-// (two-pass, compression, score materialization, 8-bit quantization) is a
-// set of alternative physical plans over alternative column encodings.
 package ir
 
 import (

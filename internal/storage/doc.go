@@ -1,0 +1,47 @@
+// Package storage is the persistent storage subsystem: the real
+// (non-simulated) counterpart of the ColumnBM simulation in
+// internal/colbm, built from three pieces:
+//
+//   - FileStore, a colbm.BlockStore doing large aligned sequential reads
+//     against real files — the paper's "disk accesses in blocks of
+//     several megabytes" discipline on an actual filesystem;
+//   - Manager, the ColumnBM buffer manager: a fixed byte budget over
+//     *compressed* chunks, CLOCK (second chance) eviction, singleflight
+//     deduplication of concurrent fetches, and hit/miss/eviction stats;
+//   - a versioned on-disk index format (MANIFEST.json plus one blob file
+//     per column), written by WriteIndex and lazily reopened by
+//     OpenIndex: opening reads only the manifest (column files are
+//     eagerly verified to exist at their recorded sizes), and posting
+//     chunks stream in through the buffer manager as queries touch them.
+//
+// # Segmented layout
+//
+// On top of the single-index format sits the *segmented* layout: an
+// ordered set of immutable per-segment subdirectories (each holding an
+// unchanged MANIFEST.json v1) under a generation-stamped SEGMENTS.json
+// super-manifest. AppendSegment indexes a document batch into one fresh
+// segment and atomically commits generation+1; OpenSegmented opens every
+// segment of the newest generation against one shared buffer manager and
+// recomputes collection-wide statistics exactly from the manifests;
+// PlanMerge/BuildMergedSegment/CommitMerge implement the tiered
+// background merge; SweepSegments garbage-collects directories no
+// generation references. Every mutation is a new generation sharing all
+// unchanged segment directories with the old one, which is what lets the
+// engine refresh under an epoch refcount without dropping in-flight
+// searches.
+//
+// # Prefetch
+//
+// Prefetcher is the manifest-driven read-ahead engine: a plan about to
+// scan a posting range claims the range's missing chunks (synchronously,
+// window by window, so concurrent cold scans cannot flood the manager),
+// and worker goroutines coalesce contiguous chunk runs into single large
+// store reads ahead of the cursors. Demand readers arriving for a claimed
+// chunk wait for the in-flight batch instead of duplicating the read.
+//
+// The package sits above internal/ir in the dependency order (it persists
+// and restores ir.Index values); below it, colbm defines the BlockStore
+// and ChunkCache contracts both the simulated and the real
+// implementations satisfy, so every layer in between — cursors,
+// operators, search plans — is storage-agnostic.
+package storage

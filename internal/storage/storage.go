@@ -1,23 +1,3 @@
-// Package storage is the persistent storage subsystem: the real
-// (non-simulated) counterpart of the ColumnBM simulation in
-// internal/colbm, built from three pieces:
-//
-//   - FileStore, a colbm.BlockStore doing large aligned sequential reads
-//     against real files — the paper's "disk accesses in blocks of several
-//     megabytes" discipline on an actual filesystem;
-//   - Manager, the ColumnBM buffer manager: a fixed byte budget over
-//     *compressed* chunks, CLOCK (second chance) eviction, singleflight
-//     deduplication of concurrent fetches, and hit/miss/eviction stats;
-//   - a versioned on-disk index format (MANIFEST.json plus one blob file
-//     per column), written by WriteIndex and lazily reopened by OpenIndex:
-//     opening reads only the manifest, and posting chunks stream in
-//     through the buffer manager as queries touch them.
-//
-// The package sits above internal/ir in the dependency order (it persists
-// and restores ir.Index values); below it, colbm defines the BlockStore
-// and ChunkCache contracts both the simulated and the real implementations
-// satisfy, so every layer in between — cursors, operators, search plans —
-// is storage-agnostic.
 package storage
 
 import "repro/internal/colbm"

@@ -57,10 +57,17 @@
 // partitions a collection across loopback-TCP servers (BuildPartitions +
 // StartClusterFromDirs is the persisted variant), DialCluster returns a
 // Broker whose Search broadcasts and merges top-k; the context-aware
-// Broker.SearchContext composes with each server's searcher pool.
+// Broker.SearchContext composes with each server's searcher pool. With
+// WithClusterReplicas every partition range is served by a replica group,
+// and a group-aware broker (Cluster.NewBroker) adds the tail-latency
+// defenses: hedged fan-out under WithHedgeBudget and transparent failover
+// when a replica dies mid-query. See docs/ARCHITECTURE.md for the full
+// design.
 package repro
 
 import (
+	"time"
+
 	"repro/internal/colbm"
 	"repro/internal/compress"
 	"repro/internal/corpus"
@@ -228,15 +235,49 @@ type (
 	ClusterRequest = dist.Request
 	// ClusterBatchResult is one ClusterRequest's globally merged outcome.
 	ClusterBatchResult = dist.BatchResult
+	// ClusterOption tunes cluster startup (replication factor, storage
+	// options for persisted partitions).
+	ClusterOption = dist.ClusterOption
+	// BrokerOption tunes a broker at dial time (hedge budget).
+	BrokerOption = dist.BrokerOption
+	// ReplicaStatus is one replica's broker-side health/latency view
+	// (Broker.Replicas).
+	ReplicaStatus = dist.ReplicaStatus
 )
 
-// StartCluster partitions a collection across n TCP servers.
-func StartCluster(c *Collection, n int, cfg IndexConfig) (*Cluster, error) {
-	return dist.StartCluster(c, n, cfg)
+// WithClusterReplicas serves every partition range with r servers instead
+// of one: identical in-memory copies for StartCluster, r independent
+// opens of the shared partition directory for StartClusterFromDirs. The
+// extra replicas change no ranking — they give a group-aware broker
+// (Cluster.NewBroker) hedge targets and failover capacity.
+func WithClusterReplicas(r int) ClusterOption { return dist.WithReplicas(r) }
+
+// WithClusterStorage forwards storage open options (WithPrefetchWorkers,
+// WithPrefetchWindow) to every partition replica StartClusterFromDirs
+// opens.
+func WithClusterStorage(opts ...StorageOpenOption) ClusterOption {
+	return dist.WithStorageOptions(opts...)
 }
 
-// DialCluster connects a broker to server addresses.
-func DialCluster(addrs []string) (*Broker, error) { return dist.Dial(addrs) }
+// WithHedgeBudget arms hedged fan-out on a broker dialed over replica
+// groups: a partition whose primary replica has not answered within d has
+// its batch slice re-issued to the next-best replica, first answer wins,
+// loser canceled. Timing.Hedged / ClusterRunStats.Hedged count the hedges
+// that fired. 0 disables hedging.
+func WithHedgeBudget(d time.Duration) BrokerOption { return dist.WithHedgeBudget(d) }
+
+// StartCluster partitions a collection across n TCP partition ranges
+// (each served by WithClusterReplicas servers; one by default).
+func StartCluster(c *Collection, n int, cfg IndexConfig, opts ...ClusterOption) (*Cluster, error) {
+	return dist.StartCluster(c, n, cfg, opts...)
+}
+
+// DialCluster connects a broker to server addresses, one partition per
+// address. For a replicated cluster use Cluster.NewBroker (or
+// dist.DialGroups), which understands replica groups.
+func DialCluster(addrs []string, opts ...BrokerOption) (*Broker, error) {
+	return dist.Dial(addrs, opts...)
+}
 
 // BuildPartitions builds the collection's n partition indexes with global
 // statistics and persists each under baseDir/part-<i>; the returned
@@ -257,9 +298,11 @@ func BuildSegmentedPartitions(c *Collection, n, segsPer int, cfg IndexConfig, ba
 
 // StartClusterFromDirs serves persisted partition directories — monolithic
 // or segmented, detected per directory — each through a buffer manager
-// with poolBytes budget (0 = unbounded). Storage options (e.g.
-// WithPrefetchWorkers) apply to every partition.
-func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...StorageOpenOption) (*Cluster, error) {
+// with poolBytes budget (0 = unbounded). WithClusterReplicas(r) opens
+// every directory r times (a replica group sharing the on-disk layout);
+// storage options ride in via WithClusterStorage and apply to every
+// replica.
+func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption) (*Cluster, error) {
 	return dist.StartClusterFromDirs(dirs, poolBytes, opts...)
 }
 

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ type BatchResult struct {
 type BatchStats struct {
 	Queries    int   // requests in the batch
 	Failed     int   // requests that returned a per-request error
+	Shed       int   // of Failed: requests rejected by admission control
 	CacheHits  int   // requests served from the result cache
 	SecondPass int   // requests whose plan needed the disjunctive second pass
 	Candidates int64 // summed scored candidates across the batch
@@ -101,6 +103,9 @@ func (e *Engine) searchMany(ctx context.Context, reqs []SearchRequest, fn func(i
 		switch {
 		case r.Err != nil:
 			bs.Failed++
+			if errors.Is(r.Err, ErrOverloaded) {
+				bs.Shed++
+			}
 		case r.Response.Cached:
 			// A cache hit carries the stats of the execution that populated
 			// the entry; this batch did none of that work, so only the hit
@@ -123,15 +128,31 @@ func (e *Engine) searchMany(ctx context.Context, reqs []SearchRequest, fn func(i
 	}
 
 	start := time.Now()
+	// With admission control on, the whole batch is admitted up front:
+	// request i's estimated queue wait grows with its position, so an
+	// oversized batch against a deadline sheds its tail *now* — the
+	// requests that were never going to execute in time cost an error
+	// each instead of scheduling work destined to be thrown away. The
+	// admitted prefix runs normally; every admitted request releases its
+	// slot in searchBatched.
+	admitN := len(reqs)
+	if e.qosCtl != nil {
+		var shedErr error
+		admitN, shedErr = e.qosCtl.AdmitBatch(ctx, len(reqs))
+		for i := admitN; i < len(reqs); i++ {
+			e.met.shed.Inc()
+			deliver(i, BatchResult{Err: shedErr})
+		}
+	}
 	workers := ep.pool.Size()
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > admitN {
+		workers = admitN
 	}
 	chunk := workers * subBatchPerWorker
-	for lo := 0; lo < len(reqs); lo += chunk {
+	for lo := 0; lo < admitN; lo += chunk {
 		hi := lo + chunk
-		if hi > len(reqs) {
-			hi = len(reqs)
+		if hi > admitN {
+			hi = admitN
 		}
 		e.runSubBatch(ctx, ep, reqs, lo, hi, workers, deliver)
 		bs.SubBatches++
@@ -168,7 +189,7 @@ func (e *Engine) runSubBatch(ctx context.Context, ep *epoch, reqs []SearchReques
 				if i >= hi {
 					return
 				}
-				deliver(i, e.searchBatched(ctx, ep, &s, reqs[i]))
+				deliver(i, e.searchBatched(ctx, ep, &s, reqs[i], true))
 			}
 		}()
 	}
@@ -177,30 +198,65 @@ func (e *Engine) runSubBatch(ctx context.Context, ep *epoch, reqs []SearchReques
 
 // searchBatched runs one batched request on the worker's searcher,
 // acquiring it on first need. *s may remain nil when every request the
-// worker sees is answered by the cache.
-func (e *Engine) searchBatched(ctx context.Context, ep *epoch, s **ir.Searcher, req SearchRequest) BatchResult {
+// worker sees is answered by the cache. reserved says the caller already
+// holds an admission slot for this request (SearchMany admits batches up
+// front); the single-search path admits here, after the cache lookup, so
+// cache hits are never shed — they consume no searcher. Either way every
+// claimed slot is released on every exit path, with successful
+// executions feeding their duration back into the service-time estimate
+// the admission model runs on.
+func (e *Engine) searchBatched(ctx context.Context, ep *epoch, s **ir.Searcher, req SearchRequest, reserved bool) BatchResult {
+	start := time.Now()
+	ctl := e.qosCtl
 	k, strat, err := e.admit(ep, req)
 	if err != nil {
+		if reserved && ctl != nil {
+			ctl.Release()
+		}
 		return BatchResult{Err: err}
 	}
 	var key string
 	if e.cache != nil {
 		key = cacheKey(req.Terms, k, strat, ep.snap.Gen())
 		if hit, ok := e.cache.get(key); ok {
+			if reserved && ctl != nil {
+				ctl.Release()
+			}
+			e.met.queries.Observe(time.Since(start))
 			return BatchResult{Response: hit}
 		}
 	}
-	if *s == nil {
-		sr, err := ep.pool.Acquire(ctx)
-		if err != nil {
+	if ctl != nil && !reserved {
+		if err := ctl.Admit(ctx); err != nil {
+			e.met.shed.Inc()
 			return BatchResult{Err: err}
 		}
+	}
+	if *s == nil {
+		waitStart := time.Now()
+		sr, err := ep.pool.Acquire(ctx)
+		if err != nil {
+			if ctl != nil {
+				ctl.Release()
+			}
+			return BatchResult{Err: err}
+		}
+		e.met.poolWait.Observe(time.Since(waitStart))
 		*s = sr
 	}
+	execStart := time.Now()
 	hits, stats, err := (*s).SearchContext(ctx, req.Terms, k, strat)
+	if ctl != nil {
+		if err != nil {
+			ctl.Release()
+		} else {
+			ctl.Done(time.Since(execStart))
+		}
+	}
 	if err != nil {
 		return BatchResult{Err: err}
 	}
+	e.met.queries.Observe(time.Since(start))
 	resp := SearchResponse{Hits: hits, Stats: stats, Strategy: strat}
 	if e.cache != nil {
 		e.cache.put(key, resp)

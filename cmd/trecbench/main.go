@@ -13,6 +13,7 @@
 //	trecbench -experiment batch      # SearchMany vs sequential + result cache
 //	trecbench -experiment segments   # append-heavy live updates + background merge
 //	trecbench -experiment hedge      # replica groups: hedged tail latency + failover
+//	trecbench -experiment qps        # open-loop QoS: shedding, adaptive hedge, partial results
 //	trecbench -experiment all        # everything above, in order
 //
 // Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|qps|all")
 		docs        = flag.Int("docs", 50000, "collection size in documents")
 		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
 		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
@@ -83,6 +84,8 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 		return segmentsExperiment(docs, nq, seed)
 	case "hedge":
 		return hedgeExperiment(docs, nq, servers, seed)
+	case "qps":
+		return qpsExperiment(docs, nq, servers, seed)
 	case "all":
 		for _, fn := range []func() error{
 			figure2,
@@ -97,6 +100,7 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 			func() error { return batchServe(docs, nq, seed) },
 			func() error { return segmentsExperiment(docs, nq, seed) },
 			func() error { return hedgeExperiment(docs, nq, servers, seed) },
+			func() error { return qpsExperiment(docs, nq, servers, seed) },
 		} {
 			if err := fn(); err != nil {
 				return err

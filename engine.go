@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/qos"
 	"repro/internal/storage"
 )
 
@@ -120,6 +121,12 @@ type Engine struct {
 	cfg   engineConfig
 	cache *resultCache
 
+	// met collects the serving metrics every engine carries (latency and
+	// pool-wait histograms, shed counter); qosCtl is the admission
+	// controller, nil unless WithAdmissionControl was given.
+	met    *engineMetrics
+	qosCtl *qos.Controller
+
 	cur    atomic.Pointer[epoch]
 	closed atomic.Bool
 
@@ -177,6 +184,7 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 		cfg.errs = append(cfg.errs,
 			errors.New("repro: WithSegments needs a storage directory (add WithStorageDir)"))
 	}
+	cfg.crossValidate()
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
 	}
@@ -244,6 +252,7 @@ func OpenDir(dir string, opts ...Option) (*Engine, error) {
 		cfg.errs = append(cfg.errs,
 			errors.New("repro: OpenDir already names the index directory; drop WithStorageDir"))
 	}
+	cfg.crossValidate()
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
 	}
@@ -345,6 +354,7 @@ func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 		cfg.errs = append(cfg.errs,
 			errors.New("repro: OpenIndex cannot reconfigure index storage (WithIndexConfig/WithBufferPoolBytes/WithDiskParams/WithStorageDir/WithPrefetch/WithSegments/WithAutoMerge)"))
 	}
+	cfg.crossValidate()
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
 	}
@@ -354,11 +364,15 @@ func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 func newEngine(snap *ir.Snapshot, segNames []string, cfg engineConfig) *Engine {
 	e := &Engine{
 		cfg:     cfg,
+		met:     newEngineMetrics(),
 		epochs:  make(map[*epoch]struct{}),
 		pending: make(map[string]bool),
 	}
 	if cfg.resultCache > 0 {
-		e.cache = newResultCache(cfg.resultCache)
+		e.cache = newResultCache(cfg.resultCache, cfg.cachePolicy)
+	}
+	if cfg.admission {
+		e.qosCtl = qos.NewController(cfg.searchers, cfg.admissionQueue)
 	}
 	e.cur.Store(e.newEpoch(snap, segNames))
 	return e
@@ -497,8 +511,11 @@ func (e *Engine) admit(ep *epoch, req SearchRequest) (int, Strategy, error) {
 // between vectors and returns ctx.Err()), and blocks while all pooled
 // searchers are busy. With WithResultCache enabled, a repeat query is
 // answered from the cache without acquiring a searcher (the response's
-// Cached flag reports it). The query runs against the generation current
-// at call time; a concurrent Refresh does not disturb it.
+// Cached flag reports it). With WithAdmissionControl enabled, a cache
+// miss that would miss its deadline just queueing is rejected up front
+// with an error matching ErrOverloaded instead of blocking. The query
+// runs against the generation current at call time; a concurrent Refresh
+// does not disturb it.
 func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -513,7 +530,7 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse,
 	// diverge; the searcher (acquired only on a cache miss) goes straight
 	// back to the pool.
 	var s *ir.Searcher
-	r := e.searchBatched(ctx, ep, &s, req)
+	r := e.searchBatched(ctx, ep, &s, req, false)
 	if s != nil {
 		ep.pool.Release(s)
 	}

@@ -101,6 +101,12 @@ func main() {
 				gi, ri, r.Addr, r.Healthy, r.Fails, float64(r.EWMA.Microseconds())/1000)
 		}
 	}
+	// One call snapshots everything the broker observed: call count and
+	// latency quantiles, hedges, retries, failovers, per-group histograms.
+	bm := broker.MetricsSnapshot()
+	fmt.Printf("broker metrics: %d calls, p50 %.2f ms, p99 %.2f ms, hedged %d, failovers %d\n",
+		bm.Calls, float64(bm.Latency.P50.Microseconds())/1000,
+		float64(bm.Latency.P99.Microseconds())/1000, bm.Hedged, bm.Retried)
 	fmt.Println()
 
 	// Throughput under concurrent query streams (the Table 3 protocol):
@@ -143,7 +149,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster2.Close()
-	broker2, err := cluster2.NewBroker()
+	// This broker opts into the QoS surface: the hedge budget calibrates
+	// itself to each group's observed p95 (no constant to tune), and a
+	// whole replica group going dark degrades the answer instead of
+	// failing it.
+	broker2, err := cluster2.NewBroker(
+		repro.WithAdaptiveHedge(0.95),
+		repro.WithPartialResults())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -156,6 +168,26 @@ func main() {
 	fmt.Printf("\npersisted cluster (%d partition dirs x %d replicas) answers %q:\n",
 		len(dirs), cluster2.Replicas(), strings.Join(q.Terms, " "))
 	for i, r := range fromDisk {
+		fmt.Printf("  %d. %-22s score=%.4f\n", i+1, r.Name, r.Score)
+	}
+
+	// Partial results: kill BOTH replicas of the last partition — a whole
+	// group outage, beyond what failover can mask. A strict broker would
+	// fail the query; this one answers from the survivors and flags the
+	// result Degraded so the caller knows the ranking may be missing the
+	// dead range's documents.
+	last := cluster2.Partitions() - 1
+	fmt.Printf("\nkilling both replicas of partition %d ...\n", last)
+	cluster2.Replica(last, 0).Close()
+	cluster2.Replica(last, 1).Close()
+	reqs := []repro.ClusterRequest{{Terms: q.Terms, K: 3, Strategy: repro.BM25TCMQ8}}
+	out, timing, err := broker2.SearchMany(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degraded answer (%d group(s) down, degraded=%v):\n",
+		timing.DegradedGroups, out[0].Degraded)
+	for i, r := range out[0].Results {
 		fmt.Printf("  %d. %-22s score=%.4f\n", i+1, r.Name, r.Score)
 	}
 }

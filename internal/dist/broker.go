@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/metrics"
+	"repro/internal/qos"
 )
 
 // Timing reports one fan-out round trip: the end-to-end total and each
@@ -26,6 +28,10 @@ type Timing struct {
 	// failover re-issues after a replica failed mid-query.
 	Hedged  int
 	Retried int
+	// DegradedGroups counts replica groups that were entirely down for
+	// this call and skipped under WithPartialResults (always 0 without
+	// it — a down group is then an error instead).
+	DegradedGroups int
 	// Stats are the query stats merged across servers for single-query
 	// Search: Wall is the slowest server's (latency tracks max), SimIO and
 	// Candidates are summed, SecondPass is set when any server needed the
@@ -50,6 +56,15 @@ type BrokerOption func(*brokerConfig)
 
 type brokerConfig struct {
 	hedgeBudget time.Duration
+
+	adaptive      bool    // WithAdaptiveHedge given
+	hedgeQuantile float64 // latency quantile the adaptive budget tracks
+	hedgeCap      float64 // max fraction of calls that may hedge
+
+	partial bool // WithPartialResults given
+
+	admitLimit int // WithAdmission: concurrent batches at full rate (0 = off)
+	admitQueue int // WithAdmission: waiters beyond the limit (0 = no hard cap)
 }
 
 // WithHedgeBudget arms hedged fan-out: when a partition's primary replica
@@ -58,9 +73,63 @@ type brokerConfig struct {
 // lands first, canceling the loser. The budget should sit just above the
 // expected response time (a small multiple of the p50) so hedges fire only
 // in the tail; 0 (the default) disables hedging. Partitions with a single
-// replica never hedge.
+// replica never hedge. See WithAdaptiveHedge for a budget that calibrates
+// itself.
 func WithHedgeBudget(d time.Duration) BrokerOption {
 	return func(c *brokerConfig) { c.hedgeBudget = d }
+}
+
+// WithAdaptiveHedge replaces the fixed hedge budget with a self-
+// calibrating one: each partition group tracks the latency distribution
+// of its own recent wins in a sliding-window histogram, and the hedge
+// timer arms at the given quantile of that distribution (<= 0 defaults
+// to 0.95) — "slower than 95% of recent calls" is the definition of a
+// straggler, at whatever absolute latency the group currently runs at.
+// A group stays unhedged until it has enough samples to trust the
+// quantile, and a hedge-rate cap (default 5%, see WithHedgeRateCap)
+// bounds the duplicated work even when the distribution degrades.
+// Overrides WithHedgeBudget.
+func WithAdaptiveHedge(quantile float64) BrokerOption {
+	return func(c *brokerConfig) {
+		c.adaptive = true
+		c.hedgeQuantile = quantile
+	}
+}
+
+// WithHedgeRateCap bounds the fraction of calls the adaptive hedger may
+// duplicate (<= 0 keeps the 5% default). The cap is what makes adaptive
+// hedging safe to leave on: a group whose every request turns slow gets
+// at most frac extra load, not a doubling.
+func WithHedgeRateCap(frac float64) BrokerOption {
+	return func(c *brokerConfig) { c.hedgeCap = frac }
+}
+
+// WithPartialResults opts the broker into degraded answers: when an
+// entire replica group is down (every member failed), the batch is
+// answered from the surviving partitions with each result flagged
+// Degraded, instead of failing outright. The ranking is correct over
+// the partitions that answered — partitions hold disjoint documents, so
+// survivors' scores are unaffected — but documents on the dead
+// partitions are missing. Without this option a fully-down group fails
+// the batch (the default, and the right call when completeness matters
+// more than availability).
+func WithPartialResults() BrokerOption {
+	return func(c *brokerConfig) { c.partial = true }
+}
+
+// WithAdmission turns on broker-side load shedding: at most limit
+// concurrent SearchMany calls are served at full rate; beyond that, a
+// call whose estimated queue wait exceeds its context deadline — or that
+// finds more than maxQueue calls already waiting (0 = no hard cap) — is
+// rejected immediately with an error matching qos.ErrOverloaded. The
+// limit should reflect the call parallelism the cluster actually
+// sustains through this broker (its per-replica connections serialize,
+// so replicas-per-group is the natural ceiling).
+func WithAdmission(limit, maxQueue int) BrokerOption {
+	return func(c *brokerConfig) {
+		c.admitLimit = limit
+		c.admitQueue = maxQueue
+	}
 }
 
 // Failure cooldown: after n consecutive failures a replica is parked for
@@ -129,10 +198,12 @@ func (r *replica) status(now time.Time) ReplicaStatus {
 }
 
 // group is one partition's replica set plus the round-robin cursor that
-// spreads primary duty across healthy replicas.
+// spreads primary duty across healthy replicas and, under
+// WithAdaptiveHedge, the group's hedge-budget tracker.
 type group struct {
 	replicas []*replica
 	rr       uint32
+	hedger   *qos.Hedger // nil unless adaptive hedging is on
 }
 
 // candidates returns the replicas in attempt order for one call: the
@@ -188,6 +259,17 @@ func (g *group) candidates(now time.Time) []*replica {
 type Broker struct {
 	groups      []*group
 	hedgeBudget time.Duration
+	partial     bool
+	admit       *qos.Controller // nil unless WithAdmission
+
+	// Cumulative serving counters behind MetricsSnapshot.
+	calls    metrics.Counter // SearchMany invocations (admitted)
+	queries  metrics.Counter // requests across admitted batches
+	shed     metrics.Counter // SearchMany invocations rejected by admission
+	hedged   metrics.Counter // hedge requests issued
+	retried  metrics.Counter // failover re-issues
+	degraded metrics.Counter // whole-group outages answered around (partial mode)
+	latency  *metrics.Histogram
 }
 
 // srvConn is one persistent server connection. A broken connection (I/O
@@ -235,13 +317,24 @@ func DialGroups(groups [][]string, opts ...BrokerOption) (*Broker, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	b := &Broker{groups: make([]*group, len(groups)), hedgeBudget: cfg.hedgeBudget}
+	b := &Broker{
+		groups:      make([]*group, len(groups)),
+		hedgeBudget: cfg.hedgeBudget,
+		partial:     cfg.partial,
+		latency:     metrics.NewHistogram(2*time.Minute, 8),
+	}
+	if cfg.admitLimit > 0 {
+		b.admit = qos.NewController(cfg.admitLimit, cfg.admitQueue)
+	}
 	for gi, addrs := range groups {
 		if len(addrs) == 0 {
 			b.Close()
 			return nil, fmt.Errorf("dist: partition %d has no replica addresses", gi)
 		}
 		g := &group{replicas: make([]*replica, len(addrs))}
+		if cfg.adaptive {
+			g.hedger = qos.NewHedger(cfg.hedgeQuantile, cfg.hedgeCap)
+		}
 		live := 0
 		var dialErr error
 		for ri, addr := range addrs {
@@ -410,22 +503,43 @@ type groupReply struct {
 // its searcher pool — and merges every query's per-server top-k lists into
 // the global rankings. Within each replica group the broker picks a
 // primary (round-robin over healthy replicas), hedges when the primary
-// exceeds the hedge budget, and fails over to the remaining replicas when
-// a connection breaks; a query errors at the transport level only when a
-// whole replica group is down. Results are returned in request order with
+// exceeds the hedge budget (fixed or adaptive), and fails over to the
+// remaining replicas when a connection breaks; a query errors at the
+// transport level only when a whole replica group is down — unless
+// WithPartialResults is on, in which case the survivors answer and every
+// result is flagged Degraded. With WithAdmission, a call that would miss
+// its deadline just queueing is rejected with qos.ErrOverloaded before
+// any work is fanned out. Results are returned in request order with
 // per-request errors; the error return is reserved for transport-level
-// failure.
+// failure (and admission rejection).
 func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult, Timing, error) {
 	timing := Timing{PerServer: make([]time.Duration, len(b.groups))}
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
 		return out, timing, nil
 	}
+	if b.admit != nil {
+		if err := b.admit.Admit(ctx); err != nil {
+			b.shed.Inc()
+			return nil, timing, err
+		}
+	}
+	b.calls.Inc()
+	b.queries.Add(int64(len(reqs)))
 	wreq := wireRequest{Queries: make([]wireQuery, len(reqs))}
 	for i, r := range reqs {
 		wreq.Queries[i] = wireQuery{Terms: r.Terms, K: r.K, Strategy: int(r.Strategy)}
 	}
 	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		b.latency.Observe(d)
+		if b.admit != nil {
+			// One batch is the admission unit; its full fan-out time is the
+			// service sample the wait estimator runs on.
+			b.admit.Done(d)
+		}
+	}()
 
 	replies := make(chan groupReply, len(b.groups))
 	for gi, g := range b.groups {
@@ -439,20 +553,22 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	}
 
 	var firstErr error
+	downGroups := 0
 	for range b.groups {
 		r := <-replies
 		timing.Hedged += r.hedged
 		timing.Retried += r.retried
+		if r.err == nil && len(r.resp.Queries) != len(reqs) {
+			r.err = fmt.Errorf("answered %d of %d queries", len(r.resp.Queries), len(reqs))
+		}
 		if r.err != nil {
+			// Under WithPartialResults a down group is routed around unless
+			// the caller itself gave up (a context error is not an outage).
+			if b.partial && ctx.Err() == nil {
+				downGroups++
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: partition %d: %w", r.gi, r.err)
-			}
-			continue
-		}
-		if len(r.resp.Queries) != len(reqs) {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("dist: partition %d answered %d of %d queries",
-					r.gi, len(r.resp.Queries), len(reqs))
 			}
 			continue
 		}
@@ -470,6 +586,18 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 			}
 			mergeStats(&out[qi].Stats, a)
 		}
+	}
+	b.hedged.Add(int64(timing.Hedged))
+	b.retried.Add(int64(timing.Retried))
+	if firstErr != nil && downGroups > 0 && downGroups < len(b.groups) {
+		// Partial mode with at least one survivor: answer degraded instead
+		// of failing the batch.
+		timing.DegradedGroups = downGroups
+		b.degraded.Add(int64(downGroups))
+		for qi := range out {
+			out[qi].Degraded = true
+		}
+		firstErr = nil
 	}
 	timing.Total = time.Since(start)
 	if firstErr != nil {
@@ -503,7 +631,8 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 }
 
 // searchGroup runs one partition's slice of a batch against its replica
-// group: primary first, a hedge re-issue if the hedge budget expires
+// group: primary first, a hedge re-issue if the hedge budget (fixed, or
+// the group's live latency quantile under adaptive hedging) expires
 // before an answer lands, and failover re-issues as attempts fail. The
 // first successful answer wins and outstanding attempts are canceled.
 // The group errors only when every replica has been tried and failed.
@@ -511,6 +640,11 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 	order := g.candidates(time.Now())
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the losers of a hedge race
+
+	budget := b.hedgeBudget
+	if g.hedger != nil {
+		budget = g.hedger.Budget() // 0 while the group is still cold
+	}
 
 	type attempt struct {
 		resp wireResponse
@@ -534,8 +668,8 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 
 	var rep groupReply
 	var hedgeC <-chan time.Time
-	if b.hedgeBudget > 0 && len(order) > 1 {
-		t := time.NewTimer(b.hedgeBudget)
+	if budget > 0 && len(order) > 1 {
+		t := time.NewTimer(budget)
 		defer t.Stop()
 		hedgeC = t.C
 	}
@@ -546,6 +680,9 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 			inflight--
 			if a.err == nil {
 				a.r.observeSuccess(a.d)
+				if g.hedger != nil {
+					g.hedger.Observe(a.d)
+				}
 				rep.resp = a.resp
 				return rep
 			}
@@ -568,7 +705,10 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 			}
 		case <-hedgeC:
 			hedgeC = nil // one hedge per partition per call
-			if next < len(order) {
+			// An adaptive hedger may veto the hedge: past the rate cap the
+			// slow attempt rides unhedged, bounding duplicated work at the
+			// cap even when the whole group turns slow.
+			if next < len(order) && (g.hedger == nil || g.hedger.TryHedge()) {
 				launch()
 				rep.hedged++
 				inflight++
@@ -578,6 +718,73 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 			return rep
 		}
 	}
+}
+
+// GroupMetrics is one partition group's slice of a BrokerMetrics
+// snapshot.
+type GroupMetrics struct {
+	// HedgeBudget is the delay the group's next adaptive hedge timer
+	// would arm (0 = cold or fixed-budget broker); HedgeCalls and Hedges
+	// are the windowed counters the hedge-rate cap is enforced against.
+	HedgeBudget time.Duration
+	HedgeCalls  int64
+	Hedges      int64
+	// Replicas is the per-replica health/latency view (same data as
+	// Broker.Replicas, one consistent read).
+	Replicas []ReplicaStatus
+}
+
+// BrokerMetrics is one coherent snapshot of a broker's serving metrics:
+// call/query counters, shed and degraded counts, hedge/failover
+// activity, the call-latency distribution, and the per-group hedge and
+// replica state.
+type BrokerMetrics struct {
+	Calls   int64 // SearchMany invocations admitted
+	Queries int64 // requests across admitted batches
+	Shed    int64 // invocations rejected by admission control
+	Hedged  int64 // hedge requests issued
+	Retried int64 // failover re-issues
+	// DegradedGroups counts whole-group outages answered around under
+	// WithPartialResults (one per down group per call).
+	DegradedGroups int64
+	// Inflight is the number of currently admitted calls (0 without
+	// WithAdmission).
+	Inflight int64
+	// Latency is the SearchMany end-to-end latency distribution over
+	// roughly the trailing two minutes.
+	Latency metrics.HistSnapshot
+	Groups  []GroupMetrics
+}
+
+// MetricsSnapshot returns the broker's serving metrics. Safe for
+// concurrent use and cheap enough to poll.
+func (b *Broker) MetricsSnapshot() BrokerMetrics {
+	m := BrokerMetrics{
+		Calls:          b.calls.Load(),
+		Queries:        b.queries.Load(),
+		Shed:           b.shed.Load(),
+		Hedged:         b.hedged.Load(),
+		Retried:        b.retried.Load(),
+		DegradedGroups: b.degraded.Load(),
+		Latency:        b.latency.Snapshot(),
+		Groups:         make([]GroupMetrics, len(b.groups)),
+	}
+	if b.admit != nil {
+		m.Inflight = b.admit.Inflight()
+	}
+	now := time.Now()
+	for gi, g := range b.groups {
+		gm := &m.Groups[gi]
+		if g.hedger != nil {
+			st := g.hedger.Stats()
+			gm.HedgeBudget, gm.HedgeCalls, gm.Hedges = st.Budget, st.Calls, st.Hedges
+		}
+		gm.Replicas = make([]ReplicaStatus, len(g.replicas))
+		for ri, r := range g.replicas {
+			gm.Replicas[ri] = r.status(now)
+		}
+	}
+	return m
 }
 
 // mergeStats folds one server's answer into a query's cross-server stats:

@@ -78,6 +78,12 @@ type BatchResult struct {
 	Results []ir.Result
 	Stats   ir.QueryStats
 	Err     error
+	// Degraded marks a ranking merged from a partial cluster: one or more
+	// whole replica groups were down and the broker (opted into
+	// WithPartialResults) answered from the surviving partitions instead
+	// of erroring. The ranking is correct over the partitions that
+	// answered but may miss documents held by the dead ones.
+	Degraded bool
 }
 
 // RunStats aggregates a batch run over a cluster — the columns of Table 3.

@@ -28,14 +28,37 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 
-	// Failure injection (SetStall): every stallEvery-th request sleeps for
-	// stallDur before executing — the induced straggler the hedging
-	// experiments and tests defend against.
-	stallMu    sync.Mutex
-	stallEvery int
-	stallDur   time.Duration
-	stallCount int
+	// Failure injection (SetFault/SetStall): every faultEvery-th request
+	// suffers faultMode — a stall (the induced straggler hedging defends
+	// against), an injected per-query error, or a dropped connection (the
+	// crash look-alike failover defends against).
+	faultMu    sync.Mutex
+	faultEvery int
+	faultMode  FaultMode
+	faultDur   time.Duration
+	faultCount int
 }
+
+// FaultMode selects what an injected fault (SetFault) does to the
+// faulted request.
+type FaultMode int
+
+const (
+	// FaultNone disables injection.
+	FaultNone FaultMode = iota
+	// FaultStall delays the request by the configured duration before
+	// executing it — a straggler, only a hedge beats it.
+	FaultStall
+	// FaultError answers every query of the request with an injected
+	// error — an application-level failure that propagates to callers as
+	// per-request errors (replicas do not mask it: the transport
+	// succeeded, so the broker does not fail over).
+	FaultError
+	// FaultDrop closes the connection without answering —
+	// indistinguishable from a server crash mid-request; the broker's
+	// failover path re-issues the work to another replica.
+	FaultDrop
+)
 
 // startServer builds the partition index and begins accepting on an
 // ephemeral loopback port.
@@ -105,30 +128,48 @@ func (s *Server) Warm(strat ir.Strategy, queries []corpus.Query, k int) error {
 // stalls for d before executing (n <= 1 stalls every request; d <= 0
 // disables). This is the failure-injection hook behind the hedging
 // experiments — an intermittently slow replica that a latency estimate
-// alone cannot route around, only a hedge can beat.
+// alone cannot route around, only a hedge can beat. It is shorthand for
+// SetFault(n, FaultStall, d).
 func (s *Server) SetStall(n int, d time.Duration) {
-	s.stallMu.Lock()
-	defer s.stallMu.Unlock()
+	if d <= 0 {
+		s.SetFault(0, FaultNone, 0)
+		return
+	}
+	s.SetFault(n, FaultStall, d)
+}
+
+// SetFault injects a fault on every n-th request (n <= 1 faults every
+// request): FaultStall delays by d, FaultError answers with injected
+// per-query errors, FaultDrop severs the connection mid-request (the
+// broker sees a crash and fails over), FaultNone disables injection.
+// The request counter restarts at each call.
+func (s *Server) SetFault(n int, mode FaultMode, d time.Duration) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
 	if n < 1 {
 		n = 1
 	}
-	s.stallEvery = n
-	s.stallDur = d
-	s.stallCount = 0
+	if mode == FaultStall && d <= 0 {
+		mode = FaultNone
+	}
+	s.faultEvery = n
+	s.faultMode = mode
+	s.faultDur = d
+	s.faultCount = 0
 }
 
-// stall returns the injected delay owed by the current request, if any.
-func (s *Server) stall() time.Duration {
-	s.stallMu.Lock()
-	defer s.stallMu.Unlock()
-	if s.stallDur <= 0 {
-		return 0
+// fault returns the injected fault owed by the current request, if any.
+func (s *Server) fault() (FaultMode, time.Duration) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.faultMode == FaultNone {
+		return FaultNone, 0
 	}
-	s.stallCount++
-	if s.stallCount%s.stallEvery == 0 {
-		return s.stallDur
+	s.faultCount++
+	if s.faultCount%s.faultEvery == 0 {
+		return s.faultMode, s.faultDur
 	}
-	return 0
+	return FaultNone, 0
 }
 
 // Close stops accepting, closes every open broker connection (which
@@ -213,6 +254,21 @@ func (s *Server) serve(conn net.Conn) {
 		if s.isClosed() {
 			return
 		}
+		switch mode, d := s.fault(); mode {
+		case FaultDrop:
+			return // defer closes the conn: a crash as the broker sees it
+		case FaultError:
+			resp := wireResponse{Seq: req.Seq, Queries: make([]wireAnswer, len(req.Queries))}
+			for i := range resp.Queries {
+				resp.Queries[i].Err = "dist: injected fault"
+			}
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+			continue
+		case FaultStall:
+			time.Sleep(d)
+		}
 		resp := s.answer(&req)
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -224,9 +280,6 @@ func (s *Server) serve(conn net.Conn) {
 // batch fans across goroutines, with the searcher pool bounding actual
 // parallelism — the server-side half of the SearchMany pipeline.
 func (s *Server) answer(req *wireRequest) wireResponse {
-	if d := s.stall(); d > 0 {
-		time.Sleep(d)
-	}
 	ctx := context.Background()
 	if req.TimeoutNanos > 0 {
 		var cancel context.CancelFunc

@@ -1,0 +1,221 @@
+// Package loadgen is an open-loop load generator for the serving QoS
+// experiments. Open-loop is the property that matters: arrivals follow a
+// Poisson process at a configured rate regardless of how the system is
+// doing, exactly like independent users — a slow response does not slow
+// the arrival of the next request. Closed-loop harnesses (issue, wait,
+// issue again) self-throttle under overload and hide the queueing
+// collapse this package exists to expose: at 2x saturation a closed
+// loop reports "slow", an open loop reports the truth, which is
+// "unbounded queue growth unless somebody sheds".
+//
+// The query mix is optionally zipfian — a few hot queries dominate, the
+// long tail is cold — which is what makes result caches and cost-aware
+// eviction measurable. Determinism: arrivals and the query mix derive
+// from the seed; only completion interleaving varies run to run.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/qos"
+)
+
+// Config shapes one open-loop run.
+type Config struct {
+	// Rate is the offered load in requests per second (required > 0).
+	Rate float64
+	// Duration is how long arrivals are generated for (required > 0);
+	// the run then drains outstanding requests before returning.
+	Duration time.Duration
+	// NumQueries is the size of the query mix the issue function indexes
+	// into (required > 0); arrivals pick an index in [0, NumQueries).
+	NumQueries int
+	// Zipf skews the query mix: s > 1 draws indexes from a zipfian
+	// distribution with that exponent (index 0 hottest); anything else
+	// is uniform.
+	Zipf float64
+	// SLO is the latency objective requests are scored against (0 =
+	// no SLO accounting; SLOAttainment reports 1).
+	SLO time.Duration
+	// Deadline, when positive, is attached to every request's context —
+	// this is what deadline-based admission control sheds against.
+	// Keeping it separate from SLO lets the non-shedding baseline run
+	// deadline-free (its queue grows without bound, which is the point)
+	// while being scored against the same SLO.
+	Deadline time.Duration
+	// MaxInflight caps outstanding requests (default 4096); arrivals
+	// beyond the cap are dropped and counted, not issued — the generator
+	// itself must not become an unbounded queue.
+	MaxInflight int
+	// Seed makes arrivals and the query mix reproducible.
+	Seed int64
+}
+
+// Stats reports one run. Offered = Completed + Shed + Failed + Dropped.
+type Stats struct {
+	Offered   int // arrivals generated
+	Completed int // requests that returned success
+	Shed      int // requests rejected by admission control (qos.ErrOverloaded)
+	Failed    int // requests that returned any other error
+	Dropped   int // arrivals not issued because MaxInflight was reached
+
+	// Wall is the full run time including drain; Throughput is
+	// Completed/Wall in requests per second.
+	Wall       time.Duration
+	Throughput float64
+
+	// Latency distribution over *completed* requests (nearest-rank).
+	P50, P90, P99, Max time.Duration
+
+	// SLOOk counts completed requests within the SLO; SLOAttainment is
+	// SLOOk/Offered — shed, failed, and dropped requests all count
+	// against attainment, so shedding is never free, it just has to beat
+	// the alternative.
+	SLOOk         int
+	SLOAttainment float64
+}
+
+// Run drives issue at the configured arrival rate: issue(ctx, qi) serves
+// query-mix index qi under a per-request deadline (if configured) and
+// returns nil on success, an error matching qos.ErrOverloaded when shed,
+// any other error on failure. issue is called from many goroutines.
+// The passed ctx cancels the whole run early.
+func Run(ctx context.Context, cfg Config, issue func(ctx context.Context, qi int) error) (Stats, error) {
+	if issue == nil {
+		return Stats{}, errors.New("loadgen: nil issue function")
+	}
+	if cfg.Rate <= 0 {
+		return Stats{}, errors.New("loadgen: non-positive arrival rate")
+	}
+	if cfg.Duration <= 0 {
+		return Stats{}, errors.New("loadgen: non-positive duration")
+	}
+	if cfg.NumQueries <= 0 {
+		return Stats{}, errors.New("loadgen: empty query mix")
+	}
+	maxInflight := cfg.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 4096
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Zipf > 1 && cfg.NumQueries > 1 {
+		zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.NumQueries-1))
+	}
+	pick := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(cfg.NumQueries)
+	}
+
+	var (
+		st        Stats
+		mu        sync.Mutex
+		lats      []time.Duration
+		wg        sync.WaitGroup
+		inflight  = make(chan struct{}, maxInflight)
+		startTime = time.Now()
+	)
+
+	// The arrival clock is ideal: each interarrival gap is exponential
+	// with mean 1/rate, and the generator sleeps until the *scheduled*
+	// time, never "now plus gap" — if issuing fell behind, subsequent
+	// arrivals burst out back to back, as real independent clients would.
+	elapsed := time.Duration(0)
+	for elapsed < cfg.Duration {
+		gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		elapsed += gap
+		if elapsed >= cfg.Duration {
+			break
+		}
+		if sleep := elapsed - time.Since(startTime); sleep > 0 {
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				wg.Wait()
+				return st, ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			wg.Wait()
+			return st, ctx.Err()
+		}
+		st.Offered++
+		qi := pick()
+		select {
+		case inflight <- struct{}{}:
+		default:
+			st.Dropped++
+			continue
+		}
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			rctx := ctx
+			if cfg.Deadline > 0 {
+				var cancel context.CancelFunc
+				rctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+				defer cancel()
+			}
+			t0 := time.Now()
+			err := issue(rctx, qi)
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				st.Completed++
+				lats = append(lats, d)
+				if cfg.SLO <= 0 || d <= cfg.SLO {
+					st.SLOOk++
+				}
+			case errors.Is(err, qos.ErrOverloaded):
+				st.Shed++
+			default:
+				st.Failed++
+			}
+		}(qi)
+	}
+	wg.Wait()
+
+	st.Wall = time.Since(startTime)
+	if st.Wall > 0 {
+		st.Throughput = float64(st.Completed) / st.Wall.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.P50 = percentile(lats, 50)
+	st.P90 = percentile(lats, 90)
+	st.P99 = percentile(lats, 99)
+	if n := len(lats); n > 0 {
+		st.Max = lats[n-1]
+	}
+	if st.Offered > 0 {
+		st.SLOAttainment = float64(st.SLOOk) / float64(st.Offered)
+	}
+	return st, nil
+}
+
+// percentile is nearest-rank over an ascending-sorted sample.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted)*p/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/qos"
+)
+
+func TestConfigValidation(t *testing.T) {
+	ok := func(ctx context.Context, qi int) error { return nil }
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero rate", Config{Duration: time.Millisecond, NumQueries: 1}},
+		{"zero duration", Config{Rate: 10, NumQueries: 1}},
+		{"zero queries", Config{Rate: 10, Duration: time.Millisecond}},
+	}
+	for _, c := range cases {
+		if _, err := Run(context.Background(), c.cfg, ok); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := Run(context.Background(), Config{Rate: 10, Duration: time.Millisecond, NumQueries: 1}, nil); err == nil {
+		t.Error("nil issue: expected error")
+	}
+}
+
+func TestOfferedAccounting(t *testing.T) {
+	var calls atomic.Int64
+	st, err := Run(context.Background(), Config{
+		Rate:       2000,
+		Duration:   200 * time.Millisecond,
+		NumQueries: 10,
+		Seed:       1,
+	}, func(ctx context.Context, qi int) error {
+		calls.Add(1)
+		if qi < 0 || qi >= 10 {
+			return fmt.Errorf("query index %d out of range", qi)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if got := st.Completed + st.Shed + st.Failed + st.Dropped; got != st.Offered {
+		t.Fatalf("accounting leak: offered %d != completed %d + shed %d + failed %d + dropped %d",
+			st.Offered, st.Completed, st.Shed, st.Failed, st.Dropped)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("query index out of range: %d failed", st.Failed)
+	}
+	if int(calls.Load()) != st.Completed {
+		t.Fatalf("issue called %d times, completed %d", calls.Load(), st.Completed)
+	}
+	// ~2000 req/s for 200ms ≈ 400 arrivals; Poisson jitter stays well
+	// inside [200, 600] at this sample size.
+	if st.Offered < 200 || st.Offered > 600 {
+		t.Fatalf("offered %d wildly off expectation ~400", st.Offered)
+	}
+}
+
+func TestShedClassification(t *testing.T) {
+	fail := errors.New("boom")
+	var n atomic.Int64
+	st, err := Run(context.Background(), Config{
+		Rate:       3000,
+		Duration:   100 * time.Millisecond,
+		NumQueries: 4,
+		SLO:        time.Second,
+		Seed:       2,
+	}, func(ctx context.Context, qi int) error {
+		switch n.Add(1) % 3 {
+		case 0:
+			return &qos.Overload{QueueDepth: 9}
+		case 1:
+			return fail
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed == 0 || st.Failed == 0 || st.Completed == 0 {
+		t.Fatalf("expected all three outcomes, got completed=%d shed=%d failed=%d",
+			st.Completed, st.Shed, st.Failed)
+	}
+	if st.SLOOk != st.Completed {
+		t.Fatalf("1s SLO should cover every completed request: ok=%d completed=%d", st.SLOOk, st.Completed)
+	}
+	if st.SLOAttainment >= 1 {
+		t.Fatalf("shed+failed must count against attainment, got %f", st.SLOAttainment)
+	}
+}
+
+func TestDeadlinePropagates(t *testing.T) {
+	st, err := Run(context.Background(), Config{
+		Rate:       500,
+		Duration:   100 * time.Millisecond,
+		NumQueries: 4,
+		Deadline:   time.Millisecond,
+		Seed:       3,
+	}, func(ctx context.Context, qi int) error {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			return errors.New("no deadline on request context")
+		}
+		if time.Until(dl) > 2*time.Millisecond {
+			return errors.New("deadline too far out")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d requests saw a bad deadline", st.Failed)
+	}
+}
+
+func TestMaxInflightDrops(t *testing.T) {
+	// issue blocks past the whole 50ms arrival window, so at most
+	// MaxInflight requests are ever issued; the rest must be dropped.
+	// Run's drain phase then waits out the two stragglers.
+	st, err := Run(context.Background(), Config{
+		Rate:        5000,
+		Duration:    50 * time.Millisecond,
+		NumQueries:  4,
+		MaxInflight: 2,
+		Seed:        4,
+	}, func(ctx context.Context, qi int) error {
+		time.Sleep(100 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("expected drops with MaxInflight=2 and blocked issue")
+	}
+	if st.Completed > 2 {
+		t.Fatalf("at most 2 requests could complete, got %d", st.Completed)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	var hot, total atomic.Int64
+	_, err := Run(context.Background(), Config{
+		Rate:       5000,
+		Duration:   200 * time.Millisecond,
+		NumQueries: 100,
+		Zipf:       1.5,
+		Seed:       5,
+	}, func(ctx context.Context, qi int) error {
+		total.Add(1)
+		if qi < 5 {
+			hot.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() < 100 {
+		t.Fatalf("too few samples: %d", total.Load())
+	}
+	// With s=1.5 the top 5 of 100 queries carry well over half the mass;
+	// uniform would give them 5%.
+	if frac := float64(hot.Load()) / float64(total.Load()); frac < 0.4 {
+		t.Fatalf("zipf mix not skewed: hot fraction %.2f", frac)
+	}
+}
+
+func TestCancelStopsRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, Config{
+		Rate:       10,
+		Duration:   10 * time.Second,
+		NumQueries: 1,
+		Seed:       6,
+	}, func(ctx context.Context, qi int) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancel did not stop the run promptly")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i))
+	}
+	if p := percentile(lats, 50); p != 50 {
+		t.Fatalf("p50=%d", p)
+	}
+	if p := percentile(lats, 99); p != 99 {
+		t.Fatalf("p99=%d", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("empty p50=%d", p)
+	}
+	if p := percentile(lats[:1], 99); p != 1 {
+		t.Fatalf("single-sample p99=%d", p)
+	}
+}

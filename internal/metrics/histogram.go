@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// histBuckets is the size of one bucket array: values 0–3 ns get exact
+// buckets, everything above is log-bucketed at four sub-buckets per
+// octave (two mantissa bits below the leading bit), which bounds the
+// relative quantile error at 25% while keeping the whole array ~1 KiB.
+const histBuckets = 4 + 62*4
+
+// bucketOf maps a duration to its bucket index. The mapping is monotone
+// in d, exact below 4 ns, and log-scaled with 4 sub-buckets per octave
+// above.
+func bucketOf(d time.Duration) int {
+	v := uint64(d)
+	if d < 0 {
+		v = 0
+	}
+	if v < 4 {
+		return int(v)
+	}
+	e := bits.Len64(v) // position of the leading bit, >= 3 here
+	sub := (v >> uint(e-3)) & 3
+	b := 4 + (e-3)*4 + int(sub)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketHigh returns the largest duration a bucket holds — the value
+// quantiles report, so an estimate never understates the true sample.
+func bucketHigh(b int) time.Duration {
+	if b < 4 {
+		return time.Duration(b)
+	}
+	e := 3 + (b-4)/4
+	sub := (b - 4) % 4
+	return time.Duration((uint64(5+sub) << uint(e-3)) - 1)
+}
+
+// histSlice is one time slice of a sliding window: a bucket array plus
+// the per-slice aggregates needed to merge count/mean/max cheaply.
+type histSlice struct {
+	buckets [histBuckets]uint32
+	count   int64
+	sum     int64 // nanoseconds
+	max     time.Duration
+}
+
+func (s *histSlice) reset() { *s = histSlice{} }
+
+// Histogram is a sliding-window latency histogram. Observations land in
+// the current time slice; a snapshot merges every slice still inside
+// the window, so quantiles reflect roughly the last `window` of traffic
+// and old load spikes age out slice by slice instead of polluting the
+// estimate forever. A window of 0 disables sliding: the histogram is
+// cumulative since creation (useful for tests and short benchmarks).
+type Histogram struct {
+	mu       sync.Mutex
+	slices   []histSlice
+	sliceDur time.Duration // 0 = cumulative, single slice
+	cur      int
+	curStart time.Time
+	now      func() time.Time // injectable for rotation tests
+}
+
+// NewHistogram returns a histogram covering the trailing window split
+// into nSlices rotation slices (granularity window/nSlices). window <= 0
+// yields a cumulative histogram; nSlices < 1 defaults to 6.
+func NewHistogram(window time.Duration, nSlices int) *Histogram {
+	if nSlices < 1 {
+		nSlices = 6
+	}
+	h := &Histogram{now: time.Now}
+	if window <= 0 {
+		h.slices = make([]histSlice, 1)
+		return h
+	}
+	h.slices = make([]histSlice, nSlices)
+	h.sliceDur = window / time.Duration(nSlices)
+	if h.sliceDur <= 0 {
+		h.sliceDur = time.Millisecond
+	}
+	h.curStart = h.now()
+	return h
+}
+
+// rotateLocked advances the current slice pointer to cover `at`,
+// clearing slices that fall out of the window. Called with mu held.
+func (h *Histogram) rotateLocked(at time.Time) {
+	if h.sliceDur == 0 {
+		return
+	}
+	steps := int(at.Sub(h.curStart) / h.sliceDur)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(h.slices) {
+		for i := range h.slices {
+			h.slices[i].reset()
+		}
+		h.cur = 0
+		h.curStart = at
+		return
+	}
+	for i := 0; i < steps; i++ {
+		h.cur = (h.cur + 1) % len(h.slices)
+		h.slices[h.cur].reset()
+	}
+	h.curStart = h.curStart.Add(h.sliceDur * time.Duration(steps))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bucketOf(d)
+	h.mu.Lock()
+	if h.sliceDur != 0 {
+		h.rotateLocked(h.now())
+	}
+	s := &h.slices[h.cur]
+	s.buckets[b]++
+	s.count++
+	s.sum += int64(d)
+	if d > s.max {
+		s.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations inside the window.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sliceDur != 0 {
+		h.rotateLocked(h.now())
+	}
+	var n int64
+	for i := range h.slices {
+		n += h.slices[i].count
+	}
+	return n
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the windowed
+// observations as the upper bound of the bucket holding that rank, or 0
+// if the window is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
+	if h.sliceDur != 0 {
+		h.rotateLocked(h.now())
+	}
+	var total int64
+	for i := range h.slices {
+		total += h.slices[i].count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank over the merged bucket counts.
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		for i := range h.slices {
+			seen += int64(h.slices[i].buckets[b])
+		}
+		if seen > rank {
+			return bucketHigh(b)
+		}
+	}
+	return bucketHigh(histBuckets - 1)
+}
+
+// HistSnapshot is a merged view of a histogram's window: observation
+// count, mean, fixed quantiles, and the maximum.
+type HistSnapshot struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot merges the live slices into a HistSnapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sliceDur != 0 {
+		h.rotateLocked(h.now())
+	}
+	var snap HistSnapshot
+	var sum int64
+	for i := range h.slices {
+		s := &h.slices[i]
+		snap.Count += s.count
+		sum += s.sum
+		if s.max > snap.Max {
+			snap.Max = s.max
+		}
+	}
+	if snap.Count == 0 {
+		return snap
+	}
+	snap.Mean = time.Duration(sum / snap.Count)
+	snap.P50 = h.quantileLocked(0.50)
+	snap.P90 = h.quantileLocked(0.90)
+	snap.P99 = h.quantileLocked(0.99)
+	return snap
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	var e EWMA
+	if e.Value() != 0 {
+		t.Fatalf("zero EWMA should read 0")
+	}
+	e.Observe(100 * time.Millisecond)
+	if got := e.Value(); got != 100*time.Millisecond {
+		t.Fatalf("first sample should seed directly, got %v", got)
+	}
+	for i := 0; i < 40; i++ {
+		e.Observe(10 * time.Millisecond)
+	}
+	if got := e.Value(); got > 12*time.Millisecond {
+		t.Fatalf("EWMA did not converge toward 10ms: %v", got)
+	}
+}
+
+func TestBucketMappingMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{0, 1, 2, 3, 4, 5, 7, 8, 9, 100, 1000,
+		time.Microsecond, 50 * time.Microsecond, time.Millisecond,
+		7 * time.Millisecond, time.Second, time.Minute, time.Hour} {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %v: %d < %d", d, b, prev)
+		}
+		prev = b
+		if hi := bucketHigh(b); hi < d {
+			t.Fatalf("bucketHigh(%d)=%v understates sample %v", b, hi, d)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0, 0) // cumulative
+	// 90 fast samples at 1ms, 9 at 10ms, 1 at 100ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d, want 100", snap.Count)
+	}
+	if snap.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v, want 100ms", snap.Max)
+	}
+	// Bucket upper bounds overestimate by at most 25%.
+	if snap.P50 < time.Millisecond || snap.P50 > 1250*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1ms", snap.P50)
+	}
+	if snap.P90 < time.Millisecond || snap.P90 > 13*time.Millisecond {
+		t.Fatalf("p90 = %v, want ~1-10ms", snap.P90)
+	}
+	if snap.P99 < 10*time.Millisecond || snap.P99 > 125*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~10-100ms", snap.P99)
+	}
+	if snap.Mean < 1500*time.Microsecond || snap.Mean > 4*time.Millisecond {
+		t.Fatalf("mean = %v, want ~2.8ms", snap.Mean)
+	}
+}
+
+func TestHistogramWindowExpiry(t *testing.T) {
+	h := NewHistogram(time.Minute, 6) // 10s slices
+	clock := time.Unix(0, 0)
+	h.now = func() time.Time { return clock }
+	h.curStart = clock
+
+	h.Observe(time.Second) // lands in slice 0
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+
+	clock = clock.Add(30 * time.Second)
+	h.Observe(2 * time.Second) // later slice; first still in window
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count after 30s = %d, want 2", got)
+	}
+	if got := h.Snapshot().Max; got != 2*time.Second {
+		t.Fatalf("max = %v, want 2s", got)
+	}
+
+	clock = clock.Add(45 * time.Second) // first observation now out of window
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count after expiry = %d, want 1", got)
+	}
+
+	clock = clock.Add(10 * time.Minute) // everything expired, big jump
+	if got := h.Count(); got != 0 {
+		t.Fatalf("count after full expiry = %d, want 0", got)
+	}
+	if snap := h.Snapshot(); snap.P99 != 0 || snap.Max != 0 {
+		t.Fatalf("empty window should snapshot zero, got %+v", snap)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(time.Minute, 6)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+				if j%100 == 0 {
+					h.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+}

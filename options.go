@@ -25,10 +25,24 @@ type engineConfig struct {
 	segmented  bool   // WithSegments: segmented layout (live appends)
 	autoMerge  int    // WithAutoMerge: background merge above this segment count (0 = off)
 
-	resultCache     int // WithResultCache: entries (0 = disabled)
-	prefetchWorkers int // WithPrefetch: read-ahead workers (0 = disabled)
+	resultCache     int         // WithResultCache: entries (0 = disabled)
+	cachePolicy     CachePolicy // WithResultCachePolicy: eviction policy
+	prefetchWorkers int         // WithPrefetch: read-ahead workers (0 = disabled)
+
+	admission      bool // WithAdmissionControl given
+	admissionQueue int  // waiters allowed beyond the searcher pool (0 = no hard cap)
 
 	errs []error
+}
+
+// crossValidate appends errors for option combinations no single option
+// can see on its own; every Open-family entry point calls it after the
+// option loop.
+func (c *engineConfig) crossValidate() {
+	if c.cachePolicy != CachePolicyLRU && c.resultCache == 0 {
+		c.errs = append(c.errs,
+			fmt.Errorf("repro: WithResultCachePolicy needs a result cache (add WithResultCache)"))
+	}
 }
 
 // Option configures an Engine at Open time.
@@ -127,6 +141,42 @@ func WithResultCache(entries int) Option {
 			return
 		}
 		c.resultCache = entries
+	}
+}
+
+// WithResultCachePolicy selects the result cache's eviction policy.
+// CachePolicyLRU (the default) evicts by pure recency; CachePolicyCost
+// weights eviction by the wall time the entry saves — among the
+// least-recently-used entries it evicts the *cheapest to recompute*, so
+// an expensive disjunctive query survives a burst of cheap lookups that
+// would flush it under pure LRU. Requires WithResultCache.
+func WithResultCachePolicy(p CachePolicy) Option {
+	return func(c *engineConfig) {
+		if p != CachePolicyLRU && p != CachePolicyCost {
+			c.errs = append(c.errs, fmt.Errorf("repro: unknown result cache policy %d", p))
+			return
+		}
+		c.cachePolicy = p
+	}
+}
+
+// WithAdmissionControl turns on load shedding for Search and SearchMany:
+// instead of queueing without bound when every searcher is busy, a
+// request whose estimated queue wait (queue depth x EWMA service time /
+// pool width) exceeds its context deadline — or that finds more than
+// maxQueue requests already waiting, with maxQueue 0 meaning no hard cap
+// — is rejected immediately with an error matching ErrOverloaded. Shed
+// requests cost a counter bump instead of a slot in a collapsing queue,
+// which keeps the p99 of *admitted* requests bounded at any offered
+// load. Requests without deadlines are shed only by the hard cap.
+func WithAdmissionControl(maxQueue int) Option {
+	return func(c *engineConfig) {
+		if maxQueue < 0 {
+			c.errs = append(c.errs, fmt.Errorf("repro: negative admission queue cap %d", maxQueue))
+			return
+		}
+		c.admission = true
+		c.admissionQueue = maxQueue
 	}
 }
 

@@ -243,6 +243,24 @@ type (
 	// ReplicaStatus is one replica's broker-side health/latency view
 	// (Broker.Replicas).
 	ReplicaStatus = dist.ReplicaStatus
+	// BrokerMetrics is one coherent snapshot of a broker's serving
+	// metrics (Broker.MetricsSnapshot): counters, shed/degraded counts,
+	// call-latency distribution, per-group hedge and replica state.
+	BrokerMetrics = dist.BrokerMetrics
+	// GroupMetrics is one partition group's slice of a BrokerMetrics.
+	GroupMetrics = dist.GroupMetrics
+	// FaultMode selects what Server.SetFault injects (stall, error,
+	// dropped connection).
+	FaultMode = dist.FaultMode
+)
+
+// Fault modes for (dist.Server).SetFault — the failure-injection hook
+// behind the hedging, shedding, and failover experiments.
+const (
+	FaultNone  = dist.FaultNone
+	FaultStall = dist.FaultStall
+	FaultError = dist.FaultError
+	FaultDrop  = dist.FaultDrop
 )
 
 // WithClusterReplicas serves every partition range with r servers instead
@@ -265,6 +283,30 @@ func WithClusterStorage(opts ...StorageOpenOption) ClusterOption {
 // loser canceled. Timing.Hedged / ClusterRunStats.Hedged count the hedges
 // that fired. 0 disables hedging.
 func WithHedgeBudget(d time.Duration) BrokerOption { return dist.WithHedgeBudget(d) }
+
+// WithAdaptiveHedge replaces the fixed hedge budget with a live one:
+// each partition group arms its hedge timer at the given quantile
+// (<= 0: 0.95) of its own recent win latencies, under a hedge-rate cap
+// (WithHedgeRateCap, default 5%). A cold group does not hedge until it
+// has enough samples to trust the quantile. Overrides WithHedgeBudget.
+func WithAdaptiveHedge(quantile float64) BrokerOption { return dist.WithAdaptiveHedge(quantile) }
+
+// WithHedgeRateCap bounds the fraction of calls the adaptive hedger may
+// duplicate (<= 0 keeps the 5% default).
+func WithHedgeRateCap(frac float64) BrokerOption { return dist.WithHedgeRateCap(frac) }
+
+// WithPartialResults opts a broker into degraded answers: when a whole
+// replica group is down, surviving partitions answer and every result is
+// flagged Degraded instead of the batch failing.
+func WithPartialResults() BrokerOption { return dist.WithPartialResults() }
+
+// WithBrokerAdmission turns on broker-side load shedding: at most limit
+// concurrent calls at full rate, deadline-doomed or over-queued calls
+// rejected with an error matching ErrOverloaded (see the engine-side
+// WithAdmissionControl for the model).
+func WithBrokerAdmission(limit, maxQueue int) BrokerOption {
+	return dist.WithAdmission(limit, maxQueue)
+}
 
 // StartCluster partitions a collection across n TCP partition ranges
 // (each served by WithClusterReplicas servers; one by default).

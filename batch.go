@@ -3,11 +3,13 @@ package repro
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // subBatchPerWorker bounds how many requests one worker runs per
@@ -207,45 +209,58 @@ func (e *Engine) runSubBatch(ctx context.Context, ep *epoch, reqs []SearchReques
 // the admission model runs on.
 func (e *Engine) searchBatched(ctx context.Context, ep *epoch, s **ir.Searcher, req SearchRequest, reserved bool) BatchResult {
 	start := time.Now()
+	t := e.tracer.Begin("search", req.Trace)
 	ctl := e.qosCtl
 	k, strat, err := e.admit(ep, req)
 	if err != nil {
 		if reserved && ctl != nil {
 			ctl.Release()
 		}
-		return BatchResult{Err: err}
+		return e.finishSearch(t, req, BatchResult{Err: err})
 	}
 	var key string
 	if e.cache != nil {
+		cl := t.Begin("cache.lookup")
 		key = cacheKey(req.Terms, k, strat, ep.snap.Gen())
-		if hit, ok := e.cache.get(key); ok {
+		hit, ok := e.cache.get(key)
+		t.End(cl)
+		if ok {
+			t.SetAttr(cl, "hit", 1)
 			if reserved && ctl != nil {
 				ctl.Release()
 			}
 			e.met.queries.Observe(time.Since(start))
-			return BatchResult{Response: hit}
+			return e.finishSearch(t, req, BatchResult{Response: hit})
 		}
+		t.SetAttr(cl, "hit", 0)
 	}
 	if ctl != nil && !reserved {
-		if err := ctl.Admit(ctx); err != nil {
+		ad := t.Begin("admission")
+		err := ctl.Admit(ctx)
+		t.End(ad)
+		if err != nil {
 			e.met.shed.Inc()
-			return BatchResult{Err: err}
+			return e.finishSearch(t, req, BatchResult{Err: err})
 		}
 	}
 	if *s == nil {
+		pw := t.Begin("pool.wait")
 		waitStart := time.Now()
 		sr, err := ep.pool.Acquire(ctx)
+		t.End(pw)
 		if err != nil {
 			if ctl != nil {
 				ctl.Release()
 			}
-			return BatchResult{Err: err}
+			return e.finishSearch(t, req, BatchResult{Err: err})
 		}
 		e.met.poolWait.Observe(time.Since(waitStart))
 		*s = sr
 	}
+	ex := t.Begin("execute")
 	execStart := time.Now()
-	hits, stats, err := (*s).SearchContext(ctx, req.Terms, k, strat)
+	hits, stats, err := (*s).SearchContext(trace.NewContext(ctx, t), req.Terms, k, strat)
+	t.End(ex)
 	if ctl != nil {
 		if err != nil {
 			ctl.Release()
@@ -254,12 +269,39 @@ func (e *Engine) searchBatched(ctx context.Context, ep *epoch, s **ir.Searcher, 
 		}
 	}
 	if err != nil {
-		return BatchResult{Err: err}
+		return e.finishSearch(t, req, BatchResult{Err: err})
 	}
+	t.SetAttr(ex, "candidates", stats.Candidates)
 	e.met.queries.Observe(time.Since(start))
 	resp := SearchResponse{Hits: hits, Stats: stats, Strategy: strat}
 	if e.cache != nil {
+		// The cached copy carries no trace: a later hit gets its own trace
+		// describing the lookup, not this execution's.
 		e.cache.put(key, resp)
 	}
-	return BatchResult{Response: resp}
+	return e.finishSearch(t, req, BatchResult{Response: resp})
+}
+
+// finishSearch closes a request's trace, applies the tracer's keep
+// policy (slow log, sampling), and attaches the finished tree to the
+// response when the request opted in via SearchRequest.Trace. The terms
+// string is rendered here, not at Begin — by now Detailed knows whether
+// anyone will ever read it.
+func (e *Engine) finishSearch(t *trace.Trace, req SearchRequest, r BatchResult) BatchResult {
+	if t == nil {
+		return r
+	}
+	if t.Detailed() {
+		t.SetAttrStr(trace.Root, "terms", strings.Join(req.Terms, " "))
+	}
+	if r.Err != nil {
+		t.SetAttrStr(trace.Root, "error", r.Err.Error())
+	} else if r.Response.Cached {
+		t.SetAttr(trace.Root, "cached", 1)
+	}
+	root := e.tracer.Finish(t)
+	if req.Trace && root != nil && r.Err == nil {
+		r.Response.Trace = root
+	}
+	return r
 }

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bpsim"
 	"repro/internal/colbm"
@@ -71,6 +72,34 @@ func fixtures(b *testing.B) (*corpus.Collection, *ir.Index, []corpus.Query) {
 func BenchmarkEngineSearchParallel(b *testing.B) {
 	_, ix, eff := fixtures(b)
 	eng, err := OpenIndex(ix, WithSearchers(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := eff[i%len(eff)]
+			i++
+			if _, err := eng.Search(ctx, SearchRequest{Terms: q.Terms, K: 20, Strategy: BM25TCMQ8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineSearchParallelTraced is the same workload with tracing
+// enabled in its worst steady-state regime: a slow-query threshold far
+// above every latency, so EVERY request records a full span tree into a
+// pooled arena and the tail-based keep policy then discards it. The
+// delta against BenchmarkEngineSearchParallel is the recording overhead
+// the observability layer charges the hot path (acceptance bar: <5%).
+func BenchmarkEngineSearchParallelTraced(b *testing.B) {
+	_, ix, eff := fixtures(b)
+	eng, err := OpenIndex(ix, WithSearchers(runtime.GOMAXPROCS(0)),
+		WithSlowQueryThreshold(time.Hour))
 	if err != nil {
 		b.Fatal(err)
 	}

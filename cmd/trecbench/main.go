@@ -14,6 +14,7 @@
 //	trecbench -experiment segments   # append-heavy live updates + background merge
 //	trecbench -experiment hedge      # replica groups: hedged tail latency + failover
 //	trecbench -experiment qps        # open-loop QoS: shedding, adaptive hedge, partial results
+//	trecbench -experiment trace      # tracing overhead + stitched trace trees
 //	trecbench -experiment all        # everything above, in order
 //
 // Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|qps|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|qps|trace|all")
 		docs        = flag.Int("docs", 50000, "collection size in documents")
 		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
 		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
@@ -86,6 +87,8 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 		return hedgeExperiment(docs, nq, servers, seed)
 	case "qps":
 		return qpsExperiment(docs, nq, servers, seed)
+	case "trace":
+		return traceExperiment(docs, nq, servers, seed)
 	case "all":
 		for _, fn := range []func() error{
 			figure2,
@@ -101,6 +104,7 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 			func() error { return segmentsExperiment(docs, nq, seed) },
 			func() error { return hedgeExperiment(docs, nq, servers, seed) },
 			func() error { return qpsExperiment(docs, nq, servers, seed) },
+			func() error { return traceExperiment(docs, nq, servers, seed) },
 		} {
 			if err := fn(); err != nil {
 				return err

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/ir"
+)
+
+// traceExperiment prices the tracing subsystem and demonstrates its
+// output. Three sections:
+//
+//  1. Overhead: the hot parallel engine workload runs twice — tracing
+//     fully off, then enabled via WithSlowQueryThreshold(1h), the
+//     worst-case "always record, never keep" regime where every request
+//     pays the arena recording but the tail-based policy discards it.
+//     The greppable "trace-overhead ..." JSON line carries the numbers
+//     for CI to collect; the acceptance bar is single-digit percent.
+//  2. A forced single-node trace, rendered: admission, cache lookup,
+//     pool wait, execution, and the per-operator breakdown.
+//  3. A forced distributed trace through a replicated cluster with a
+//     stalled primary, rendered: one stitched tree whose group spans
+//     show the canceled primary attempt, the hedge that won, the
+//     server-side subtree it carried home, and the global merge.
+func traceExperiment(docs, nq, servers int, seed int64) error {
+	header("End-to-end tracing: recording overhead + stitched trees")
+	c, ix, err := buildTestbed(docs, seed)
+	if err != nil {
+		return err
+	}
+	queries := c.EfficiencyQueries(min(nq, 2000), seed+23)
+	warm := ir.NewSearcher(ix, 0)
+	for _, q := range queries {
+		if _, _, err := warm.Search(q.Terms, 20, ir.BM25TCMQ8); err != nil {
+			return err
+		}
+	}
+
+	// Section 1: recording overhead on the hot path.
+	workers := runtime.GOMAXPROCS(0)
+	run := func(opts ...repro.Option) (time.Duration, error) {
+		eng, err := repro.OpenIndex(ix, append([]repro.Option{repro.WithSearchers(workers)}, opts...)...)
+		if err != nil {
+			return 0, err
+		}
+		defer eng.Close()
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for qi := w; qi < len(queries); qi += workers {
+					if _, err := eng.Search(ctx, repro.SearchRequest{
+						Terms: queries[qi].Terms, K: 20, Strategy: repro.BM25TCMQ8,
+					}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	// Interleave off/on pairs and keep the best of each: the minimum is
+	// the standard defense against scheduler noise in a smoke-sized run.
+	best := func(d, prev time.Duration) time.Duration {
+		if prev == 0 || d < prev {
+			return d
+		}
+		return prev
+	}
+	var offBest, onBest time.Duration
+	for rep := 0; rep < 3; rep++ {
+		off, err := run()
+		if err != nil {
+			return err
+		}
+		on, err := run(repro.WithSlowQueryThreshold(time.Hour))
+		if err != nil {
+			return err
+		}
+		offBest, onBest = best(off, offBest), best(on, onBest)
+	}
+	offQ := float64(offBest.Microseconds()) / float64(len(queries))
+	onQ := float64(onBest.Microseconds()) / float64(len(queries))
+	pct := (onQ - offQ) / offQ * 100
+	fmt.Printf("%d queries x %d goroutines, best of 3 (hot):\n", len(queries), workers)
+	fmt.Printf("  tracing off:                 %8.2f us/q\n", offQ)
+	fmt.Printf("  recording (nothing kept):    %8.2f us/q  (%+.1f%%)\n", onQ, pct)
+	fmt.Printf("trace-overhead {\"queries\":%d,\"workers\":%d,\"off_us_per_q\":%.3f,\"on_us_per_q\":%.3f,\"overhead_pct\":%.2f}\n",
+		len(queries), workers, offQ, onQ, pct)
+
+	// Section 2: one forced single-node trace.
+	eng, err := repro.OpenIndex(ix, repro.WithSearchers(2), repro.WithResultCache(64))
+	if err != nil {
+		return err
+	}
+	resp, err := eng.Search(context.Background(), repro.SearchRequest{
+		Terms: queries[0].Terms, K: 20, Strategy: repro.BM25TCMQ8, Trace: true,
+	})
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	fmt.Printf("\nengine trace (forced, terms=%v):\n%s", queries[0].Terms, resp.Trace.Render())
+	if err := eng.Close(); err != nil {
+		return err
+	}
+
+	// Section 3: a stitched distributed trace with a hedged straggler.
+	partitions := servers / 2
+	if partitions < 2 {
+		partitions = 2
+	}
+	fmt.Printf("\nbuilding %d partitions x 2 replicas ...\n", partitions)
+	cl, err := dist.StartCluster(c, partitions, ir.DefaultBuildConfig(), dist.WithReplicas(2))
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.WarmAll(ir.BM25TCMQ8, queries[:min(len(queries), 100)], 20); err != nil {
+		return err
+	}
+	brk, err := cl.NewBroker(dist.WithHedgeBudget(5 * time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer brk.Close()
+	cl.Replica(0, 0).SetStall(1, 500*time.Millisecond)
+	_, timing, err := brk.SearchMany(context.Background(), []dist.Request{
+		{Terms: queries[1].Terms, K: 20, Strategy: ir.BM25TCMQ8, Trace: true},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndistributed trace (partition 0 primary stalled 500ms, hedge budget 5ms):\n%s",
+		timing.Trace.Render())
+	fmt.Println("\n(the canceled attempt is the stalled primary; the winning hedge span")
+	fmt.Println(" carries the server's own subtree down to the per-operator breakdown)")
+	return nil
+}

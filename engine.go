@@ -11,8 +11,10 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // DefaultK is the result-list depth used when a SearchRequest leaves K
@@ -38,6 +40,12 @@ type SearchRequest struct {
 	// explicit ranked strategy the index cannot run is substituted with the
 	// nearest supported one (the response reports what actually ran).
 	Strategy Strategy
+	// Trace requests this query's span trace in the response regardless
+	// of the engine's slow-query threshold or sampling rate — the
+	// "explain why THIS request was slow" switch. The trace covers
+	// admission, cache lookup, pool wait, and per-operator execution;
+	// it costs one tree build per traced request.
+	Trace bool
 }
 
 // SearchResponse is the structured result of Engine.Search.
@@ -54,6 +62,10 @@ type SearchResponse struct {
 	// WithResultCache): Hits are a private copy, Stats are those of the
 	// execution that populated the entry, and no searcher was acquired.
 	Cached bool
+	// Trace is the query's span tree, present only when the request set
+	// SearchRequest.Trace (cached responses carry a fresh trace of the
+	// lookup, not the execution that populated the entry).
+	Trace *TraceSpan
 }
 
 // epoch is one served index generation: an immutable snapshot plus its
@@ -126,6 +138,13 @@ type Engine struct {
 	// controller, nil unless WithAdmissionControl was given.
 	met    *engineMetrics
 	qosCtl *qos.Controller
+
+	// tracer decides which requests record span traces and keeps the
+	// slow-query log (always present — a zero-config tracer records only
+	// explicitly requested traces); ops is the WithOpsServer HTTP
+	// endpoint, nil without it.
+	tracer *trace.Tracer
+	ops    *obs.Server
 
 	cur    atomic.Pointer[epoch]
 	closed atomic.Bool
@@ -227,7 +246,7 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(snap, nil, cfg), nil
+	return newEngine(snap, nil, cfg)
 }
 
 // OpenDir opens a persisted index directory (written by Open with
@@ -289,7 +308,7 @@ func openPersisted(cfg engineConfig) (*Engine, error) {
 		ix.Close()
 		return nil, err
 	}
-	return newEngine(snap, nil, cfg), nil
+	return newEngine(snap, nil, cfg)
 }
 
 // openSegmented opens cfg.storageDir's current generation as a segmented
@@ -308,7 +327,10 @@ func openSegmented(cfg engineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(snap, segNamesOf(sm), cfg)
+	e, err := newEngine(snap, segNamesOf(sm), cfg)
+	if err != nil {
+		return nil, err
+	}
 	e.segDir = cfg.storageDir
 	e.segCfg = layoutOf(snap.Primary().Config())
 	e.segMgr = mgr
@@ -358,13 +380,14 @@ func OpenIndex(ix *Index, opts ...Option) (*Engine, error) {
 	if len(cfg.errs) > 0 {
 		return nil, errors.Join(cfg.errs...)
 	}
-	return newEngine(ir.SingleSnapshot(ix), nil, cfg), nil
+	return newEngine(ir.SingleSnapshot(ix), nil, cfg)
 }
 
-func newEngine(snap *ir.Snapshot, segNames []string, cfg engineConfig) *Engine {
+func newEngine(snap *ir.Snapshot, segNames []string, cfg engineConfig) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		met:     newEngineMetrics(),
+		tracer:  trace.NewTracer(cfg.slowQuery, cfg.traceRate, 0),
 		epochs:  make(map[*epoch]struct{}),
 		pending: make(map[string]bool),
 	}
@@ -375,7 +398,15 @@ func newEngine(snap *ir.Snapshot, segNames []string, cfg engineConfig) *Engine {
 		e.qosCtl = qos.NewController(cfg.searchers, cfg.admissionQueue)
 	}
 	e.cur.Store(e.newEpoch(snap, segNames))
-	return e
+	if cfg.opsAddr != "" {
+		srv, err := obs.Start(cfg.opsAddr, engineOps{e})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.ops = srv
+	}
+	return e, nil
 }
 
 // newEpoch wraps a snapshot in a registered, referenced epoch.
@@ -716,9 +747,9 @@ func (e *Engine) mergeOnce(maxSegments int, cancel func() bool) (bool, error) {
 
 // ResultCacheStats returns the hit/miss counters and occupancy of the
 // engine result cache. It is zero-valued when the engine was opened
-// without WithResultCache.
+// without WithResultCache, and after Close.
 func (e *Engine) ResultCacheStats() ResultCacheStats {
-	if e.cache == nil {
+	if e.cache == nil || e.closed.Load() {
 		return ResultCacheStats{}
 	}
 	return e.cache.stats()
@@ -781,6 +812,7 @@ func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	e.ops.Close()
 	if e.merger != nil {
 		e.merger.stop()
 	}

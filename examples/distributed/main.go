@@ -171,6 +171,23 @@ func main() {
 		fmt.Printf("  %d. %-22s score=%.4f\n", i+1, r.Name, r.Score)
 	}
 
+	// End-to-end tracing: a request that opts in (Trace: true) gets the
+	// whole fan-out back as ONE stitched span tree — the broker root, one
+	// group span per partition, each attempt (hedges and retries marked,
+	// the winner flagged), the server-side subtree each winner carried
+	// home (pool wait, execution, per-operator breakdown), and the global
+	// merge — every offset re-anchored onto the broker's timeline. The
+	// same trees land in broker2.SlowQueries() for calls over
+	// WithBrokerSlowQueryThreshold, and /debug/slow renders them when
+	// WithBrokerOpsServer is on.
+	_, ttiming, err := broker2.SearchMany(ctx, []repro.ClusterRequest{
+		{Terms: q.Terms, K: 3, Strategy: repro.BM25TCMQ8, Trace: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstitched trace of that call:\n%s", ttiming.Trace.Render())
+
 	// Partial results: kill BOTH replicas of the last partition — a whole
 	// group outage, beyond what failover can mask. A strict broker would
 	// fail the query; this one answers from the survivors and flags the

@@ -13,7 +13,9 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/qos"
+	"repro/internal/trace"
 )
 
 // Timing reports one fan-out round trip: the end-to-end total and each
@@ -38,6 +40,11 @@ type Timing struct {
 	// second pass. SearchMany reports stats per query in its BatchResults
 	// instead and leaves this zero.
 	Stats ir.QueryStats
+	// Trace is the stitched span tree of the whole distributed call —
+	// broker fan-out, per-group attempts (hedges and retries included,
+	// winner marked), each winning server's own subtree, and the global
+	// merge — present when any request in the batch set Request.Trace.
+	Trace *trace.Span
 }
 
 // ReplicaStatus is one replica's broker-side view: its address, whether it
@@ -65,6 +72,10 @@ type brokerConfig struct {
 
 	admitLimit int // WithAdmission: concurrent batches at full rate (0 = off)
 	admitQueue int // WithAdmission: waiters beyond the limit (0 = no hard cap)
+
+	slowQuery time.Duration // WithSlowQueryThreshold: keep traces of calls over this
+	traceRate float64       // WithTraceSampling: fraction of calls traced regardless
+	opsAddr   string        // WithOpsServer: HTTP ops endpoint listen address
 }
 
 // WithHedgeBudget arms hedged fan-out: when a partition's primary replica
@@ -130,6 +141,42 @@ func WithAdmission(limit, maxQueue int) BrokerOption {
 		c.admitLimit = limit
 		c.admitQueue = maxQueue
 	}
+}
+
+// WithSlowQueryThreshold arms the broker's slow-query log: every
+// SearchMany call records a stitched distributed trace (fan-out,
+// per-group attempts with hedges and retries, each winning server's own
+// span subtree), and calls that finish at or over d are kept —
+// Broker.SlowQueries returns the worst recent ones, and the ops
+// endpoint (WithOpsServer) renders them at /debug/slow. 0 disables; a
+// trace can still be requested per call via Request.Trace.
+func WithSlowQueryThreshold(d time.Duration) BrokerOption {
+	return func(c *brokerConfig) { c.slowQuery = d }
+}
+
+// WithTraceSampling keeps a random fraction of call traces regardless of
+// duration; sampled traces land in the same log SlowQueries reads.
+// rate is clamped to [0, 1].
+func WithTraceSampling(rate float64) BrokerOption {
+	return func(c *brokerConfig) {
+		if rate < 0 {
+			rate = 0
+		}
+		if rate > 1 {
+			rate = 1
+		}
+		c.traceRate = rate
+	}
+}
+
+// WithOpsServer starts an HTTP ops endpoint on addr (host:port; port 0
+// picks a free port, see Broker.OpsAddr) serving Prometheus text-format
+// metrics at /metrics (every BrokerMetrics counter plus per-group and
+// per-replica state), pprof at /debug/pprof/*, cluster health at
+// /health, and rendered slow traces at /debug/slow. Close shuts it
+// down.
+func WithOpsServer(addr string) BrokerOption {
+	return func(c *brokerConfig) { c.opsAddr = addr }
 }
 
 // Failure cooldown: after n consecutive failures a replica is parked for
@@ -261,6 +308,8 @@ type Broker struct {
 	hedgeBudget time.Duration
 	partial     bool
 	admit       *qos.Controller // nil unless WithAdmission
+	tracer      *trace.Tracer
+	ops         *obs.Server // nil unless WithOpsServer
 
 	// Cumulative serving counters behind MetricsSnapshot.
 	calls    metrics.Counter // SearchMany invocations (admitted)
@@ -321,6 +370,7 @@ func DialGroups(groups [][]string, opts ...BrokerOption) (*Broker, error) {
 		groups:      make([]*group, len(groups)),
 		hedgeBudget: cfg.hedgeBudget,
 		partial:     cfg.partial,
+		tracer:      trace.NewTracer(cfg.slowQuery, cfg.traceRate, 0),
 		latency:     metrics.NewHistogram(2*time.Minute, 8),
 	}
 	if cfg.admitLimit > 0 {
@@ -354,6 +404,14 @@ func DialGroups(groups [][]string, opts ...BrokerOption) (*Broker, error) {
 				gi, len(addrs), dialErr)
 		}
 		b.groups[gi] = g
+	}
+	if cfg.opsAddr != "" {
+		srv, err := obs.Start(cfg.opsAddr, brokerOps{b})
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		b.ops = srv
 	}
 	return b, nil
 }
@@ -437,8 +495,10 @@ func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse
 	return resp, nil
 }
 
-// Close closes every replica connection.
+// Close stops the ops endpoint (if any) and closes every replica
+// connection.
 func (b *Broker) Close() error {
+	b.ops.Close()
 	for _, g := range b.groups {
 		if g == nil {
 			continue
@@ -496,6 +556,11 @@ type groupReply struct {
 	err     error
 	hedged  int
 	retried int
+	// span is the group's fan-out subtree (attempts, hedges, server
+	// subtrees) when the call is traced. It is built entirely inside
+	// searchGroup's goroutine and handed over by the channel send, so the
+	// collecting goroutine may graft it without synchronization.
+	span *trace.Span
 }
 
 // SearchMany fans a whole batch of queries out in ONE round trip per
@@ -526,9 +591,32 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	}
 	b.calls.Inc()
 	b.queries.Add(int64(len(reqs)))
+	force := false
+	for i := range reqs {
+		force = force || reqs[i].Trace
+	}
+	t := b.tracer.Begin("broker.search", force)
+	t.SetAttr(trace.Root, "queries", int64(len(reqs)))
+	t.SetAttr(trace.Root, "groups", int64(len(b.groups)))
+	finish := func(tm *Timing, callErr error) {
+		if t == nil {
+			return
+		}
+		if callErr != nil {
+			t.SetAttrStr(trace.Root, "error", callErr.Error())
+		}
+		root := b.tracer.Finish(t)
+		if force && root != nil {
+			tm.Trace = root
+		}
+	}
 	wreq := wireRequest{Queries: make([]wireQuery, len(reqs))}
 	for i, r := range reqs {
 		wreq.Queries[i] = wireQuery{Terms: r.Terms, K: r.K, Strategy: int(r.Strategy)}
+	}
+	if t != nil {
+		wreq.TraceID = t.ID()
+		wreq.TraceSampled = true
 	}
 	start := time.Now()
 	defer func() {
@@ -541,11 +629,15 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 		}
 	}()
 
+	rootStart := start
+	if t != nil {
+		rootStart = t.StartTime()
+	}
 	replies := make(chan groupReply, len(b.groups))
 	for gi, g := range b.groups {
 		go func(gi int, g *group) {
 			t0 := time.Now()
-			rep := b.searchGroup(ctx, g, wreq)
+			rep := b.searchGroup(ctx, gi, g, wreq, rootStart)
 			rep.gi = gi
 			timing.PerServer[gi] = time.Since(t0)
 			replies <- rep
@@ -556,6 +648,9 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	downGroups := 0
 	for range b.groups {
 		r := <-replies
+		if r.span != nil {
+			t.Graft(trace.Root, *r.span)
+		}
 		timing.Hedged += r.hedged
 		timing.Retried += r.retried
 		if r.err == nil && len(r.resp.Queries) != len(reqs) {
@@ -602,14 +697,17 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	timing.Total = time.Since(start)
 	if firstErr != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
+			finish(&timing, ctxErr)
 			return nil, timing, ctxErr
 		}
+		finish(&timing, firstErr)
 		return nil, timing, firstErr
 	}
 
 	// Global ranking per query: partitions are disjoint, so each merge is a
 	// plain top-k selection ordered like the single-node TopN (score desc,
 	// docid asc).
+	ms := t.Begin("merge")
 	for qi := range out {
 		if out[qi].Err != nil {
 			out[qi].Results = nil
@@ -627,7 +725,24 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 		}
 		out[qi].Results = merged
 	}
+	t.End(ms)
+	finish(&timing, nil)
 	return out, timing, nil
+}
+
+// attemptRec is the trace-side record of one replica attempt. It is
+// created and mutated only by searchGroup's select loop — the attempt
+// goroutine reports through the channel, never by touching the record —
+// so building the group's span tree needs no locking.
+type attemptRec struct {
+	addr  string
+	start time.Duration // offset from the call's trace root
+	end   time.Duration // zero until the attempt reports back
+	hedge bool
+	retry bool
+	win   bool
+	err   string
+	subs  []trace.Span // the winner's server subtrees, root-shifted
 }
 
 // searchGroup runs one partition's slice of a batch against its replica
@@ -636,7 +751,12 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 // before an answer lands, and failover re-issues as attempts fail. The
 // first successful answer wins and outstanding attempts are canceled.
 // The group errors only when every replica has been tried and failed.
-func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) groupReply {
+// When the call is traced (wreq.TraceSampled), every attempt — the
+// winner, the stalled hedge victim, failed retries — becomes a span in
+// rep.span, with offsets relative to rootStart.
+func (b *Broker) searchGroup(ctx context.Context, gi int, g *group, wreq wireRequest, rootStart time.Time) groupReply {
+	traced := wreq.TraceSampled
+	groupStart := time.Since(rootStart)
 	order := g.candidates(time.Now())
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the losers of a hedge race
@@ -647,26 +767,48 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 	}
 
 	type attempt struct {
+		ai   int // index into recs
 		resp wireResponse
 		err  error
 		r    *replica
 		d    time.Duration
 	}
 	ch := make(chan attempt, len(order))
+	var recs []*attemptRec
 	next := 0
-	launch := func() {
+	launch := func(hedge, retry bool) {
 		r := order[next]
 		next++
+		ai := len(recs)
+		if traced {
+			recs = append(recs, &attemptRec{
+				addr:  r.conn.addr,
+				start: time.Since(rootStart),
+				hedge: hedge,
+				retry: retry,
+			})
+		}
 		go func(r *replica) {
 			t0 := time.Now()
 			resp, err := r.conn.roundTrip(gctx, wreq)
-			ch <- attempt{resp: resp, err: err, r: r, d: time.Since(t0)}
+			ch <- attempt{ai: ai, resp: resp, err: err, r: r, d: time.Since(t0)}
 		}(r)
 	}
-	launch()
+	launch(false, false)
 	inflight := 1
 
 	var rep groupReply
+	// done builds the group span from the attempt records on every exit
+	// path; attempts still in flight (a stalled primary losing a hedge
+	// race, outstanding retries) appear with canceled=1 and a duration
+	// running to the group's end — exactly the spans that explain where a
+	// hedge saved the call.
+	done := func(rep groupReply) groupReply {
+		if traced {
+			rep.span = buildGroupSpan(gi, groupStart, time.Since(rootStart), recs)
+		}
+		return rep
+	}
 	var hedgeC <-chan time.Time
 	if budget > 0 && len(order) > 1 {
 		t := time.NewTimer(budget)
@@ -678,30 +820,49 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 		select {
 		case a := <-ch:
 			inflight--
+			if traced {
+				rec := recs[a.ai]
+				rec.end = rec.start + a.d
+				if a.err != nil {
+					rec.err = a.err.Error()
+				}
+			}
 			if a.err == nil {
 				a.r.observeSuccess(a.d)
 				if g.hedger != nil {
 					g.hedger.Observe(a.d)
 				}
+				if traced {
+					rec := recs[a.ai]
+					rec.win = true
+					// Server subtrees arrive with server-local offsets; shift
+					// them onto the call timeline under this attempt.
+					for qi := range a.resp.Queries {
+						for _, sp := range a.resp.Queries[qi].Trace {
+							sp.Shift(rec.start)
+							rec.subs = append(rec.subs, sp)
+						}
+					}
+				}
 				rep.resp = a.resp
-				return rep
+				return done(rep)
 			}
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				rep.err = ctxErr
-				return rep
+				return done(rep)
 			}
 			a.r.observeFailure(time.Now())
 			if firstErr == nil {
 				firstErr = a.err
 			}
 			if next < len(order) {
-				launch()
+				launch(false, true)
 				rep.retried++
 				inflight++
 			} else if inflight == 0 {
 				rep.err = fmt.Errorf("replica group down (all %d replicas failed): %w",
 					len(order), firstErr)
-				return rep
+				return done(rep)
 			}
 		case <-hedgeC:
 			hedgeC = nil // one hedge per partition per call
@@ -709,15 +870,55 @@ func (b *Broker) searchGroup(ctx context.Context, g *group, wreq wireRequest) gr
 			// slow attempt rides unhedged, bounding duplicated work at the
 			// cap even when the whole group turns slow.
 			if next < len(order) && (g.hedger == nil || g.hedger.TryHedge()) {
-				launch()
+				launch(true, false)
 				rep.hedged++
 				inflight++
 			}
 		case <-ctx.Done():
 			rep.err = ctx.Err()
-			return rep
+			return done(rep)
 		}
 	}
+}
+
+// buildGroupSpan converts a group's attempt records into its span
+// subtree: group → attempt... → server subtrees under the winner.
+func buildGroupSpan(gi int, start, end time.Duration, recs []*attemptRec) *trace.Span {
+	gs := &trace.Span{
+		Name:     "group",
+		Start:    start,
+		Duration: end - start,
+		Attrs:    []trace.Attr{{Key: "partition", Val: int64(gi)}},
+	}
+	for _, rec := range recs {
+		as := trace.Span{
+			Name:  "attempt",
+			Start: rec.start,
+			Attrs: []trace.Attr{{Key: "addr", Str: rec.addr}},
+		}
+		if rec.end > 0 {
+			as.Duration = rec.end - rec.start
+		} else {
+			// Never reported back: canceled when the group finished.
+			as.Duration = end - rec.start
+			as.Attrs = append(as.Attrs, trace.Attr{Key: "canceled", Val: 1})
+		}
+		if rec.hedge {
+			as.Attrs = append(as.Attrs, trace.Attr{Key: "hedge", Val: 1})
+		}
+		if rec.retry {
+			as.Attrs = append(as.Attrs, trace.Attr{Key: "retry", Val: 1})
+		}
+		if rec.win {
+			as.Attrs = append(as.Attrs, trace.Attr{Key: "winner", Val: 1})
+		}
+		if rec.err != "" {
+			as.Attrs = append(as.Attrs, trace.Attr{Key: "error", Str: rec.err})
+		}
+		as.Children = append(as.Children, rec.subs...)
+		gs.Children = append(gs.Children, as)
+	}
+	return gs
 }
 
 // GroupMetrics is one partition group's slice of a BrokerMetrics

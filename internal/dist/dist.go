@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // wireRequest is one broker -> server message: a batch of queries the
@@ -25,6 +26,12 @@ type wireRequest struct {
 	// server does not keep burning CPU for a caller that has already given
 	// up.
 	TimeoutNanos int64
+	// TraceID/TraceSampled carry the broker's trace context: when sampled,
+	// the server records a span tree for each query in the batch and ships
+	// it back in wireAnswer.Trace, where the broker grafts it under the
+	// attempt that carried it — one stitched tree per distributed request.
+	TraceID      uint64
+	TraceSampled bool
 }
 
 // wireQuery is one query inside a batch.
@@ -52,6 +59,10 @@ type wireAnswer struct {
 	SecondPass bool
 	Candidates int64
 	Err        string
+	// Trace is the server-side span tree for this query when the request
+	// was sampled (empty otherwise, len 1 when present — a slice rather
+	// than a pointer keeps the gob encoding of the absent case trivial).
+	Trace []trace.Span
 }
 
 // wireResult mirrors ir.Result with only exported concrete fields, keeping
@@ -68,6 +79,11 @@ type Request struct {
 	Terms    []string
 	K        int
 	Strategy ir.Strategy
+	// Trace forces a trace for the batch this request rides in: the broker
+	// records its fan-out (attempts, hedges, retries, merges), servers
+	// record their subtrees, and the stitched tree comes back in
+	// Timing.Trace regardless of sampling policy.
+	Trace bool
 }
 
 // BatchResult is one request's outcome within Broker.SearchMany: the

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // Server is one partition node: a full single-node snapshot (one index,
@@ -288,7 +289,7 @@ func (s *Server) answer(req *wireRequest) wireResponse {
 	}
 	resp := wireResponse{Seq: req.Seq, Queries: make([]wireAnswer, len(req.Queries))}
 	if len(req.Queries) == 1 {
-		resp.Queries[0] = s.answerOne(ctx, &req.Queries[0])
+		resp.Queries[0] = s.answerOne(ctx, req, &req.Queries[0])
 		return resp
 	}
 	var wg sync.WaitGroup
@@ -296,7 +297,7 @@ func (s *Server) answer(req *wireRequest) wireResponse {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp.Queries[i] = s.answerOne(ctx, &req.Queries[i])
+			resp.Queries[i] = s.answerOne(ctx, req, &req.Queries[i])
 		}(i)
 	}
 	wg.Wait()
@@ -305,13 +306,40 @@ func (s *Server) answer(req *wireRequest) wireResponse {
 
 // answerOne executes one query of a batch, forwarding the full per-query
 // stats (wall, simulated I/O, second pass, candidates) onto the wire.
-func (s *Server) answerOne(ctx context.Context, q *wireQuery) wireAnswer {
-	results, stats, err := s.pool.Search(ctx, q.Terms, q.K, ir.Strategy(q.Strategy))
+// When the request carries a sampled trace context, the query records a
+// server-local span tree — pool wait, execution, the per-operator
+// breakdown the searcher adds — and ships it back for the broker to
+// graft under the attempt that carried it.
+func (s *Server) answerOne(ctx context.Context, req *wireRequest, q *wireQuery) wireAnswer {
+	var t *trace.Trace
+	if req.TraceSampled {
+		t = trace.New(req.TraceID, "server")
+		t.SetAttrStr(trace.Root, "addr", s.Addr())
+		ctx = trace.NewContext(ctx, t)
+	}
+	pw := t.Begin("pool.wait")
+	sr, err := s.pool.Acquire(ctx)
+	t.End(pw)
+	var results []ir.Result
+	var stats ir.QueryStats
+	if err == nil {
+		ex := t.Begin("execute")
+		results, stats, err = sr.SearchContext(ctx, q.Terms, q.K, ir.Strategy(q.Strategy))
+		t.End(ex)
+		s.pool.Release(sr)
+	}
 	a := wireAnswer{
 		WallNanos:  stats.Wall.Nanoseconds(),
 		SimIONanos: stats.SimIO.Nanoseconds(),
 		SecondPass: stats.SecondPass,
 		Candidates: stats.Candidates,
+	}
+	if t != nil {
+		if err != nil {
+			t.SetAttrStr(trace.Root, "error", err.Error())
+		}
+		root, _ := t.Finish()
+		a.Trace = []trace.Span{root}
 	}
 	if err != nil {
 		a.Err = err.Error()

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/colbm"
 	"repro/internal/engine"
+	"repro/internal/trace"
 	"repro/internal/vector"
 )
 
@@ -132,6 +133,7 @@ type Searcher struct {
 	snap *Snapshot
 	subs []*segSearcher
 	ctx  *engine.ExecContext
+	tr   *trace.Trace // per-request, installed by SearchContext; nil = no-op
 }
 
 // segSearcher executes plans against one segment. All segments of a
@@ -140,6 +142,7 @@ type segSearcher struct {
 	ix      *Index
 	virtual bool
 	ctx     *engine.ExecContext
+	tr      *trace.Trace // mirrors the owning Searcher's per-request trace
 }
 
 // NewSearcher returns a searcher over a single index with the given vector
@@ -195,6 +198,7 @@ func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, Quer
 
 	results, err := s.searchInner(terms, k, strat, &stats)
 	if err == nil {
+		rn := s.tr.Begin("resolve.names")
 		for i := range results {
 			var name string
 			if name, err = s.snap.DocName(results[i].DocID); err != nil {
@@ -202,6 +206,8 @@ func (s *Searcher) Search(terms []string, k int, strat Strategy) ([]Result, Quer
 			}
 			results[i].Name = name
 		}
+		s.tr.SetAttr(rn, "names", int64(len(results)))
+		s.tr.End(rn)
 	}
 	stats.Wall = time.Since(start)
 	// One disk-clock read, taken after name resolution: the post-TopN name
@@ -224,7 +230,21 @@ func (s *Searcher) SearchContext(ctx context.Context, terms []string, k int, str
 		s.ctx.Interrupt = ctx.Err
 		defer func() { s.ctx.Interrupt = nil }()
 	}
+	// A trace riding the context (engine request path, dist server) turns
+	// on span recording for this call. The searcher is single-owner, so a
+	// plain field carries it to every segment without signature changes.
+	if t := trace.FromContext(ctx); t != nil {
+		s.setTrace(t)
+		defer s.setTrace(nil)
+	}
 	return s.Search(terms, k, strat)
+}
+
+func (s *Searcher) setTrace(t *trace.Trace) {
+	s.tr = t
+	for _, sub := range s.subs {
+		sub.tr = t
+	}
 }
 
 func (s *Searcher) searchInner(terms []string, k int, strat Strategy, stats *QueryStats) ([]Result, error) {
@@ -323,8 +343,14 @@ func (s *Searcher) searchRanked(terms []string, k int, strat Strategy, twoPass b
 // resolved is the number of query terms (duplicates kept) present in the
 // merged dictionary.
 func (s *Searcher) rankedPass(terms []string, k int, strat Strategy, resolved int, inner bool, stats *QueryStats) ([]Result, error) {
+	passName := "pass.disjunctive"
+	if inner {
+		passName = "pass.conjunctive"
+	}
+	ps := s.tr.Begin(passName)
+	defer s.tr.End(ps)
 	var all []Result
-	for _, sub := range s.subs {
+	for si, sub := range s.subs {
 		infos, _ := sub.resolve(terms)
 		if len(infos) == 0 {
 			continue
@@ -338,6 +364,15 @@ func (s *Searcher) rankedPass(terms []string, k int, strat Strategy, resolved in
 		// whole-collection index would never rank in pass 1.
 		if inner && len(infos) < resolved {
 			continue
+		}
+		sg := s.tr.Begin("segment")
+		s.tr.SetAttr(sg, "segment", int64(si))
+		// The cache-delta attrs cost two locked Stats snapshots per
+		// segment — Detailed-only, like the operator walk.
+		detail := s.tr.Detailed() && sub.ix.Cache != nil
+		var c0 colbm.CacheStats
+		if detail {
+			c0 = sub.ix.Cache.Stats()
 		}
 		sub.prefetchRanges(infos, strat)
 		var res []Result
@@ -357,6 +392,15 @@ func (s *Searcher) rankedPass(terms []string, k int, strat Strategy, resolved in
 		if err != nil {
 			return nil, err
 		}
+		if detail {
+			// The chunk-cache counter delta over this segment's plan: how
+			// much of the scan was served hot vs fetched from storage.
+			c1 := sub.ix.Cache.Stats()
+			s.tr.SetAttr(sg, "chunk_hits", c1.Hits-c0.Hits)
+			s.tr.SetAttr(sg, "chunk_misses", c1.Misses-c0.Misses)
+		}
+		s.tr.SetAttr(sg, "rows_out", int64(len(res)))
+		s.tr.End(sg)
 		all = append(all, res...)
 	}
 	return all, nil
@@ -462,6 +506,7 @@ func (s *segSearcher) searchBoolean(infos []TermInfo, k int, or bool) ([]Result,
 			results = append(results, Result{DocID: b.Vecs[docidIdx].I64[pos]})
 		}
 	}
+	recordOps(s.tr, op)
 	return results, nil
 }
 
@@ -594,14 +639,17 @@ func (s *segSearcher) joinedPass(infos []TermInfo, k int, compressed, inner bool
 	if len(infos) == 0 {
 		return nil, nil
 	}
+	pb := s.tr.Begin("plan.build")
 	cols := planCols{doc: s.docCol(compressed), tf: s.tfCol(compressed)}
 	plan, err := s.combinedPlan(infos, !inner, cols)
 	if err != nil {
+		s.tr.End(pb)
 		return nil, err
 	}
 
 	dScan, err := engine.NewScan(s.ix.D, []string{"docid", "len"})
 	if err != nil {
+		s.tr.End(pb)
 		return nil, err
 	}
 	joined := engine.NewMergeJoin(plan, dScan, "docid", "docid", "", "d.")
@@ -623,6 +671,7 @@ func (s *segSearcher) joinedPass(infos []TermInfo, k int, compressed, inner bool
 		{Col: "score", Desc: true},
 		{Col: "docid", Desc: false},
 	})
+	s.tr.End(pb)
 	return s.drainTop(top, stats)
 }
 
@@ -637,6 +686,7 @@ func (s *segSearcher) materializedPass(infos []TermInfo, k int, quantized, inner
 	if s.virtual {
 		return s.virtualPass(infos, k, quantized, inner, stats)
 	}
+	pb := s.tr.Begin("plan.build")
 	cols := planCols{doc: s.docCol(true)}
 	if quantized {
 		cols.score = ColQScore
@@ -645,6 +695,7 @@ func (s *segSearcher) materializedPass(infos []TermInfo, k int, quantized, inner
 	}
 	plan, err := s.combinedPlan(infos, !inner, cols)
 	if err != nil {
+		s.tr.End(pb)
 		return nil, err
 	}
 	var scoreExpr engine.Expr
@@ -667,6 +718,7 @@ func (s *segSearcher) materializedPass(infos []TermInfo, k int, quantized, inner
 		{Col: "score", Desc: true},
 		{Col: "docid", Desc: false},
 	})
+	s.tr.End(pb)
 	return s.drainTop(top, stats)
 }
 
@@ -691,11 +743,48 @@ func (s *segSearcher) drainTop(top engine.Operator, stats *QueryStats) ([]Result
 	if err != nil {
 		return nil, err
 	}
+	recordOps(s.tr, top)
 	if stats != nil {
 		// Tuples that reached TopN = candidates scored.
 		stats.Candidates += top.Stats().Tuples
 	}
 	return results, nil
+}
+
+// recordOps converts an executed plan's operator statistics into trace
+// spans after the fact: every operator already counts Next calls, output
+// tuples, and cumulative time (children included) in its OpStats, so the
+// trace gets a per-operator breakdown without a single extra timestamp
+// on the execution hot path. Spans nest like the plan tree under the
+// innermost open span, all sharing its start offset — durations, not
+// timelines, are the signal here.
+//
+// The walk itself is not free — Describe renders each operator's plan
+// line — so it only runs when the trace will plausibly be kept
+// (Detailed): forced and sampled traces always, threshold-armed traces
+// once the request has already overrun the threshold. The discarded
+// fast-path recording skips it entirely.
+func recordOps(t *trace.Trace, op engine.Operator) {
+	if t == nil || !t.Detailed() {
+		return
+	}
+	recordOp(t, -1, op)
+}
+
+func recordOp(t *trace.Trace, parent trace.SpanID, op engine.Operator) {
+	st := op.Stats()
+	id := t.Add(parent, op.Describe(), -1, st.Time)
+	t.SetAttr(id, "rows_out", st.Tuples)
+	t.SetAttr(id, "next_calls", st.NextCalls)
+	kids := op.Children()
+	var rowsIn int64
+	for _, c := range kids {
+		rowsIn += c.Stats().Tuples
+		recordOp(t, id, c)
+	}
+	if len(kids) > 0 {
+		t.SetAttr(id, "rows_in", rowsIn)
+	}
 }
 
 // ExplainPlan builds (without executing) the plan for a query under a

@@ -130,6 +130,40 @@ func TestHistogramWindowExpiry(t *testing.T) {
 	}
 }
 
+// TestHistogramEmptySnapshotIsZero pins the scrape contract the ops
+// endpoint depends on: a histogram with nothing in its window — never
+// observed, or observed only before the window expired — snapshots as
+// the exact zero value, every field. A stale quantile surviving past
+// the window would make an idle engine's /metrics report phantom
+// latency.
+func TestHistogramEmptySnapshotIsZero(t *testing.T) {
+	// Never observed.
+	fresh := NewHistogram(2*time.Minute, 8)
+	if snap := fresh.Snapshot(); snap != (HistSnapshot{}) {
+		t.Fatalf("fresh histogram snapshot = %+v, want zero value", snap)
+	}
+
+	// Observed, then aged out: advance the injected clock past the full
+	// 2-minute window the engine uses and require every field to reset.
+	h := NewHistogram(2*time.Minute, 8)
+	clock := time.Unix(0, 0)
+	h.now = func() time.Time { return clock }
+	h.curStart = clock
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if snap := h.Snapshot(); snap.Count != 100 || snap.P99 == 0 || snap.Max == 0 {
+		t.Fatalf("histogram did not record: %+v", snap)
+	}
+	clock = clock.Add(2*time.Minute + time.Second)
+	if snap := h.Snapshot(); snap != (HistSnapshot{}) {
+		t.Fatalf("expired-window snapshot = %+v, want zero value", snap)
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("expired-window quantile = %v, want 0", got)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	h := NewHistogram(time.Minute, 6)
 	var wg sync.WaitGroup

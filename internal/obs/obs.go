@@ -1,0 +1,216 @@
+// Package obs turns a serving process's internal metrics, health state,
+// and slow-query traces into an HTTP ops surface: Prometheus
+// text-format exposition at /metrics, the standard pprof profiles at
+// /debug/pprof/*, a health JSON document at /health, and rendered
+// slow-query trees at /debug/slow. It knows nothing about engines or
+// brokers — anything implementing Source can be served — so the same
+// handler backs repro.WithOpsServer and dist.WithOpsServer.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Kind classifies a metric for the Prometheus TYPE line.
+type Kind int
+
+const (
+	// Counter is a monotonically increasing count.
+	Counter Kind = iota
+	// Gauge is a point-in-time value.
+	Gauge
+	// Summary expands a sliding-window histogram snapshot into
+	// quantile-labeled samples plus _sum/_count.
+	Summary
+)
+
+// Label is one Prometheus label pair.
+type Label struct{ Key, Value string }
+
+// Metric is one exposition line (or, for Summary, family of lines).
+// Counters and gauges read Value; summaries read Hist. Durations should
+// be pre-converted to seconds — Prometheus convention — via Seconds.
+type Metric struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	Value  float64
+	Hist   metrics.HistSnapshot
+}
+
+// Seconds converts a duration to the float seconds Prometheus expects.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// Source is what a serving component exposes to its ops endpoint.
+type Source interface {
+	// OpsMetrics returns the current metric set (called per scrape).
+	OpsMetrics() []Metric
+	// OpsSlowQueries returns kept query traces, worst first.
+	OpsSlowQueries() []trace.QueryTrace
+	// OpsHealth returns a JSON-marshalable health document.
+	OpsHealth() any
+}
+
+// Handler serves the ops surface for src: /metrics, /health,
+// /debug/slow, /debug/pprof/*, and an index at /.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProm(w, src.OpsMetrics())
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(src.OpsHealth()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		slow := src.OpsSlowQueries()
+		if len(slow) == 0 {
+			fmt.Fprintln(w, "no slow queries recorded")
+			return
+		}
+		for i, qt := range slow {
+			fmt.Fprintf(w, "#%d trace=%016x at=%s duration=%s\n%s\n",
+				i+1, qt.ID, qt.At.Format(time.RFC3339Nano), qt.Duration, qt.Root.Render())
+		}
+	})
+	// The pprof handlers are registered explicitly on this mux — never on
+	// http.DefaultServeMux — so embedding processes do not leak profiles
+	// onto servers they did not opt into.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "ops endpoints:\n  /metrics\n  /health\n  /debug/slow\n  /debug/pprof/\n")
+	})
+	return mux
+}
+
+// writeProm renders metrics in the Prometheus text exposition format.
+func writeProm(w http.ResponseWriter, ms []Metric) {
+	for i := range ms {
+		m := &ms[i]
+		name := sanitize(m.Name)
+		if m.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, m.Help)
+		}
+		switch m.Kind {
+		case Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			fmt.Fprintf(w, "%s%s %v\n", name, labels(m.Labels, ""), m.Value)
+		case Gauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s%s %v\n", name, labels(m.Labels, ""), m.Value)
+		case Summary:
+			fmt.Fprintf(w, "# TYPE %s summary\n", name)
+			h := m.Hist
+			for _, q := range []struct {
+				q string
+				v time.Duration
+			}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+				fmt.Fprintf(w, "%s%s %v\n", name, labels(m.Labels, q.q), q.v.Seconds())
+			}
+			fmt.Fprintf(w, "%s_sum%s %v\n", name, labels(m.Labels, ""), h.Mean.Seconds()*float64(h.Count))
+			fmt.Fprintf(w, "%s_count%s %d\n", name, labels(m.Labels, ""), h.Count)
+			fmt.Fprintf(w, "# TYPE %s_max gauge\n", name)
+			fmt.Fprintf(w, "%s_max%s %v\n", name, labels(m.Labels, ""), h.Max.Seconds())
+		}
+	}
+}
+
+// labels renders a label set (plus an optional quantile label) as
+// {k="v",...}, or "" when empty. Label sets are rendered sorted so the
+// exposition is deterministic.
+func labels(ls []Label, quantile string) string {
+	if len(ls) == 0 && quantile == "" {
+		return ""
+	}
+	sorted := append([]Label(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	if quantile != "" {
+		sorted = append(sorted, Label{Key: "quantile", Value: quantile})
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", sanitize(l.Key), l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sanitize maps a name onto the Prometheus metric-name alphabet.
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Server is a running ops HTTP server bound to its own listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// the ops surface for src in a background goroutine.
+func Start(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(src)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

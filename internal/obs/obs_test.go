@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+type fakeSource struct{}
+
+func (fakeSource) OpsMetrics() []Metric {
+	return []Metric{
+		{Name: "test_requests_total", Help: "requests served", Kind: Counter, Value: 42},
+		{Name: "test_inflight", Kind: Gauge, Value: 3,
+			Labels: []Label{{Key: "pool", Value: "main"}}},
+		{Name: "test_latency_seconds", Kind: Summary, Hist: metrics.HistSnapshot{
+			Count: 10, Mean: 2 * time.Millisecond, P50: time.Millisecond,
+			P90: 3 * time.Millisecond, P99: 9 * time.Millisecond, Max: 10 * time.Millisecond,
+		}},
+		{Name: "weird name!", Kind: Gauge, Value: 1},
+	}
+}
+
+func (fakeSource) OpsSlowQueries() []trace.QueryTrace {
+	return []trace.QueryTrace{{
+		ID: 0xabc, At: time.Unix(0, 0), Duration: 50 * time.Millisecond,
+		Root: trace.Span{Name: "search", Duration: 50 * time.Millisecond,
+			Children: []trace.Span{{Name: "execute"}}},
+	}}
+}
+
+func (fakeSource) OpsHealth() any {
+	return map[string]any{"healthy": true, "docs": 100}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerMetricsExposition(t *testing.T) {
+	srv := httptest.NewServer(Handler(fakeSource{}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# HELP test_requests_total requests served",
+		"# TYPE test_requests_total counter",
+		"test_requests_total 42",
+		"# TYPE test_inflight gauge",
+		`test_inflight{pool="main"} 3`,
+		"# TYPE test_latency_seconds summary",
+		`test_latency_seconds{quantile="0.5"} 0.001`,
+		`test_latency_seconds{quantile="0.99"} 0.009`,
+		"test_latency_seconds_count 10",
+		"test_latency_seconds_sum 0.02",
+		"test_latency_seconds_max 0.01",
+		"weird_name_ 1", // sanitized
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerPprofHealthSlowIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler(fakeSource{}))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+	if code, body := get(t, srv, "/debug/pprof/goroutine?debug=1"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/goroutine status %d", code)
+	}
+
+	if code, body := get(t, srv, "/health"); code != http.StatusOK ||
+		!strings.Contains(body, `"healthy": true`) {
+		t.Fatalf("/health status %d body %q", code, body)
+	}
+
+	if code, body := get(t, srv, "/debug/slow"); code != http.StatusOK ||
+		!strings.Contains(body, "search") || !strings.Contains(body, "execute") ||
+		!strings.Contains(body, "duration=50ms") {
+		t.Fatalf("/debug/slow status %d body %q", code, body)
+	}
+
+	if code, body := get(t, srv, "/"); code != http.StatusOK ||
+		!strings.Contains(body, "/metrics") {
+		t.Fatalf("index status %d", code)
+	}
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestStartServesAndCloses(t *testing.T) {
+	s, err := Start("127.0.0.1:0", fakeSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET against Start server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Fatal("nil Server not inert")
+	}
+}

@@ -1,0 +1,391 @@
+// Package trace is the serving layers' low-overhead span recorder: one
+// Trace per request, built as a flat arena of span records (parent
+// indices instead of pointers, attribute slices recycled across
+// requests), converted into an exported Span tree only for the requests
+// that are actually kept — a slow query, a sampled query, or a caller
+// that asked for its trace. Everything on the recording path is
+// nil-receiver safe, so instrumented code reads linearly and an
+// untraced request pays a handful of nil checks and nothing else.
+//
+// The Span tree is plain exported data (no cycles, no unexported
+// fields), so it crosses the dist wire inside gob messages unchanged:
+// servers record their subtree locally and ship it back, brokers graft
+// it under the winning attempt, and one stitched tree describes the
+// whole distributed request.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Exactly one of Str/Val is
+// meaningful: a non-empty Str wins, otherwise the attribute is numeric.
+type Attr struct {
+	Key string
+	Str string
+	Val int64
+}
+
+// String renders one attribute as key=value.
+func (a Attr) String() string {
+	if a.Str != "" {
+		return fmt.Sprintf("%s=%q", a.Key, a.Str)
+	}
+	return fmt.Sprintf("%s=%d", a.Key, a.Val)
+}
+
+// Span is one finished operation in a trace tree: a name, a start offset
+// relative to the root span's start, a duration, annotations, and child
+// spans. It is plain data — safe to retain, ship over gob, and render
+// long after the recording Trace was recycled.
+type Span struct {
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+	Attrs    []Attr
+	Children []Span
+}
+
+// Attr returns the named attribute and whether it is present.
+func (s *Span) Attr(key string) (Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// tree rooted at s (s itself included), or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if hit := s.Children[i].Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Walk visits every span of the tree depth-first, parents before
+// children.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for i := range s.Children {
+		s.Children[i].Walk(fn)
+	}
+}
+
+// Shift moves the whole tree later by d — how a broker re-anchors a
+// server-recorded subtree (whose offsets are server-local) under the
+// attempt that carried it, so the stitched timeline reads coherently.
+func (s *Span) Shift(d time.Duration) {
+	s.Walk(func(sp *Span) { sp.Start += d })
+}
+
+// Render writes the tree as an indented text profile, one span per
+// line: start offset, duration, name, attributes.
+func (s *Span) Render() string {
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%.3fms +%.3fms %s", ms(s.Start), ms(s.Duration), s.Name)
+	for _, a := range s.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.String())
+	}
+	b.WriteByte('\n')
+	for i := range s.Children {
+		s.Children[i].render(b, depth+1)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// SpanID indexes a span inside its recording Trace. Root is the root
+// span of every trace; recording calls against a nil Trace return -1,
+// which every other method ignores.
+type SpanID int32
+
+// Root is the SpanID of a trace's root span.
+const Root SpanID = 0
+
+// spanRec is the arena form of a span: parent by index, attributes in a
+// slice whose capacity survives recycling.
+type spanRec struct {
+	name   string
+	parent int32
+	start  time.Duration
+	end    time.Duration
+	attrs  []Attr
+	sub    []Span // grafted complete subtrees (remote, post-hoc)
+}
+
+// Trace records one request's spans. It is single-owner — the goroutine
+// running the request records into it; concurrent fan-out builds Span
+// values locally and grafts them from the owning goroutine (see Graft).
+// All methods are nil-receiver safe no-ops, so instrumentation needs no
+// "is tracing on" branches.
+type Trace struct {
+	id      uint64
+	sampled bool          // keep regardless of duration (probabilistic / forced)
+	forced  bool          // caller asked for the trace explicitly
+	slow    time.Duration // keep threshold the owning tracer will apply (0 = none)
+	start   time.Time
+	spans   []spanRec
+	stack   []int32
+}
+
+// New returns a standalone recording trace with the given id and root
+// span name, started now. Servers answering a sampled wire request use
+// this; request paths with a Tracer use Tracer.Begin, which recycles.
+func New(id uint64, rootName string) *Trace {
+	t := &Trace{id: id}
+	t.init(rootName)
+	return t
+}
+
+func (t *Trace) init(rootName string) {
+	t.start = time.Now()
+	t.spans = t.spans[:0]
+	t.stack = append(t.stack[:0], 0)
+	r := t.push()
+	r.name = rootName
+	r.parent = -1
+}
+
+// push appends a zeroed span record, reusing the attribute slice
+// capacity left behind by a previous occupant of the slot.
+func (t *Trace) push() *spanRec {
+	if len(t.spans) < cap(t.spans) {
+		t.spans = t.spans[:len(t.spans)+1]
+		r := &t.spans[len(t.spans)-1]
+		r.name = ""
+		r.parent = 0
+		r.start, r.end = 0, 0
+		r.attrs = r.attrs[:0]
+		r.sub = r.sub[:0]
+		return r
+	}
+	t.spans = append(t.spans, spanRec{})
+	return &t.spans[len(t.spans)-1]
+}
+
+// ID returns the trace id (0 for a nil trace).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// StartTime returns when the root span started.
+func (t *Trace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Detailed reports whether expensive annotations — operator breakdowns,
+// rendered plan strings — should be recorded right now. Always true for
+// forced, sampled, or standalone traces (someone will see them); for a
+// trace recording only because a slow-query threshold is armed, true
+// once the request has already run past the threshold. Fast requests —
+// the ones the tail-based policy will discard — skip the cost, and a
+// genuinely slow request has crossed the threshold by the time its
+// expensive phase finishes, so the kept trace still carries the detail.
+// Nil trace: false.
+func (t *Trace) Detailed() bool {
+	if t == nil {
+		return false
+	}
+	if t.forced || t.sampled || t.slow == 0 {
+		return true
+	}
+	return time.Since(t.start) >= t.slow
+}
+
+// Begin opens a child span under the innermost open span and returns
+// its id. Nil trace: -1.
+func (t *Trace) Begin(name string) SpanID {
+	if t == nil {
+		return -1
+	}
+	parent := t.stack[len(t.stack)-1]
+	id := int32(len(t.spans))
+	r := t.push()
+	r.name = name
+	r.parent = parent
+	r.start = time.Since(t.start)
+	t.stack = append(t.stack, id)
+	return SpanID(id)
+}
+
+// End closes the span (and any still-open spans nested inside it — a
+// forgotten End cannot corrupt the stack).
+func (t *Trace) End(id SpanID) {
+	if t == nil || id < 0 {
+		return
+	}
+	now := time.Since(t.start)
+	for len(t.stack) > 1 {
+		top := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.spans[top].end = now
+		if top == int32(id) {
+			return
+		}
+	}
+}
+
+// Add records an already-measured span under parent (Root for the root;
+// a negative parent means the innermost open span): this is how
+// per-operator times — measured by the executor itself — enter the
+// trace after the plan has run, costing the hot path nothing. A
+// negative start inherits the parent's start offset.
+func (t *Trace) Add(parent SpanID, name string, start, dur time.Duration) SpanID {
+	if t == nil {
+		return -1
+	}
+	p := int32(parent)
+	if parent < 0 {
+		p = t.stack[len(t.stack)-1]
+	}
+	if start < 0 {
+		start = t.spans[p].start
+	}
+	id := int32(len(t.spans))
+	r := t.push()
+	r.name = name
+	r.parent = p
+	r.start = start
+	r.end = start + dur
+	return SpanID(id)
+}
+
+// SetAttr sets a numeric attribute on a span (replacing an existing key).
+func (t *Trace) SetAttr(id SpanID, key string, v int64) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.setAttr(id, Attr{Key: key, Val: v})
+}
+
+// SetAttrStr sets a string attribute on a span (replacing an existing key).
+func (t *Trace) SetAttrStr(id SpanID, key, v string) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.setAttr(id, Attr{Key: key, Str: v})
+}
+
+func (t *Trace) setAttr(id SpanID, a Attr) {
+	r := &t.spans[id]
+	for i := range r.attrs {
+		if r.attrs[i].Key == a.Key {
+			r.attrs[i] = a
+			return
+		}
+	}
+	r.attrs = append(r.attrs, a)
+}
+
+// Graft attaches a complete Span subtree under the given span — the
+// stitching point for subtrees built elsewhere (a fan-out goroutine's
+// attempt record, a server's wire-shipped subtree). The subtree is
+// copied by value into the finished tree after the arena children.
+func (t *Trace) Graft(id SpanID, child Span) {
+	if t == nil || id < 0 {
+		return
+	}
+	r := &t.spans[id]
+	r.sub = append(r.sub, child)
+}
+
+// Finish closes every open span (the root included) and builds the
+// exported Span tree. The trace remains reusable via a Tracer's pool;
+// callers using New simply drop it. Nil trace: zero Span and 0.
+func (t *Trace) Finish() (Span, time.Duration) {
+	if t == nil {
+		return Span{}, 0
+	}
+	t.End(Root)
+	t.spans[0].end = time.Since(t.start)
+	// Index each record's children (arena order = recording order), then
+	// build the tree recursively so every subtree is complete before it
+	// is copied into its parent.
+	n := len(t.spans)
+	kids := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		p := t.spans[i].parent
+		kids[p] = append(kids[p], int32(i))
+	}
+	var build func(i int32) Span
+	build = func(i int32) Span {
+		r := &t.spans[i]
+		node := Span{
+			Name:     r.name,
+			Start:    r.start,
+			Duration: r.end - r.start,
+		}
+		if len(r.attrs) > 0 {
+			node.Attrs = append([]Attr(nil), r.attrs...)
+		}
+		if len(kids[i])+len(r.sub) > 0 {
+			node.Children = make([]Span, 0, len(kids[i])+len(r.sub))
+			for _, c := range kids[i] {
+				node.Children = append(node.Children, build(c))
+			}
+			node.Children = append(node.Children, r.sub...)
+			// Grafted subtrees carry their own offsets; order the merged
+			// child list by start so the rendered timeline reads in order.
+			sort.SliceStable(node.Children, func(a, b int) bool {
+				return node.Children[a].Start < node.Children[b].Start
+			})
+		}
+		return node
+	}
+	root := build(0)
+	return root, root.Duration
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace (ctx itself when t is nil),
+// which is how a request's trace crosses API layers — searcher pools
+// and executors need no signature changes.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

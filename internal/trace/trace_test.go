@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := New(7, "root")
+	a := tr.Begin("a")
+	tr.SetAttr(a, "rows", 10)
+	tr.SetAttr(a, "rows", 11) // replace, not duplicate
+	aa := tr.Begin("aa")
+	tr.End(aa)
+	tr.End(a)
+	b := tr.Begin("b")
+	tr.SetAttrStr(b, "kind", "probe")
+	tr.Add(b, "op", -1, 3*time.Millisecond)
+	tr.End(b)
+	tr.Graft(Root, Span{Name: "remote", Start: time.Hour, Duration: time.Millisecond})
+
+	root, dur := tr.Finish()
+	if root.Name != "root" || dur <= 0 || root.Duration != dur {
+		t.Fatalf("root = %q dur=%v (root.Duration=%v)", root.Name, dur, root.Duration)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3 (a, b, remote)", len(root.Children))
+	}
+	// Grafted after arena children, then ordered by start offset: the
+	// remote span's huge offset puts it last.
+	if got := root.Children[2].Name; got != "remote" {
+		t.Fatalf("last child = %q, want remote", got)
+	}
+	sa := root.Find("a")
+	if sa == nil || len(sa.Children) != 1 || sa.Children[0].Name != "aa" {
+		t.Fatalf("span a lost its child: %+v", sa)
+	}
+	if attr, ok := sa.Attr("rows"); !ok || attr.Val != 11 || len(sa.Attrs) != 1 {
+		t.Fatalf("attr replacement broke: %+v", sa.Attrs)
+	}
+	op := root.Find("op")
+	if op == nil || op.Duration != 3*time.Millisecond {
+		t.Fatalf("Add-recorded op span: %+v", op)
+	}
+	sb := root.Find("b")
+	if op.Start != sb.Start {
+		t.Fatalf("Add with start<0 should inherit parent start: op=%v b=%v", op.Start, sb.Start)
+	}
+	text := root.Render()
+	for _, want := range []string{"root", "  ", "kind=\"probe\"", "rows=11"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEndClosesNestedOpenSpans(t *testing.T) {
+	tr := New(1, "root")
+	outer := tr.Begin("outer")
+	tr.Begin("inner") // never explicitly ended
+	tr.End(outer)
+	after := tr.Begin("after")
+	tr.End(after)
+	root, _ := tr.Finish()
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (outer, after)", len(root.Children))
+	}
+	if root.Children[1].Name != "after" {
+		t.Fatalf("after should parent to root, got %q", root.Children[1].Name)
+	}
+	if inner := root.Find("inner"); inner == nil {
+		t.Fatal("inner span lost")
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	id := tr.Begin("x")
+	if id != -1 {
+		t.Fatalf("nil Begin = %d", id)
+	}
+	tr.SetAttr(id, "k", 1)
+	tr.SetAttrStr(id, "k", "v")
+	tr.End(id)
+	tr.Add(Root, "op", 0, time.Second)
+	tr.Graft(Root, Span{})
+	if root, dur := tr.Finish(); root.Name != "" || dur != 0 {
+		t.Fatalf("nil Finish = %+v %v", root, dur)
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("NewContext(nil) should return ctx unchanged")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on a bare ctx should be nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New(9, "root")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}
+
+func TestTracerPolicy(t *testing.T) {
+	// Disabled tracer records only nothing (not even forced when nil).
+	off := NewTracer(0, 0, 0)
+	if off.Enabled() {
+		t.Fatal("zero-config tracer reports enabled")
+	}
+	if tc := off.Begin("q", false); tc != nil {
+		t.Fatal("disabled tracer recorded an unforced request")
+	}
+	// Forced requests record and are returned but not logged.
+	tc := off.Begin("q", true)
+	if tc == nil {
+		t.Fatal("forced request did not record")
+	}
+	if root := off.Finish(tc); root == nil || root.Name != "q" {
+		t.Fatalf("forced trace not returned: %+v", root)
+	}
+	if got := off.SlowQueries(); len(got) != 0 {
+		t.Fatalf("forced-only trace leaked into slow log: %d", len(got))
+	}
+
+	// Slow threshold: everything records, only slow finishes are kept.
+	slow := NewTracer(10*time.Millisecond, 0, 4)
+	fast := slow.Begin("q", false)
+	if fast == nil {
+		t.Fatal("threshold tracer must record every request")
+	}
+	if root := slow.Finish(fast); root != nil {
+		t.Fatal("fast request kept")
+	}
+	st := slow.Begin("q", false)
+	time.Sleep(12 * time.Millisecond)
+	if root := slow.Finish(st); root == nil {
+		t.Fatal("slow request dropped")
+	}
+	got := slow.SlowQueries()
+	if len(got) != 1 || got[0].Duration < 10*time.Millisecond || got[0].ID == 0 {
+		t.Fatalf("slow log = %+v", got)
+	}
+
+	// rate=1 samples everything regardless of duration.
+	always := NewTracer(0, 1, 4)
+	at := always.Begin("q", false)
+	if at == nil {
+		t.Fatal("rate=1 did not record")
+	}
+	if root := always.Finish(at); root == nil {
+		t.Fatal("rate=1 trace not kept")
+	}
+	if len(always.SlowQueries()) != 1 {
+		t.Fatal("sampled trace missing from log")
+	}
+
+	// Nil tracer is inert.
+	var nilTr *Tracer
+	if nilTr.Begin("q", true) != nil || nilTr.Enabled() || nilTr.SlowQueries() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	if nilTr.Finish(nil) != nil {
+		t.Fatal("nil tracer Finish")
+	}
+}
+
+func TestSlowLogRingAndOrder(t *testing.T) {
+	l := NewSlowLog(3)
+	for i, d := range []time.Duration{5, 1, 9, 7} { // 5 evicted by 7
+		l.Add(QueryTrace{ID: uint64(i + 1), Duration: d})
+	}
+	got := l.Worst()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Duration != 9 || got[1].Duration != 7 || got[2].Duration != 1 {
+		t.Fatalf("order = %v %v %v", got[0].Duration, got[1].Duration, got[2].Duration)
+	}
+}
+
+func TestShift(t *testing.T) {
+	s := Span{Name: "a", Start: 0, Children: []Span{{Name: "b", Start: time.Millisecond}}}
+	s.Shift(time.Second)
+	if s.Start != time.Second || s.Children[0].Start != time.Second+time.Millisecond {
+		t.Fatalf("shift: %v %v", s.Start, s.Children[0].Start)
+	}
+}

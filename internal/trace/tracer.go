@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryTrace is one kept request trace: the finished tree plus the
+// metadata the slow-query log orders and renders by.
+type QueryTrace struct {
+	ID       uint64
+	At       time.Time // when the root span started
+	Duration time.Duration
+	Root     Span
+}
+
+// DefaultSlowLogSize bounds the slow-query log when the caller does not
+// choose a size.
+const DefaultSlowLogSize = 32
+
+// Tracer decides which requests record and which recordings are kept,
+// and owns the bounded slow-query log. The policy is tail-based: with a
+// slow-query threshold set, every request records (whether a request
+// was slow is only known at the end) but only those that finish over
+// the threshold are kept; independently, a sampling rate keeps a random
+// fraction regardless of duration, and a request may force its own
+// trace (the opt-in response field). With neither threshold nor rate
+// nor force, Begin returns nil and requests pay nothing.
+//
+// Recording arenas are pooled: a request that records but is not kept
+// recycles its arena, so steady-state tail recording allocates only
+// what new attribute/span capacity the widest request needs.
+type Tracer struct {
+	slow   time.Duration
+	thresh uint64 // sampling threshold on a 64-bit hash; 0 = never
+	log    *SlowLog
+	pool   sync.Pool
+	ids    atomic.Uint64
+	rng    atomic.Uint64
+}
+
+// NewTracer builds a tracer: slow is the keep-everything-over threshold
+// (0 = off), rate the probabilistic sampling fraction in [0, 1], and
+// logSize the slow-log bound (<= 0 = DefaultSlowLogSize).
+func NewTracer(slow time.Duration, rate float64, logSize int) *Tracer {
+	if logSize <= 0 {
+		logSize = DefaultSlowLogSize
+	}
+	tr := &Tracer{slow: slow, log: NewSlowLog(logSize)}
+	switch {
+	case rate >= 1:
+		tr.thresh = math.MaxUint64
+	case rate > 0:
+		tr.thresh = uint64(rate * float64(math.MaxUint64))
+	}
+	tr.rng.Store(uint64(time.Now().UnixNano()))
+	tr.ids.Store(uint64(time.Now().UnixNano()) | 1)
+	return tr
+}
+
+// Enabled reports whether the tracer ever records on its own (a forced
+// request records regardless).
+func (tr *Tracer) Enabled() bool {
+	return tr != nil && (tr.slow > 0 || tr.thresh > 0)
+}
+
+// SlowThreshold returns the keep threshold (0 = off).
+func (tr *Tracer) SlowThreshold() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return tr.slow
+}
+
+func (tr *Tracer) sample() bool {
+	if tr.thresh == 0 {
+		return false
+	}
+	if tr.thresh == math.MaxUint64 {
+		return true
+	}
+	// splitmix64 over an atomic counter: one Add per decision, no locks.
+	x := tr.rng.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x < tr.thresh
+}
+
+// Begin starts recording a request when policy says so: always when the
+// caller forces it, always under a slow-query threshold (keep decided
+// at Finish), and for the sampled fraction otherwise. Returns nil — the
+// universal no-op — when this request does not record. Safe on a nil
+// tracer (records only forced requests... a nil tracer records nothing).
+func (tr *Tracer) Begin(rootName string, force bool) *Trace {
+	if tr == nil {
+		return nil
+	}
+	sampled := tr.sample()
+	if !force && !sampled && tr.slow == 0 {
+		return nil
+	}
+	var t *Trace
+	if v := tr.pool.Get(); v != nil {
+		t = v.(*Trace)
+	} else {
+		t = &Trace{}
+	}
+	t.id = tr.ids.Add(2)
+	t.sampled = sampled
+	t.forced = force
+	t.slow = tr.slow
+	t.init(rootName)
+	return t
+}
+
+// Finish ends the trace, applies the keep policy, and recycles the
+// arena. The finished tree is returned when anyone will see it — the
+// request forced it, it was sampled, or it ran over the slow threshold
+// (the latter two are also pushed onto the slow-query log). Nil when
+// nothing keeps it (or t is nil).
+func (tr *Tracer) Finish(t *Trace) *Span {
+	if tr == nil || t == nil {
+		return nil
+	}
+	root, dur := t.Finish()
+	keep := t.sampled || (tr.slow > 0 && dur >= tr.slow)
+	forced := t.forced
+	id, at := t.id, t.start
+	tr.pool.Put(t)
+	if !keep && !forced {
+		return nil
+	}
+	if keep {
+		tr.log.Add(QueryTrace{ID: id, At: at, Duration: dur, Root: root})
+	}
+	return &root
+}
+
+// SlowQueries returns the kept traces, worst (longest) first.
+func (tr *Tracer) SlowQueries() []QueryTrace {
+	if tr == nil {
+		return nil
+	}
+	return tr.log.Worst()
+}
+
+// SlowLog is a bounded ring of kept query traces: the newest N stay,
+// Worst returns them ordered by duration descending. Safe for
+// concurrent use.
+type SlowLog struct {
+	mu   sync.Mutex
+	ring []QueryTrace
+	next int
+	full bool
+}
+
+// NewSlowLog returns a log keeping the most recent n traces (n < 1 is
+// treated as 1).
+func NewSlowLog(n int) *SlowLog {
+	if n < 1 {
+		n = 1
+	}
+	return &SlowLog{ring: make([]QueryTrace, n)}
+}
+
+// Add records a trace, evicting the oldest when full.
+func (l *SlowLog) Add(qt QueryTrace) {
+	l.mu.Lock()
+	l.ring[l.next] = qt
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Worst returns the retained traces ordered by duration descending.
+func (l *SlowLog) Worst() []QueryTrace {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	out := make([]QueryTrace, n)
+	copy(out, l.ring[:n])
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}

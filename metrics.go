@@ -76,6 +76,12 @@ func newEngineMetrics() *engineMetrics {
 // concurrent use; cheap enough to poll (it merges fixed-size bucket
 // arrays, no sample retention anywhere).
 func (e *Engine) MetricsSnapshot() EngineMetrics {
+	// A closed engine has released its epoch and storage; report zeros
+	// rather than racing Close over the segment manager and chunk caches
+	// (an ops scrape can land at any time relative to shutdown).
+	if e.closed.Load() {
+		return EngineMetrics{}
+	}
 	m := EngineMetrics{
 		Queries:     e.met.queries.Snapshot(),
 		PoolWait:    e.met.poolWait.Snapshot(),

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"runtime"
+	"time"
 )
 
 // engineConfig is the resolved configuration an Engine is opened with.
@@ -31,6 +32,10 @@ type engineConfig struct {
 
 	admission      bool // WithAdmissionControl given
 	admissionQueue int  // waiters allowed beyond the searcher pool (0 = no hard cap)
+
+	slowQuery time.Duration // WithSlowQueryThreshold: keep traces of queries over this (0 = off)
+	traceRate float64       // WithTraceSampling: fraction of queries traced regardless of duration
+	opsAddr   string        // WithOpsServer: HTTP ops endpoint listen address ("" = off)
 
 	errs []error
 }
@@ -219,6 +224,57 @@ func WithSearchers(n int) Option {
 			return
 		}
 		c.searchers = n
+	}
+}
+
+// WithSlowQueryThreshold arms the slow-query log: every request records
+// a span trace (admission, pool wait, plan build, per-operator
+// execution), and those that finish at or over d are kept in a bounded
+// in-memory log — Engine.SlowQueries returns the worst recent ones, and
+// the ops endpoint (WithOpsServer) renders them at /debug/slow. Whether
+// a query was slow is only known once it finishes, so the threshold
+// implies tail-based recording of every query; the recorder is
+// arena-backed and allocation-light, costing a few percent on the
+// saturated hot path. 0 (the default) disables the log; a trace can
+// still be requested per query via SearchRequest.Trace.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(c *engineConfig) {
+		if d < 0 {
+			c.errs = append(c.errs, fmt.Errorf("repro: negative slow-query threshold %v", d))
+			return
+		}
+		c.slowQuery = d
+	}
+}
+
+// WithTraceSampling keeps a random fraction of query traces regardless
+// of duration — the "what does a *normal* request look like" complement
+// to the slow-query threshold. rate is the fraction in [0, 1]; sampled
+// traces land in the same log SlowQueries and /debug/slow read.
+func WithTraceSampling(rate float64) Option {
+	return func(c *engineConfig) {
+		if rate < 0 || rate > 1 {
+			c.errs = append(c.errs, fmt.Errorf("repro: trace sampling rate %v outside [0, 1]", rate))
+			return
+		}
+		c.traceRate = rate
+	}
+}
+
+// WithOpsServer starts an HTTP ops endpoint on addr (host:port; port 0
+// picks a free port, see Engine.OpsAddr) serving Prometheus text-format
+// metrics at /metrics (every counter, gauge, and latency histogram
+// behind MetricsSnapshot), the standard pprof profiles at
+// /debug/pprof/*, an engine health document at /health, and rendered
+// slow-query traces at /debug/slow. The endpoint shares the engine's
+// lifetime: Close shuts it down.
+func WithOpsServer(addr string) Option {
+	return func(c *engineConfig) {
+		if addr == "" {
+			c.errs = append(c.errs, fmt.Errorf("repro: empty ops server address"))
+			return
+		}
+		c.opsAddr = addr
 	}
 }
 

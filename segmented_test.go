@@ -173,6 +173,37 @@ func TestEngineCloseRacesInFlightSearch(t *testing.T) {
 	}
 }
 
+// TestClosedEngineMetricsAreZero pins the shutdown contract of the
+// metrics surface: an ops scrape can land at any moment relative to
+// Close, so a closed engine's MetricsSnapshot and ResultCacheStats must
+// return zero values rather than race the teardown of the segment
+// manager and chunk caches.
+func TestClosedEngineMetricsAreZero(t *testing.T) {
+	coll := segColl(t)
+	dir := filepath.Join(t.TempDir(), "segix")
+	eng, err := Open(coll, WithStorageDir(dir), WithSegments(), WithResultCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll.PrecisionQueries(1, 7)[0]
+	if _, err := eng.Search(context.Background(), SearchRequest{Terms: q.Terms, K: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Live engine: the search left footprints.
+	if m := eng.MetricsSnapshot(); m.Queries.Count == 0 {
+		t.Fatal("live engine reports no queries")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.MetricsSnapshot(); !reflect.DeepEqual(got, EngineMetrics{}) {
+		t.Errorf("closed MetricsSnapshot = %+v, want zero value", got)
+	}
+	if got := eng.ResultCacheStats(); !reflect.DeepEqual(got, ResultCacheStats{}) {
+		t.Errorf("closed ResultCacheStats = %+v, want zero value", got)
+	}
+}
+
 // TestSegmentedMergeRacesSearchAndRefresh runs the background merger
 // concurrently with live appends, explicit Refreshes and a searching
 // goroutine pool (under -race in CI), then verifies the tiered policy

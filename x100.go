@@ -308,6 +308,33 @@ func WithBrokerAdmission(limit, maxQueue int) BrokerOption {
 	return dist.WithAdmission(limit, maxQueue)
 }
 
+// WithBrokerSlowQueryThreshold arms the broker's slow-query log: every
+// SearchMany call records a stitched distributed trace (fan-out,
+// per-group attempts with hedges and retries, each winning server's own
+// span subtree), and calls over d are kept — Broker.SlowQueries returns
+// the worst recent ones, and the broker ops endpoint renders them at
+// /debug/slow. The engine-side WithSlowQueryThreshold is the
+// single-node counterpart.
+func WithBrokerSlowQueryThreshold(d time.Duration) BrokerOption {
+	return dist.WithSlowQueryThreshold(d)
+}
+
+// WithBrokerTraceSampling keeps a random fraction of broker call traces
+// regardless of duration (the engine-side WithTraceSampling
+// counterpart); sampled traces land in the same log SlowQueries reads.
+func WithBrokerTraceSampling(rate float64) BrokerOption {
+	return dist.WithTraceSampling(rate)
+}
+
+// WithBrokerOpsServer starts a broker HTTP ops endpoint on addr
+// (host:port; port 0 picks a free port, see Broker.OpsAddr): Prometheus
+// metrics at /metrics, pprof at /debug/pprof/*, cluster health at
+// /health, rendered slow traces at /debug/slow. Broker.Close shuts it
+// down. The engine-side WithOpsServer is the single-node counterpart.
+func WithBrokerOpsServer(addr string) BrokerOption {
+	return dist.WithOpsServer(addr)
+}
+
 // StartCluster partitions a collection across n TCP partition ranges
 // (each served by WithClusterReplicas servers; one by default).
 func StartCluster(c *Collection, n int, cfg IndexConfig, opts ...ClusterOption) (*Cluster, error) {

@@ -208,6 +208,8 @@ func (e *Engine) runSubBatch(ctx context.Context, ep *epoch, reqs []SearchReques
 // executions feeding their duration back into the service-time estimate
 // the admission model runs on.
 func (e *Engine) searchBatched(ctx context.Context, ep *epoch, s **ir.Searcher, req SearchRequest, reserved bool) BatchResult {
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
 	start := time.Now()
 	t := e.tracer.Begin("search", req.Trace)
 	ctl := e.qosCtl

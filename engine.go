@@ -169,7 +169,18 @@ type Engine struct {
 
 	merger *merger
 	merges atomic.Int64
+
+	// inflight counts ranked searches currently executing (admitted or
+	// not — this is the always-on load signal, independent of admission
+	// control). The merge throttle reads it to park background merges
+	// while query traffic is hot.
+	inflight atomic.Int64
 }
+
+// InflightQueries reports how many ranked searches are executing right
+// now — the live load signal WithMergeThrottle compares against its
+// threshold.
+func (e *Engine) InflightQueries() int64 { return e.inflight.Load() }
 
 // Open builds an index over the collection and returns an Engine
 // configured by the options. All option errors are reported together.

@@ -45,6 +45,13 @@ type Timing struct {
 	// winner marked), each winning server's own subtree, and the global
 	// merge — present when any request in the batch set Request.Trace.
 	Trace *trace.Span
+	// Gens reports, per partition group, the generation the winning
+	// replica answered at (0 for partitions without generation-stamped
+	// directories, or for groups that failed). On an ingesting cluster
+	// this is the consistency evidence: the merged ranking reflects
+	// exactly these generations, each at least the broker's pinned
+	// generation for its partition.
+	Gens []uint64
 }
 
 // ReplicaStatus is one replica's broker-side view: its address, whether it
@@ -311,6 +318,21 @@ type Broker struct {
 	tracer      *trace.Tracer
 	ops         *obs.Server // nil unless WithOpsServer
 
+	// gens[gi] is the highest generation the broker has seen partition gi
+	// commit (an Add it routed) or answer at. Every search pins it
+	// (wireRequest.PinGen): a replica that has not caught up refuses
+	// rather than answering with missing documents, and failover absorbs
+	// the skew. Ratcheted monotonically from every answer — read-your-
+	// writes per broker, without a coordination service.
+	gens []atomic.Uint64
+
+	// ingest is the distributed-Add state (nil until the first Add):
+	// per-group status/append/ship connections, separate from the query
+	// connections so a segment ship never serializes behind — or blocks —
+	// query round trips on the same conn.
+	ingestMu sync.Mutex
+	ingest   *ingestState
+
 	// Cumulative serving counters behind MetricsSnapshot.
 	calls    metrics.Counter // SearchMany invocations (admitted)
 	queries  metrics.Counter // requests across admitted batches
@@ -368,6 +390,7 @@ func DialGroups(groups [][]string, opts ...BrokerOption) (*Broker, error) {
 	}
 	b := &Broker{
 		groups:      make([]*group, len(groups)),
+		gens:        make([]atomic.Uint64, len(groups)),
 		hedgeBudget: cfg.hedgeBudget,
 		partial:     cfg.partial,
 		tracer:      trace.NewTracer(cfg.slowQuery, cfg.traceRate, 0),
@@ -495,10 +518,28 @@ func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse
 	return resp, nil
 }
 
+// ratchetGen folds an observed generation into the partition's table
+// entry, monotonically: generations only grow, so a late answer from an
+// older generation can never move pinning backwards.
+func (b *Broker) ratchetGen(gi int, gen uint64) {
+	for {
+		cur := b.gens[gi].Load()
+		if gen <= cur || b.gens[gi].CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
 // Close stops the ops endpoint (if any) and closes every replica
 // connection.
 func (b *Broker) Close() error {
 	b.ops.Close()
+	b.ingestMu.Lock()
+	if b.ingest != nil {
+		b.ingest.close()
+		b.ingest = nil
+	}
+	b.ingestMu.Unlock()
 	for _, g := range b.groups {
 		if g == nil {
 			continue
@@ -578,7 +619,10 @@ type groupReply struct {
 // per-request errors; the error return is reserved for transport-level
 // failure (and admission rejection).
 func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult, Timing, error) {
-	timing := Timing{PerServer: make([]time.Duration, len(b.groups))}
+	timing := Timing{
+		PerServer: make([]time.Duration, len(b.groups)),
+		Gens:      make([]uint64, len(b.groups)),
+	}
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
 		return out, timing, nil
@@ -656,6 +700,7 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 		if r.err == nil && len(r.resp.Queries) != len(reqs) {
 			r.err = fmt.Errorf("answered %d of %d queries", len(r.resp.Queries), len(reqs))
 		}
+		timing.Gens[r.gi] = r.resp.Gen
 		if r.err != nil {
 			// Under WithPartialResults a down group is routed around unless
 			// the caller itself gave up (a context error is not an outage).
@@ -755,6 +800,11 @@ type attemptRec struct {
 // winner, the stalled hedge victim, failed retries — becomes a span in
 // rep.span, with offsets relative to rootStart.
 func (b *Broker) searchGroup(ctx context.Context, gi int, g *group, wreq wireRequest, rootStart time.Time) groupReply {
+	// Pin the highest generation this broker has seen the partition at:
+	// a replica still behind it (replication skew, or freshly revived)
+	// answers Stale, which the failure path below absorbs like any other
+	// failed attempt. wreq is this goroutine's copy.
+	wreq.PinGen = b.gens[gi].Load()
 	traced := wreq.TraceSampled
 	groupStart := time.Since(rootStart)
 	order := g.candidates(time.Now())
@@ -820,6 +870,13 @@ func (b *Broker) searchGroup(ctx context.Context, gi int, g *group, wreq wireReq
 		select {
 		case a := <-ch:
 			inflight--
+			if a.err == nil && a.resp.Stale {
+				// A refused answer is a failed attempt: cool the replica down
+				// and re-issue elsewhere. (Its reported generation is older
+				// than the pin by definition, so there is nothing to ratchet.)
+				a.err = fmt.Errorf("dist: %s: replica at generation %d, behind pinned %d",
+					a.r.conn.addr, a.resp.Gen, wreq.PinGen)
+			}
 			if traced {
 				rec := recs[a.ai]
 				rec.end = rec.start + a.d
@@ -828,6 +885,7 @@ func (b *Broker) searchGroup(ctx context.Context, gi int, g *group, wreq wireReq
 				}
 			}
 			if a.err == nil {
+				b.ratchetGen(gi, a.resp.Gen)
 				a.r.observeSuccess(a.d)
 				if g.hedger != nil {
 					g.hedger.Observe(a.d)

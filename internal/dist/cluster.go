@@ -3,6 +3,8 @@ package dist
 import (
 	"context"
 	"fmt"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -19,6 +21,7 @@ type ClusterOption func(*clusterConfig)
 type clusterConfig struct {
 	replicas  int
 	storeOpts []storage.OpenOption
+	ingest    bool
 }
 
 // WithReplicas serves every partition range with r servers instead of
@@ -37,6 +40,20 @@ func WithReplicas(r int) ClusterOption {
 // StartClusterFromDirs. Ignored by in-memory StartCluster.
 func WithStorageOptions(opts ...storage.OpenOption) ClusterOption {
 	return func(c *clusterConfig) { c.storeOpts = append(c.storeOpts, opts...) }
+}
+
+// WithIngest starts every replica of a segmented partition as a live
+// ingest node (StartClusterFromDirs only): replica 0 of each partition
+// serves the partition directory itself and replicas 1..r-1 serve their
+// own per-replica copy (<dir>-r<i>, bootstrapped by file copy on first
+// start, reused on revival) — real replication, where Broker.Add commits
+// on one node and ships segment files to the others, instead of every
+// replica reading one shared directory. Ingesting servers answer the
+// append/fetch/install verbs and refresh their serving snapshot across
+// generations without dropping in-flight searches. Requires segmented,
+// non-External partition directories (see BuildLivePartitions).
+func WithIngest() ClusterOption {
+	return func(c *clusterConfig) { c.ingest = true }
 }
 
 func applyClusterOptions(opts []ClusterOption) clusterConfig {
@@ -64,6 +81,13 @@ type Cluster struct {
 
 	replicas int
 	owner    bool // views produced by Sub must not close the servers
+
+	// Revival state for ingest clusters (WithIngest): the directory each
+	// server slot serves and the open parameters, so KillReplica /
+	// ReviveReplica can cycle a node in place on its original address.
+	replicaDirs []string
+	poolBytes   int64
+	storeOpts   []storage.OpenOption
 }
 
 // assemble wires a flat, group-major server slice into a Cluster.
@@ -266,6 +290,65 @@ func BuildSegmentedPartitions(c *corpus.Collection, n, segsPer int, cfg ir.Build
 	return dirs, nil
 }
 
+// LiveDocIDStride is the docid-range stride between live ingest
+// partitions: partition i owns [i*stride, (i+1)*stride). The stride
+// bounds a partition at ~16M documents, and the fixed-width docid
+// encodings cap global docids at 2^31 — room for 127 live partitions.
+const LiveDocIDStride = 1 << 24
+
+// BuildLivePartitions lays out n *live* segmented partition directories
+// under baseDir (part-<i>), each owning a strided docid range
+// (LiveDocIDStride apart, so partitions can grow independently without
+// docid collisions), and seeds partition i with the i-th contiguous
+// slice of the collection as its first segment — or leaves it empty when
+// the collection runs out, ready for Broker.Add to fill. Unlike
+// BuildSegmentedPartitions, the directories are NOT marked external:
+// statistics are partition-local and recomputed as appends land, which
+// is what lets a cluster ingest without a global-statistics coordinator.
+// (The trade: cross-partition score comparability drifts with skew
+// between partitions' statistics. A 1-partition layout — any replica
+// count — keeps partition-local statistics exactly global.)
+func BuildLivePartitions(c *corpus.Collection, n int, cfg ir.BuildConfig, baseDir string) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: partition count %d < 1", n)
+	}
+	cfg.Stats = nil // partition-local: AppendSegment computes per-directory stats
+	numDocs := len(c.DocLens)
+	dirs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dir := filepath.Join(baseDir, fmt.Sprintf("part-%d", i))
+			if err := storage.InitSegmented(dir, int64(i)*LiveDocIDStride); err != nil {
+				errs[i] = err
+				return
+			}
+			lo, hi := i*numDocs/n, (i+1)*numDocs/n
+			if lo < hi {
+				sub, err := c.Slice(lo, hi)
+				if err == nil {
+					_, err = storage.AppendSegment(dir, sub, cfg)
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			dirs[i] = dir
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
 // StartClusterFromDirs opens persisted partition directories (from
 // BuildPartitions or BuildSegmentedPartitions — monolithic and segmented
 // layouts are detected per directory) and starts one TCP server per
@@ -283,6 +366,7 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 	}
 	ccfg := applyClusterOptions(opts)
 	servers := make([]*Server, len(dirs)*ccfg.replicas)
+	replicaDirs := make([]string, len(servers))
 	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
 	for p := range dirs {
@@ -291,6 +375,30 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 			go func(p, r int) {
 				defer wg.Done()
 				i := p*ccfg.replicas + r
+				if ccfg.ingest {
+					if !storage.IsSegmentedDir(dirs[p]) {
+						errs[i] = fmt.Errorf("dist: WithIngest needs a segmented partition directory, %q is not one", dirs[p])
+						return
+					}
+					dir := dirs[p]
+					if r > 0 {
+						// Each replica past the first serves its own copy:
+						// bootstrap by file copy on first start (bulk catch-up
+						// is a local concern, not the wire protocol's), reuse
+						// the directory on later starts — a revived replica
+						// keeps its data and catches up by shipped segments.
+						dir = fmt.Sprintf("%s-r%d", dirs[p], r)
+						if !storage.IsSegmentedDir(dir) {
+							if err := copyDir(dirs[p], dir); err != nil {
+								errs[i] = err
+								return
+							}
+						}
+					}
+					replicaDirs[i] = dir
+					servers[i], errs[i] = serveSegmentedDir(dir, "127.0.0.1:0", poolBytes, ccfg.storeOpts)
+					return
+				}
 				if storage.IsSegmentedDir(dirs[p]) {
 					snap, err := storage.OpenSegmented(dirs[p], poolBytes, ccfg.storeOpts...)
 					if err != nil {
@@ -313,7 +421,79 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 	if err := closeOnError(servers, errs); err != nil {
 		return nil, err
 	}
-	return assemble(servers, len(dirs), ccfg.replicas), nil
+	cl := assemble(servers, len(dirs), ccfg.replicas)
+	if ccfg.ingest {
+		cl.replicaDirs = replicaDirs
+		cl.poolBytes = poolBytes
+		cl.storeOpts = ccfg.storeOpts
+	}
+	return cl, nil
+}
+
+// copyDir recursively copies a partition directory (replica bootstrap).
+// Writer lock files are skipped — a copied lock would wedge the replica's
+// install path behind a writer that never existed.
+func copyDir(src, dst string) error {
+	return filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		if d.Name() == storage.WriterLockName {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// KillReplica shuts partition p's replica r down in place — connections
+// sever, in-flight requests are lost, the address goes dark — the crash
+// the broker's failover and generation pinning are built to absorb.
+// Revive it with ReviveReplica.
+func (cl *Cluster) KillReplica(p, r int) error {
+	return cl.Replica(p, r).Close()
+}
+
+// ReviveReplica restarts a killed replica of an ingest cluster on its
+// original address, serving its original directory: the data it had at
+// death, however many generations behind the group has moved since.
+// Brokers redial lazily, so the revived node starts taking traffic on
+// the next attempt routed its way — refusing queries pinned past its
+// generation until an Add's ship path (or a shared-directory refresh)
+// catches it up.
+func (cl *Cluster) ReviveReplica(p, r int) error {
+	i := p*cl.replicas + r
+	if cl.replicaDirs == nil || cl.replicaDirs[i] == "" {
+		return fmt.Errorf("dist: partition %d replica %d not revivable (cluster not started with WithIngest)", p, r)
+	}
+	// The old listener's port can linger briefly after Close; retry the
+	// bind rather than failing a revival that would succeed a moment
+	// later.
+	var s *Server
+	var err error
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		s, err = serveSegmentedDir(cl.replicaDirs[i], cl.Addrs[i], cl.poolBytes, cl.storeOpts)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return err
+	}
+	cl.Servers[i] = s
+	return nil
 }
 
 // Close shuts every server down (no-op on Sub views, which share their

@@ -8,10 +8,23 @@ import (
 	"repro/internal/trace"
 )
 
+// Wire verbs. The zero value is the original search verb, so brokers and
+// servers from before the ingest protocol interoperate: gob omits absent
+// fields and the extra payload pointers decode as nil.
+const (
+	verbSearch        = iota // execute Queries
+	verbStatus               // report generation / docid range / segment set
+	verbAppend               // index Append.Docs as a new committed segment
+	verbFetch                // read a chunk (or list the files) of a committed segment
+	verbInstallChunk         // write one shipped chunk into a segment being installed
+	verbInstallCommit        // install a shipped manifest and refresh serving
+)
+
 // wireRequest is one broker -> server message: a batch of queries the
-// server executes concurrently through its searcher pool. Single-query
-// Search sends a batch of one; Broker.SearchMany ships a whole batch in
-// one round trip per server instead of one per query.
+// server executes concurrently through its searcher pool (verbSearch,
+// the zero Verb), or one ingest/replication operation selected by Verb.
+// Single-query Search sends a batch of one; Broker.SearchMany ships a
+// whole batch in one round trip per server instead of one per query.
 type wireRequest struct {
 	// Seq is the connection-local request sequence number; the server
 	// echoes it in the response. Retries and hedges re-issue read-only
@@ -20,6 +33,7 @@ type wireRequest struct {
 	// a retried request some earlier request's reply. A mismatched echo
 	// drops the connection instead of returning a stale answer.
 	Seq     uint64
+	Verb    int
 	Queries []wireQuery
 	// TimeoutNanos, when positive, bounds server-side execution of the
 	// whole batch — the broker forwards the remaining client deadline so a
@@ -32,6 +46,56 @@ type wireRequest struct {
 	// attempt that carried it — one stitched tree per distributed request.
 	TraceID      uint64
 	TraceSampled bool
+
+	// PinGen, for verbSearch against a dir-backed (ingesting) partition,
+	// is the generation the broker has already seen this partition commit
+	// or answer at. A server serving an *older* generation must not answer
+	// — it would silently miss documents the caller already observed — so
+	// it refreshes from its directory and, still behind, refuses with
+	// Stale, which the broker treats exactly like a failed attempt
+	// (failover/hedging absorbs replication skew). Serving a newer
+	// generation is fine: generations only grow, and the answer reports
+	// the one it ran at. 0 pins nothing.
+	PinGen uint64
+
+	// Per-verb payloads; nil for verbs that do not use them (gob encodes
+	// nil pointers as absent).
+	Append  *wireAppend
+	Fetch   *wireFetch
+	Install *wireInstall
+}
+
+// wireDoc is one live document on the wire.
+type wireDoc struct {
+	Name   string
+	Tokens []string
+}
+
+// wireAppend asks a dir-backed primary to index a document batch as one
+// new committed segment (verbAppend).
+type wireAppend struct {
+	Docs []wireDoc
+}
+
+// wireFetch reads Len bytes of a committed segment file at Off
+// (verbFetch); with File empty it lists the segment's files instead —
+// the two reads the shipping path needs from a primary.
+type wireFetch struct {
+	Seg  string
+	File string
+	Off  int64
+	Len  int
+}
+
+// wireInstall carries one shipped chunk (verbInstallChunk: Seg/File/Off/
+// Data) or the committed manifest bytes (verbInstallCommit: Manifest)
+// into a replica's directory.
+type wireInstall struct {
+	Seg      string
+	File     string
+	Off      int64
+	Data     []byte
+	Manifest []byte
 }
 
 // wireQuery is one query inside a batch.
@@ -46,6 +110,64 @@ type wireQuery struct {
 type wireResponse struct {
 	Seq     uint64
 	Queries []wireAnswer
+
+	// Gen is the generation the server answered at (0 for servers without
+	// a generation-stamped directory). Brokers fold it into their
+	// per-partition generation table, so pinning ratchets forward with
+	// every answer, not just every Add.
+	Gen uint64
+	// Stale marks a refused verbSearch: the server's generation trails the
+	// request's PinGen even after a refresh attempt. No queries were
+	// executed; the broker retries elsewhere.
+	Stale bool
+	// Err reports a failed control verb (status/append/fetch/install);
+	// per-query errors ride in Queries for verbSearch.
+	Err string
+
+	// Per-verb payloads.
+	Status *wireStatus
+	Append *wireAppendResult
+	// Data is the verbFetch chunk payload; Files answers a verbFetch file
+	// listing (File == "").
+	Data  []byte
+	Files []wireFileInfo
+}
+
+// wireStatus answers verbStatus: where this replica stands.
+type wireStatus struct {
+	// Gen is the serving generation; DiskGen the generation of the on-disk
+	// manifest (ahead of Gen when a refresh is pending). A replica whose
+	// DiskGen already matches the primary's commit only needs an install
+	// commit (shared/bootstrapped directories), not file shipping.
+	Gen     uint64
+	DiskGen uint64
+	// DocBase/NumDocs describe the partition's docid range (routing).
+	DocBase int64
+	NumDocs int
+	// Segs names the segment directories of the on-disk manifest; the
+	// shipping diff sends only what a lagging replica is missing.
+	Segs []string
+	// Ingest reports whether this server is dir-backed and non-External —
+	// i.e. can accept appends and installs.
+	Ingest bool
+}
+
+// wireFileInfo mirrors storage.SegmentFileInfo on the wire.
+type wireFileInfo struct {
+	Name string
+	Size int64
+}
+
+// wireAppendResult answers verbAppend: the committed generation, the new
+// segment's name and files (so the broker can ship it to the group's
+// other replicas without re-asking), and the exact committed manifest
+// bytes replicas will install.
+type wireAppendResult struct {
+	Gen      uint64
+	Seg      string
+	Files    []wireFileInfo
+	Manifest []byte
+	NumDocs  int
 }
 
 // wireAnswer is one query's results plus the complete per-query stats.

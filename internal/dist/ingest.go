@@ -1,0 +1,399 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/storage"
+)
+
+// Doc is one live document for distributed ingest, mirroring the
+// engine-side type.
+type Doc = corpus.Doc
+
+// shipChunk is the segment-shipping transfer unit: one verbFetch from
+// the primary and one verbInstallChunk to the replica per chunk. Small
+// enough that a ship never monopolizes a connection for long, large
+// enough that a segment is a handful of round trips.
+const shipChunk = 256 << 10
+
+// AddStats reports one distributed Add: where the batch landed and what
+// replication it triggered.
+type AddStats struct {
+	// Partition is the group the batch was routed to; Gen the generation
+	// its primary committed; Segment the new segment's directory name.
+	Partition int
+	Gen       uint64
+	Segment   string
+	// Docs is the batch size; TotalDocs the partition's document count
+	// after the commit (the routing signal).
+	Docs      int
+	TotalDocs int
+	// Replicated counts group members at generation Gen when Add
+	// returned (the primary included); Lagging counts members that could
+	// not be brought up to date (down, or a ship/install failed). A
+	// lagging replica cannot corrupt results — queries pin Gen, so it
+	// refuses with Stale until it catches up on a later Add or refresh.
+	Replicated int
+	Lagging    int
+	// ShippedFiles/ShippedBytes count segment file data relayed
+	// primary -> broker -> replicas (zero when every replica shares the
+	// primary's directory or was already current).
+	ShippedFiles int
+	ShippedBytes int64
+}
+
+// ingestState is the broker's lazily-created distributed-Add machinery:
+// one ingest connection per replica, separate from the query connections.
+// A query round trip holds its connection's lock end to end, so shipping
+// megabytes of segment files over the query connections would stall
+// searches behind bulk transfer; the split keeps ingest and serving
+// traffic on independent streams to the same servers.
+type ingestState struct {
+	groups []*ingestGroup
+}
+
+// ingestGroup is one partition's ingest side: its replica connections
+// and a mutex serializing Adds routed to this partition (concurrent Adds
+// to different partitions proceed in parallel; two Adds to the same
+// primary would just contend on the storage writer lock anyway).
+type ingestGroup struct {
+	mu    sync.Mutex
+	conns []*srvConn
+}
+
+func (st *ingestState) close() {
+	for _, ig := range st.groups {
+		for _, sc := range ig.conns {
+			sc.close()
+		}
+	}
+}
+
+// ingestFor returns the broker's ingest state, creating it on first use.
+func (b *Broker) ingestFor() *ingestState {
+	b.ingestMu.Lock()
+	defer b.ingestMu.Unlock()
+	if b.ingest == nil {
+		st := &ingestState{groups: make([]*ingestGroup, len(b.groups))}
+		for gi, g := range b.groups {
+			ig := &ingestGroup{conns: make([]*srvConn, len(g.replicas))}
+			for ri, r := range g.replicas {
+				ig.conns[ri] = &srvConn{addr: r.conn.addr}
+			}
+			st.groups[gi] = ig
+		}
+		b.ingest = st
+	}
+	return b.ingest
+}
+
+// control runs one ingest round trip and lifts the response's Err field
+// into a Go error, so callers handle transport and application failures
+// uniformly.
+func control(ctx context.Context, sc *srvConn, req wireRequest) (wireResponse, error) {
+	resp, err := sc.roundTrip(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("dist: %s: %s", sc.addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// status asks one replica where it stands (generation, docid range,
+// segment set, ingest capability).
+func status(ctx context.Context, sc *srvConn) (*wireStatus, error) {
+	resp, err := control(ctx, sc, wireRequest{Verb: verbStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, fmt.Errorf("dist: %s: status reply with no payload", sc.addr)
+	}
+	return resp.Status, nil
+}
+
+// Add routes one document batch to the owning partition and replicates
+// the commit: the partition's primary indexes the batch as a new
+// committed generation, and the freshly committed segment files are
+// shipped to the group's other replicas, which install the manifest and
+// refresh without dropping in-flight searches. The owning partition is
+// the ingest-capable group with the fewest documents (appends balance
+// across partitions; a partition's docid range is fixed at cluster
+// build, so growth lands where there is room). The broker's generation
+// table is ratcheted to the new commit before Add returns, so every
+// subsequent query through this broker pins a generation that includes
+// the batch — read-your-writes.
+//
+// Add succeeds when any replica of the owning group commits the batch.
+// Replicas that cannot be brought current (down, mid-revival, failed
+// install) are reported in AddStats.Lagging, not errors: generation
+// pinning already guarantees they refuse to answer queries until they
+// catch up, which happens on the next Add to the group (the ship diff
+// resends whatever is missing) or on their own refresh.
+func (b *Broker) Add(ctx context.Context, docs []Doc) (AddStats, error) {
+	var stats AddStats
+	if len(docs) == 0 {
+		return stats, errors.New("dist: Add with no documents")
+	}
+	st := b.ingestFor()
+
+	// Route: least-loaded ingest-capable partition. Statuses come over
+	// the ingest connections; a partition with every replica unreachable
+	// is simply not a candidate.
+	gi, ingestRIs, err := b.route(ctx, st)
+	if err != nil {
+		return stats, err
+	}
+	stats.Partition = gi
+	stats.Docs = len(docs)
+
+	ig := st.groups[gi]
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+
+	// Append on the first replica that takes it — a dead primary fails
+	// over to the next group member, which becomes the ship source.
+	wdocs := make([]wireDoc, len(docs))
+	for i, d := range docs {
+		wdocs[i] = wireDoc{Name: d.Name, Tokens: d.Tokens}
+	}
+	var res *wireAppendResult
+	primary := -1
+	var appendErr error
+	for _, ri := range ingestRIs {
+		resp, err := control(ctx, ig.conns[ri], wireRequest{Verb: verbAppend, Append: &wireAppend{Docs: wdocs}})
+		if err != nil {
+			appendErr = err
+			if ctx.Err() != nil {
+				return stats, ctx.Err()
+			}
+			continue
+		}
+		if resp.Append == nil {
+			appendErr = fmt.Errorf("dist: %s: append reply with no payload", ig.conns[ri].addr)
+			continue
+		}
+		res = resp.Append
+		primary = ri
+		break
+	}
+	if res == nil {
+		return stats, fmt.Errorf("dist: partition %d: append failed on every replica: %w", gi, appendErr)
+	}
+	stats.Gen = res.Gen
+	stats.Segment = res.Seg
+	stats.TotalDocs = res.NumDocs
+	stats.Replicated = 1
+	b.ratchetGen(gi, res.Gen)
+
+	// Replicate: bring every other group member to the committed
+	// generation — manifest install only when its directory already has
+	// the segments (shared dir, or already shipped), file shipping first
+	// when it does not.
+	for ri := range ig.conns {
+		if ri == primary {
+			continue
+		}
+		if err := b.replicate(ctx, ig, primary, ri, res, &stats); err != nil {
+			if ctx.Err() != nil {
+				return stats, ctx.Err()
+			}
+			stats.Lagging++
+			continue
+		}
+		stats.Replicated++
+	}
+	return stats, nil
+}
+
+// AddMany routes and replicates a sequence of batches, stopping at the
+// first failed Add. Batches may land on different partitions — routing
+// re-balances as partitions grow.
+func (b *Broker) AddMany(ctx context.Context, batches [][]Doc) ([]AddStats, error) {
+	out := make([]AddStats, 0, len(batches))
+	for i, docs := range batches {
+		st, err := b.Add(ctx, docs)
+		if err != nil {
+			return out, fmt.Errorf("dist: batch %d: %w", i, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// route picks the owning partition for a new batch: among groups with at
+// least one reachable ingest-capable replica, the one serving the fewest
+// documents. Returns the group index and its reachable ingest replicas
+// in try order.
+func (b *Broker) route(ctx context.Context, st *ingestState) (int, []int, error) {
+	bestGi, bestDocs := -1, 0
+	var bestRIs []int
+	var lastErr error
+	for gi, ig := range st.groups {
+		var ris []int
+		docs := 0
+		for ri, sc := range ig.conns {
+			ws, err := status(ctx, sc)
+			if err != nil {
+				lastErr = err
+				if ctx.Err() != nil {
+					return -1, nil, ctx.Err()
+				}
+				continue
+			}
+			if !ws.Ingest {
+				continue
+			}
+			ris = append(ris, ri)
+			if ws.NumDocs > docs {
+				docs = ws.NumDocs // replicas may be skewed; size by the freshest
+			}
+		}
+		if len(ris) == 0 {
+			continue
+		}
+		if bestGi < 0 || docs < bestDocs {
+			bestGi, bestDocs, bestRIs = gi, docs, ris
+		}
+	}
+	if bestGi < 0 {
+		if lastErr != nil {
+			return -1, nil, fmt.Errorf("dist: no ingest-capable partition reachable: %w", lastErr)
+		}
+		return -1, nil, errors.New("dist: no ingest-capable partitions (start the cluster with WithIngest)")
+	}
+	return bestGi, bestRIs, nil
+}
+
+// replicate brings one replica to the primary's just-committed
+// generation: diff its on-disk segment set against the committed
+// manifest, ship whatever is missing chunk by chunk (primary -> broker
+// -> replica), then install the manifest — the commit point — which the
+// replica follows with a serving refresh.
+func (b *Broker) replicate(ctx context.Context, ig *ingestGroup, primary, ri int, res *wireAppendResult, stats *AddStats) error {
+	dst := ig.conns[ri]
+	ws, err := status(ctx, dst)
+	if err != nil {
+		return err
+	}
+	if ws.DiskGen < res.Gen {
+		// Ship segments the replica's directory is missing. The committed
+		// manifest names them; the new segment's files came back with the
+		// append, older ones (a revived replica catching up) are listed
+		// from the primary on demand.
+		have := make(map[string]bool, len(ws.Segs))
+		for _, s := range ws.Segs {
+			have[s] = true
+		}
+		segs, err := storage.ManifestSegNames(res.Manifest)
+		if err != nil {
+			return err
+		}
+		for _, seg := range segs {
+			if have[seg] {
+				continue
+			}
+			files, err := b.segFileList(ctx, ig.conns[primary], seg, res)
+			if err != nil {
+				return err
+			}
+			for _, f := range files {
+				if err := b.shipFile(ctx, ig.conns[primary], dst, seg, f, stats); err != nil {
+					return err
+				}
+				stats.ShippedFiles++
+			}
+		}
+	}
+	_, err = control(ctx, dst, wireRequest{Verb: verbInstallCommit, Install: &wireInstall{Manifest: res.Manifest}})
+	return err
+}
+
+// segFileList returns the file set of one committed segment: from the
+// append result when it is the fresh segment, from the primary's
+// directory otherwise.
+func (b *Broker) segFileList(ctx context.Context, src *srvConn, seg string, res *wireAppendResult) ([]wireFileInfo, error) {
+	if seg == res.Seg {
+		return res.Files, nil
+	}
+	resp, err := control(ctx, src, wireRequest{Verb: verbFetch, Fetch: &wireFetch{Seg: seg}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Files, nil
+}
+
+// shipFile relays one segment file from the primary to a replica in
+// shipChunk pieces.
+func (b *Broker) shipFile(ctx context.Context, src, dst *srvConn, seg string, f wireFileInfo, stats *AddStats) error {
+	for off := int64(0); off < f.Size; off += shipChunk {
+		n := int(min(int64(shipChunk), f.Size-off))
+		resp, err := control(ctx, src, wireRequest{Verb: verbFetch, Fetch: &wireFetch{Seg: seg, File: f.Name, Off: off, Len: n}})
+		if err != nil {
+			return err
+		}
+		if len(resp.Data) != n {
+			return fmt.Errorf("dist: %s: short fetch of %s/%s at %d: %d of %d bytes",
+				src.addr, seg, f.Name, off, len(resp.Data), n)
+		}
+		if _, err := control(ctx, dst, wireRequest{Verb: verbInstallChunk,
+			Install: &wireInstall{Seg: seg, File: f.Name, Off: off, Data: resp.Data}}); err != nil {
+			return err
+		}
+		stats.ShippedBytes += int64(n)
+	}
+	return nil
+}
+
+// PartitionGens reports the broker's generation table: the highest
+// generation it has seen each partition commit or answer at (what new
+// queries will pin).
+func (b *Broker) PartitionGens() []uint64 {
+	out := make([]uint64, len(b.gens))
+	for i := range b.gens {
+		out[i] = b.gens[i].Load()
+	}
+	return out
+}
+
+// WaitConverged polls every replica of every partition until each one's
+// serving generation reaches the broker's pinned generation for its
+// partition (or the context expires) — test and operations support for
+// "has the cluster caught up with everything this broker ingested".
+func (b *Broker) WaitConverged(ctx context.Context) error {
+	st := b.ingestFor()
+	for {
+		behind := ""
+		for gi, ig := range st.groups {
+			want := b.gens[gi].Load()
+			if want == 0 {
+				continue
+			}
+			for _, sc := range ig.conns {
+				ws, err := status(ctx, sc)
+				if err != nil {
+					behind = fmt.Sprintf("%s: %v", sc.addr, err)
+					continue
+				}
+				if ws.Gen < want {
+					behind = fmt.Sprintf("%s at generation %d, want %d", sc.addr, ws.Gen, want)
+				}
+			}
+		}
+		if behind == "" {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dist: not converged (%s): %w", behind, ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/storage"
+)
+
+// liveBatches cuts docs [lo, hi) of the collection into token-bag
+// batches of the given size for replay through Broker.Add.
+func liveBatches(t *testing.T, c *corpus.Collection, lo, hi, size int) [][]Doc {
+	t.Helper()
+	var out [][]Doc
+	for at := lo; at < hi; at += size {
+		end := at + size
+		if end > hi {
+			end = hi
+		}
+		docs, err := c.Docs(at, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, docs)
+	}
+	return out
+}
+
+// TestLiveIngestRoutingAndConvergence drives the distributed ingest
+// surface end to end on a 2-partition × 2-replica cluster: Adds route to
+// the least-loaded partition, every replica of an owning group converges
+// to the committed generation, the broker's generation table ratchets,
+// and queries after ingest see documents from both partitions' strided
+// docid ranges.
+func TestLiveIngestRoutingAndConvergence(t *testing.T) {
+	c := testCollection(t)
+	seed, err := c.Slice(0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := BuildLivePartitions(seed, 2, ir.DefaultBuildConfig(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartClusterFromDirs(dirs, 0, WithReplicas(2), WithIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	brk, err := cl.NewBroker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	ctx := context.Background()
+
+	added := 0
+	perPartition := make(map[int]int)
+	for _, batch := range liveBatches(t, c, 2000, 2600, 100) {
+		st, err := brk.Add(ctx, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Replicated != 2 || st.Lagging != 0 {
+			t.Fatalf("add: replicated %d lagging %d, want 2/0 (stats %+v)", st.Replicated, st.Lagging, st)
+		}
+		if st.ShippedBytes == 0 || st.ShippedFiles == 0 {
+			t.Fatalf("add shipped nothing (stats %+v) — replicas share a directory?", st)
+		}
+		perPartition[st.Partition]++
+		added += st.Docs
+	}
+	if len(perPartition) != 2 {
+		t.Errorf("adds all routed to one partition: %v", perPartition)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := brk.WaitConverged(wctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range brk.PartitionGens() {
+		if gen < 2 {
+			t.Errorf("partition generation %d after ingest, want >= 2 (table %v)", gen, brk.PartitionGens())
+		}
+	}
+
+	// Every server of each group serves the same generation and the same
+	// document count; the cluster's total includes every added doc.
+	total := 0
+	for p := 0; p < cl.Partitions(); p++ {
+		g0 := cl.Replica(p, 0)
+		for r := 1; r < cl.Replicas(); r++ {
+			if got, want := cl.Replica(p, r).Gen(), g0.Gen(); got != want {
+				t.Errorf("partition %d replica %d at generation %d, replica 0 at %d", p, r, got, want)
+			}
+			if got, want := cl.Replica(p, r).Snapshot().NumDocs(), g0.Snapshot().NumDocs(); got != want {
+				t.Errorf("partition %d replica %d has %d docs, replica 0 has %d", p, r, got, want)
+			}
+		}
+		total += g0.Snapshot().NumDocs()
+	}
+	if want := 2000 + added; total != want {
+		t.Errorf("cluster serves %d docs, want %d", total, want)
+	}
+
+	// Queries after ingest must reach both partitions' strided ranges.
+	sawHigh := false
+	for _, q := range c.PrecisionQueries(6, 29) {
+		res, timing, err := brk.Search(q.Terms, 10, ir.BM25TCMQ8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(timing.Gens) != 2 {
+			t.Fatalf("timing.Gens = %v", timing.Gens)
+		}
+		for _, r := range res {
+			if r.DocID >= LiveDocIDStride {
+				sawHigh = true
+			}
+			if r.Name == "" {
+				t.Errorf("query %v: unresolved name for doc %d", q.Terms, r.DocID)
+			}
+		}
+	}
+	if !sawHigh {
+		t.Error("no query result came from partition 1's docid range")
+	}
+
+	// Adding through a broker over a non-ingest cluster fails loudly.
+	plainDirs, err := BuildSegmentedPartitions(seed, 1, 2, ir.DefaultBuildConfig(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCl, err := StartClusterFromDirs(plainDirs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainCl.Close()
+	plainBrk, err := plainCl.NewBroker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainBrk.Close()
+	if _, err := plainBrk.Add(ctx, liveBatches(t, c, 2600, 2650, 50)[0]); err == nil ||
+		!strings.Contains(err.Error(), "WithIngest") {
+		t.Errorf("Add on non-ingest cluster: %v, want WithIngest hint", err)
+	}
+}
+
+// TestPinnedGenerationMatchesCentralized is the tentpole acceptance
+// property: on a replicated cluster ingesting live — with one replica
+// killed and revived mid-stream — every query's merged ranking is
+// bit-identical to a centralized engine at that query's pinned
+// generation. One partition, three replicas: partition-local statistics
+// are then exactly global, so a shadow directory fed the same batches in
+// the same order commits byte-for-byte the generations the cluster
+// serves, and rankings must match exactly — docids and scores.
+//
+// Run with -race: the point is that commits, refreshes, shipping,
+// failover, and concurrent searches interleave safely.
+func TestPinnedGenerationMatchesCentralized(t *testing.T) {
+	c := testCollection(t)
+	const seedDocs, streamEnd, batchSize = 1500, 3000, 150
+	seed, err := c.Slice(0, seedDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := ir.DefaultBuildConfig()
+
+	dirs, err := BuildLivePartitions(seed, 1, bc, filepath.Join(t.TempDir(), "live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowDirs, err := BuildLivePartitions(seed, 1, bc, filepath.Join(t.TempDir(), "shadow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := shadowDirs[0]
+
+	cl, err := StartClusterFromDirs(dirs, 0, WithReplicas(3), WithIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	brk, err := cl.NewBroker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	ctx := context.Background()
+
+	queries := c.PrecisionQueries(6, 31)
+	const k = 10
+
+	// expected[g] is the centralized ranking of every query at shadow
+	// generation g. The shadow commits each batch BEFORE the cluster
+	// does, so by the time any replica can answer at generation g the
+	// expectation exists.
+	expected := make(map[uint64][][]ir.Result)
+	var expMu sync.RWMutex
+	shadowCfg := bc
+	shadowCfg.Stats = nil // match the append path: per-directory statistics
+	snapshotExpected := func(gen uint64) {
+		snap, err := storage.OpenSegmented(shadow, 0)
+		if err != nil {
+			t.Fatalf("open shadow at generation %d: %v", gen, err)
+		}
+		defer snap.Close()
+		if snap.Gen() != gen {
+			t.Fatalf("shadow at generation %d, want %d", snap.Gen(), gen)
+		}
+		s := ir.NewSnapshotSearcher(snap, 0)
+		rankings := make([][]ir.Result, len(queries))
+		for qi, q := range queries {
+			res, _, err := s.Search(q.Terms, k, ir.BM25TCMQ8)
+			if err != nil {
+				t.Fatalf("shadow query %v at generation %d: %v", q.Terms, gen, err)
+			}
+			rankings[qi] = res
+		}
+		expMu.Lock()
+		expected[gen] = rankings
+		expMu.Unlock()
+	}
+	snapshotExpected(1) // the seeded generation
+
+	// Concurrent query load for the whole ingest stream. Every answer is
+	// checked bit-identical against the centralized ranking at the
+	// generation it reports; generations must never run backwards per
+	// goroutine (the broker pin ratchets).
+	var (
+		stop     atomic.Bool
+		qwg      sync.WaitGroup
+		gensSeen sync.Map // gen -> true, to prove mid-ingest generations served
+	)
+	checkErr := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case checkErr <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	for w := 0; w < 3; w++ {
+		qwg.Add(1)
+		go func(w int) {
+			defer qwg.Done()
+			var lastGen uint64
+			for i := w; !stop.Load(); i++ {
+				q := queries[i%len(queries)]
+				res, timing, err := brk.Search(q.Terms, k, ir.BM25TCMQ8)
+				if err != nil {
+					report("worker %d query %v: %v", w, q.Terms, err)
+					return
+				}
+				gen := timing.Gens[0]
+				if gen < lastGen {
+					report("worker %d: generation ran backwards %d -> %d", w, lastGen, gen)
+					return
+				}
+				lastGen = gen
+				gensSeen.Store(gen, true)
+				expMu.RLock()
+				want, ok := expected[gen]
+				expMu.RUnlock()
+				if !ok {
+					report("worker %d: answered at generation %d with no shadow expectation", w, gen)
+					return
+				}
+				wantRes := want[i%len(queries)]
+				if len(res) != len(wantRes) {
+					report("worker %d query %v at generation %d: %d results, centralized has %d",
+						w, q.Terms, gen, len(res), len(wantRes))
+					return
+				}
+				for ri := range wantRes {
+					if res[ri].DocID != wantRes[ri].DocID || res[ri].Score != wantRes[ri].Score {
+						report("worker %d query %v at generation %d rank %d: (%d, %v) != centralized (%d, %v)",
+							w, q.Terms, gen, ri, res[ri].DocID, res[ri].Score, wantRes[ri].DocID, wantRes[ri].Score)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// The ingest stream: shadow first, then the cluster; kill replica 1
+	// a third of the way in, revive it two thirds in, and let the
+	// remaining Adds catch it up by shipping what it missed.
+	batches := liveBatches(t, c, seedDocs, streamEnd, batchSize)
+	killAt, reviveAt := len(batches)/3, 2*len(batches)/3
+	sawLagging := false
+	for bi, batch := range batches {
+		if bi == killAt {
+			if err := cl.KillReplica(0, 1); err != nil {
+				t.Errorf("kill replica: %v", err)
+			}
+		}
+		if bi == reviveAt {
+			if err := cl.ReviveReplica(0, 1); err != nil {
+				t.Fatalf("revive replica: %v", err)
+			}
+		}
+		bcoll, err := corpus.FromDocs(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadowGen, err := storage.AppendSegment(shadow, bcoll, shadowCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshotExpected(shadowGen)
+		st, err := brk.Add(ctx, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Gen != shadowGen {
+			t.Fatalf("cluster committed generation %d, shadow %d — streams diverged", st.Gen, shadowGen)
+		}
+		if st.Lagging > 0 {
+			sawLagging = true
+		}
+	}
+	if !sawLagging {
+		t.Error("no Add reported a lagging replica while one was down")
+	}
+
+	wctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	if err := brk.WaitConverged(wctx); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	qwg.Wait()
+	select {
+	case err := <-checkErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// The revived replica converged to the final generation with the full
+	// document count.
+	finalGen := brk.PartitionGens()[0]
+	if want := uint64(1 + len(batches)); finalGen != want {
+		t.Errorf("final generation %d, want %d", finalGen, want)
+	}
+	for r := 0; r < cl.Replicas(); r++ {
+		if got := cl.Replica(0, r).Gen(); got != finalGen {
+			t.Errorf("replica %d at generation %d, want %d", r, got, finalGen)
+		}
+		if got := cl.Replica(0, r).Snapshot().NumDocs(); got != streamEnd {
+			t.Errorf("replica %d serves %d docs, want %d", r, got, streamEnd)
+		}
+	}
+
+	// Mid-ingest generations were actually served under load (not just
+	// the first and last): the freshness half of the guarantee.
+	distinct := 0
+	gensSeen.Range(func(_, _ any) bool { distinct++; return true })
+	if distinct < 3 {
+		t.Errorf("queries observed only %d distinct generations; ingest was not live under load", distinct)
+	}
+}

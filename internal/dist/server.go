@@ -3,13 +3,16 @@ package dist
 import (
 	"context"
 	"encoding/gob"
+	"fmt"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -19,10 +22,35 @@ import (
 // goroutine, and query execution goes through a shared SearcherPool, so
 // one server handles concurrent query streams with bounded parallelism —
 // the Table 3 multi-stream regime.
+//
+// A dir-backed server (serveSegmentedDir; StartClusterFromDirs with
+// WithIngest) additionally serves the ingest verbs: it can append a
+// document batch as a new committed generation, accept shipped segment
+// files and manifest installs from its group's primary, and refresh its
+// serving snapshot to the directory's newest generation — all without
+// dropping in-flight searches, via the same epoch-refcounted generation
+// swap the engine uses.
 type Server struct {
-	snap *ir.Snapshot
-	pool *ir.SearcherPool
-	ln   net.Listener
+	cur atomic.Pointer[srvEpoch]
+	ln  net.Listener
+
+	// Dir-backed state, zero for in-memory/monolithic servers: the
+	// segmented directory served, its long-lived buffer manager (refresh
+	// keeps unchanged segments warm), the open options and layout appends
+	// must match, and whether stats are externally coordinated (External
+	// directories serve and ship but refuse appends).
+	dir       string
+	mgr       *storage.Manager
+	storeOpts []storage.OpenOption
+	segCfg    ir.BuildConfig
+	external  bool
+
+	// commitMu serializes everything that rewrites the directory or swaps
+	// the serving epoch: appends, installs, refreshes.
+	commitMu sync.Mutex
+
+	epochMu sync.Mutex
+	epochs  map[*srvEpoch]struct{}
 
 	mu     sync.Mutex
 	closed bool
@@ -40,6 +68,76 @@ type Server struct {
 	faultCount int
 }
 
+// srvEpoch is one serving generation: a snapshot, its searcher pool, and
+// a reference count. The count starts at 1 (the "current" reference);
+// every request acquires/releases around execution, an install/refresh
+// swap drops the current reference, and the snapshot's storage closes
+// when the last reference drains — a search started on the old
+// generation finishes on it.
+type srvEpoch struct {
+	s        *Server
+	snap     *ir.Snapshot
+	pool     *ir.SearcherPool
+	gen      uint64
+	segNames []string
+
+	refs      atomic.Int64
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (ep *srvEpoch) release() {
+	if ep.refs.Add(-1) != 0 {
+		return
+	}
+	ep.closeOnce.Do(func() {
+		ep.s.epochMu.Lock()
+		delete(ep.s.epochs, ep)
+		ep.s.epochMu.Unlock()
+		ep.closeErr = ep.snap.Close()
+		close(ep.done)
+	})
+}
+
+// acquire returns the current epoch with a reference held, or nil when
+// the server is closed. Validate-after-increment: a swap between the
+// load and the increment is detected and retried, so a reference is
+// never handed out on a generation that already began draining.
+func (s *Server) acquire() *srvEpoch {
+	for {
+		ep := s.cur.Load()
+		if ep == nil {
+			return nil
+		}
+		ep.refs.Add(1)
+		if s.cur.Load() == ep {
+			return ep
+		}
+		ep.release()
+	}
+}
+
+// installEpoch makes snap the serving generation and begins draining the
+// previous one.
+func (s *Server) installEpoch(snap *ir.Snapshot, segNames []string) {
+	ep := &srvEpoch{
+		s:        s,
+		snap:     snap,
+		pool:     ir.NewSnapshotSearcherPool(snap, 0, runtime.GOMAXPROCS(0)),
+		gen:      snap.Gen(),
+		segNames: segNames,
+		done:     make(chan struct{}),
+	}
+	ep.refs.Store(1)
+	s.epochMu.Lock()
+	s.epochs[ep] = struct{}{}
+	s.epochMu.Unlock()
+	if old := s.cur.Swap(ep); old != nil {
+		old.release()
+	}
+}
+
 // FaultMode selects what an injected fault (SetFault) does to the
 // faulted request.
 type FaultMode int
@@ -52,7 +150,7 @@ const (
 	FaultStall
 	// FaultError answers every query of the request with an injected
 	// error — an application-level failure that propagates to callers as
-	// per-request errors (replicas do not mask it: the transport
+	// per-query errors (replicas do not mask it: the transport
 	// succeeded, so the broker does not fail over).
 	FaultError
 	// FaultDrop closes the connection without answering —
@@ -87,38 +185,114 @@ func serveIndex(ix *ir.Index) (*Server, error) {
 // partition's segment set — in a serving partition node. The server takes
 // ownership of the snapshot's storage (Close releases it).
 func serveSnapshot(snap *ir.Snapshot) (*Server, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	s := &Server{
+		epochs: make(map[*srvEpoch]struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.installEpoch(snap, nil)
+	if err := s.start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// serveSegmentedDir opens a segmented partition directory as an
+// ingest-capable server listening on addr ("127.0.0.1:0" for an
+// ephemeral port; a fixed address revives a replica in place). The
+// directory must hold at least one segment already.
+func serveSegmentedDir(dir, addr string, poolBytes int64, opts []storage.OpenOption) (*Server, error) {
+	sm, err := storage.ReadSegments(dir)
 	if err != nil {
-		snap.Close()
 		return nil, err
 	}
 	s := &Server{
-		snap:  snap,
-		pool:  ir.NewSnapshotSearcherPool(snap, 0, runtime.GOMAXPROCS(0)),
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
+		dir:       dir,
+		mgr:       storage.NewManager(poolBytes),
+		storeOpts: opts,
+		external:  sm.External,
+		epochs:    make(map[*srvEpoch]struct{}),
+		conns:     make(map[net.Conn]struct{}),
 	}
+	snap, err := storage.OpenSegmented(dir, poolBytes, s.openOpts()...)
+	if err != nil {
+		return nil, err
+	}
+	s.segCfg = stripLayout(snap.Primary().Config())
+	s.installEpoch(snap, segNames(sm))
+	if err := s.start(addr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) openOpts() []storage.OpenOption {
+	return append([]storage.OpenOption{storage.WithSharedManager(s.mgr)}, s.storeOpts...)
+}
+
+// start begins accepting on addr; on failure the installed epoch is
+// drained so the snapshot's storage is released.
+func (s *Server) start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if ep := s.cur.Swap(nil); ep != nil {
+			ep.release()
+		}
+		return err
+	}
+	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return nil
+}
+
+// stripLayout clears per-segment identity (statistics override, docid
+// base, table prefix) from a recorded build config, leaving the physical
+// layout appends must match.
+func stripLayout(bc ir.BuildConfig) ir.BuildConfig {
+	bc.Stats, bc.DocIDBase, bc.TablePrefix = nil, 0, ""
+	return bc
+}
+
+func segNames(sm *storage.SegmentsManifest) []string {
+	names := make([]string, len(sm.Segments))
+	for i, e := range sm.Segments {
+		names[i] = e.Name
+	}
+	return names
 }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Index exposes the partition's first (often only) segment index (sizes,
-// statistics).
-func (s *Server) Index() *ir.Index { return s.snap.Primary() }
+// Gen returns the serving generation (0 for servers without a
+// generation-stamped directory, or after Close).
+func (s *Server) Gen() uint64 {
+	if ep := s.cur.Load(); ep != nil {
+		return ep.gen
+	}
+	return 0
+}
 
-// Snapshot exposes the partition's full segment set.
-func (s *Server) Snapshot() *ir.Snapshot { return s.snap }
+// Index exposes the partition's first (often only) segment index (sizes,
+// statistics). The returned index is borrowed from the serving
+// generation; callers must not retain it across a refresh.
+func (s *Server) Index() *ir.Index { return s.cur.Load().snap.Primary() }
+
+// Snapshot exposes the partition's full segment set (borrowed from the
+// serving generation, like Index).
+func (s *Server) Snapshot() *ir.Snapshot { return s.cur.Load().snap }
 
 // Warm runs the queries locally (no network) at result depth k so later
 // measurements see a buffer pool warmed by the same plans they will run.
 func (s *Server) Warm(strat ir.Strategy, queries []corpus.Query, k int) error {
+	ep := s.acquire()
+	if ep == nil {
+		return fmt.Errorf("dist: server closed")
+	}
+	defer ep.release()
 	ctx := context.Background()
 	for _, q := range queries {
-		if _, _, err := s.pool.Search(ctx, q.Terms, k, strat); err != nil {
+		if _, _, err := ep.pool.Search(ctx, q.Terms, k, strat); err != nil {
 			return err
 		}
 	}
@@ -175,9 +349,10 @@ func (s *Server) fault() (FaultMode, time.Duration) {
 
 // Close stops accepting, closes every open broker connection (which
 // aborts their blocked reads), waits for the connection goroutines to
-// exit, and releases the listener. A request already executing finishes
-// but its reply may be lost — the broker sees a dropped connection, the
-// same failure mode as a server crash.
+// exit, and releases every serving generation's storage once its last
+// in-flight search drains. A request already executing finishes but its
+// reply may be lost — the broker sees a dropped connection, the same
+// failure mode as a server crash.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -191,11 +366,23 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
-	// The server owns its partition snapshot: release its resources (a
-	// no-op for simulated disks; real file handles and prefetch workers
-	// for persisted partitions, across every segment).
-	if cerr := s.snap.Close(); err == nil {
-		err = cerr
+	// Drop the current reference and wait for every generation to drain;
+	// connection goroutines have exited, so all request references are
+	// already released.
+	if ep := s.cur.Swap(nil); ep != nil {
+		ep.release()
+	}
+	s.epochMu.Lock()
+	var draining []*srvEpoch
+	for ep := range s.epochs {
+		draining = append(draining, ep)
+	}
+	s.epochMu.Unlock()
+	for _, ep := range draining {
+		<-ep.done
+		if err == nil {
+			err = ep.closeErr
+		}
 	}
 	return err
 }
@@ -270,26 +457,110 @@ func (s *Server) serve(conn net.Conn) {
 		case FaultStall:
 			time.Sleep(d)
 		}
-		resp := s.answer(&req)
+		var resp wireResponse
+		switch req.Verb {
+		case verbSearch:
+			resp = s.answer(&req)
+		case verbStatus:
+			resp = s.handleStatus(&req)
+		case verbAppend:
+			resp = s.handleAppend(&req)
+		case verbFetch:
+			resp = s.handleFetch(&req)
+		case verbInstallChunk, verbInstallCommit:
+			resp = s.handleInstall(&req)
+		default:
+			resp = wireResponse{Seq: req.Seq, Err: fmt.Sprintf("dist: unknown verb %d", req.Verb)}
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
+// tryRefresh reopens the serving snapshot if the directory's on-disk
+// generation moved ahead (an install this server committed, or — for
+// shared-directory topologies — a generation some other handle wrote).
+func (s *Server) tryRefresh() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.refreshLocked()
+}
+
+func (s *Server) refreshLocked() error {
+	cur := s.cur.Load()
+	if cur == nil {
+		return fmt.Errorf("dist: server closed")
+	}
+	sm, err := storage.ReadSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	if sm.Generation <= cur.gen {
+		return nil
+	}
+	snap, err := storage.OpenSegmented(s.dir, 0, s.openOpts()...)
+	if err != nil {
+		return err
+	}
+	s.installEpoch(snap, segNames(sm))
+	return nil
+}
+
 // answer executes one wire request. A batch of one runs inline; a larger
 // batch fans across goroutines, with the searcher pool bounding actual
-// parallelism — the server-side half of the SearchMany pipeline.
+// parallelism — the server-side half of the SearchMany pipeline. When
+// the request pins a generation this replica has not reached, it tries
+// one refresh from its directory and otherwise refuses with Stale — the
+// broker fails over instead of accepting an answer missing documents the
+// caller already observed.
 func (s *Server) answer(req *wireRequest) wireResponse {
+	resp := wireResponse{Seq: req.Seq, Queries: make([]wireAnswer, len(req.Queries))}
+	ep := s.acquire()
+	if ep == nil {
+		for i := range resp.Queries {
+			resp.Queries[i].Err = "dist: server closed"
+		}
+		return resp
+	}
+	if req.PinGen > 0 && ep.gen < req.PinGen && s.dir != "" {
+		ep.release()
+		if err := s.tryRefresh(); err != nil {
+			for i := range resp.Queries {
+				resp.Queries[i].Err = err.Error()
+			}
+			resp.Stale = true
+			return resp
+		}
+		if ep = s.acquire(); ep == nil {
+			for i := range resp.Queries {
+				resp.Queries[i].Err = "dist: server closed"
+			}
+			return resp
+		}
+	}
+	defer ep.release()
+	resp.Gen = ep.gen
+	if req.PinGen > 0 && ep.gen < req.PinGen {
+		resp.Stale = true
+		msg := fmt.Sprintf("dist: replica at generation %d, behind pinned %d", ep.gen, req.PinGen)
+		for i := range resp.Queries {
+			resp.Queries[i].Err = msg
+		}
+		return resp
+	}
+
 	ctx := context.Background()
 	if req.TimeoutNanos > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
 		defer cancel()
 	}
-	resp := wireResponse{Seq: req.Seq, Queries: make([]wireAnswer, len(req.Queries))}
 	if len(req.Queries) == 1 {
-		resp.Queries[0] = s.answerOne(ctx, req, &req.Queries[0])
+		resp.Queries[0] = s.answerOne(ctx, ep, req, &req.Queries[0])
 		return resp
 	}
 	var wg sync.WaitGroup
@@ -297,7 +568,7 @@ func (s *Server) answer(req *wireRequest) wireResponse {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp.Queries[i] = s.answerOne(ctx, req, &req.Queries[i])
+			resp.Queries[i] = s.answerOne(ctx, ep, req, &req.Queries[i])
 		}(i)
 	}
 	wg.Wait()
@@ -310,7 +581,7 @@ func (s *Server) answer(req *wireRequest) wireResponse {
 // server-local span tree — pool wait, execution, the per-operator
 // breakdown the searcher adds — and ships it back for the broker to
 // graft under the attempt that carried it.
-func (s *Server) answerOne(ctx context.Context, req *wireRequest, q *wireQuery) wireAnswer {
+func (s *Server) answerOne(ctx context.Context, ep *srvEpoch, req *wireRequest, q *wireQuery) wireAnswer {
 	var t *trace.Trace
 	if req.TraceSampled {
 		t = trace.New(req.TraceID, "server")
@@ -318,7 +589,7 @@ func (s *Server) answerOne(ctx context.Context, req *wireRequest, q *wireQuery) 
 		ctx = trace.NewContext(ctx, t)
 	}
 	pw := t.Begin("pool.wait")
-	sr, err := s.pool.Acquire(ctx)
+	sr, err := ep.pool.Acquire(ctx)
 	t.End(pw)
 	var results []ir.Result
 	var stats ir.QueryStats
@@ -326,7 +597,7 @@ func (s *Server) answerOne(ctx context.Context, req *wireRequest, q *wireQuery) 
 		ex := t.Begin("execute")
 		results, stats, err = sr.SearchContext(ctx, q.Terms, q.K, ir.Strategy(q.Strategy))
 		t.End(ex)
-		s.pool.Release(sr)
+		ep.pool.Release(sr)
 	}
 	a := wireAnswer{
 		WallNanos:  stats.Wall.Nanoseconds(),
@@ -350,4 +621,189 @@ func (s *Server) answerOne(ctx context.Context, req *wireRequest, q *wireQuery) 
 		a.Results[i] = wireResult{DocID: r.DocID, Name: r.Name, Score: r.Score}
 	}
 	return a
+}
+
+// handleStatus answers verbStatus: serving and on-disk generations, the
+// partition's docid range, and the on-disk segment set — everything the
+// broker's routing table and shipping diff need.
+func (s *Server) handleStatus(req *wireRequest) wireResponse {
+	resp := wireResponse{Seq: req.Seq}
+	st := &wireStatus{}
+	if ep := s.acquire(); ep != nil {
+		st.Gen = ep.gen
+		resp.Gen = ep.gen
+		ep.release()
+	}
+	if s.dir != "" {
+		sm, err := storage.ReadSegments(s.dir)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		st.DiskGen = sm.Generation
+		st.DocBase = sm.BaseDocID
+		if len(sm.Segments) > 0 {
+			st.DocBase = sm.Segments[0].DocBase
+		}
+		for _, e := range sm.Segments {
+			st.NumDocs += e.Docs
+		}
+		st.Segs = segNames(sm)
+		st.Ingest = !s.external
+	}
+	resp.Status = st
+	return resp
+}
+
+// handleAppend indexes the carried document batch as one new committed
+// segment of this server's directory (the primary half of a distributed
+// Add), refreshes serving, and replies with everything the broker needs
+// to replicate the commit: the new generation, the new segment's name
+// and file list, and the exact committed manifest bytes.
+func (s *Server) handleAppend(req *wireRequest) wireResponse {
+	resp := wireResponse{Seq: req.Seq}
+	if s.dir == "" || s.external {
+		resp.Err = "dist: server does not accept appends (not a live ingest partition)"
+		return resp
+	}
+	if req.Append == nil || len(req.Append.Docs) == 0 {
+		resp.Err = "dist: append with no documents"
+		return resp
+	}
+	docs := make([]corpus.Doc, len(req.Append.Docs))
+	for i, d := range req.Append.Docs {
+		docs[i] = corpus.Doc{Name: d.Name, Tokens: d.Tokens}
+	}
+	batch, err := corpus.FromDocs(docs)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+
+	s.commitMu.Lock()
+	gen, err := storage.AppendSegment(s.dir, batch, s.segCfg)
+	var manifest []byte
+	var sm *storage.SegmentsManifest
+	if err == nil {
+		// Re-read inside the commit lock: the manifest bytes must be the
+		// exact generation this append committed.
+		manifest, sm, err = storage.ReadSegmentsRaw(s.dir)
+	}
+	if err == nil {
+		err = s.refreshLocked()
+	}
+	s.commitMu.Unlock()
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+
+	seg := sm.Segments[len(sm.Segments)-1].Name
+	files, err := storage.SegmentFiles(s.dir, seg)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	res := &wireAppendResult{Gen: gen, Seg: seg, Manifest: manifest}
+	for _, e := range sm.Segments {
+		res.NumDocs += e.Docs
+	}
+	res.Files = make([]wireFileInfo, len(files))
+	for i, f := range files {
+		res.Files[i] = wireFileInfo{Name: f.Name, Size: f.Size}
+	}
+	resp.Gen = gen
+	resp.Append = res
+	return resp
+}
+
+// handleFetch serves the primary side of segment shipping: a chunk read
+// of a committed segment file, or (File empty) the segment's file list.
+func (s *Server) handleFetch(req *wireRequest) wireResponse {
+	resp := wireResponse{Seq: req.Seq}
+	if s.dir == "" {
+		resp.Err = "dist: server has no partition directory to fetch from"
+		return resp
+	}
+	f := req.Fetch
+	if f == nil {
+		resp.Err = "dist: fetch with no payload"
+		return resp
+	}
+	if f.File == "" {
+		files, err := storage.SegmentFiles(s.dir, f.Seg)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Files = make([]wireFileInfo, len(files))
+		for i, fi := range files {
+			resp.Files[i] = wireFileInfo{Name: fi.Name, Size: fi.Size}
+		}
+		return resp
+	}
+	data, err := storage.ReadSegmentFileAt(s.dir, f.Seg, f.File, f.Off, f.Len)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Data = data
+	return resp
+}
+
+// handleInstall serves the replica side of segment shipping: chunk
+// writes land in the directory without committing anything; the commit
+// is the manifest install, which goes through the storage writer lock
+// (so it can never interleave with a local append), refreshes serving to
+// the new generation, and sweeps segment directories no live generation
+// references anymore.
+func (s *Server) handleInstall(req *wireRequest) wireResponse {
+	resp := wireResponse{Seq: req.Seq}
+	if s.dir == "" || s.external {
+		resp.Err = "dist: server does not accept installs (not a live ingest partition)"
+		return resp
+	}
+	in := req.Install
+	if in == nil {
+		resp.Err = "dist: install with no payload"
+		return resp
+	}
+	if req.Verb == verbInstallChunk {
+		if err := storage.WriteSegmentFileChunk(s.dir, in.Seg, in.File, in.Off, in.Data); err != nil {
+			resp.Err = err.Error()
+		}
+		return resp
+	}
+	s.commitMu.Lock()
+	gen, err := storage.InstallManifest(s.dir, in.Manifest)
+	if err == nil {
+		err = s.refreshLocked()
+	}
+	if err == nil {
+		// Best-effort reclaim of segments no generation serves anymore
+		// (replaced by shipped merges, or orphaned by a lost race).
+		storage.SweepSegments(s.dir, s.segInUse)
+	}
+	s.commitMu.Unlock()
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Gen = gen
+	return resp
+}
+
+// segInUse reports whether any live serving generation still references
+// the named segment directory — the GC guard for install-time sweeps.
+func (s *Server) segInUse(name string) bool {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	for ep := range s.epochs {
+		for _, n := range ep.segNames {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
 }

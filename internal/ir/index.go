@@ -241,7 +241,19 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 		// quantized scores are comparable across servers (§3.4).
 		lo, hi = bc.Stats.ScoreLo, bc.Stats.ScoreHi
 	}
+	return assembleIndex(bc, store, cache, params, terms, docids, tfs, scores, lo, hi, c.DocLens, c.DocNames)
+}
 
+// assembleIndex encodes fully flattened posting rows into the physical TD
+// and D tables — the shared tail of Build (which flattens from a
+// Collection) and IndexWriter.Finish (which accumulated the rows
+// streamingly). Both docid columns alias the same flattened slice; the
+// builder encodes chunk-at-a-time, so this is the only place the whole
+// run exists as Go slices.
+func assembleIndex(bc BuildConfig, store colbm.BlockStore, cache colbm.ChunkCache,
+	params primitives.BM25Params, terms map[string]TermInfo,
+	docids, tfs []int64, scores []float64, lo, hi float64,
+	docLens []int64, docNames []string) (*Index, error) {
 	// TD table.
 	var tdSpecs []colbm.ColumnSpec
 	if bc.Uncompressed {
@@ -291,13 +303,13 @@ func Build(c *corpus.Collection, bc BuildConfig) (*Index, error) {
 		{Name: "len", Type: vector.Int64, Enc: colbm.EncPFOR, Bits: 8, ChunkLen: bc.ChunkLen},
 		{Name: "name", Type: vector.Str, ChunkLen: bc.ChunkLen},
 	})
-	dense := make([]int64, numDocs)
+	dense := make([]int64, len(docLens))
 	for i := range dense {
 		dense[i] = bc.DocIDBase + int64(i)
 	}
 	db.SetInt64("docid", dense)
-	db.SetInt64("len", c.DocLens)
-	for _, n := range c.DocNames {
+	db.SetInt64("len", docLens)
+	for _, n := range docNames {
 		db.AppendStr("name", n)
 	}
 	d, err := db.Build()

@@ -1,0 +1,205 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/colbm"
+	"repro/internal/primitives"
+)
+
+// IndexWriter builds an index incrementally, for callers that stream rows
+// out of existing storage instead of holding a corpus.Collection: the
+// segmented merge feeds it one input segment's postings at a time, so the
+// run is never materialized as per-term Posting slices. The writer holds
+// exactly the flattened row arrays the physical tables encode from —
+// pre-sized once from the declared totals, so peak memory is the final
+// row footprint with no intermediate copies and no append regrowth.
+//
+// Protocol: add every document (AddDocLens, then AddDocNames, both in
+// merged-local docid order) before the first BeginTerm — scoring reads
+// document lengths by local docid as postings arrive. Then, per term in
+// ascending term order: BeginTerm(t) followed by any number of Postings
+// calls carrying local docids ascending across the term. Finish seals the
+// last term and encodes the tables.
+//
+// Statistics are mandatory (bc.Stats non-nil): a streaming caller is by
+// definition rebuilding part of a larger collection, and every term's
+// global document frequency must be present in Stats.Ftd — the writer
+// cannot fall back to list lengths it never sees whole.
+type IndexWriter struct {
+	bc     BuildConfig
+	params primitives.BM25Params
+
+	numDocs     int
+	numPostings int
+
+	docLens  []int64
+	docNames []string
+
+	docids []int64
+	tfs    []int64
+	scores []float64
+	terms  map[string]TermInfo
+
+	lo, hi float64
+
+	// current open term
+	open  bool
+	term  string
+	start int
+	ftd   int
+	maxW  float64
+}
+
+// NewIndexWriter starts a streaming build for exactly numDocs documents
+// and numPostings posting rows under the given layout. The counts are a
+// contract, not a hint: the writer allocates its row arrays once from
+// them and rejects rows beyond either bound.
+func NewIndexWriter(bc BuildConfig, numDocs, numPostings int) (*IndexWriter, error) {
+	if bc.Materialized && !bc.Compressed {
+		return nil, fmt.Errorf("ir: materialized scores require the compressed docid column")
+	}
+	if bc.Stats == nil {
+		return nil, fmt.Errorf("ir: streaming builds need a global statistics override (Stats is nil)")
+	}
+	if numDocs <= 0 || numPostings <= 0 {
+		return nil, fmt.Errorf("ir: streaming build of %d documents / %d postings", numDocs, numPostings)
+	}
+	w := &IndexWriter{
+		bc: bc,
+		params: primitives.BM25Params{
+			K1: 1.2, B: 0.75,
+			NumDocs:  bc.Stats.NumDocs,
+			AvgDocLn: bc.Stats.AvgDocLen,
+		},
+		numDocs:     numDocs,
+		numPostings: numPostings,
+		docLens:     make([]int64, 0, numDocs),
+		docNames:    make([]string, 0, numDocs),
+		docids:      make([]int64, 0, numPostings),
+		tfs:         make([]int64, 0, numPostings),
+		terms:       make(map[string]TermInfo),
+		lo:          math.Inf(1),
+		hi:          math.Inf(-1),
+	}
+	if bc.Materialized || bc.Quantized {
+		w.scores = make([]float64, 0, numPostings)
+	}
+	return w, nil
+}
+
+// AddDocLens appends document lengths in local docid order.
+func (w *IndexWriter) AddDocLens(lens []int64) error {
+	if w.open || len(w.terms) > 0 {
+		return fmt.Errorf("ir: AddDocLens after postings began")
+	}
+	if len(w.docLens)+len(lens) > w.numDocs {
+		return fmt.Errorf("ir: more document lengths than the declared %d", w.numDocs)
+	}
+	w.docLens = append(w.docLens, lens...)
+	return nil
+}
+
+// AddDocNames appends document names in local docid order.
+func (w *IndexWriter) AddDocNames(names []string) error {
+	if len(w.docNames)+len(names) > w.numDocs {
+		return fmt.Errorf("ir: more document names than the declared %d", w.numDocs)
+	}
+	w.docNames = append(w.docNames, names...)
+	return nil
+}
+
+// BeginTerm seals the posting list in progress and opens the next term's.
+// Terms must arrive in strictly ascending order — the TD table is sorted
+// on (term, docid) and the writer never re-sorts.
+func (w *IndexWriter) BeginTerm(term string) error {
+	if len(w.docLens) != w.numDocs {
+		return fmt.Errorf("ir: BeginTerm with %d of %d document lengths added", len(w.docLens), w.numDocs)
+	}
+	if w.open && term <= w.term {
+		return fmt.Errorf("ir: term %q does not follow %q in sorted order", term, w.term)
+	}
+	if _, dup := w.terms[term]; dup {
+		return fmt.Errorf("ir: term %q streamed twice", term)
+	}
+	ftd, ok := w.bc.Stats.Ftd[term]
+	if !ok {
+		return fmt.Errorf("ir: term %q missing from the global document-frequency map", term)
+	}
+	w.sealTerm()
+	w.open, w.term, w.start, w.ftd, w.maxW = true, term, len(w.docids), ftd, 0
+	return nil
+}
+
+func (w *IndexWriter) sealTerm() {
+	if !w.open {
+		return
+	}
+	w.terms[w.term] = TermInfo{Start: w.start, End: len(w.docids), Ftd: w.ftd, MaxScore: w.maxW}
+	w.open = false
+}
+
+// Postings appends rows to the open term's list: parallel local docids
+// (the writer adds DocIDBase) and term frequencies. Scores — when the
+// layout materializes or quantizes them — are computed here against the
+// global statistics, folding into the running bounds and the term's
+// MaxScore exactly as the batch build does.
+func (w *IndexWriter) Postings(docids, tfs []int64) error {
+	if !w.open {
+		return fmt.Errorf("ir: Postings before BeginTerm")
+	}
+	if len(docids) != len(tfs) {
+		return fmt.Errorf("ir: %d docids vs %d tfs", len(docids), len(tfs))
+	}
+	if len(w.docids)+len(docids) > w.numPostings {
+		return fmt.Errorf("ir: more postings than the declared %d", w.numPostings)
+	}
+	ftd := float64(w.ftd)
+	for i, d := range docids {
+		if d < 0 || d >= int64(w.numDocs) {
+			return fmt.Errorf("ir: local docid %d outside [0,%d)", d, w.numDocs)
+		}
+		w.docids = append(w.docids, d+w.bc.DocIDBase)
+		w.tfs = append(w.tfs, tfs[i])
+		if w.scores != nil {
+			s := w.params.Weight(float64(tfs[i]), float64(w.docLens[d]), ftd)
+			w.scores = append(w.scores, s)
+			if s < w.lo {
+				w.lo = s
+			}
+			if s > w.hi {
+				w.hi = s
+			}
+			if s > w.maxW {
+				w.maxW = s
+			}
+		}
+	}
+	return nil
+}
+
+// Finish seals the last term and encodes the physical tables, returning
+// the built index. The declared document and posting totals must have
+// been reached exactly.
+func (w *IndexWriter) Finish() (*Index, error) {
+	w.sealTerm()
+	if len(w.docLens) != w.numDocs || len(w.docNames) != w.numDocs {
+		return nil, fmt.Errorf("ir: finished with %d lengths / %d names of %d documents",
+			len(w.docLens), len(w.docNames), w.numDocs)
+	}
+	if len(w.docids) != w.numPostings {
+		return nil, fmt.Errorf("ir: finished with %d of %d declared postings", len(w.docids), w.numPostings)
+	}
+	lo, hi := w.lo, w.hi
+	if w.scores == nil {
+		lo, hi = 0, 1
+	}
+	if w.bc.Stats.HasScoreBounds {
+		lo, hi = w.bc.Stats.ScoreLo, w.bc.Stats.ScoreHi
+	}
+	store := colbm.NewSimDisk(w.bc.Disk)
+	cache := colbm.NewBufferPool(w.bc.PoolBytes)
+	return assembleIndex(w.bc, store, cache, w.params, w.terms,
+		w.docids, w.tfs, w.scores, lo, hi, w.docLens, w.docNames)
+}

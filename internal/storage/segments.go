@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/colbm"
 	"repro/internal/corpus"
@@ -111,6 +112,13 @@ type SegmentsManifest struct {
 	ScoreLo   float64 `json:"score_lo,omitempty"`
 	ScoreHi   float64 `json:"score_hi,omitempty"`
 
+	// BaseDocID is the global docid the directory's first segment starts
+	// at (0 for standalone directories). Live dist partitions stride their
+	// docid ranges — partition i is initialized at i*stride — so every
+	// partition appends into a disjoint global docid space with no
+	// cross-partition coordination per batch.
+	BaseDocID int64 `json:"base_docid,omitempty"`
+
 	Segments []SegmentEntry `json:"segments"`
 }
 
@@ -126,14 +134,33 @@ func IsSegmentedDir(dir string) bool {
 // ReadSegments loads and validates the super-manifest of a segmented
 // directory. A missing manifest returns an error wrapping os.ErrNotExist.
 func ReadSegments(dir string) (*SegmentsManifest, error) {
+	_, sm, err := ReadSegmentsRaw(dir)
+	return sm, err
+}
+
+// ReadSegmentsRaw is ReadSegments returning the serialized manifest bytes
+// alongside the decoded form — the distributed ingest path ships the
+// exact committed bytes to replicas, so install commits byte-identical
+// manifests instead of re-marshaling.
+func ReadSegmentsRaw(dir string) ([]byte, *SegmentsManifest, error) {
 	data, err := os.ReadFile(segmentsPath(dir))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, fmt.Errorf("storage: %q is not a segmented index directory (no %s): %w",
+			return nil, nil, fmt.Errorf("storage: %q is not a segmented index directory (no %s): %w",
 				dir, SegmentsManifestName, os.ErrNotExist)
 		}
-		return nil, fmt.Errorf("storage: %w", err)
+		return nil, nil, fmt.Errorf("storage: %w", err)
 	}
+	sm, err := decodeSegments(dir, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, sm, nil
+}
+
+// decodeSegments unmarshals and validates super-manifest bytes, whether
+// read locally or received over the wire; dir only labels errors.
+func decodeSegments(dir string, data []byte) (*SegmentsManifest, error) {
 	var sm SegmentsManifest
 	if err := json.Unmarshal(data, &sm); err != nil {
 		return nil, fmt.Errorf("storage: corrupt segments manifest in %q: %w", dir, err)
@@ -157,6 +184,79 @@ func ReadSegments(dir string) (*SegmentsManifest, error) {
 		base += int64(e.Docs)
 	}
 	return &sm, nil
+}
+
+// InitSegmented creates an empty segmented directory whose first appended
+// segment will start at baseDocID. Standalone directories never need
+// this (AppendSegment initializes at docid 0 on first use); live dist
+// partitions do, to claim disjoint global docid ranges up front.
+func InitSegmented(dir string, baseDocID int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if IsSegmentedDir(dir) || IsIndexDir(dir) {
+		return fmt.Errorf("storage: %q already holds an index", dir)
+	}
+	if baseDocID < 0 {
+		return fmt.Errorf("storage: negative base docid %d", baseDocID)
+	}
+	return writeSegments(dir, &SegmentsManifest{
+		Magic:     SegmentsMagic,
+		Version:   SegmentsFormatVersion,
+		NextSeq:   1,
+		BaseDocID: baseDocID,
+	})
+}
+
+// ErrConcurrentWriter reports that another writer committed a generation
+// of SEGMENTS.json between this writer's read and its commit (or is
+// holding the writer lock past the acquisition timeout). The losing
+// append has already cleaned up its segment directory; callers retry by
+// re-running the append against the new generation.
+var ErrConcurrentWriter = errors.New("storage: concurrent segments writer")
+
+// segmentsLockName is the cross-handle commit lock file. It exists for
+// writers the in-process engine lock cannot see: a second Engine handle
+// on the same directory, another process, or a shipped install racing a
+// local append. Creation with O_EXCL is the acquisition; the file holds
+// the owner's pid. A lock left behind by a crashed process must be
+// removed manually (the acquisition error names the path).
+const segmentsLockName = "SEGMENTS.lock"
+
+// WriterLockName is the commit lock's file name, exported so tooling
+// that clones or inspects partition directories can recognize (and skip)
+// it — a copied lock file would wedge the destination's writers behind a
+// writer that never existed there.
+const WriterLockName = segmentsLockName
+
+// writerLockWait bounds how long an acquirer spins on a held lock before
+// giving up with ErrConcurrentWriter. Commits hold the lock for one
+// manifest read-modify-write — milliseconds — so a lock held for seconds
+// is either a crashed writer or severe contention; both should surface.
+const writerLockWait = 2 * time.Second
+
+// acquireWriterLock takes the directory's commit lock, returning the
+// release func. It spins (2ms steps) while another writer holds the
+// lock, failing with ErrConcurrentWriter after writerLockWait.
+func acquireWriterLock(dir string) (func(), error) {
+	path := filepath.Join(dir, segmentsLockName)
+	deadline := time.Now().Add(writerLockWait)
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("storage: writer lock: %w", err)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("storage: writer lock %q held for over %v (crashed writer? remove the file manually): %w",
+				path, writerLockWait, ErrConcurrentWriter)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // writeSegments serializes the super-manifest atomically (temp + rename):
@@ -216,7 +316,7 @@ type mergedStats struct {
 }
 
 func collectStats(dir string, sm *SegmentsManifest, batch *corpus.Collection) (*mergedStats, error) {
-	st := &mergedStats{df: make(map[string]int)}
+	st := &mergedStats{df: make(map[string]int), nextBase: sm.BaseDocID}
 	for _, e := range sm.Segments {
 		m, err := readManifest(filepath.Join(dir, e.Name))
 		if err != nil {
@@ -442,9 +542,13 @@ func compatibleLayout(cfg ir.BuildConfig, m *Manifest) error {
 // one sequential tf-scan of the existing segments to recompute the exact
 // collection-wide score bounds.
 //
-// Commits are read-modify-write on SEGMENTS.json: callers must serialize
-// AppendSegment/CommitMerge per directory (the engine holds one commit
-// lock; multi-process writers are not supported).
+// Commits are read-modify-write on SEGMENTS.json, guarded two ways: the
+// engine serializes its own appends/merges in process, and the on-disk
+// writer lock plus a compare-and-swap on the generation covers writers
+// the engine cannot see (a second handle on the directory, another
+// process, a shipped install). A writer that loses the race removes its
+// built segment and returns ErrConcurrentWriter instead of clobbering
+// the other commit.
 func AppendSegment(dir string, batch *corpus.Collection, cfg ir.BuildConfig) (uint64, error) {
 	if batch == nil || len(batch.DocLens) == 0 {
 		return 0, errors.New("storage: AppendSegment with an empty batch")
@@ -463,6 +567,10 @@ func AppendSegment(dir string, batch *corpus.Collection, cfg ir.BuildConfig) (ui
 	if err != nil {
 		return 0, err
 	}
+	// The statistics collected below describe this generation exactly; the
+	// commit-time CAS re-checks it so a concurrent commit (which would make
+	// them stale) fails this append instead of corrupting the directory.
+	startGen := sm.Generation
 	if sm.External {
 		return 0, fmt.Errorf("storage: %q carries externally coordinated statistics (a dist partition); local appends would break cross-partition score comparability", dir)
 	}
@@ -504,6 +612,33 @@ func AppendSegment(dir string, batch *corpus.Collection, cfg ir.BuildConfig) (ui
 		err = WriteIndex(segDir, ix)
 	}
 	if err != nil {
+		os.RemoveAll(segDir)
+		return 0, err
+	}
+
+	// Commit: take the cross-handle writer lock, re-read the manifest, and
+	// fail if any other writer committed since our read — its commit
+	// invalidates the statistics (and possibly the docid base) this
+	// segment was built with.
+	unlock, err := acquireWriterLock(dir)
+	if err != nil {
+		os.RemoveAll(segDir)
+		return 0, err
+	}
+	defer unlock()
+	switch cur, err := ReadSegments(dir); {
+	case err == nil:
+		if cur.Generation != startGen {
+			os.RemoveAll(segDir)
+			return 0, fmt.Errorf("storage: %q advanced from generation %d to %d during append: %w",
+				dir, startGen, cur.Generation, ErrConcurrentWriter)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		if startGen != 0 {
+			os.RemoveAll(segDir)
+			return 0, fmt.Errorf("storage: segments manifest vanished from %q during append", dir)
+		}
+	default:
 		os.RemoveAll(segDir)
 		return 0, err
 	}
@@ -665,18 +800,28 @@ func (sm *SegmentsManifest) findRun(names []string) (int, error) {
 
 // BuildMergedSegment merges the named adjacent segments into the
 // preallocated segment directory `into` (from AllocSegmentDir), re-baking
-// score columns with the collection statistics current at build time. It
-// reads postings term-at-a-time through cursors — docids rebased from
-// global to merged-local with the offset read path — reconstructs a batch
-// collection, and runs the ordinary segment build. Nothing is committed:
-// the manifest is untouched until CommitMerge, and concurrent appends stay
-// legal (they only ever add segments after the run; if one lands mid-build,
-// the merged segment simply commits one epoch stale and serves virtually
+// score columns with the collection statistics current at build time.
+// Postings stream term-at-a-time, in sorted term order across the run's
+// dictionaries, straight from the input segments' cursors (docids rebased
+// from global to merged-local with the offset read path) into an
+// ir.IndexWriter — the merged run is never materialized as intermediate
+// posting lists, so peak memory is the writer's exactly pre-sized output
+// rows plus one vector per cursor. Nothing is committed: the manifest is
+// untouched until CommitMerge, and concurrent appends stay legal (they
+// only ever add segments after the run; if one lands mid-build, the
+// merged segment simply commits one epoch stale and serves virtually
 // until the next merge). cancel, when non-nil, is polled while streaming;
-// a true return abandons the build with ErrBuildCanceled so a shutting-down
-// engine never waits out a long merge it is about to discard. Returns the
+// a true return abandons the build with ErrBuildCanceled so a
+// shutting-down engine never waits out a long merge it is about to
+// discard — and the poll doubles as the merge-throttle yield point, so a
+// throttled engine's merges park between terms, not mid-read. Returns the
 // statistics epoch the merged segment was baked against.
 func BuildMergedSegment(dir string, names []string, into string, cancel func() bool) (uint64, error) {
+	// First poll before any I/O: a throttled merge parks here until query
+	// traffic drains, having touched nothing.
+	if cancel != nil && cancel() {
+		return 0, ErrBuildCanceled
+	}
 	sm, err := ReadSegments(dir)
 	if err != nil {
 		return 0, err
@@ -700,64 +845,135 @@ func BuildMergedSegment(dir string, names []string, into string, cancel func() b
 		docs += e.Docs
 		postings += e.Postings
 	}
-	coll := &corpus.Collection{
-		Cfg:        corpus.Config{NumDocs: docs},
-		DocLens:    make([]int64, 0, docs),
-		DocNames:   make([]string, 0, docs),
-		TopicOfDoc: make([]int, docs),
-	}
-	for i := range coll.TopicOfDoc {
-		coll.TopicOfDoc[i] = -1
+
+	// The merged layout is the run's layout with per-segment identity
+	// stripped (manifest configs carry no Stats — WriteIndex clears it).
+	bc := st.segs[at].Config
+	bc.Stats = st.globalStats(sm.HasBounds, sm.ScoreLo, sm.ScoreHi)
+	bc.DocIDBase = runBase
+	bc.TablePrefix = into + "."
+	w, err := ir.NewIndexWriter(bc, docs, postings)
+	if err != nil {
+		return 0, err
 	}
 
-	// Sorted union of the run's dictionaries fixes the merged term ids.
+	// Open every input segment once; per-term streaming revisits each
+	// segment's cursors for every shared term, so open/close per segment
+	// (the old discipline) would reopen files per term instead.
+	type mergeSrc struct {
+		ix     *ir.Index
+		docCur *colbm.Cursor
+		tfCur  *colbm.Cursor
+	}
+	srcs := make([]mergeSrc, 0, len(run))
+	defer func() {
+		for _, s := range srcs {
+			s.ix.Close()
+		}
+	}()
+	for _, e := range run {
+		ix, err := OpenIndex(filepath.Join(dir, e.Name), 64<<20)
+		if err != nil {
+			return 0, err
+		}
+		docName, tfName := ir.ColDocIDC, ir.ColTFC
+		if !ix.Config().Compressed {
+			docName, tfName = ir.ColDocID32, ir.ColTF32
+		}
+		docCol, err := ix.TD.Column(docName)
+		if err != nil {
+			ix.Close()
+			return 0, err
+		}
+		tfCol, err := ix.TD.Column(tfName)
+		if err != nil {
+			ix.Close()
+			return 0, err
+		}
+		srcs = append(srcs, mergeSrc{ix, colbm.NewCursor(docCol), colbm.NewCursor(tfCol)})
+	}
+
+	// Documents first — posting scores read lengths by merged-local docid.
+	for _, s := range srcs {
+		lenCol, err := s.ix.D.Column("len")
+		if err != nil {
+			return 0, err
+		}
+		nameCol, err := s.ix.D.Column("name")
+		if err != nil {
+			return 0, err
+		}
+		var addErr error
+		if err := scanInt64Column(lenCol, func(vals []int64) {
+			if addErr == nil {
+				addErr = w.AddDocLens(vals)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		if err := scanStrColumn(nameCol, func(vals []string) {
+			if addErr == nil {
+				addErr = w.AddDocNames(vals)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		if addErr != nil {
+			return 0, addErr
+		}
+	}
+
+	// Sorted union of the run's dictionaries fixes the merged term order;
+	// within a term, segments stream in run order (ascending docid ranges),
+	// so merged lists stay docid-ordered with no sort.
 	termSet := make(map[string]bool)
 	for _, m := range st.segs[at : at+len(names)] {
 		for t := range m.Terms {
 			termSet[t] = true
 		}
 	}
-	coll.TermStrings = make([]string, 0, len(termSet))
+	terms := make([]string, 0, len(termSet))
 	for t := range termSet {
-		coll.TermStrings = append(coll.TermStrings, t)
+		terms = append(terms, t)
 	}
-	sort.Strings(coll.TermStrings)
-	coll.Cfg.Vocab = len(coll.TermStrings)
-	termID := make(map[string]int, len(coll.TermStrings))
-	for i, t := range coll.TermStrings {
-		termID[t] = i
-	}
-	coll.Postings = make([][]corpus.Posting, len(coll.TermStrings))
+	sort.Strings(terms)
 
-	var layout ir.BuildConfig
-	for i, e := range run {
+	docVec := vector.New(vector.Int64, vector.DefaultSize)
+	tfVec := vector.New(vector.Int64, vector.DefaultSize)
+	for _, t := range terms {
 		if cancel != nil && cancel() {
 			return 0, ErrBuildCanceled
 		}
-		ix, err := OpenIndex(filepath.Join(dir, e.Name), 64<<20)
-		if err != nil {
+		if err := w.BeginTerm(t); err != nil {
 			return 0, err
 		}
-		if i == 0 {
-			layout = ix.Config()
-		}
-		err = appendSegmentRows(coll, ix, termID, runBase, cancel)
-		ix.Close()
-		if err != nil {
-			return 0, err
+		for _, s := range srcs {
+			ti, ok := s.ix.Terms[t]
+			if !ok {
+				continue
+			}
+			for pos := ti.Start; pos < ti.End; {
+				n := min(ti.End-pos, vector.DefaultSize)
+				if err := s.docCur.ReadOffset(docVec, pos, n, -runBase); err != nil {
+					return 0, err
+				}
+				if err := s.tfCur.Read(tfVec, pos, n); err != nil {
+					return 0, err
+				}
+				if err := w.Postings(docVec.I64[:n], tfVec.I64[:n]); err != nil {
+					return 0, err
+				}
+				pos += n
+			}
 		}
 	}
 
-	bc := layout
-	bc.Stats = st.globalStats(sm.HasBounds, sm.ScoreLo, sm.ScoreHi)
-	bc.DocIDBase = runBase
-	bc.TablePrefix = into + "."
-	// Last poll before the (uninterruptible) index build of the merged
-	// segment; cancellation covers the streaming phase, not Build itself.
+	// Last poll before the (uninterruptible) table encode of the merged
+	// segment; cancellation covers the streaming phase, not the encode.
 	if cancel != nil && cancel() {
 		return 0, ErrBuildCanceled
 	}
-	ix, err := ir.Build(coll, bc)
+	ix, err := w.Finish()
 	if err == nil {
 		err = WriteIndex(filepath.Join(dir, into), ix)
 	}
@@ -767,48 +983,23 @@ func BuildMergedSegment(dir string, names []string, into string, cancel func() b
 	return sm.StatsEpoch, nil
 }
 
-// appendSegmentRows streams one input segment's documents and postings
-// into the merge collection. Postings arrive per term in docid order, and
-// input segments are visited in ascending docid-range order, so appending
-// keeps every merged list docid-ordered.
-func appendSegmentRows(coll *corpus.Collection, ix *ir.Index, termID map[string]int, runBase int64, cancel func() bool) error {
-	lenCol, err := ix.D.Column("len")
-	if err != nil {
-		return err
-	}
-	nameCol, err := ix.D.Column("name")
-	if err != nil {
-		return err
-	}
-	if err := scanInt64Column(lenCol, func(vals []int64) {
-		coll.DocLens = append(coll.DocLens, vals...)
-	}); err != nil {
-		return err
-	}
-	if err := scanStrColumn(nameCol, func(vals []string) {
-		coll.DocNames = append(coll.DocNames, vals...)
-	}); err != nil {
-		return err
-	}
-
-	// Global docids rebase to the merged segment's local space; the merged
-	// build re-adds runBase as its DocIDBase.
-	return scanPostings(ix, -runBase, cancel, func(t string, docids, tfs []int64) {
-		id := termID[t]
-		for i := range docids {
-			coll.Postings[id] = append(coll.Postings[id],
-				corpus.Posting{DocID: docids[i], TF: tfs[i]})
-		}
-	})
-}
-
 // CommitMerge atomically replaces the named adjacent segments with the
 // merged segment built into `into`, bumping the generation (the statistics
 // epoch is unchanged — a merge moves postings, not the collection). The
 // replaced directories are NOT removed here: readers of older generations
 // may still hold them open; garbage collection (SweepSegments) reclaims
 // them once unreferenced. bakedEpoch is BuildMergedSegment's return.
+//
+// The commit runs under the cross-handle writer lock with a fresh
+// manifest read; no generation CAS is needed — appends that landed since
+// the build only add segments after the run, and findRun re-validates
+// the run still exists in the generation being spliced.
 func CommitMerge(dir string, names []string, into string, bakedEpoch uint64) (uint64, error) {
+	unlock, err := acquireWriterLock(dir)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
 	sm, err := ReadSegments(dir)
 	if err != nil {
 		return 0, err

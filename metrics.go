@@ -34,10 +34,10 @@ type EngineMetrics struct {
 	// searcher; a growing p99 here is the leading indicator of
 	// saturation, visible before request latency degrades.
 	PoolWait LatencySnapshot
-	// Inflight is the number of currently admitted requests and
-	// ServiceEstimate the EWMA of per-request execution time — the two
-	// live inputs of the admission model. Both are zero unless
-	// WithAdmissionControl is on.
+	// Inflight is the number of ranked searches executing right now (the
+	// always-on load signal the merge throttle also reads);
+	// ServiceEstimate is the EWMA of per-request execution time, zero
+	// unless WithAdmissionControl is on.
 	Inflight        int64
 	ServiceEstimate time.Duration
 	// Shed counts requests rejected by admission control.
@@ -88,8 +88,8 @@ func (e *Engine) MetricsSnapshot() EngineMetrics {
 		Shed:        e.met.shed.Load(),
 		ResultCache: e.ResultCacheStats(),
 	}
+	m.Inflight = e.inflight.Load()
 	if e.qosCtl != nil {
-		m.Inflight = e.qosCtl.Inflight()
 		m.ServiceEstimate = e.qosCtl.ServiceEstimate()
 	}
 	if e.segMgr != nil {

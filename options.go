@@ -22,9 +22,10 @@ type engineConfig struct {
 	diskSet bool
 	disk    DiskParams
 
-	storageDir string // WithStorageDir: persist to / serve from this directory
-	segmented  bool   // WithSegments: segmented layout (live appends)
-	autoMerge  int    // WithAutoMerge: background merge above this segment count (0 = off)
+	storageDir    string // WithStorageDir: persist to / serve from this directory
+	segmented     bool   // WithSegments: segmented layout (live appends)
+	autoMerge     int    // WithAutoMerge: background merge above this segment count (0 = off)
+	mergeThrottle int    // WithMergeThrottle: pause merges above this many inflight queries (-1 = off)
 
 	resultCache     int         // WithResultCache: entries (0 = disabled)
 	cachePolicy     CachePolicy // WithResultCachePolicy: eviction policy
@@ -48,6 +49,10 @@ func (c *engineConfig) crossValidate() {
 		c.errs = append(c.errs,
 			fmt.Errorf("repro: WithResultCachePolicy needs a result cache (add WithResultCache)"))
 	}
+	if c.mergeThrottle >= 0 && c.autoMerge == 0 {
+		c.errs = append(c.errs,
+			fmt.Errorf("repro: WithMergeThrottle needs a background merger (add WithAutoMerge)"))
+	}
 }
 
 // Option configures an Engine at Open time.
@@ -55,9 +60,10 @@ type Option func(*engineConfig)
 
 func defaultEngineConfig() engineConfig {
 	return engineConfig{
-		index:      DefaultIndexConfig(),
-		vectorSize: 0, // searcher default (1024)
-		searchers:  runtime.GOMAXPROCS(0),
+		index:         DefaultIndexConfig(),
+		vectorSize:    0, // searcher default (1024)
+		searchers:     runtime.GOMAXPROCS(0),
+		mergeThrottle: -1,
 	}
 }
 
@@ -130,6 +136,25 @@ func WithAutoMerge(maxSegments int) Option {
 			return
 		}
 		c.autoMerge = maxSegments
+	}
+}
+
+// WithMergeThrottle makes the background merger yield to query traffic:
+// while more than maxInflight queries are executing, an in-progress
+// merge parks at its next yield point (storage polls between term scans
+// and before the final encode) and resumes when traffic drains below the
+// threshold. maxInflight 0 means merges run only while the engine is
+// completely idle. The throttle trades merge completion latency for
+// query latency — a merge can be postponed indefinitely by sustained
+// traffic, during which appends keep serving (just with more segments
+// and virtual scoring). Requires WithAutoMerge.
+func WithMergeThrottle(maxInflight int) Option {
+	return func(c *engineConfig) {
+		if maxInflight < 0 {
+			c.errs = append(c.errs, fmt.Errorf("repro: negative merge-throttle threshold %d", maxInflight))
+			return
+		}
+		c.mergeThrottle = maxInflight
 	}
 }
 

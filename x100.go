@@ -375,6 +375,38 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 	return dist.StartClusterFromDirs(dirs, poolBytes, opts...)
 }
 
+// ClusterAddStats reports one distributed Add (Broker.Add): the
+// partition the batch was routed to, the generation its primary
+// committed, and how much replication the commit triggered.
+type ClusterAddStats = dist.AddStats
+
+// WithClusterIngest starts every replica of a segmented partition as a
+// live ingest node (StartClusterFromDirs only): Broker.Add then routes
+// document batches to the least-loaded partition, whose primary commits
+// them as a new index generation; the committed segment files ship to
+// the group's other replicas, which install and refresh without dropping
+// in-flight searches. Queries through the broker pin the highest
+// generation it has observed per partition — a replica still behind
+// refuses (and the broker fails over) rather than answering with missing
+// documents, so a reader always sees its own writes. Partition layouts
+// come from BuildLivePartitions.
+func WithClusterIngest() ClusterOption {
+	return dist.WithIngest()
+}
+
+// BuildLivePartitions lays out n live-ingest partition directories under
+// baseDir, each owning a strided docid range, seeded with contiguous
+// slices of the collection (a partition may start empty — Broker.Add
+// fills it). Unlike BuildSegmentedPartitions the directories carry
+// partition-local statistics that recompute as appends land, the
+// property that lets the cluster ingest without a global-statistics
+// coordinator; with a single partition (any replica count) local
+// statistics are exactly global and distributed rankings stay
+// bit-identical to a centralized engine's.
+func BuildLivePartitions(c *Collection, n int, cfg IndexConfig, baseDir string) ([]string, error) {
+	return dist.BuildLivePartitions(c, n, cfg, baseDir)
+}
+
 // Storage surface: the BlockStore/ChunkCache contracts, their simulated
 // and persistent implementations, and the on-disk index format.
 type (

@@ -16,6 +16,7 @@
 //	trecbench -experiment qps        # open-loop QoS: shedding, adaptive hedge, partial results
 //	trecbench -experiment trace      # tracing overhead + stitched trace trees
 //	trecbench -experiment ingest     # distributed live ingest: Broker.Add while serving
+//	trecbench -experiment scan       # mmap vs ReadAt, CLOCK vs 2Q, exact vs approx bounds
 //	trecbench -experiment all        # everything above, in order
 //
 // Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|qps|trace|ingest|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|qps|trace|ingest|scan|all")
 		docs        = flag.Int("docs", 50000, "collection size in documents")
 		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
 		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
@@ -92,6 +93,8 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 		return traceExperiment(docs, nq, servers, seed)
 	case "ingest":
 		return ingestExperiment(docs, nq, seed)
+	case "scan":
+		return scanExperiment(docs, nq, seed)
 	case "all":
 		for _, fn := range []func() error{
 			figure2,
@@ -109,6 +112,7 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 			func() error { return qpsExperiment(docs, nq, servers, seed) },
 			func() error { return traceExperiment(docs, nq, servers, seed) },
 			func() error { return ingestExperiment(docs, nq, seed) },
+			func() error { return scanExperiment(docs, nq, seed) },
 		} {
 			if err := fn(); err != nil {
 				return err

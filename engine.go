@@ -210,6 +210,18 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 		cfg.errs = append(cfg.errs,
 			errors.New("repro: WithPrefetch needs a persisted index (add WithStorageDir, or use OpenDir)"))
 	}
+	if cfg.mmapReads && cfg.storageDir == "" {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: WithMmapReads needs a persisted index (add WithStorageDir, or use OpenDir)"))
+	}
+	if cfg.cacheAdmission != AdmissionClock && cfg.storageDir == "" {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: WithCacheAdmission needs a persisted index (add WithStorageDir, or use OpenDir)"))
+	}
+	if cfg.approxSet && cfg.storageDir == "" {
+		cfg.errs = append(cfg.errs,
+			errors.New("repro: WithApproxBounds needs a segmented persisted index (add WithStorageDir and WithSegments)"))
+	}
 	if cfg.segmented && cfg.storageDir == "" {
 		cfg.errs = append(cfg.errs,
 			errors.New("repro: WithSegments needs a storage directory (add WithStorageDir)"))
@@ -223,6 +235,9 @@ func Open(coll *Collection, opts ...Option) (*Engine, error) {
 	}
 	if cfg.autoMerge > 0 && !cfg.segmented {
 		return nil, errors.New("repro: WithAutoMerge needs a segmented index (add WithSegments)")
+	}
+	if cfg.approxSet && !cfg.segmented {
+		return nil, errors.New("repro: WithApproxBounds needs a segmented index (add WithSegments)")
 	}
 	if cfg.storageDir != "" && storage.IsIndexDir(cfg.storageDir) {
 		if cfg.segmented {
@@ -296,6 +311,9 @@ func OpenDir(dir string, opts ...Option) (*Engine, error) {
 	if cfg.autoMerge > 0 {
 		return nil, fmt.Errorf("repro: WithAutoMerge needs a segmented index directory, %q is monolithic", dir)
 	}
+	if cfg.approxSet {
+		return nil, fmt.Errorf("repro: WithApproxBounds needs a segmented index directory, %q is monolithic", dir)
+	}
 	return openPersisted(cfg)
 }
 
@@ -304,6 +322,12 @@ func (cfg *engineConfig) storageOpts() []storage.OpenOption {
 	var opts []storage.OpenOption
 	if cfg.prefetchWorkers > 0 {
 		opts = append(opts, storage.WithPrefetchWorkers(cfg.prefetchWorkers))
+	}
+	if cfg.mmapReads {
+		opts = append(opts, storage.WithMmapReads())
+	}
+	if cfg.cacheAdmission != AdmissionClock {
+		opts = append(opts, storage.WithCacheAdmission(cfg.cacheAdmission))
 	}
 	return opts
 }
@@ -325,6 +349,13 @@ func openPersisted(cfg engineConfig) (*Engine, error) {
 // openSegmented opens cfg.storageDir's current generation as a segmented
 // engine with live-append support.
 func openSegmented(cfg engineConfig) (*Engine, error) {
+	// The bounds policy is a directory property; declare it before the
+	// generation is read so the first Add already appends under it.
+	if cfg.approxSet {
+		if err := storage.SetBoundsPolicy(cfg.storageDir, cfg.approxBounds); err != nil {
+			return nil, err
+		}
+	}
 	sm, err := storage.ReadSegments(cfg.storageDir)
 	if err != nil {
 		return nil, err
@@ -332,7 +363,7 @@ func openSegmented(cfg engineConfig) (*Engine, error) {
 	if cfg.autoMerge > 0 && sm.External {
 		return nil, fmt.Errorf("repro: %q carries externally coordinated statistics; merge by rebuilding the partition set, not WithAutoMerge", cfg.storageDir)
 	}
-	mgr := storage.NewManager(cfg.pool)
+	mgr := storage.NewManager(cfg.pool, storage.WithAdmissionPolicy(cfg.cacheAdmission))
 	snap, err := storage.OpenSegmented(cfg.storageDir, cfg.pool,
 		append(cfg.storageOpts(), storage.WithSharedManager(mgr))...)
 	if err != nil {

@@ -19,9 +19,11 @@ import (
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	replicas  int
-	storeOpts []storage.OpenOption
-	ingest    bool
+	replicas      int
+	storeOpts     []storage.OpenOption
+	ingest        bool
+	sharedPool    int64
+	sharedPoolSet bool
 }
 
 // WithReplicas serves every partition range with r servers instead of
@@ -40,6 +42,23 @@ func WithReplicas(r int) ClusterOption {
 // StartClusterFromDirs. Ignored by in-memory StartCluster.
 func WithStorageOptions(opts ...storage.OpenOption) ClusterOption {
 	return func(c *clusterConfig) { c.storeOpts = append(c.storeOpts, opts...) }
+}
+
+// WithSharedPool serves every partition replica StartClusterFromDirs
+// opens through ONE cross-server buffer manager with the given byte
+// budget (0 = unbounded) instead of a private manager per replica. On a
+// single host running many partition servers, per-replica budgets
+// fragment memory — an idle partition hoards its slice while a hot one
+// thrashes; one shared pool lets residency follow the actual access skew.
+// Every server slot reads through its own cache-key namespace, so
+// co-located partitions whose blob names collide (live-ingest partitions
+// reuse segment names, monolithic partitions share blob names outright)
+// can never read each other's chunks; replicas serving the same
+// directory share a namespace and therefore share cached chunks. A
+// WithCacheAdmission riding in WithStorageOptions applies to the shared
+// manager. Ignored by in-memory StartCluster.
+func WithSharedPool(budgetBytes int64) ClusterOption {
+	return func(c *clusterConfig) { c.sharedPool, c.sharedPoolSet = budgetBytes, true }
 }
 
 // WithIngest starts every replica of a segmented partition as a live
@@ -83,12 +102,22 @@ type Cluster struct {
 	owner    bool // views produced by Sub must not close the servers
 
 	// Revival state for ingest clusters (WithIngest): the directory each
-	// server slot serves and the open parameters, so KillReplica /
-	// ReviveReplica can cycle a node in place on its original address.
+	// server slot serves and the open parameters (per slot — shared-pool
+	// slots carry their namespace), so KillReplica / ReviveReplica can
+	// cycle a node in place on its original address.
 	replicaDirs []string
 	poolBytes   int64
-	storeOpts   []storage.OpenOption
+	slotOpts    [][]storage.OpenOption
+
+	// sharedMgr is the cross-server buffer manager (WithSharedPool), nil
+	// without one.
+	sharedMgr *storage.Manager
 }
+
+// SharedPool returns the cross-server buffer manager a WithSharedPool
+// cluster serves through (its Stats cover every co-located replica), or
+// nil when each replica has a private manager.
+func (cl *Cluster) SharedPool() *storage.Manager { return cl.sharedMgr }
 
 // assemble wires a flat, group-major server slice into a Cluster.
 func assemble(servers []*Server, partitions, replicas int) *Cluster {
@@ -367,6 +396,33 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 	ccfg := applyClusterOptions(opts)
 	servers := make([]*Server, len(dirs)*ccfg.replicas)
 	replicaDirs := make([]string, len(servers))
+	slotOpts := make([][]storage.OpenOption, len(servers))
+	// One cross-server pool (WithSharedPool): every slot reads through a
+	// namespaced view of this manager instead of a private one. Slots
+	// serving the same directory share a namespace (and so share cached
+	// chunks); slots serving different directories get distinct namespaces
+	// so colliding blob names can never alias.
+	var shared *storage.Manager
+	if ccfg.sharedPoolSet {
+		shared = storage.NewManager(ccfg.sharedPool,
+			storage.WithAdmissionPolicy(storage.ResolveAdmission(ccfg.storeOpts)))
+	}
+	for i := range slotOpts {
+		p, r := i/ccfg.replicas, i%ccfg.replicas
+		slotOpts[i] = ccfg.storeOpts
+		if shared == nil {
+			continue
+		}
+		ns := fmt.Sprintf("p%d/", p)
+		if ccfg.ingest && r > 0 {
+			// Ingest replicas past the first serve their own directory copy
+			// (see below) — same segment names, independently evolving
+			// generations — so each gets its own namespace.
+			ns = fmt.Sprintf("p%d-r%d/", p, r)
+		}
+		slotOpts[i] = append(append([]storage.OpenOption{}, ccfg.storeOpts...),
+			storage.WithSharedManager(shared), storage.WithCacheNamespace(ns))
+	}
 	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
 	for p := range dirs {
@@ -396,11 +452,11 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 						}
 					}
 					replicaDirs[i] = dir
-					servers[i], errs[i] = serveSegmentedDir(dir, "127.0.0.1:0", poolBytes, ccfg.storeOpts)
+					servers[i], errs[i] = serveSegmentedDir(dir, "127.0.0.1:0", poolBytes, slotOpts[i])
 					return
 				}
 				if storage.IsSegmentedDir(dirs[p]) {
-					snap, err := storage.OpenSegmented(dirs[p], poolBytes, ccfg.storeOpts...)
+					snap, err := storage.OpenSegmented(dirs[p], poolBytes, slotOpts[i]...)
 					if err != nil {
 						errs[i] = err
 						return
@@ -408,7 +464,7 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 					servers[i], errs[i] = serveSnapshot(snap)
 					return
 				}
-				ix, err := storage.OpenIndex(dirs[p], poolBytes, ccfg.storeOpts...)
+				ix, err := storage.OpenIndex(dirs[p], poolBytes, slotOpts[i]...)
 				if err != nil {
 					errs[i] = err
 					return
@@ -422,10 +478,11 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 		return nil, err
 	}
 	cl := assemble(servers, len(dirs), ccfg.replicas)
+	cl.sharedMgr = shared
 	if ccfg.ingest {
 		cl.replicaDirs = replicaDirs
 		cl.poolBytes = poolBytes
-		cl.storeOpts = ccfg.storeOpts
+		cl.slotOpts = slotOpts
 	}
 	return cl, nil
 }
@@ -483,7 +540,7 @@ func (cl *Cluster) ReviveReplica(p, r int) error {
 	var s *Server
 	var err error
 	for deadline := time.Now().Add(2 * time.Second); ; {
-		s, err = serveSegmentedDir(cl.replicaDirs[i], cl.Addrs[i], cl.poolBytes, cl.storeOpts)
+		s, err = serveSegmentedDir(cl.replicaDirs[i], cl.Addrs[i], cl.poolBytes, cl.slotOpts[i])
 		if err == nil || time.Now().After(deadline) {
 			break
 		}

@@ -63,6 +63,19 @@ type openConfig struct {
 	prefetchWorkers int
 	prefetchWindow  int
 	manager         *Manager
+	mmap            bool
+	admission       AdmissionPolicy
+	namespace       string
+}
+
+// cache returns the chunk-cache surface the opened index should read
+// through: the manager itself, or a namespaced view of it when the open
+// carries a cache namespace (co-located indexes sharing one pool).
+func (oc *openConfig) cache(mgr *Manager) FetchCache {
+	if oc.namespace != "" {
+		return NewCacheView(mgr, oc.namespace)
+	}
+	return mgr
 }
 
 // WithPrefetchWorkers enables manifest-driven chunk prefetch on the opened
@@ -93,6 +106,48 @@ func WithPrefetchWindow(n int) OpenOption {
 // would cold-start the whole pool.
 func WithSharedManager(m *Manager) OpenOption {
 	return func(c *openConfig) { c.manager = m }
+}
+
+// WithMmapReads serves the opened index's column blobs out of per-blob
+// memory mappings instead of positioned reads: each .col file is mapped
+// once on first touch and chunk reads are a single copy out of the
+// mapping — no read(2) per request, no widened private buffer, and the
+// prefetcher's coalesced runs get madvise(SEQUENTIAL) ahead of the scan.
+// Platforms or blobs that cannot map fall back to the positioned-read
+// path transparently, byte-for-byte equivalent.
+func WithMmapReads() OpenOption {
+	return func(c *openConfig) { c.mmap = true }
+}
+
+// WithCacheAdmission selects the buffer manager's admission policy
+// (default AdmissionClock; Admission2Q is the scan-resistant choice —
+// see the AdmissionPolicy constants). It applies to the manager this
+// open creates; combined with WithSharedManager the pre-built manager's
+// policy wins and this option is ignored.
+func WithCacheAdmission(p AdmissionPolicy) OpenOption {
+	return func(c *openConfig) { c.admission = p }
+}
+
+// WithCacheNamespace scopes the opened index's chunk-cache keys under the
+// given prefix. Required whenever indexes whose blob names may collide
+// share one manager (WithSharedManager across co-located partition
+// servers: live-ingest partitions reuse segment names, monolithic
+// partitions share blob names outright); pointless — but harmless — for
+// an index with a manager of its own.
+func WithCacheNamespace(ns string) OpenOption {
+	return func(c *openConfig) { c.namespace = ns }
+}
+
+// ResolveAdmission applies opts and returns the admission policy they
+// select — for callers that build a shared manager up front (dist's
+// cross-server pool) and must honor a WithCacheAdmission riding in the
+// same option list that would otherwise be ignored.
+func ResolveAdmission(opts []OpenOption) AdmissionPolicy {
+	var oc openConfig
+	for _, opt := range opts {
+		opt(&oc)
+	}
+	return oc.admission
 }
 
 // verifyIndexFiles cross-checks a manifest against the directory's column
@@ -152,7 +207,7 @@ func OpenIndex(dir string, poolBytes int64, opts ...OpenOption) (*ir.Index, erro
 	}
 	mgr := oc.manager
 	if mgr == nil {
-		mgr = NewManager(poolBytes)
+		mgr = NewManager(poolBytes, WithAdmissionPolicy(oc.admission))
 	}
 	return openIndexWith(dir, mgr, oc)
 }
@@ -166,7 +221,11 @@ func openIndexWith(dir string, mgr *Manager, oc openConfig) (*ir.Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs, err := NewFileStore(dir)
+	var fsOpts []FileStoreOption
+	if oc.mmap {
+		fsOpts = append(fsOpts, WithMmap())
+	}
+	fs, err := NewFileStore(dir, fsOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -174,9 +233,10 @@ func openIndexWith(dir string, mgr *Manager, oc openConfig) (*ir.Index, error) {
 		fs.Close()
 		return nil, err
 	}
+	cache := oc.cache(mgr)
 	var tables []*colbm.Table
 	for _, st := range []*colbm.StoredTable{&m.TD, &m.D} {
-		t, err := colbm.OpenTable(*st, fs, mgr)
+		t, err := colbm.OpenTable(*st, fs, cache)
 		if err != nil {
 			fs.Close()
 			return nil, err
@@ -184,9 +244,9 @@ func openIndexWith(dir string, mgr *Manager, oc openConfig) (*ir.Index, error) {
 		tables = append(tables, t)
 	}
 	ix := ir.RestoreIndex(tables[0], tables[1], m.Terms, m.Params,
-		m.ScoreLo, m.ScoreHi, fs, mgr, m.Config)
+		m.ScoreLo, m.ScoreHi, fs, cache, m.Config)
 	if oc.prefetchWorkers > 0 {
-		pf := NewPrefetcher(fs, mgr, oc.prefetchWorkers)
+		pf := NewPrefetcher(fs, cache, oc.prefetchWorkers)
 		if oc.prefetchWindow > 0 {
 			pf.SetWindow(oc.prefetchWindow)
 		}

@@ -1,0 +1,20 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether this platform has a working mmap path;
+// when false every WithMmap store silently serves through ReadAt.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("storage: mmap not supported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }
+
+func madviseSequential(data []byte) {}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// mmapPair opens two stores over the same directory — positioned reads
+// and mmap — seeded with the given blobs.
+func mmapPair(t *testing.T, blobs map[string][]byte) (plain, mapped *FileStore) {
+	t.Helper()
+	dir := t.TempDir()
+	plain, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { plain.Close() })
+	for name, data := range blobs {
+		if err := plain.Write(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mapped, err = NewFileStore(dir, WithMmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mapped.Close() })
+	return plain, mapped
+}
+
+// pattern fills n bytes with a position-derived pattern so any misaligned
+// read is caught byte-for-byte.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+// TestMmapReadEquivalence pins the tentpole's correctness contract: a
+// WithMmap store returns byte-for-byte what the positioned-read store
+// returns, across aligned and unaligned offsets, sizes spanning alignment
+// boundaries, whole-blob reads, and empty reads — including on blobs that
+// cannot map (zero-length), where the fallback serves.
+func TestMmapReadEquivalence(t *testing.T) {
+	blobs := map[string][]byte{
+		"big":   pattern(3*readAlign + 517), // spans several pages, odd tail
+		"small": pattern(37),                // sub-page blob
+		"empty": {},                         // cannot mmap; must fall back
+	}
+	plain, mapped := mmapPair(t, blobs)
+
+	type req struct {
+		name      string
+		off, size int
+	}
+	reqs := []req{
+		{"big", 0, len(blobs["big"])},     // whole blob
+		{"big", 0, readAlign},             // aligned prefix
+		{"big", readAlign, readAlign},     // aligned interior
+		{"big", 13, 517},                  // unaligned, sub-page
+		{"big", readAlign - 1, 2},         // straddles a boundary
+		{"big", len(blobs["big"]) - 5, 5}, // odd tail
+		{"big", len(blobs["big"]), 0},     // empty read at EOF
+		{"small", 0, 37},                  //
+		{"small", 5, 0},                   //
+		{"empty", 0, 0},                   // zero-length blob
+	}
+	for _, r := range reqs {
+		want, err := plain.Read(r.name, r.off, r.size)
+		if err != nil {
+			t.Fatalf("plain read %+v: %v", r, err)
+		}
+		got, err := mapped.Read(r.name, r.off, r.size)
+		if err != nil {
+			t.Fatalf("mmap read %+v: %v", r, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("read %+v differs: mmap %d bytes, plain %d bytes", r, len(got), len(want))
+		}
+	}
+
+	// Out-of-range reads fail on both paths instead of over-reading.
+	if _, err := mapped.Read("big", len(blobs["big"])-1, 2); err == nil {
+		t.Error("mmap read past EOF succeeded")
+	}
+	if _, err := mapped.Read("big", -1, 1); err == nil {
+		t.Error("mmap read at negative offset succeeded")
+	}
+}
+
+// TestMmapReadAliasingSafety pins Read's caller-owned contract under
+// WithMmap: mutating a returned slice must not corrupt the mapping or any
+// other reader's bytes — run under -race in CI with concurrent readers.
+func TestMmapReadAliasingSafety(t *testing.T) {
+	data := pattern(2 * readAlign)
+	_, mapped := mmapPair(t, map[string][]byte{"b": data})
+
+	got, err := mapped.Read("b", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		got[i] = 0xFF // caller scribbles over its copy
+	}
+	again, err := mapped.Read("b", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data[100:300]) {
+		t.Error("mutating a returned slice corrupted subsequent reads (mmap aliasing)")
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				off := (g*97 + i*31) % (len(data) - 64)
+				b, err := mapped.Read("b", off, 64)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(b, data[off:off+64]) {
+					t.Errorf("goroutine %d: read at %d corrupted", g, off)
+					return
+				}
+				b[0] = 0xEE // every reader scribbles; nobody else may see it
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMmapReadSpan pins the ReadSpan surface the prefetcher's adjacent
+// admission depends on: the span covers the requested bytes at the
+// advertised offset, is alignment-widened, and the mmap path serves it
+// without a second store read.
+func TestMmapReadSpan(t *testing.T) {
+	data := pattern(3 * readAlign)
+	for _, mm := range []bool{false, true} {
+		var fs *FileStore
+		plain, mapped := mmapPair(t, map[string][]byte{"b": data})
+		if fs = plain; mm {
+			fs = mapped
+		}
+		got, span, spanOff, err := fs.ReadSpan("b", readAlign+100, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[readAlign+100:readAlign+300]) {
+			t.Errorf("mmap=%v: data wrong", mm)
+		}
+		if spanOff != readAlign {
+			t.Errorf("mmap=%v: spanOff %d, want %d (aligned down)", mm, spanOff, readAlign)
+		}
+		if end := spanOff + len(span); end < readAlign+300 || end > len(data) {
+			t.Errorf("mmap=%v: span end %d outside [%d,%d]", mm, end, readAlign+300, len(data))
+		}
+		if !bytes.Equal(span, data[spanOff:spanOff+len(span)]) {
+			t.Errorf("mmap=%v: span bytes wrong", mm)
+		}
+		// The requested bytes sit inside the span where spanOff says.
+		lo := readAlign + 100 - spanOff
+		if !bytes.Equal(span[lo:lo+200], got) {
+			t.Errorf("mmap=%v: data not at its offset within span", mm)
+		}
+	}
+}
+
+// TestMmapWriteInvalidatesMapping: rewriting a blob must drop its mapping
+// so readers see the new bytes, not the unmapped old file's.
+func TestMmapWriteInvalidatesMapping(t *testing.T) {
+	old := pattern(readAlign)
+	_, mapped := mmapPair(t, map[string][]byte{"b": old})
+	if _, err := mapped.Read("b", 0, len(old)); err != nil { // establish the mapping
+		t.Fatal(err)
+	}
+	fresh := bytes.Repeat([]byte{0xAB}, 2*readAlign)
+	if err := mapped.Write("b", fresh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mapped.Read("b", 0, len(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Error("read served stale bytes after rewrite (mapping not invalidated)")
+	}
+}
+
+// TestMmapAdviseSequential: the madvise hook must be callable on any
+// range (clamped, unaligned, unmapped blob) without effect on reads.
+func TestMmapAdviseSequential(t *testing.T) {
+	data := pattern(2 * readAlign)
+	plain, mapped := mmapPair(t, map[string][]byte{"b": data})
+	mapped.AdviseSequential("b", 100, len(data))   // clamped past EOF
+	mapped.AdviseSequential("b", -1, 10)           // rejected
+	mapped.AdviseSequential("b", 0, 0)             // empty
+	mapped.AdviseSequential("nosuchblob", 0, 1024) // absent blob
+	plain.AdviseSequential("b", 0, 1024)           // no-op without WithMmap
+	got, err := mapped.Read("b", 0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("read after advise: %v", err)
+	}
+	if mapped.MmapEnabled() != mmapSupported {
+		t.Errorf("MmapEnabled %v, platform support %v", mapped.MmapEnabled(), mmapSupported)
+	}
+	if plain.MmapEnabled() {
+		t.Error("plain store claims mmap")
+	}
+}

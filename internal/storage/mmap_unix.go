@@ -1,0 +1,39 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has a working mmap path;
+// when false every WithMmap store silently serves through ReadAt.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and shared. Zero-length files
+// cannot be mapped (mmap(2) rejects length 0); the caller falls back to
+// the ReadAt path for them.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("storage: cannot mmap %d-byte file", size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("storage: file of %d bytes exceeds the addressable mapping size", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(data []byte) error { return syscall.Munmap(data) }
+
+// madviseSequential hints the kernel that data will be read sequentially
+// (aggressive read-ahead, early reclaim behind the cursor). data must
+// start on a page boundary; errors are advisory and ignored.
+func madviseSequential(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}

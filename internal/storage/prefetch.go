@@ -32,6 +32,31 @@ const DefaultPrefetchWindow = 32
 // themselves.
 var errPrefetchDropped = errors.New("storage: prefetch queue full, run dropped")
 
+// FetchCache is the slice of the buffer-manager surface the prefetcher
+// drives: demand caching plus the claim/deliver protocol of batched
+// fetches and the free-admission hook. *Manager implements it directly;
+// CacheView implements it over a shared manager with a private key
+// namespace.
+type FetchCache interface {
+	colbm.ChunkCache
+	BeginFetch(keys []string) []string
+	EndFetch(claimed []string, chunks map[string]*colbm.CachedChunk, err error)
+	Admit(key string, c *colbm.CachedChunk) bool
+}
+
+// spanReader is the optional BlockStore extension surfacing the whole
+// aligned span a read touched (FileStore.ReadSpan); the prefetcher uses
+// it to admit adjacent chunks from bytes already paid for.
+type spanReader interface {
+	ReadSpan(name string, off, size int) (data, span []byte, spanOff int, err error)
+}
+
+// sequentialAdviser is the optional BlockStore extension for read-ahead
+// hints on memory-mapped blobs (FileStore.AdviseSequential).
+type sequentialAdviser interface {
+	AdviseSequential(name string, off, size int)
+}
+
 // Prefetcher is the manifest-driven read-ahead stage of the storage
 // subsystem: searchers hand it the posting ranges a plan is about to scan,
 // and the missing chunks stream in ahead of the scanning cursors —
@@ -50,7 +75,7 @@ var errPrefetchDropped = errors.New("storage: prefetch queue full, run dropped")
 // already resident or in flight).
 type Prefetcher struct {
 	store  colbm.BlockStore
-	cache  *Manager
+	cache  FetchCache
 	window int
 
 	jobs chan prefetchJob
@@ -89,12 +114,15 @@ type PrefetchStats struct {
 	Reads   int64 // batched store reads issued
 	Chunks  int64 // chunks admitted into the manager
 	Bytes   int64 // bytes read ahead
+	// Adjacent counts chunks admitted for free from the aligned span of a
+	// batched read — bytes the store had already paid for (ReadSpan).
+	Adjacent int64
 }
 
 // NewPrefetcher returns a prefetcher reading from store into cache with the
 // given number of workers (minimum 1) and the default claim window. Close
 // it to stop the workers.
-func NewPrefetcher(store colbm.BlockStore, cache *Manager, workers int) *Prefetcher {
+func NewPrefetcher(store colbm.BlockStore, cache FetchCache, workers int) *Prefetcher {
 	if workers < 1 {
 		workers = 1
 	}
@@ -323,7 +351,9 @@ func (p *Prefetcher) headroom(col *colbm.Column, lo, hi int) bool {
 // fetchRun reads one contiguous chunk run in a single store request and
 // delivers the chunks to the manager, waking the demand readers that piled
 // up on them. On failure the claims are released with the error and the
-// waiters retry through the demand path.
+// waiters retry through the demand path. Stores that surface their full
+// aligned span additionally donate any *adjacent* chunks the span happens
+// to cover whole — bytes already read, admitted without a fetch.
 func (p *Prefetcher) fetchRun(run *prefetchRun) {
 	col, cis := run.col, run.cis
 	keys := runKeys(run)
@@ -332,7 +362,17 @@ func (p *Prefetcher) fetchRun(run *prefetchRun) {
 	off := first.Off
 	size := last.Off + last.Size - off
 
-	raw, err := p.store.Read(col.BlobName(), off, size)
+	if adv, ok := p.store.(sequentialAdviser); ok {
+		adv.AdviseSequential(col.BlobName(), off, size)
+	}
+	var raw, span []byte
+	var spanOff int
+	var err error
+	if sr, ok := p.store.(spanReader); ok {
+		raw, span, spanOff, err = sr.ReadSpan(col.BlobName(), off, size)
+	} else {
+		raw, err = p.store.Read(col.BlobName(), off, size)
+	}
 	if err != nil {
 		p.cache.EndFetch(keys, nil, err)
 		return
@@ -352,11 +392,48 @@ func (p *Prefetcher) fetchRun(run *prefetchRun) {
 	}
 	p.cache.EndFetch(keys, chunks, nil)
 
+	adjacent := 0
+	if span != nil {
+		adjacent = p.admitAdjacent(col, cis, span, spanOff)
+	}
 	p.mu.Lock()
 	p.st.Reads++
 	p.st.Chunks += int64(len(cis))
 	p.st.Bytes += int64(size)
+	p.st.Adjacent += int64(adjacent)
 	p.mu.Unlock()
+}
+
+// admitAdjacent offers the manager every chunk bordering the run that the
+// read's aligned span covers in full — the widened bytes the store
+// already paid for instead of discarding. Admission is best-effort: the
+// manager declines chunks that are resident, in flight, or would force an
+// eviction. Returns how many chunks were admitted.
+func (p *Prefetcher) admitAdjacent(col *colbm.Column, cis []int, span []byte, spanOff int) int {
+	blob := col.BlobName()
+	admitted := 0
+	try := func(ci int) bool {
+		m := col.Chunk(ci)
+		if m.Off < spanOff || m.Off+m.Size > spanOff+len(span) {
+			return false
+		}
+		// A private copy, like run chunks: cached chunks must never alias
+		// the span (it may be store-internal, e.g. an mmap mapping).
+		data := append([]byte(nil), span[m.Off-spanOff:m.Off-spanOff+m.Size]...)
+		ch, err := colbm.ParseCachedChunk(&col.Spec, data)
+		if err != nil {
+			return false
+		}
+		if p.cache.Admit(colbm.ChunkKey(blob, ci), ch) {
+			admitted++
+		}
+		return true
+	}
+	for ci := cis[0] - 1; ci >= 0 && try(ci); ci-- {
+	}
+	for ci := cis[len(cis)-1] + 1; ci < col.NumChunks() && try(ci); ci++ {
+	}
+	return admitted
 }
 
 var _ colbm.Prefetcher = (*Prefetcher)(nil)

@@ -41,13 +41,14 @@ func prefetchFixture(t *testing.T, nchunks, chunkLen int) (*colbm.Column, *FileS
 }
 
 // waitPrefetched blocks until the prefetcher has delivered (or dropped)
-// everything it accepted.
+// everything it accepted — whether a chunk arrived through its own claim
+// or as an adjacent admit from a neighboring run's widened span.
 func waitPrefetched(t *testing.T, pf *Prefetcher, chunks int64) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		st := pf.Stats()
-		if st.Chunks >= chunks {
+		if st.Chunks+st.Adjacent >= chunks {
 			return
 		}
 		if st.Dropped > 0 {
@@ -189,10 +190,13 @@ func TestPrefetcherWindowedClaims(t *testing.T) {
 	if want := int64(nchunks / window); st.Windows != want {
 		t.Errorf("claim windows %d, want %d (range split into window-sized steps)", st.Windows, want)
 	}
-	// Each window coalesces into one contiguous read: nchunks/window reads,
-	// where the old claim-everything behavior issued a single giant one.
-	if want := int64(nchunks / window); fs.Stats().Reads != want {
-		t.Errorf("store reads %d, want %d (one per window)", fs.Stats().Reads, want)
+	// Each window coalesces into at most one contiguous read — and usually
+	// far fewer than one per window, because a window's page-aligned span
+	// covers neighboring chunks that are admitted for free, so later
+	// windows find their chunks already resident and read nothing.
+	prefetchReads := fs.Stats().Reads
+	if want := int64(nchunks / window); prefetchReads > want {
+		t.Errorf("store reads %d, want at most %d (one per window)", prefetchReads, want)
 	}
 	// Everything is resident and correct.
 	cur := colbm.NewCursor(col)
@@ -202,8 +206,8 @@ func TestPrefetcherWindowedClaims(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := fs.Stats().Reads; got != int64(nchunks/window) {
-		t.Errorf("cursor re-read prefetched data: %d store reads total", got)
+	if got := fs.Stats().Reads; got != prefetchReads {
+		t.Errorf("cursor re-read prefetched data: %d store reads total, %d during prefetch", got, prefetchReads)
 	}
 }
 

@@ -106,11 +106,32 @@ type SegmentsManifest struct {
 	// cross-partition score comparability dist guarantees.
 	External bool `json:"external,omitempty"`
 
-	// HasBounds/ScoreLo/ScoreHi are the exact collection-wide
-	// Global-By-Value quantization bounds as of StatsEpoch.
+	// HasBounds/ScoreLo/ScoreHi are the collection-wide Global-By-Value
+	// quantization bounds segments are baked (and virtually scored)
+	// against as of StatsEpoch: exact by default, or — under a bounds
+	// policy (BoundsDrift > 0) — the tolerated *envelope*, exact bounds
+	// widened by the drift fraction at the last exact scan.
 	HasBounds bool    `json:"has_bounds,omitempty"`
 	ScoreLo   float64 `json:"score_lo,omitempty"`
 	ScoreHi   float64 `json:"score_hi,omitempty"`
+
+	// BoundsDrift > 0 enables the approximate-bounds mode for quantized
+	// layouts: instead of recomputing exact bounds with a tf-scan of
+	// every existing segment on each append (O(existing postings)), an
+	// append folds only its batch into the observed bounds (O(batch))
+	// and keeps quantizing against the recorded envelope while the
+	// observation stays inside it. Only when a batch escapes the
+	// envelope does the append fall back to the exact scan and record a
+	// fresh envelope (exact bounds widened by BoundsDrift of their range
+	// on each side). Set with SetBoundsPolicy / engine WithApproxBounds.
+	BoundsDrift float64 `json:"bounds_drift,omitempty"`
+	// HasObs/ObsLo/ObsHi track the union of observed score bounds since
+	// the envelope was last derived from an exact scan — the cheap
+	// invariant ObsLo >= ScoreLo && ObsHi <= ScoreHi is what lets an
+	// append skip the scan.
+	HasObs bool    `json:"has_obs,omitempty"`
+	ObsLo  float64 `json:"obs_lo,omitempty"`
+	ObsHi  float64 `json:"obs_hi,omitempty"`
 
 	// BaseDocID is the global docid the directory's first segment starts
 	// at (0 for standalone directories). Live dist partitions stride their
@@ -540,7 +561,12 @@ func compatibleLayout(cfg ir.BuildConfig, m *Manifest) error {
 // materialized strategies through the query-time kernels until a merge
 // re-bakes them. Cost is O(batch) to index plus, for quantized layouts,
 // one sequential tf-scan of the existing segments to recompute the exact
-// collection-wide score bounds.
+// collection-wide score bounds — unless the directory carries an
+// approximate-bounds policy (SetBoundsPolicy) with a still-valid
+// envelope, in which case the scan is skipped and the whole append is
+// O(batch): the batch's scores are folded into the observed bounds, and
+// only when they escape the committed envelope does the append fall back
+// to the exact scan and re-bake a fresh, drift-widened envelope.
 //
 // Commits are read-modify-write on SEGMENTS.json, guarded two ways: the
 // engine serializes its own appends/merges in process, and the on-disk
@@ -585,15 +611,41 @@ func AppendSegment(dir string, batch *corpus.Collection, cfg ir.BuildConfig) (ui
 	}
 
 	hasBounds := false
+	approxSkip := false
 	lo, hi := math.Inf(1), math.Inf(-1)
+	obsLo, obsHi := lo, hi
 	if cfg.Quantized {
-		for _, e := range sm.Segments {
-			if err := st.segScoreBounds(filepath.Join(dir, e.Name), &lo, &hi); err != nil {
-				return 0, err
+		if sm.BoundsDrift > 0 && sm.HasBounds && sm.HasObs {
+			// Approximate-bounds mode with a live envelope: fold the batch
+			// into the observed union and skip the tf-scan entirely while
+			// the union stays inside the committed envelope — the envelope
+			// (and therefore every baked quantization grid) is unchanged,
+			// so the append costs O(batch) instead of O(existing postings).
+			obsLo, obsHi = sm.ObsLo, sm.ObsHi
+			st.batchScoreBounds(batch, &obsLo, &obsHi)
+			if obsLo >= sm.ScoreLo && obsHi <= sm.ScoreHi {
+				hasBounds, approxSkip = true, true
+				lo, hi = sm.ScoreLo, sm.ScoreHi
 			}
 		}
-		st.batchScoreBounds(batch, &lo, &hi)
-		hasBounds = lo <= hi
+		if !approxSkip {
+			for _, e := range sm.Segments {
+				if err := st.segScoreBounds(filepath.Join(dir, e.Name), &lo, &hi); err != nil {
+					return 0, err
+				}
+			}
+			st.batchScoreBounds(batch, &lo, &hi)
+			hasBounds = lo <= hi
+			obsLo, obsHi = lo, hi
+			if sm.BoundsDrift > 0 && hasBounds {
+				// Re-baked envelope: the exact bounds widened by the
+				// declared drift, so subsequent appends can keep skipping
+				// the scan until observed scores escape it.
+				margin := sm.BoundsDrift * (hi - lo)
+				lo -= margin
+				hi += margin
+			}
+		}
 	}
 
 	name, err := AllocSegmentDir(dir)
@@ -656,6 +708,11 @@ func AppendSegment(dir string, batch *corpus.Collection, cfg ir.BuildConfig) (ui
 	if !hasBounds {
 		sm.ScoreLo, sm.ScoreHi = 0, 0
 	}
+	if sm.BoundsDrift > 0 && cfg.Quantized && hasBounds {
+		sm.HasObs, sm.ObsLo, sm.ObsHi = true, obsLo, obsHi
+	} else {
+		sm.HasObs, sm.ObsLo, sm.ObsHi = false, 0, 0
+	}
 	sm.Segments = append(sm.Segments, SegmentEntry{
 		Name:       name,
 		Docs:       len(batch.DocLens),
@@ -669,6 +726,46 @@ func AppendSegment(dir string, batch *corpus.Collection, cfg ir.BuildConfig) (ui
 		return 0, err
 	}
 	return sm.Generation, nil
+}
+
+// SetBoundsPolicy declares the directory's quantization-bounds policy:
+// drift > 0 switches quantized appends to approximate bounds (the next
+// append's exact scan bakes an envelope widened by drift × the score
+// range, and appends after that skip the scan while observed scores stay
+// inside it); drift == 0 reverts to exact bounds on every append. The
+// committed bounds themselves are untouched here — only the policy
+// changes, so the directory never serves a grid its segments were not
+// baked against. No-op when the policy already matches.
+//
+// The change commits under the writer lock with a generation bump, so
+// concurrent appends built against the old policy fail their CAS instead
+// of clobbering it.
+func SetBoundsPolicy(dir string, drift float64) error {
+	if drift < 0 || math.IsNaN(drift) || math.IsInf(drift, 0) {
+		return fmt.Errorf("storage: bounds drift must be a finite fraction >= 0, got %v", drift)
+	}
+	unlock, err := acquireWriterLock(dir)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	sm, err := ReadSegments(dir)
+	if err != nil {
+		return err
+	}
+	if sm.External {
+		return fmt.Errorf("storage: %q carries externally coordinated statistics (a dist partition); set the bounds policy where the partitions are built", dir)
+	}
+	if sm.BoundsDrift == drift {
+		return nil
+	}
+	sm.BoundsDrift = drift
+	if drift == 0 {
+		// Exact mode keeps no observed record; the next append re-scans.
+		sm.HasObs, sm.ObsLo, sm.ObsHi = false, 0, 0
+	}
+	sm.Generation++
+	return writeSegments(dir, sm)
 }
 
 // OpenSegmented opens the current generation of a segmented directory as
@@ -691,7 +788,7 @@ func OpenSegmented(dir string, poolBytes int64, opts ...OpenOption) (*ir.Snapsho
 	}
 	mgr := oc.manager
 	if mgr == nil {
-		mgr = NewManager(poolBytes)
+		mgr = NewManager(poolBytes, WithAdmissionPolicy(oc.admission))
 	}
 	segs := make([]*ir.Index, 0, len(sm.Segments))
 	virtual := make([]bool, 0, len(sm.Segments))

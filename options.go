@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 )
@@ -30,6 +31,11 @@ type engineConfig struct {
 	resultCache     int         // WithResultCache: entries (0 = disabled)
 	cachePolicy     CachePolicy // WithResultCachePolicy: eviction policy
 	prefetchWorkers int         // WithPrefetch: read-ahead workers (0 = disabled)
+
+	mmapReads      bool           // WithMmapReads: serve column blobs via memory mappings
+	cacheAdmission CacheAdmission // WithCacheAdmission: buffer-manager admission policy
+	approxSet      bool           // WithApproxBounds given
+	approxBounds   float64        // quantization-bounds drift fraction (0 = exact)
 
 	admission      bool // WithAdmissionControl given
 	admissionQueue int  // waiters allowed beyond the searcher pool (0 = no hard cap)
@@ -224,6 +230,57 @@ func WithPrefetch(workers int) Option {
 			return
 		}
 		c.prefetchWorkers = workers
+	}
+}
+
+// WithMmapReads serves the persisted index's column files out of per-file
+// memory mappings instead of positioned reads: each .col file is mapped
+// once and a chunk read is a single copy out of the mapping — no read(2)
+// system call per request — with madvise(SEQUENTIAL) issued ahead of
+// prefetched runs. Platforms or files that cannot map fall back to the
+// positioned-read path transparently, byte-for-byte equivalent. Persisted
+// indexes only (Open with WithStorageDir, or OpenDir).
+func WithMmapReads() Option {
+	return func(c *engineConfig) { c.mmapReads = true }
+}
+
+// WithCacheAdmission selects the buffer manager's admission policy.
+// AdmissionClock (the default) inserts every fetched chunk into the main
+// clock ring; Admission2Q is the scan-resistant choice — a chunk enters a
+// probationary FIFO first and is promoted to the main ring only when it
+// is referenced again after a probationary eviction the ghost list still
+// remembers, so a cold scan (even one that re-touches its chunks in
+// passing) recycles its own probationary bytes instead of flushing the
+// hot set. Persisted indexes only.
+func WithCacheAdmission(p CacheAdmission) Option {
+	return func(c *engineConfig) {
+		if p != AdmissionClock && p != Admission2Q {
+			c.errs = append(c.errs, fmt.Errorf("repro: unknown cache admission policy %d", p))
+			return
+		}
+		c.cacheAdmission = p
+	}
+}
+
+// WithApproxBounds switches the segmented directory's quantized score
+// bounds from exact to approximate: instead of re-scanning every existing
+// segment's postings on each append to recompute exact collection-wide
+// bounds, the directory commits an *envelope* — exact bounds widened by
+// drift × the score range — and subsequent appends skip the scan entirely
+// while their observed scores stay inside it, making Add O(batch). When a
+// batch's scores escape the envelope the append falls back to one exact
+// scan and re-bakes a fresh envelope. Quantization buckets scores into
+// the envelope's grid, so rankings stay within the declared drift of the
+// exact grid's. drift 0 reverts to exact bounds on every append.
+// Segmented persisted indexes only (WithStorageDir + WithSegments, or
+// OpenDir on a segmented directory).
+func WithApproxBounds(drift float64) Option {
+	return func(c *engineConfig) {
+		if drift < 0 || math.IsNaN(drift) || math.IsInf(drift, 0) {
+			c.errs = append(c.errs, fmt.Errorf("repro: bounds drift %v is not a finite fraction >= 0", drift))
+			return
+		}
+		c.approxSet, c.approxBounds = true, drift
 	}
 }
 

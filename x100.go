@@ -277,6 +277,18 @@ func WithClusterStorage(opts ...StorageOpenOption) ClusterOption {
 	return dist.WithStorageOptions(opts...)
 }
 
+// WithClusterSharedPool serves every partition replica
+// StartClusterFromDirs opens through ONE cross-server buffer manager
+// with the given byte budget (0 = unbounded), instead of a private
+// manager per replica: on a single host, residency follows the actual
+// access skew across partitions rather than fragmenting into fixed
+// per-replica slices. Cache keys are namespaced per server slot, so
+// partitions whose blob names collide can never read each other's
+// chunks. Inspect the pool via Cluster.SharedPool.
+func WithClusterSharedPool(budgetBytes int64) ClusterOption {
+	return dist.WithSharedPool(budgetBytes)
+}
+
 // WithHedgeBudget arms hedged fan-out on a broker dialed over replica
 // groups: a partition whose primary replica has not answered within d has
 // its batch slice re-issued to the next-best replica, first answer wins,
@@ -432,6 +444,9 @@ type (
 	// BufferManager is the real ColumnBM buffer manager: a byte budget
 	// over compressed chunks, clock eviction, singleflight fetches.
 	BufferManager = storage.Manager
+	// CacheAdmission selects how fetched chunks enter the buffer manager
+	// (AdmissionClock or the scan-resistant Admission2Q).
+	CacheAdmission = storage.AdmissionPolicy
 	// IndexManifest is the versioned root of the on-disk index format.
 	IndexManifest = storage.Manifest
 	// Table is a stored columnar table.
@@ -461,6 +476,18 @@ const (
 	TypeFloat64 = vector.Float64
 	TypeUInt8   = vector.UInt8
 	TypeStr     = vector.Str
+)
+
+// Buffer-manager admission policies (WithCacheAdmission).
+const (
+	// AdmissionClock inserts every fetched chunk straight into the main
+	// clock ring (the default; scans can flush the hot set).
+	AdmissionClock = storage.AdmissionClock
+	// Admission2Q quarantines first-touch chunks in a probationary FIFO
+	// and promotes only those referenced again after a remembered
+	// eviction, so cold scans recycle their own bytes instead of
+	// evicting the promoted working set.
+	Admission2Q = storage.Admission2Q
 )
 
 // DefaultDiskParams approximates the paper's 12-disk RAID.
@@ -507,6 +534,16 @@ func WithPrefetchWorkers(n int) StorageOpenOption { return storage.WithPrefetchW
 // claimed and fetched window by window, pacing the read-ahead to the scan
 // so concurrent cold scans cannot flood the buffer manager.
 func WithPrefetchWindow(n int) StorageOpenOption { return storage.WithPrefetchWindow(n) }
+
+// WithStorageMmap serves the opened directory's column files out of
+// memory mappings instead of positioned reads (see the Engine-level
+// WithMmapReads); platforms that cannot map fall back transparently.
+func WithStorageMmap() StorageOpenOption { return storage.WithMmapReads() }
+
+// WithStorageAdmission selects the opened directory's buffer-manager
+// admission policy (see the Engine-level WithCacheAdmission). Ignored
+// when the open serves through a pre-built shared manager.
+func WithStorageAdmission(p CacheAdmission) StorageOpenOption { return storage.WithCacheAdmission(p) }
 
 // LoadIndex opens a persisted index for querying: the manifest is read
 // eagerly, posting data streams in lazily through a buffer manager with

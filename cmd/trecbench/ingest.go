@@ -12,6 +12,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dist"
 	"repro/internal/ir"
+	"repro/internal/loadgen"
 )
 
 // ingestExperiment measures distributed live ingest: a replicated
@@ -162,7 +163,6 @@ func ingestExperiment(docs, nq int, seed int64) error {
 		return err
 	}
 
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	fmt.Printf("\n%-16s %8s %10s %10s\n", "phase", "queries", "p50 ms", "p99 ms")
 	for _, ph := range []struct {
 		name string
@@ -173,20 +173,20 @@ func ingestExperiment(docs, nq int, seed int64) error {
 		{"quiesced-after", afterLats},
 	} {
 		fmt.Printf("%-16s %8d %10.2f %10.2f\n", ph.name, len(ph.lats),
-			ms(percentile(ph.lats, 50)), ms(percentile(ph.lats, 99)))
+			loadgen.Ms(loadgen.Percentile(ph.lats, 50)), loadgen.Ms(loadgen.Percentile(ph.lats, 99)))
 		fmt.Printf("ingest-phase {\"phase\":%q,\"queries\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
-			ph.name, len(ph.lats), ms(percentile(ph.lats, 50)), ms(percentile(ph.lats, 99)))
+			ph.name, len(ph.lats), loadgen.Ms(loadgen.Percentile(ph.lats, 50)), loadgen.Ms(loadgen.Percentile(ph.lats, 99)))
 	}
 
 	// The ratio compares against the quiesced phase with the same data
 	// volume; the before phase is printed for the index-size effect.
 	ratio := 0.0
-	if p := percentile(afterLats, 99); p > 0 {
-		ratio = float64(percentile(ingestLats, 99)) / float64(p)
+	if p := loadgen.Percentile(afterLats, 99); p > 0 {
+		ratio = float64(loadgen.Percentile(ingestLats, 99)) / float64(p)
 	}
 	gens := brk.PartitionGens()
 	fmt.Printf("\n%d adds (%d docs) across %d partitions: add p50 %.2f ms, p99 %.2f ms\n",
-		len(addLats), added, len(partsHit), ms(percentile(addLats, 50)), ms(percentile(addLats, 99)))
+		len(addLats), added, len(partsHit), loadgen.Ms(loadgen.Percentile(addLats, 50)), loadgen.Ms(loadgen.Percentile(addLats, 99)))
 	fmt.Printf("shipped %d files / %.2f MB to replicas, %d lagging installs, final gens %v\n",
 		shippedFiles, float64(shippedBytes)/(1<<20), lagging, gens)
 	fmt.Printf("during-ingest p99 is %.2fx the quiesced-after p99\n", ratio)
@@ -194,7 +194,7 @@ func ingestExperiment(docs, nq int, seed int64) error {
 		"\"add_p50_ms\":%.3f,\"add_p99_ms\":%.3f,\"shipped_files\":%d,\"shipped_bytes\":%d,"+
 		"\"lagging\":%d,\"p99_ratio\":%.3f}\n",
 		len(addLats), added, len(partsHit),
-		ms(percentile(addLats, 50)), ms(percentile(addLats, 99)),
+		loadgen.Ms(loadgen.Percentile(addLats, 50)), loadgen.Ms(loadgen.Percentile(addLats, 99)),
 		shippedFiles, shippedBytes, lagging, ratio)
 	fmt.Println("\n(shape: during-ingest p99 tracks quiesced-after p99 — segment installs")
 	fmt.Println(" swap under the epoch-refcounted refresh, so a search never waits on an")

@@ -17,6 +17,7 @@
 //	trecbench -experiment trace      # tracing overhead + stitched trace trees
 //	trecbench -experiment ingest     # distributed live ingest: Broker.Add while serving
 //	trecbench -experiment scan       # mmap vs ReadAt, CLOCK vs 2Q, exact vs approx bounds
+//	trecbench -experiment rebalance  # online topology reconcile while serving
 //	trecbench -experiment all        # everything above, in order
 //
 // Scale knobs: -docs, -queries, -precqueries, -servers, -seed. The
@@ -30,7 +31,6 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -40,12 +40,13 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dist"
 	"repro/internal/ir"
+	"repro/internal/loadgen"
 	"repro/internal/storage"
 )
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|qps|trace|ingest|scan|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|table1|table2|table3|ratios|vecsize|concurrent|coldwarm|batch|segments|hedge|qps|trace|ingest|scan|rebalance|all")
 		docs        = flag.Int("docs", 50000, "collection size in documents")
 		queries     = flag.Int("queries", 2000, "efficiency queries for hot timing")
 		coldQueries = flag.Int("coldqueries", 200, "efficiency queries for cold timing")
@@ -95,6 +96,8 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 		return ingestExperiment(docs, nq, seed)
 	case "scan":
 		return scanExperiment(docs, nq, seed)
+	case "rebalance":
+		return rebalanceExperiment(docs, nq, seed)
 	case "all":
 		for _, fn := range []func() error{
 			figure2,
@@ -113,6 +116,7 @@ func run(experiment string, docs, nq, nCold, nPrec, servers int, seed int64) err
 			func() error { return traceExperiment(docs, nq, servers, seed) },
 			func() error { return ingestExperiment(docs, nq, seed) },
 			func() error { return scanExperiment(docs, nq, seed) },
+			func() error { return rebalanceExperiment(docs, nq, seed) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -397,9 +401,8 @@ func table3(docs, nq, servers int, seed int64) error {
 }
 
 func printRun(name string, st dist.RunStats) {
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	fmt.Printf("%-28s %10.2f %10.2f | %8.2f %8.2f %8.2f\n",
-		name, ms(st.Absolute), ms(st.Amortized), ms(st.MinServer), ms(st.AvgServer), ms(st.MaxServer))
+		name, loadgen.Ms(st.Absolute), loadgen.Ms(st.Amortized), loadgen.Ms(st.MinServer), loadgen.Ms(st.AvgServer), loadgen.Ms(st.MaxServer))
 }
 
 // ratios reports the §3.3 compression ratios of the inverted-list columns.
@@ -704,7 +707,7 @@ func hedgeExperiment(docs, nq, servers int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	budget := 4 * percentile(cal, 50)
+	budget := 4 * loadgen.Percentile(cal, 50)
 	if budget < time.Millisecond {
 		budget = time.Millisecond
 	}
@@ -740,10 +743,9 @@ func hedgeExperiment(docs, nq, servers int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 		fmt.Printf("%-26s %10.2f %10.2f %10.2f %10.2f %8d %8d\n",
-			mode.name, ms(percentile(lats, 50)), ms(percentile(lats, 90)),
-			ms(percentile(lats, 99)), ms(percentile(lats, 100)),
+			mode.name, loadgen.Ms(loadgen.Percentile(lats, 50)), loadgen.Ms(loadgen.Percentile(lats, 90)),
+			loadgen.Ms(loadgen.Percentile(lats, 99)), loadgen.Ms(loadgen.Percentile(lats, 100)),
 			timing.Hedged, timing.Retried)
 	}
 
@@ -770,7 +772,7 @@ func hedgeExperiment(docs, nq, servers int, seed int64) error {
 	}
 	fmt.Printf("%d/%d queries answered on the surviving replicas (retried %d, p99 %.2f ms)\n",
 		len(lats), len(kill), timing.Retried,
-		float64(percentile(lats, 99).Microseconds())/1000)
+		float64(loadgen.Percentile(lats, 99).Microseconds())/1000)
 
 	fmt.Println("\n(shape: the unhedged p99 absorbs the full stall because per-query latency")
 	fmt.Println(" tracks the slowest partition server; the hedged p99 sits near the hedge")
@@ -797,25 +799,6 @@ func runLatencies(ctx context.Context, brk *dist.Broker, queries []corpus.Query,
 		lats = append(lats, timing.Total)
 	}
 	return lats, agg, nil
-}
-
-// percentile returns the p-th percentile (nearest-rank) of the latency
-// sample; p=100 is the maximum. The input is not modified.
-func percentile(sample []time.Duration, p int) time.Duration {
-	if len(sample) == 0 {
-		return 0
-	}
-	sorted := make([]time.Duration, len(sample))
-	copy(sorted, sample)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := (p*len(sorted) + 99) / 100
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
 }
 
 // coldwarm exercises the persistent storage subsystem end to end: the

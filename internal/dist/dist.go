@@ -18,6 +18,7 @@ const (
 	verbFetch                // read a chunk (or list the files) of a committed segment
 	verbInstallChunk         // write one shipped chunk into a segment being installed
 	verbInstallCommit        // install a shipped manifest and refresh serving
+	verbManifest             // read the current committed manifest bytes (replica bootstrap)
 )
 
 // wireRequest is one broker -> server message: a batch of queries the

@@ -54,6 +54,7 @@ type AddStats struct {
 // searches behind bulk transfer; the split keeps ingest and serving
 // traffic on independent streams to the same servers.
 type ingestState struct {
+	mem    *membership // the layout this state was built from
 	groups []*ingestGroup
 }
 
@@ -74,22 +75,42 @@ func (st *ingestState) close() {
 	}
 }
 
-// ingestFor returns the broker's ingest state, creating it on first use.
-func (b *Broker) ingestFor() *ingestState {
+// ingestFor returns the broker's ingest state for the given membership,
+// creating it on first use and rebuilding it when the membership has
+// moved on (a topology change retired or added replicas; connections to
+// surviving addresses are carried over, the rest close).
+func (b *Broker) ingestFor(m *membership) *ingestState {
 	b.ingestMu.Lock()
 	defer b.ingestMu.Unlock()
-	if b.ingest == nil {
-		st := &ingestState{groups: make([]*ingestGroup, len(b.groups))}
-		for gi, g := range b.groups {
-			ig := &ingestGroup{conns: make([]*srvConn, len(g.replicas))}
-			for ri, r := range g.replicas {
+	if b.ingest != nil && b.ingest.mem == m {
+		return b.ingest
+	}
+	reuse := make(map[string]*srvConn)
+	if b.ingest != nil {
+		for _, ig := range b.ingest.groups {
+			for _, sc := range ig.conns {
+				reuse[sc.addr] = sc
+			}
+		}
+	}
+	st := &ingestState{mem: m, groups: make([]*ingestGroup, len(m.groups))}
+	for gi, g := range m.groups {
+		ig := &ingestGroup{conns: make([]*srvConn, len(g.replicas))}
+		for ri, r := range g.replicas {
+			if sc, ok := reuse[r.conn.addr]; ok {
+				ig.conns[ri] = sc
+				delete(reuse, r.conn.addr)
+			} else {
 				ig.conns[ri] = &srvConn{addr: r.conn.addr}
 			}
-			st.groups[gi] = ig
 		}
-		b.ingest = st
+		st.groups[gi] = ig
 	}
-	return b.ingest
+	for _, sc := range reuse {
+		sc.close()
+	}
+	b.ingest = st
+	return st
 }
 
 // control runs one ingest round trip and lifts the response's Err field
@@ -142,12 +163,21 @@ func (b *Broker) Add(ctx context.Context, docs []Doc) (AddStats, error) {
 	if len(docs) == 0 {
 		return stats, errors.New("dist: Add with no documents")
 	}
-	st := b.ingestFor()
+	// Pin the membership across route + append + replicate: a topology
+	// swap mid-Add waits for this Add to finish (or lands afterwards),
+	// never half-applies to it. A sealed membership (range-op commit
+	// window) parks the Add until the new layout publishes.
+	m, err := b.acquireMem(ctx)
+	if err != nil {
+		return stats, err
+	}
+	defer m.release()
+	st := b.ingestFor(m)
 
 	// Route: least-loaded ingest-capable partition. Statuses come over
 	// the ingest connections; a partition with every replica unreachable
 	// is simply not a candidate.
-	gi, ingestRIs, err := b.route(ctx, st)
+	gi, ingestRIs, err := b.route(ctx, m, st)
 	if err != nil {
 		return stats, err
 	}
@@ -191,7 +221,7 @@ func (b *Broker) Add(ctx context.Context, docs []Doc) (AddStats, error) {
 	stats.Segment = res.Seg
 	stats.TotalDocs = res.NumDocs
 	stats.Replicated = 1
-	b.ratchetGen(gi, res.Gen)
+	ratchetGen(m.gens[gi], res.Gen)
 
 	// Replicate: bring every other group member to the committed
 	// generation — manifest install only when its directory already has
@@ -230,13 +260,17 @@ func (b *Broker) AddMany(ctx context.Context, batches [][]Doc) ([]AddStats, erro
 
 // route picks the owning partition for a new batch: among groups with at
 // least one reachable ingest-capable replica, the one serving the fewest
-// documents. Returns the group index and its reachable ingest replicas
-// in try order.
-func (b *Broker) route(ctx context.Context, st *ingestState) (int, []int, error) {
+// documents. Partitions frozen for a range operation are skipped — no
+// commit may land between a split/merge prepare and its commit. Returns
+// the group index and its reachable ingest replicas in try order.
+func (b *Broker) route(ctx context.Context, m *membership, st *ingestState) (int, []int, error) {
 	bestGi, bestDocs := -1, 0
 	var bestRIs []int
 	var lastErr error
 	for gi, ig := range st.groups {
+		if m.groups[gi].frozen {
+			continue
+		}
 		var ris []int
 		docs := 0
 		for ri, sc := range ig.conns {
@@ -356,9 +390,13 @@ func (b *Broker) shipFile(ctx context.Context, src, dst *srvConn, seg string, f 
 // generation it has seen each partition commit or answer at (what new
 // queries will pin).
 func (b *Broker) PartitionGens() []uint64 {
-	out := make([]uint64, len(b.gens))
-	for i := range b.gens {
-		out[i] = b.gens[i].Load()
+	m := b.mem.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]uint64, len(m.gens))
+	for i := range m.gens {
+		out[i] = m.gens[i].Load()
 	}
 	return out
 }
@@ -368,11 +406,15 @@ func (b *Broker) PartitionGens() []uint64 {
 // partition (or the context expires) — test and operations support for
 // "has the cluster caught up with everything this broker ingested".
 func (b *Broker) WaitConverged(ctx context.Context) error {
-	st := b.ingestFor()
 	for {
+		m, err := b.acquireMem(ctx)
+		if err != nil {
+			return err
+		}
+		st := b.ingestFor(m)
 		behind := ""
 		for gi, ig := range st.groups {
-			want := b.gens[gi].Load()
+			want := m.gens[gi].Load()
 			if want == 0 {
 				continue
 			}
@@ -387,6 +429,7 @@ func (b *Broker) WaitConverged(ctx context.Context) error {
 				}
 			}
 		}
+		m.release()
 		if behind == "" {
 			return nil
 		}

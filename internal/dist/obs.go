@@ -102,5 +102,10 @@ func (o brokerOps) OpsHealth() any {
 		Hedged  int64             `json:"hedged"`
 		Retried int64             `json:"retried"`
 		Groups  [][]replicaHealth `json:"groups"`
-	}{Healthy: healthy, Calls: m.Calls, Hedged: m.Hedged, Retried: m.Retried, Groups: groups}
+		// Reconcile is the live reconciler's progress document
+		// (SetHealthExtra), present while a topology change is bound to
+		// this broker.
+		Reconcile any `json:"reconcile,omitempty"`
+	}{Healthy: healthy, Calls: m.Calls, Hedged: m.Hedged, Retried: m.Retried, Groups: groups,
+		Reconcile: o.b.healthExtraValue()}
 }

@@ -57,6 +57,10 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 
+	// inflight counts requests between decode and response — what Drain
+	// waits out before a retire closes the server.
+	inflight atomic.Int64
+
 	// Failure injection (SetFault/SetStall): every faultEvery-th request
 	// suffers faultMode — a stall (the induced straggler hedging defends
 	// against), an injected per-query error, or a dropped connection (the
@@ -457,6 +461,7 @@ func (s *Server) serve(conn net.Conn) {
 		case FaultStall:
 			time.Sleep(d)
 		}
+		s.inflight.Add(1)
 		var resp wireResponse
 		switch req.Verb {
 		case verbSearch:
@@ -469,10 +474,14 @@ func (s *Server) serve(conn net.Conn) {
 			resp = s.handleFetch(&req)
 		case verbInstallChunk, verbInstallCommit:
 			resp = s.handleInstall(&req)
+		case verbManifest:
+			resp = s.handleManifest(&req)
 		default:
 			resp = wireResponse{Seq: req.Seq, Err: fmt.Sprintf("dist: unknown verb %d", req.Verb)}
 		}
-		if err := enc.Encode(resp); err != nil {
+		err := enc.Encode(resp)
+		s.inflight.Add(-1)
+		if err != nil {
 			return
 		}
 	}
@@ -791,6 +800,45 @@ func (s *Server) handleInstall(req *wireRequest) wireResponse {
 	}
 	resp.Gen = gen
 	return resp
+}
+
+// handleManifest answers verbManifest: the exact committed manifest
+// bytes of this server's directory and their generation — what a replica
+// bootstrap needs before it can fetch segments and install (only appends
+// return manifest bytes otherwise, and a bootstrap has no append to ride).
+func (s *Server) handleManifest(req *wireRequest) wireResponse {
+	resp := wireResponse{Seq: req.Seq}
+	if s.dir == "" {
+		resp.Err = "dist: server has no partition directory"
+		return resp
+	}
+	s.commitMu.Lock()
+	manifest, sm, err := storage.ReadSegmentsRaw(s.dir)
+	s.commitMu.Unlock()
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Gen = sm.Generation
+	resp.Data = manifest
+	return resp
+}
+
+// Drain waits until no request is between decode and response — the
+// quiesce step of a replica retire: the broker stops routing here first,
+// then Drain lets whatever already arrived finish before Close drops the
+// connections mid-answer.
+func (s *Server) Drain(ctx context.Context) error {
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // segInUse reports whether any live serving generation still references

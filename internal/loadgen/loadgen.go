@@ -18,7 +18,6 @@ import (
 	"context"
 	"errors"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
@@ -192,30 +191,12 @@ func Run(ctx context.Context, cfg Config, issue func(ctx context.Context, qi int
 	if st.Wall > 0 {
 		st.Throughput = float64(st.Completed) / st.Wall.Seconds()
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	st.P50 = percentile(lats, 50)
-	st.P90 = percentile(lats, 90)
-	st.P99 = percentile(lats, 99)
-	if n := len(lats); n > 0 {
-		st.Max = lats[n-1]
-	}
+	st.P50 = Percentile(lats, 50)
+	st.P90 = Percentile(lats, 90)
+	st.P99 = Percentile(lats, 99)
+	st.Max = Percentile(lats, 100)
 	if st.Offered > 0 {
 		st.SLOAttainment = float64(st.SLOOk) / float64(st.Offered)
 	}
 	return st, nil
-}
-
-// percentile is nearest-rank over an ascending-sorted sample.
-func percentile(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := len(sorted)*p/100 - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

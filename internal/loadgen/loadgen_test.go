@@ -202,16 +202,16 @@ func TestPercentile(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		lats = append(lats, time.Duration(i))
 	}
-	if p := percentile(lats, 50); p != 50 {
+	if p := Percentile(lats, 50); p != 50 {
 		t.Fatalf("p50=%d", p)
 	}
-	if p := percentile(lats, 99); p != 99 {
+	if p := Percentile(lats, 99); p != 99 {
 		t.Fatalf("p99=%d", p)
 	}
-	if p := percentile(nil, 50); p != 0 {
+	if p := Percentile(nil, 50); p != 0 {
 		t.Fatalf("empty p50=%d", p)
 	}
-	if p := percentile(lats[:1], 99); p != 1 {
+	if p := Percentile(lats[:1], 99); p != 1 {
 		t.Fatalf("single-sample p99=%d", p)
 	}
 }

@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileBoundaries pins the nearest-rank definition at the exact
+// edges where percentile formulas disagree: empty, one-sample, and
+// two-sample inputs. Every experiment in cmd/trecbench quotes these
+// helpers, so a formula drift here silently changes published numbers.
+func TestPercentileBoundaries(t *testing.T) {
+	const (
+		a = 10 * time.Millisecond
+		b = 20 * time.Millisecond
+	)
+	cases := []struct {
+		name   string
+		sample []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{"empty p50", nil, 50, 0},
+		{"empty p99", []time.Duration{}, 99, 0},
+
+		// One sample: every percentile is that sample.
+		{"one sample p1", []time.Duration{a}, 1, a},
+		{"one sample p50", []time.Duration{a}, 50, a},
+		{"one sample p99", []time.Duration{a}, 99, a},
+		{"one sample p100", []time.Duration{a}, 100, a},
+
+		// Two samples: rank = ceil(p*2/100). p50 lands on the first
+		// sample exactly; anything above 50 takes the second. The old
+		// floor-based variant returned the minimum for p99 of two
+		// samples — these rows pin the correction.
+		{"two samples p50", []time.Duration{a, b}, 50, a},
+		{"two samples p51", []time.Duration{a, b}, 51, b},
+		{"two samples p90", []time.Duration{a, b}, 90, b},
+		{"two samples p99", []time.Duration{a, b}, 99, b},
+		{"two samples p100", []time.Duration{a, b}, 100, b},
+
+		// Unsorted input is sorted internally.
+		{"unsorted p99", []time.Duration{b, a}, 99, b},
+		{"unsorted p50", []time.Duration{b, a}, 50, a},
+
+		// Degenerate p values clamp instead of indexing out of range.
+		{"p0 clamps to min", []time.Duration{b, a}, 0, a},
+		{"p past 100 clamps to max", []time.Duration{a, b}, 150, b},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.sample, tc.p); got != tc.want {
+				t.Errorf("Percentile(%v, %d) = %v, want %v", tc.sample, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	sample := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	if got := Percentile(sample, 99); got != 30*time.Millisecond {
+		t.Fatalf("Percentile = %v, want 30ms", got)
+	}
+	if sample[0] != 30*time.Millisecond || sample[1] != 10*time.Millisecond {
+		t.Errorf("Percentile reordered its input: %v", sample)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(1500 * time.Microsecond); got != 1.5 {
+		t.Errorf("Ms(1.5ms) = %v, want 1.5", got)
+	}
+	if got := Ms(0); got != 0 {
+		t.Errorf("Ms(0) = %v, want 0", got)
+	}
+}

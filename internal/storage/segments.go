@@ -179,28 +179,39 @@ func ReadSegmentsRaw(dir string) ([]byte, *SegmentsManifest, error) {
 	return data, sm, nil
 }
 
+// ErrBadManifest reports super-manifest bytes that fail validation —
+// malformed JSON, wrong magic or version, or segment entries whose docid
+// ranges are not contiguous and disjoint (overlaps, gaps, duplicates).
+// Manifests arrive off the wire and out of fuzzers as well as off local
+// disk, so every decode failure is this typed error, never a panic.
+var ErrBadManifest = errors.New("storage: invalid segments manifest")
+
 // decodeSegments unmarshals and validates super-manifest bytes, whether
 // read locally or received over the wire; dir only labels errors.
 func decodeSegments(dir string, data []byte) (*SegmentsManifest, error) {
 	var sm SegmentsManifest
 	if err := json.Unmarshal(data, &sm); err != nil {
-		return nil, fmt.Errorf("storage: corrupt segments manifest in %q: %w", dir, err)
+		return nil, fmt.Errorf("storage: corrupt segments manifest in %q: %v: %w", dir, err, ErrBadManifest)
 	}
 	if sm.Magic != SegmentsMagic {
-		return nil, fmt.Errorf("storage: %q is not a segments manifest (magic %q)", dir, sm.Magic)
+		return nil, fmt.Errorf("storage: %q is not a segments manifest (magic %q): %w", dir, sm.Magic, ErrBadManifest)
 	}
 	if sm.Version != SegmentsFormatVersion {
-		return nil, fmt.Errorf("storage: segmented index in %q has format version %d, this build reads version %d",
-			dir, sm.Version, SegmentsFormatVersion)
+		return nil, fmt.Errorf("storage: segmented index in %q has format version %d, this build reads version %d: %w",
+			dir, sm.Version, SegmentsFormatVersion, ErrBadManifest)
 	}
 	var base int64
 	for i, e := range sm.Segments {
+		if e.Docs < 0 {
+			return nil, fmt.Errorf("storage: segments manifest in %q: segment %q has negative doc count %d: %w",
+				dir, e.Name, e.Docs, ErrBadManifest)
+		}
 		if i == 0 {
 			base = e.DocBase
 		}
 		if e.DocBase != base {
-			return nil, fmt.Errorf("storage: segments manifest in %q: segment %q starts at docid %d, want %d",
-				dir, e.Name, e.DocBase, base)
+			return nil, fmt.Errorf("storage: segments manifest in %q: segment %q starts at docid %d, want %d: %w",
+				dir, e.Name, e.DocBase, base, ErrBadManifest)
 		}
 		base += int64(e.Docs)
 	}

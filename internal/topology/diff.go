@@ -1,0 +1,277 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// StepKind selects the elastic operation a reconciliation step performs.
+type StepKind int
+
+const (
+	// StepAddReplica grows a partition's replica group by one (shipping
+	// the partition over the chunked fetch/install path).
+	StepAddReplica StepKind = iota
+	// StepRetireReplica drains and removes one replica.
+	StepRetireReplica
+	// StepMoveReplica relocates one replica to another host
+	// (add-then-retire, so the group never shrinks below size).
+	StepMoveReplica
+	// StepSplit splits a partition's range at a segment boundary.
+	StepSplit
+	// StepMerge merges a partition's right neighbor back into it,
+	// rewriting the absorbed segments' docid bases.
+	StepMerge
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepAddReplica:
+		return "add-replica"
+	case StepRetireReplica:
+		return "retire-replica"
+	case StepMoveReplica:
+		return "move-replica"
+	case StepSplit:
+		return "split"
+	case StepMerge:
+		return "merge"
+	}
+	return fmt.Sprintf("step(%d)", int(k))
+}
+
+// Step is one reconfiguration the reconciler applies. Partitions are
+// identified by their range start (Lo), never by index — indices shift as
+// ranges split and merge, and the reconciler resolves Lo to the live
+// index at execution time.
+type Step struct {
+	Kind StepKind
+	// Lo identifies the partition operated on (for StepMerge, the left
+	// partition that absorbs its right neighbor).
+	Lo int64
+	// At is the split point (StepSplit only).
+	At int64
+	// Host is the destination host label for add/move ("" lets the
+	// cluster pick the next free default).
+	Host string
+	// Replica is the slot index retired or moved (retire/move only).
+	Replica int
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case StepAddReplica:
+		return fmt.Sprintf("add-replica lo=%d host=%s", s.Lo, s.Host)
+	case StepRetireReplica:
+		return fmt.Sprintf("retire-replica lo=%d replica=%d", s.Lo, s.Replica)
+	case StepMoveReplica:
+		return fmt.Sprintf("move-replica lo=%d replica=%d host=%s", s.Lo, s.Replica, s.Host)
+	case StepSplit:
+		return fmt.Sprintf("split lo=%d at=%d", s.Lo, s.At)
+	case StepMerge:
+		return fmt.Sprintf("merge lo=%d", s.Lo)
+	}
+	return s.Kind.String()
+}
+
+// Observe reads the cluster's live shape as a Spec — the "actual" side of
+// a Diff. Host labels come from the cluster's slot table; the revision is
+// zero (live state has no edit history).
+func Observe(cl *dist.Cluster) (*Spec, error) {
+	lay, err := cl.Layout()
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{Magic: SpecMagic, Version: SpecFormatVersion}
+	for _, p := range lay {
+		ps := PartitionSpec{Lo: p.Lo, Replicas: len(p.Replicas)}
+		for _, r := range p.Replicas {
+			ps.Hosts = append(ps.Hosts, r.Host)
+		}
+		s.Partitions = append(s.Partitions, ps)
+	}
+	return s, nil
+}
+
+// Diff computes the ordered step list that takes the observed layout to
+// the desired one. Steps are emitted so that each is individually
+// executable when reached via re-observation: range changes (splits and
+// merges) come first, each preceded by the retires that bring the
+// affected partitions down to one replica (the precondition of a range
+// commit); replica-count corrections and host moves follow. The
+// reconciler applies only the first step and re-diffs, so later entries
+// are a preview, not a promise — but Diff is deterministic, and on a
+// quiescent cluster repeatedly applying step one walks exactly this list.
+//
+// The two specs must agree on the lowest range start (a cluster's base
+// cannot be reshaped), and every desired range start must be reachable:
+// equal to an observed one, or strictly inside an observed partition
+// (a split point). Observed partitions whose start is absent from the
+// desired spec merge into their left neighbor.
+func Diff(desired, observed *Spec) ([]Step, error) {
+	if err := desired.Validate(); err != nil {
+		return nil, err
+	}
+	if len(observed.Partitions) == 0 {
+		return nil, fmt.Errorf("topology: observed layout has no partitions: %w", ErrBadSpec)
+	}
+	if desired.Partitions[0].Lo != observed.Partitions[0].Lo {
+		return nil, fmt.Errorf("topology: desired base %d != observed base %d (the lowest range start cannot move): %w",
+			desired.Partitions[0].Lo, observed.Partitions[0].Lo, ErrBadSpec)
+	}
+	dIdx := make(map[int64]int, len(desired.Partitions))
+	for i, p := range desired.Partitions {
+		dIdx[p.Lo] = i
+	}
+	oIdx := make(map[int64]int, len(observed.Partitions))
+	for i, p := range observed.Partitions {
+		oIdx[p.Lo] = i
+	}
+
+	var steps []Step
+	// retireToOne queues the retires that shrink an observed partition to
+	// one replica — the precondition of any range commit. Replicas are
+	// retired from the highest slot down, keeping slot 0 (the seed
+	// replica) serving.
+	retireToOne := func(op PartitionSpec) {
+		for r := op.Replicas - 1; r >= 1; r-- {
+			steps = append(steps, Step{Kind: StepRetireReplica, Lo: op.Lo, Replica: r})
+		}
+	}
+	// rangePending marks partitions with a queued split or merge; replica
+	// corrections on them wait until after the range change (the plan would
+	// otherwise double-queue the retire-to-one retires).
+	rangePending := map[int64]bool{}
+
+	// Merges: observed range starts the desired spec dropped. Each merge
+	// absorbs the partition into its left observed neighbor.
+	for i, op := range observed.Partitions {
+		if _, ok := dIdx[op.Lo]; ok {
+			continue
+		}
+		left := observed.Partitions[i-1] // i > 0: bases match
+		if left.Replicas > 1 {
+			retireToOne(left)
+		}
+		if op.Replicas > 1 {
+			retireToOne(op)
+		}
+		steps = append(steps, Step{Kind: StepMerge, Lo: left.Lo})
+		rangePending[left.Lo] = true
+	}
+
+	// Splits: desired range starts absent from the observed layout. Each
+	// splits the observed partition containing the new start.
+	for _, dp := range desired.Partitions {
+		if _, ok := oIdx[dp.Lo]; ok {
+			continue
+		}
+		var inside *PartitionSpec
+		for i := range observed.Partitions {
+			if observed.Partitions[i].Lo < dp.Lo {
+				inside = &observed.Partitions[i]
+			}
+		}
+		if !rangePending[inside.Lo] && inside.Replicas > 1 {
+			retireToOne(*inside)
+		}
+		steps = append(steps, Step{Kind: StepSplit, Lo: inside.Lo, At: dp.Lo})
+		rangePending[inside.Lo] = true
+	}
+
+	// Replica-count and placement corrections on partitions present in
+	// both layouts, in range order. Partitions with a pending range change
+	// are skipped: their replica shape is corrected on the next diff, once
+	// the range change has landed.
+	for _, dp := range desired.Partitions {
+		oi, ok := oIdx[dp.Lo]
+		if !ok || rangePending[dp.Lo] {
+			continue
+		}
+		steps = append(steps, replicaSteps(dp, observed.Partitions[oi])...)
+	}
+	return steps, nil
+}
+
+// replicaSteps corrects one matched partition's replica count and host
+// placement: adds first (the group never dips), then retires (preferring
+// replicas on unwanted hosts), then moves for host mismatches at equal
+// count.
+func replicaSteps(dp, op PartitionSpec) []Step {
+	var steps []Step
+	have := append([]string(nil), op.Hosts...)
+	want := dp.Hosts
+	inWant := func(h string) bool {
+		for _, w := range want {
+			if w == h {
+				return true
+			}
+		}
+		return false
+	}
+
+	for n := op.Replicas; n < dp.Replicas; n++ {
+		host := ""
+		for _, w := range want {
+			dup := false
+			for _, h := range have {
+				if h == w {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				host = w
+				break
+			}
+		}
+		steps = append(steps, Step{Kind: StepAddReplica, Lo: dp.Lo, Host: host})
+		have = append(have, host)
+	}
+	for n := op.Replicas; n > dp.Replicas; n-- {
+		ri := n - 1
+		if len(want) > 0 {
+			for r := n - 1; r >= 0; r-- {
+				if r < len(have) && !inWant(have[r]) {
+					ri = r
+					break
+				}
+			}
+		}
+		steps = append(steps, Step{Kind: StepRetireReplica, Lo: dp.Lo, Replica: ri})
+		if ri < len(have) {
+			have = append(have[:ri], have[ri+1:]...)
+		}
+	}
+	if len(want) == 0 || op.Replicas != dp.Replicas || len(steps) > 0 {
+		return steps
+	}
+	// Equal counts with pinned hosts: move every replica sitting on a host
+	// the spec does not want onto a wanted host no replica occupies.
+	wantLeft := make(map[string]int)
+	for _, w := range want {
+		wantLeft[w]++
+	}
+	var srcs []int
+	for r, h := range have {
+		if wantLeft[h] > 0 {
+			wantLeft[h]--
+			continue
+		}
+		srcs = append(srcs, r)
+	}
+	var dsts []string
+	for _, w := range want {
+		if wantLeft[w] > 0 {
+			wantLeft[w]--
+			dsts = append(dsts, w)
+		}
+	}
+	for i, r := range srcs {
+		if i < len(dsts) {
+			steps = append(steps, Step{Kind: StepMoveReplica, Lo: dp.Lo, Replica: r, Host: dsts[i]})
+		}
+	}
+	return steps
+}

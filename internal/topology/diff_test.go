@@ -1,0 +1,309 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// desired builds a minimal valid desired spec from (lo, replicas, hosts)
+// triples.
+func desired(parts ...PartitionSpec) *Spec {
+	return &Spec{Magic: SpecMagic, Version: SpecFormatVersion, Partitions: parts}
+}
+
+// observedSpec builds the "live layout" side of a diff. Observe always
+// reports one host label per replica, so these do too.
+func observedSpec(parts ...PartitionSpec) *Spec {
+	s := &Spec{Magic: SpecMagic, Version: SpecFormatVersion}
+	for _, p := range parts {
+		if len(p.Hosts) == 0 {
+			for r := 0; r < p.Replicas; r++ {
+				p.Hosts = append(p.Hosts, fmt.Sprintf("h%d", r))
+			}
+		}
+		s.Partitions = append(s.Partitions, p)
+	}
+	return s
+}
+
+// TestDiffStepLists pins the exact plan the differ emits for every
+// reconfiguration shape the control plane supports: spec vs. live layout
+// in, ordered step list out.
+func TestDiffStepLists(t *testing.T) {
+	cases := []struct {
+		name     string
+		desired  *Spec
+		observed *Spec
+		want     []Step
+	}{
+		{
+			name:     "converged",
+			desired:  desired(PartitionSpec{Lo: 0, Replicas: 2, Hosts: []string{"h0", "h1"}}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 2}),
+			want:     nil,
+		},
+		{
+			name:     "converged without host pins",
+			desired:  desired(PartitionSpec{Lo: 0, Replicas: 2}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 2, Hosts: []string{"hx", "hy"}}),
+			want:     nil,
+		},
+		{
+			name:     "add replica unpinned",
+			desired:  desired(PartitionSpec{Lo: 0, Replicas: 2}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 1}),
+			want:     []Step{{Kind: StepAddReplica, Lo: 0}},
+		},
+		{
+			name:     "add replicas onto pinned hosts",
+			desired:  desired(PartitionSpec{Lo: 0, Replicas: 3, Hosts: []string{"h0", "ha", "hb"}}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 1}),
+			want: []Step{
+				{Kind: StepAddReplica, Lo: 0, Host: "ha"},
+				{Kind: StepAddReplica, Lo: 0, Host: "hb"},
+			},
+		},
+		{
+			name:     "retire down to one",
+			desired:  desired(PartitionSpec{Lo: 0, Replicas: 1}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 3}),
+			want: []Step{
+				{Kind: StepRetireReplica, Lo: 0, Replica: 2},
+				{Kind: StepRetireReplica, Lo: 0, Replica: 1},
+			},
+		},
+		{
+			name:     "retire prefers the unwanted host",
+			desired:  desired(PartitionSpec{Lo: 0, Replicas: 2, Hosts: []string{"h0", "h2"}}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 3}),
+			want:     []Step{{Kind: StepRetireReplica, Lo: 0, Replica: 1}},
+		},
+		{
+			name:     "move replica to a new host",
+			desired:  desired(PartitionSpec{Lo: 0, Replicas: 2, Hosts: []string{"h0", "h2"}}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 2}),
+			want:     []Step{{Kind: StepMoveReplica, Lo: 0, Replica: 1, Host: "h2"}},
+		},
+		{
+			name: "split",
+			desired: desired(
+				PartitionSpec{Lo: 0, Replicas: 1},
+				PartitionSpec{Lo: 1400, Replicas: 1}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 1}),
+			want:     []Step{{Kind: StepSplit, Lo: 0, At: 1400}},
+		},
+		{
+			name: "split retires to one first and defers re-adds",
+			desired: desired(
+				PartitionSpec{Lo: 0, Replicas: 2},
+				PartitionSpec{Lo: 1400, Replicas: 1}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 3}),
+			want: []Step{
+				{Kind: StepRetireReplica, Lo: 0, Replica: 2},
+				{Kind: StepRetireReplica, Lo: 0, Replica: 1},
+				{Kind: StepSplit, Lo: 0, At: 1400},
+			},
+		},
+		{
+			name:    "merge",
+			desired: desired(PartitionSpec{Lo: 0, Replicas: 1}),
+			observed: observedSpec(
+				PartitionSpec{Lo: 0, Replicas: 1},
+				PartitionSpec{Lo: 1400, Replicas: 1}),
+			want: []Step{{Kind: StepMerge, Lo: 0}},
+		},
+		{
+			name:    "merge retires both sides to one first",
+			desired: desired(PartitionSpec{Lo: 0, Replicas: 1}),
+			observed: observedSpec(
+				PartitionSpec{Lo: 0, Replicas: 2},
+				PartitionSpec{Lo: 1400, Replicas: 2}),
+			want: []Step{
+				{Kind: StepRetireReplica, Lo: 0, Replica: 1},
+				{Kind: StepRetireReplica, Lo: 1400, Replica: 1},
+				{Kind: StepMerge, Lo: 0},
+			},
+		},
+		{
+			name: "mixed replica corrections follow desired range order",
+			desired: desired(
+				PartitionSpec{Lo: 0, Replicas: 1},
+				PartitionSpec{Lo: 1 << 24, Replicas: 2}),
+			observed: observedSpec(
+				PartitionSpec{Lo: 0, Replicas: 2},
+				PartitionSpec{Lo: 1 << 24, Replicas: 1}),
+			want: []Step{
+				{Kind: StepRetireReplica, Lo: 0, Replica: 1},
+				{Kind: StepAddReplica, Lo: 1 << 24},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Diff(tc.desired, tc.observed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Diff:\n got %v\nwant %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiffRejectsBaseMove(t *testing.T) {
+	_, err := Diff(
+		desired(PartitionSpec{Lo: 100, Replicas: 1}),
+		observedSpec(PartitionSpec{Lo: 0, Replicas: 1}))
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("Diff with moved base = %v, want ErrBadSpec", err)
+	}
+}
+
+// applyModel executes one step against a model layout exactly the way the
+// cluster's elastic operations do: add appends (default host label
+// "h<n>"), retire removes a slot, move is add-then-retire, split carves a
+// new single-replica partition on the left half's host, merge drops the
+// right neighbor.
+func applyModel(t *testing.T, layout *Spec, s Step) {
+	t.Helper()
+	pi := -1
+	for i := range layout.Partitions {
+		if layout.Partitions[i].Lo == s.Lo {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		t.Fatalf("step %v targets a range start not in the layout %v", s, layout.Partitions)
+	}
+	p := &layout.Partitions[pi]
+	add := func(host string) {
+		if host == "" {
+			host = fmt.Sprintf("h%d", len(p.Hosts))
+		}
+		p.Hosts = append(p.Hosts, host)
+		p.Replicas++
+	}
+	retire := func(r int) {
+		if r < 0 || r >= len(p.Hosts) {
+			t.Fatalf("step %v retires slot %d of %d", s, r, len(p.Hosts))
+		}
+		p.Hosts = append(p.Hosts[:r], p.Hosts[r+1:]...)
+		p.Replicas--
+	}
+	switch s.Kind {
+	case StepAddReplica:
+		add(s.Host)
+	case StepRetireReplica:
+		retire(s.Replica)
+	case StepMoveReplica:
+		add(s.Host)
+		retire(s.Replica)
+	case StepSplit:
+		if p.Replicas != 1 {
+			t.Fatalf("split of %v with %d replicas", s, p.Replicas)
+		}
+		right := PartitionSpec{Lo: s.At, Replicas: 1, Hosts: []string{p.Hosts[0]}}
+		layout.Partitions = append(layout.Partitions[:pi+1],
+			append([]PartitionSpec{right}, layout.Partitions[pi+1:]...)...)
+	case StepMerge:
+		if pi+1 >= len(layout.Partitions) {
+			t.Fatalf("merge %v has no right neighbor", s)
+		}
+		if p.Replicas != 1 || layout.Partitions[pi+1].Replicas != 1 {
+			t.Fatalf("merge %v with replicated sides", s)
+		}
+		layout.Partitions = append(layout.Partitions[:pi+1], layout.Partitions[pi+2:]...)
+	}
+}
+
+// TestDiffConvergesOnModel proves the differ/executor contract the
+// reconciler relies on: repeatedly applying only the FIRST step of each
+// fresh diff against a model executor reaches the desired layout — for
+// shapes that mix splits, merges, replica changes, and host moves — and
+// every intermediate step is executable (split/merge preconditions hold).
+func TestDiffConvergesOnModel(t *testing.T) {
+	cases := []struct {
+		name     string
+		desired  *Spec
+		observed *Spec
+	}{
+		{
+			name: "replicate then split",
+			desired: desired(
+				PartitionSpec{Lo: 0, Replicas: 2},
+				PartitionSpec{Lo: 700, Replicas: 2}),
+			observed: observedSpec(PartitionSpec{Lo: 0, Replicas: 3}),
+		},
+		{
+			name:    "merge three ranges into one replicated partition",
+			desired: desired(PartitionSpec{Lo: 0, Replicas: 2, Hosts: []string{"h0", "hz"}}),
+			observed: observedSpec(
+				PartitionSpec{Lo: 0, Replicas: 2},
+				PartitionSpec{Lo: 300, Replicas: 1},
+				PartitionSpec{Lo: 600, Replicas: 2}),
+		},
+		{
+			name: "resplit at a different point",
+			desired: desired(
+				PartitionSpec{Lo: 0, Replicas: 1},
+				PartitionSpec{Lo: 500, Replicas: 1}),
+			observed: observedSpec(
+				PartitionSpec{Lo: 0, Replicas: 1},
+				PartitionSpec{Lo: 300, Replicas: 1}),
+		},
+		{
+			name: "host reshuffle across partitions",
+			desired: desired(
+				PartitionSpec{Lo: 0, Replicas: 2, Hosts: []string{"ha", "hb"}},
+				PartitionSpec{Lo: 400, Replicas: 1, Hosts: []string{"hc"}}),
+			observed: observedSpec(
+				PartitionSpec{Lo: 0, Replicas: 2},
+				PartitionSpec{Lo: 400, Replicas: 2}),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			layout := tc.observed
+			for iter := 0; ; iter++ {
+				if iter > 64 {
+					t.Fatalf("no convergence after %d steps; layout %v", iter, layout.Partitions)
+				}
+				steps, err := Diff(tc.desired, layout)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(steps) == 0 {
+					break
+				}
+				applyModel(t, layout, steps[0])
+			}
+			// Converged: ranges and replica counts match; pinned hosts hold.
+			if len(layout.Partitions) != len(tc.desired.Partitions) {
+				t.Fatalf("converged to %v, want %v", layout.Partitions, tc.desired.Partitions)
+			}
+			for i, dp := range tc.desired.Partitions {
+				lp := layout.Partitions[i]
+				if lp.Lo != dp.Lo || lp.Replicas != dp.Replicas {
+					t.Errorf("partition %d: converged to lo=%d x%d, want lo=%d x%d",
+						i, lp.Lo, lp.Replicas, dp.Lo, dp.Replicas)
+				}
+				for _, w := range dp.Hosts {
+					found := false
+					for _, h := range lp.Hosts {
+						if h == w {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("partition %d: host %s missing from converged %v", i, w, lp.Hosts)
+					}
+				}
+			}
+		})
+	}
+}

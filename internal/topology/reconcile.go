@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/dist"
+)
+
+// Status is the reconciler's live progress document, embedded in every
+// bound broker's /health output while a reconcile runs.
+type Status struct {
+	// Revision of the spec being (or last) applied.
+	Revision uint64 `json:"revision"`
+	// Converged reports that the last Apply finished with nothing to do.
+	Converged bool `json:"converged"`
+	// Applied counts steps executed by the current/last Apply; Remaining
+	// is the differ's step estimate when the current step was chosen.
+	Applied   int `json:"applied"`
+	Remaining int `json:"remaining"`
+	// Current is the step being executed ("" when idle).
+	Current string `json:"current,omitempty"`
+	// LastError is the most recent step failure ("" when none).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Reconciler drives a cluster toward a desired Spec by applying one
+// elastic step at a time, re-observing the live layout between steps —
+// so a reconciler killed mid-plan (or mid-step: every step is resumable)
+// converges when re-run. Its Status is published on every bound broker's
+// /health document for the duration of the binding.
+type Reconciler struct {
+	cl      *dist.Cluster
+	brokers []*dist.Broker
+
+	mu     sync.Mutex
+	status Status
+}
+
+// NewReconciler binds a reconciler to the cluster and the brokers that
+// serve it. Every broker is retargeted (or sealed, for range changes)
+// around each step — brokers not listed here would go stale mid-reconcile
+// — and gets the reconciler's Status embedded in its /health document.
+func NewReconciler(cl *dist.Cluster, brokers ...*dist.Broker) *Reconciler {
+	r := &Reconciler{cl: cl, brokers: brokers}
+	for _, b := range brokers {
+		b.SetHealthExtra(func() any { return r.Status() })
+	}
+	return r
+}
+
+// Status returns the reconciler's current progress snapshot.
+func (r *Reconciler) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+func (r *Reconciler) setStatus(mutate func(*Status)) {
+	r.mu.Lock()
+	mutate(&r.status)
+	r.mu.Unlock()
+}
+
+// maxApplySteps bounds one Apply run — a guard against a differ/executor
+// disagreement looping forever, far above any real plan.
+const maxApplySteps = 256
+
+// Apply converges the cluster onto the desired spec: observe, diff, apply
+// the first step, repeat until the diff is empty. Each iteration
+// re-resolves partition identities (range starts) against the live
+// layout, so steps survive the index shifts earlier steps cause, and an
+// Apply interrupted at any point — between steps or inside one — is
+// resumed by calling Apply again with the same spec. A step that
+// completes without changing the observed layout aborts with an error
+// rather than spinning.
+func (r *Reconciler) Apply(ctx context.Context, desired *Spec) error {
+	if err := desired.Validate(); err != nil {
+		return err
+	}
+	r.setStatus(func(s *Status) {
+		*s = Status{Revision: desired.Revision}
+	})
+	fail := func(err error) error {
+		r.setStatus(func(s *Status) {
+			s.Current = ""
+			s.LastError = err.Error()
+		})
+		return err
+	}
+	prevShape := ""
+	applied := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		observed, err := Observe(r.cl)
+		if err != nil {
+			return fail(err)
+		}
+		steps, err := Diff(desired, observed)
+		if err != nil {
+			return fail(err)
+		}
+		if len(steps) == 0 {
+			r.setStatus(func(s *Status) {
+				s.Converged = true
+				s.Current = ""
+				s.Remaining = 0
+			})
+			return nil
+		}
+		// Progress guard: a completed step must have changed the observed
+		// layout, or the differ and the executor disagree.
+		shape, err := observed.Encode()
+		if err != nil {
+			return fail(err)
+		}
+		if string(shape) == prevShape {
+			return fail(fmt.Errorf("topology: no progress applying %s (layout unchanged)", steps[0]))
+		}
+		prevShape = string(shape)
+		if applied >= maxApplySteps {
+			return fail(fmt.Errorf("topology: %d steps applied without converging", applied))
+		}
+
+		step := steps[0]
+		r.setStatus(func(s *Status) {
+			s.Current = step.String()
+			s.Remaining = len(steps)
+			s.Applied = applied
+		})
+		if err := r.applyStep(ctx, step); err != nil {
+			return fail(fmt.Errorf("topology: %s: %w", step, err))
+		}
+		applied++
+		r.setStatus(func(s *Status) { s.Applied = applied })
+	}
+}
+
+// applyStep resolves the step's partition identity against the live
+// layout and runs the matching elastic operation.
+func (r *Reconciler) applyStep(ctx context.Context, step Step) error {
+	lay, err := r.cl.Layout()
+	if err != nil {
+		return err
+	}
+	p := -1
+	for i := range lay {
+		if lay[i].Lo == step.Lo {
+			p = i
+			break
+		}
+	}
+	if p < 0 {
+		return fmt.Errorf("no live partition starts at docid %d", step.Lo)
+	}
+	switch step.Kind {
+	case StepAddReplica:
+		return r.cl.AddReplica(ctx, p, step.Host, r.brokers...)
+	case StepRetireReplica:
+		return r.cl.RetireReplica(ctx, p, step.Replica, r.brokers...)
+	case StepMoveReplica:
+		return r.cl.MoveReplica(ctx, p, step.Replica, step.Host, r.brokers...)
+	case StepSplit:
+		return r.cl.SplitPartition(ctx, p, step.At, r.brokers...)
+	case StepMerge:
+		return r.cl.MergePartitions(ctx, p, r.brokers...)
+	}
+	return fmt.Errorf("unknown step kind %d", int(step.Kind))
+}

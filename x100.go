@@ -66,6 +66,7 @@
 package repro
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/colbm"
@@ -76,6 +77,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/primitives"
 	"repro/internal/storage"
+	"repro/internal/topology"
 	"repro/internal/vector"
 )
 
@@ -418,6 +420,78 @@ func WithClusterIngest() ClusterOption {
 func BuildLivePartitions(c *Collection, n int, cfg IndexConfig, baseDir string) ([]string, error) {
 	return dist.BuildLivePartitions(c, n, cfg, baseDir)
 }
+
+// Control-plane surface: the declarative topology spec, the differ, and
+// the reconciler that converges a live cluster onto a desired shape one
+// resumable step at a time (see internal/topology). The elastic steps it
+// composes are methods on Cluster: AddReplica, RetireReplica,
+// MoveReplica, SplitPartition, MergePartitions.
+type (
+	// TopologySpec is the versioned desired cluster shape — partition
+	// docid ranges, replica counts, optional host pins — serializable to
+	// TOPOLOGY.json (SaveTopology / LoadTopology).
+	TopologySpec = topology.Spec
+	// TopologyPartition is one partition range of a TopologySpec.
+	TopologyPartition = topology.PartitionSpec
+	// TopologyStep is one reconfiguration step of a reconcile plan.
+	TopologyStep = topology.Step
+	// TopologyReconciler drives a cluster toward a desired TopologySpec,
+	// re-observing the live layout between steps so an interrupted
+	// reconcile resumes by re-running.
+	TopologyReconciler = topology.Reconciler
+	// ReconcileStatus is the reconciler's live progress document,
+	// embedded in bound brokers' /health output while a reconcile runs.
+	ReconcileStatus = topology.Status
+)
+
+// ErrBadTopologySpec reports a topology spec failing validation; every
+// parse failure wraps it. ErrStaleTopologySpec reports a SaveTopology
+// whose revision is older than the one on disk.
+var (
+	ErrBadTopologySpec   = topology.ErrBadSpec
+	ErrStaleTopologySpec = topology.ErrStaleSpec
+)
+
+// TopologyFileName is the canonical on-disk name of a saved topology
+// spec ("TOPOLOGY.json").
+const TopologyFileName = topology.SpecFileName
+
+// Topology observes a cluster's live shape as a TopologySpec — each
+// partition's docid range start and replica placements — the "actual"
+// side every reconcile diffs against.
+func Topology(cl *Cluster) (*TopologySpec, error) { return topology.Observe(cl) }
+
+// DiffTopology returns the ordered reconcile plan from the observed
+// layout to the desired one: range changes first (each preceded by the
+// retires that bring the affected partitions to one replica), then
+// replica-count corrections and host moves.
+func DiffTopology(desired, observed *TopologySpec) ([]TopologyStep, error) {
+	return topology.Diff(desired, observed)
+}
+
+// NewTopologyReconciler binds a reconciler to the cluster and the
+// brokers serving it; each broker's /health document carries the
+// reconciler's status for the duration of the binding.
+func NewTopologyReconciler(cl *Cluster, brokers ...*Broker) *TopologyReconciler {
+	return topology.NewReconciler(cl, brokers...)
+}
+
+// ApplyTopology converges the cluster onto the desired spec — observe,
+// diff, apply one resumable elastic step, repeat — while queries and
+// ingest keep serving. Interrupted anywhere, calling it again with the
+// same spec resumes. Brokers not passed here would go stale
+// mid-reconcile.
+func ApplyTopology(ctx context.Context, cl *Cluster, desired *TopologySpec, brokers ...*Broker) error {
+	return topology.NewReconciler(cl, brokers...).Apply(ctx, desired)
+}
+
+// SaveTopology atomically writes the spec to dir/TOPOLOGY.json, refusing
+// to overwrite a newer revision; LoadTopology reads it back;
+// ParseTopologySpec decodes and validates raw spec bytes (malformed
+// input returns ErrBadTopologySpec, never panics).
+func SaveTopology(dir string, s *TopologySpec) error       { return topology.Save(dir, s) }
+func LoadTopology(dir string) (*TopologySpec, error)       { return topology.Load(dir) }
+func ParseTopologySpec(data []byte) (*TopologySpec, error) { return topology.ParseSpec(data) }
 
 // Storage surface: the BlockStore/ChunkCache contracts, their simulated
 // and persistent implementations, and the on-disk index format.
